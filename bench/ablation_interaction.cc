@@ -1,0 +1,69 @@
+/// Index-interaction study (paper §5): "the KNAPSACK model is not
+/// completely accurate because the benefits of different indices are not
+/// always independent. [...] suppose a materialized index I becomes useless
+/// due to some change in the materialized set. [...] in future epochs, I
+/// will be unused and its predicted benefit will converge to zero [and] it
+/// will be dropped."
+///
+/// We engineer exactly that situation: every query carries TWO selective
+/// predicates on the same large table, so the two candidate indexes are
+/// near-perfect substitutes — once one is materialized, the other is
+/// worthless. We then watch COLT first (over-)materialize and then correct
+/// itself by dropping the redundant index.
+#include <cstdio>
+
+#include "core/colt.h"
+#include "harness/experiment.h"
+#include "storage/tpch_schema.h"
+
+int main() {
+  colt::Catalog catalog = colt::MakeTpchCatalog();
+  const colt::TableId li = catalog.FindTable("lineitem_0");
+  const colt::ColumnId shipdate =
+      catalog.table(li).FindColumn("l_shipdate");
+  const colt::ColumnId commitdate =
+      catalog.table(li).FindColumn("l_commitdate");
+
+  // Both predicates are similarly selective, so each index alone serves
+  // the query almost equally well; together they are redundant.
+  colt::QueryOptimizer optimizer(&catalog);
+  colt::ColtConfig config;
+  config.storage_budget_bytes = 128LL * 1024 * 1024;  // both would fit
+  colt::ColtTuner tuner(&catalog, &optimizer, config);
+
+  colt::Rng rng(77);
+  const int kQueries = 1200;
+  std::printf("Index-interaction study: %d queries, each with substitutable "
+              "predicates on l_shipdate and l_commitdate\n\n", kQueries);
+  int max_materialized = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    const int64_t s_lo = rng.NextInRange(0, 2500);
+    const int64_t c_lo = rng.NextInRange(0, 2440);
+    colt::Query q({li}, {},
+                  {colt::SelectionPredicate{{li, shipdate}, s_lo, s_lo + 11},
+                   colt::SelectionPredicate{{li, commitdate}, c_lo,
+                                            c_lo + 11}});
+    const colt::TuningStep step = tuner.OnQuery(q);
+    for (const auto& action : step.actions) {
+      std::printf("query %4d: %-11s %s\n", i,
+                  action.type == colt::IndexActionType::kMaterialize
+                      ? "materialize"
+                      : "drop",
+                  catalog.index(action.index).name.c_str());
+    }
+    max_materialized = std::max(
+        max_materialized, static_cast<int>(tuner.materialized().size()));
+  }
+
+  std::printf("\nPeak materialized set size: %d\n", max_materialized);
+  std::printf("Final materialized set (%zu):\n", tuner.materialized().size());
+  for (colt::IndexId id : tuner.materialized().ids()) {
+    std::printf("  %s\n", catalog.index(id).name.c_str());
+  }
+  std::printf("\nExpected: the substitute index may be materialized early "
+              "(the model assumes independence), but once one index serves "
+              "the queries the other's measured benefit converges to zero "
+              "and the epoch-by-epoch KNAPSACK re-solve drops it — COLT "
+              "ends with a single lineitem index.\n");
+  return tuner.materialized().size() == 1 ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+/// Extension experiment (ours — the paper's stated future work): COLT with
+/// two-column composite index candidates. The workload issues queries with
+/// an equality predicate plus a selective range predicate on the same
+/// table — the textbook composite-index pattern — and we compare COLT with
+/// and without multi-column mining.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/workloads.h"
+#include "storage/tpch_schema.h"
+
+namespace {
+
+/// Two-predicate templates: equality on a medium-cardinality column plus a
+/// selective range, per fact table.
+colt::QueryDistribution TwoPredDistribution(colt::Catalog* catalog) {
+  colt::QueryDistribution dist;
+  dist.name = "two_pred";
+  auto add = [&](const char* table, const char* eq_col, const char* rng_col,
+                 double lo, double hi, double weight) {
+    colt::QueryTemplate t;
+    t.name = std::string(table) + "." + eq_col + "+" + rng_col;
+    const colt::TableId tid = catalog->FindTable(table);
+    t.tables = {tid};
+    colt::SelectionSpec eq;
+    eq.column = {tid, catalog->table(tid).FindColumn(eq_col)};
+    eq.equality = true;
+    colt::SelectionSpec range;
+    range.column = {tid, catalog->table(tid).FindColumn(rng_col)};
+    range.min_selectivity = lo;
+    range.max_selectivity = hi;
+    t.selections = {eq, range};
+    dist.templates.push_back(std::move(t));
+    dist.weights.push_back(weight);
+  };
+  add("lineitem_0", "l_returnflag", "l_shipdate", 0.002, 0.02, 3.0);
+  add("lineitem_0", "l_shipmode", "l_extendedprice", 0.002, 0.02, 2.0);
+  add("orders_0", "o_orderstatus", "o_orderdate", 0.002, 0.02, 2.0);
+  add("orders_0", "o_orderpriority", "o_totalprice", 0.002, 0.02, 1.5);
+  add("customer_0", "c_mktsegment", "c_acctbal", 0.002, 0.02, 1.0);
+  return dist;
+}
+
+}  // namespace
+
+int main() {
+  colt::Catalog catalog = colt::MakeTpchCatalog();
+  const colt::QueryDistribution dist = TwoPredDistribution(&catalog);
+  colt::WorkloadGenerator gen(&catalog, 321);
+  std::vector<colt::Query> workload;
+  for (int i = 0; i < 600; ++i) workload.push_back(gen.Sample(dist));
+
+  const int64_t budget = 96LL * 1024 * 1024;
+  std::printf("Multi-column extension: 600 two-predicate queries "
+              "(equality + selective range), budget %.0f MB\n\n",
+              budget / (1024.0 * 1024.0));
+  std::printf("%-22s %12s %12s %10s\n", "mode", "exec(s)", "tail exec(s)",
+              "indexes");
+
+  for (bool multicolumn : {false, true}) {
+    colt::ColtConfig config;
+    config.storage_budget_bytes = budget;
+    config.mine_multicolumn_candidates = multicolumn;
+    const colt::ColtRunResult run =
+        colt::RunColtWorkload(&catalog, workload, config);
+    double exec = 0, tail = 0;
+    for (size_t i = 0; i < run.per_query.size(); ++i) {
+      exec += run.per_query[i].execution;
+      if (i >= 300) tail += run.per_query[i].execution;
+    }
+    int composites = 0;
+    for (colt::IndexId id : run.final_materialized.ids()) {
+      composites += catalog.index(id).is_composite() ? 1 : 0;
+    }
+    std::printf("%-22s %12.1f %12.1f %4zu (%d composite)\n",
+                multicolumn ? "with-multicolumn" : "single-column-only",
+                exec, tail, run.final_materialized.size(), composites);
+    if (multicolumn) {
+      std::printf("\nFinal configuration with the extension:\n");
+      for (colt::IndexId id : run.final_materialized.ids()) {
+        std::printf("  %-44s %8.1f MB\n", catalog.index(id).name.c_str(),
+                    catalog.index(id).size_bytes / (1024.0 * 1024.0));
+      }
+    }
+  }
+  std::printf("\nExpected: composite indexes serve the equality+range "
+              "pattern with a tighter usable prefix, lowering steady-state "
+              "execution time.\n");
+  return 0;
+}

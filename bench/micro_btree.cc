@@ -1,0 +1,89 @@
+/// Microbenchmarks for the B+-tree substrate.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "index/btree.h"
+
+namespace colt {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(42);
+  std::vector<std::pair<int64_t, RowId>> entries;
+  entries.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    entries.emplace_back(static_cast<int64_t>(rng.NextBelow(n)), i);
+  }
+  for (auto _ : state) {
+    BTreeIndex tree;
+    for (const auto& [k, v] : entries) tree.Insert(k, v);
+    benchmark::DoNotOptimize(tree.entry_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BTreeBulkLoad(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(42);
+  std::vector<std::pair<int64_t, RowId>> entries;
+  entries.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    entries.emplace_back(static_cast<int64_t>(rng.NextBelow(n)), i);
+  }
+  for (auto _ : state) {
+    BTreeIndex tree;
+    auto copy = entries;
+    benchmark::DoNotOptimize(tree.BulkLoad(std::move(copy)).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeBulkLoad)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  const int64_t n = 1'000'000;
+  const int64_t width = state.range(0);
+  Rng rng(7);
+  std::vector<std::pair<int64_t, RowId>> entries;
+  entries.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    entries.emplace_back(static_cast<int64_t>(rng.NextBelow(n)), i);
+  }
+  BTreeIndex tree;
+  (void)tree.BulkLoad(std::move(entries));
+  std::vector<RowId> out;
+  int64_t lo = 0;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(tree.RangeScan(lo, lo + width, &out));
+    lo = (lo + 9973) % (n - width);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeRangeScan)->Arg(10)->Arg(1000)->Arg(100000);
+
+void BM_BTreePointLookup(benchmark::State& state) {
+  const int64_t n = 1'000'000;
+  Rng rng(7);
+  std::vector<std::pair<int64_t, RowId>> entries;
+  for (int64_t i = 0; i < n; ++i) {
+    entries.emplace_back(static_cast<int64_t>(rng.NextBelow(n)), i);
+  }
+  BTreeIndex tree;
+  (void)tree.BulkLoad(std::move(entries));
+  std::vector<RowId> out;
+  Rng probe(11);
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(
+        tree.Lookup(static_cast<int64_t>(probe.NextBelow(n)), &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreePointLookup);
+
+}  // namespace
+}  // namespace colt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+/// Microbenchmarks for the COLT core: per-query tuner overhead (the cost of
+/// monitoring itself), knapsack solves, and clustering assignment.
+#include <benchmark/benchmark.h>
+
+#include "core/colt.h"
+#include "core/knapsack.h"
+#include "harness/workloads.h"
+#include "storage/tpch_schema.h"
+
+namespace colt {
+namespace {
+
+void BM_ColtOnQuery(benchmark::State& state) {
+  static Catalog* catalog = new Catalog(MakeTpchCatalog());
+  QueryOptimizer optimizer(catalog);
+  ColtConfig config;
+  config.storage_budget_bytes = 64LL * 1024 * 1024;
+  ColtTuner tuner(catalog, &optimizer, config);
+  const QueryDistribution dist = ExperimentWorkloads::Focused(catalog, 0);
+  WorkloadGenerator gen(catalog, 3);
+  std::vector<Query> queries;
+  for (int i = 0; i < 256; ++i) queries.push_back(gen.Sample(dist));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tuner.OnQuery(queries[i % queries.size()]).execution_seconds);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ColtOnQuery);
+
+void BM_KnapsackDp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  std::vector<KnapsackItem> items;
+  int64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t size = 1 + static_cast<int64_t>(rng.NextBelow(64 << 20));
+    total += size;
+    items.push_back({i, size, static_cast<double>(rng.NextBelow(100000))});
+  }
+  const int64_t capacity = total / 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveKnapsack(items, capacity).total_value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KnapsackDp)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ClusterAssign(benchmark::State& state) {
+  static Catalog* catalog = new Catalog(MakeTpchCatalog());
+  ClusterManager clusters(catalog, 12);
+  const QueryDistribution dist = ExperimentWorkloads::Focused(catalog, 0);
+  WorkloadGenerator gen(catalog, 3);
+  std::vector<Query> queries;
+  for (int i = 0; i < 256; ++i) queries.push_back(gen.Sample(dist));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clusters.Assign(queries[i % queries.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClusterAssign);
+
+void BM_SignatureCompute(benchmark::State& state) {
+  static Catalog* catalog = new Catalog(MakeTpchCatalog());
+  const QueryDistribution dist = ExperimentWorkloads::Focused(catalog, 0);
+  WorkloadGenerator gen(catalog, 3);
+  std::vector<Query> queries;
+  for (int i = 0; i < 256; ++i) queries.push_back(gen.Sample(dist));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        QuerySignatureHash()(ComputeSignature(*catalog,
+                                              queries[i % queries.size()])));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignatureCompute);
+
+void BM_TwoMeansSplit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(17);
+  std::vector<double> values;
+  for (int i = 0; i < n; ++i) values.push_back(rng.NextDouble() * 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeTwoMeansSplit(values).threshold);
+  }
+}
+BENCHMARK(BM_TwoMeansSplit)->Arg(20)->Arg(200);
+
+}  // namespace
+}  // namespace colt
+
+BENCHMARK_MAIN();

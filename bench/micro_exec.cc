@@ -1,0 +1,93 @@
+/// Microbenchmarks for the physical execution engine (reduced-scale data).
+#include <benchmark/benchmark.h>
+
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "storage/tpch_schema.h"
+
+namespace colt {
+namespace {
+
+struct Fixture {
+  Fixture() : db(MakeCatalog(), 7) {
+    (void)db.MaterializeAll(/*refresh_stats=*/true);
+    li = db.catalog().FindTable("lineitem_0");
+    shipdate = db.catalog().table(li).FindColumn("l_shipdate");
+    auto desc = db.mutable_catalog().IndexOn(ColumnRef{li, shipdate});
+    index_id = desc->id;
+    (void)db.BuildIndex(index_id);
+  }
+  static Catalog MakeCatalog() {
+    TpchOptions options;
+    options.instances = 1;
+    options.scale = 0.05;
+    return MakeTpchCatalog(options);
+  }
+  Database db;
+  TableId li = kInvalidTableId;
+  ColumnId shipdate = kInvalidColumnId;
+  IndexId index_id = kInvalidIndexId;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_ExecSeqScan(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  QueryOptimizer optimizer(&f.db.catalog());
+  Executor executor(&f.db);
+  Query q({f.li}, {},
+          {SelectionPredicate{{f.li, f.shipdate}, 100, 160}});
+  const PlanResult plan = optimizer.Optimize(q, {});
+  for (auto _ : state) {
+    auto result = executor.Execute(*plan.plan);
+    benchmark::DoNotOptimize(result->output_rows);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          f.db.catalog().table(f.li).row_count());
+}
+BENCHMARK(BM_ExecSeqScan);
+
+void BM_ExecIndexScan(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  QueryOptimizer optimizer(&f.db.catalog());
+  Executor executor(&f.db);
+  Query q({f.li}, {},
+          {SelectionPredicate{{f.li, f.shipdate}, 100, 110}});
+  IndexConfiguration config;
+  config.Add(f.index_id);
+  const PlanResult plan = optimizer.Optimize(q, config);
+  for (auto _ : state) {
+    auto result = executor.Execute(*plan.plan);
+    benchmark::DoNotOptimize(result->output_rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecIndexScan);
+
+void BM_ExecHashJoin(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  QueryOptimizer optimizer(&f.db.catalog());
+  Executor executor(&f.db);
+  const TableId od = f.db.catalog().FindTable("orders_0");
+  const ColumnId okey = f.db.catalog().table(od).FindColumn("o_orderkey");
+  const ColumnId odate = f.db.catalog().table(od).FindColumn("o_orderdate");
+  const ColumnId lokey =
+      f.db.catalog().table(f.li).FindColumn("l_orderkey");
+  Query q({od, f.li}, {JoinPredicate{{od, okey}, {f.li, lokey}}},
+          {SelectionPredicate{{od, odate}, 0, 30}});
+  const PlanResult plan = optimizer.Optimize(q, {});
+  for (auto _ : state) {
+    auto result = executor.Execute(*plan.plan);
+    benchmark::DoNotOptimize(result->output_rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecHashJoin);
+
+}  // namespace
+}  // namespace colt
+
+BENCHMARK_MAIN();

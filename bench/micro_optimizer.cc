@@ -1,0 +1,104 @@
+/// Microbenchmarks for the Extended Query Optimizer: normal optimization,
+/// what-if calls (the quantity COLT budgets), and the value of sub-plan
+/// reuse inside what-if re-optimizations.
+#include <benchmark/benchmark.h>
+
+#include "harness/workloads.h"
+#include "optimizer/optimizer.h"
+#include "storage/tpch_schema.h"
+
+namespace colt {
+namespace {
+
+struct Fixture {
+  Fixture() : catalog(MakeTpchCatalog()), gen(&catalog, 5) {
+    const QueryDistribution dist =
+        ExperimentWorkloads::Focused(&catalog, 0);
+    for (int i = 0; i < 64; ++i) queries.push_back(gen.Sample(dist));
+    for (const ColumnRef& col :
+         ExperimentWorkloads::RelevantColumns(&catalog, 0)) {
+      ids.push_back(catalog.IndexOn(col)->id);
+    }
+    for (size_t i = 0; i < 4 && i < ids.size(); ++i) config.Add(ids[i]);
+  }
+  Catalog catalog;
+  WorkloadGenerator gen;
+  std::vector<Query> queries;
+  std::vector<IndexId> ids;
+  IndexConfiguration config;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_OptimizeSingleTable(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  QueryOptimizer optimizer(&f.catalog);
+  size_t i = 0;
+  for (auto _ : state) {
+    // Skip join queries to isolate single-table planning.
+    while (f.queries[i % f.queries.size()].tables().size() != 1) ++i;
+    benchmark::DoNotOptimize(
+        optimizer.Optimize(f.queries[i % f.queries.size()], f.config).cost);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OptimizeSingleTable);
+
+void BM_OptimizeJoin(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  QueryOptimizer optimizer(&f.catalog);
+  size_t i = 0;
+  for (auto _ : state) {
+    while (f.queries[i % f.queries.size()].tables().size() < 2) ++i;
+    benchmark::DoNotOptimize(
+        optimizer.Optimize(f.queries[i % f.queries.size()], f.config).cost);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OptimizeJoin);
+
+void BM_WhatIfCall(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  QueryOptimizer optimizer(&f.catalog);
+  const int probes = static_cast<int>(state.range(0));
+  std::vector<IndexId> probation(f.ids.begin(), f.ids.begin() + probes);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimizer
+            .WhatIfOptimize(f.queries[i % f.queries.size()], f.config,
+                            probation)
+            .size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * probes);
+}
+BENCHMARK(BM_WhatIfCall)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_CrudeGain(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  QueryOptimizer optimizer(&f.catalog);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = f.queries[i % f.queries.size()];
+    double total = 0;
+    for (const auto& pred : q.selections()) {
+      auto desc = f.catalog.IndexOn(pred.column);
+      total += optimizer.CrudeGain(pred, *desc);
+    }
+    benchmark::DoNotOptimize(total);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CrudeGain);
+
+}  // namespace
+}  // namespace colt
+
+BENCHMARK_MAIN();

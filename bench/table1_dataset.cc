@@ -1,0 +1,37 @@
+/// Reproduces Table 1 of the paper: characteristics of the synthetic data
+/// set (4 TPC-H schema instances).
+#include <algorithm>
+#include <cstdio>
+
+#include "storage/tpch_schema.h"
+
+int main() {
+  colt::Catalog catalog = colt::MakeTpchCatalog();
+
+  int64_t total_rows = 0;
+  int64_t largest = 0;
+  int64_t smallest = INT64_MAX;
+  int32_t indexable = 0;
+  for (colt::TableId t = 0; t < catalog.table_count(); ++t) {
+    const auto& table = catalog.table(t);
+    total_rows += table.row_count();
+    largest = std::max(largest, table.row_count());
+    smallest = std::min(smallest, table.row_count());
+    indexable += table.indexable_column_count();
+  }
+  const double gb =
+      static_cast<double>(catalog.total_heap_bytes()) / (1024.0 * 1024 * 1024);
+
+  std::printf("Table 1: Data Set Characteristics (paper values in parens)\n");
+  std::printf("---------------------------------------------------------\n");
+  std::printf("%-32s %12.2f GB  (1.4 GB)\n", "Size (binary data)", gb);
+  std::printf("%-32s %12d     (32)\n", "# Tables", catalog.table_count());
+  std::printf("%-32s %12lld     (6,928,120)\n", "# Tuples in all tables",
+              static_cast<long long>(total_rows));
+  std::printf("%-32s %12lld     (1,200,000)\n", "# Tuples in largest table",
+              static_cast<long long>(largest));
+  std::printf("%-32s %12lld     (5)\n", "# Tuples in smallest table",
+              static_cast<long long>(smallest));
+  std::printf("%-32s %12d     (244)\n", "# Indexable attributes", indexable);
+  return 0;
+}

@@ -1,0 +1,152 @@
+/// colt_shell — an interactive (or scripted) self-tuning SQL shell.
+///
+/// Reads statements from stdin (or a file passed as argv[1]), plans and
+/// "executes" them against the TPC-H catalog with COLT tuning in the
+/// background. Meta-commands:
+///
+///   \d            list tables
+///   \d <table>    describe a table
+///   \m            show the materialized set and what-if budget
+///   \plan <sql>   show the optimizer's plan without running COLT
+///   \q            quit
+///
+/// Example:
+///   echo "SELECT COUNT(*) FROM lineitem_0 WHERE
+///         lineitem_0.l_shipdate BETWEEN 100 AND 120;" |
+///     ./build/examples/colt_shell
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/colt.h"
+#include "query/parser.h"
+#include "storage/tpch_schema.h"
+
+namespace {
+
+void ListTables(const colt::Catalog& catalog) {
+  std::printf("%-16s %12s %8s\n", "table", "rows", "columns");
+  for (colt::TableId t = 0; t < catalog.table_count(); ++t) {
+    const auto& table = catalog.table(t);
+    std::printf("%-16s %12lld %8d\n", table.name().c_str(),
+                static_cast<long long>(table.row_count()),
+                table.column_count());
+  }
+}
+
+void DescribeTable(const colt::Catalog& catalog, const std::string& name) {
+  const colt::TableId t = catalog.FindTable(name);
+  if (t == colt::kInvalidTableId) {
+    std::printf("no such table: %s\n", name.c_str());
+    return;
+  }
+  const auto& table = catalog.table(t);
+  std::printf("%-20s %-8s %6s %12s\n", "column", "type", "width", "ndv");
+  for (const auto& col : table.columns()) {
+    std::printf("%-20s %-8s %6d %12lld\n", col.name.c_str(),
+                colt::ColumnTypeName(col.type), col.width_bytes,
+                static_cast<long long>(col.ndv));
+  }
+}
+
+void ShowMaterialized(const colt::Catalog& catalog,
+                      colt::ColtTuner& tuner) {
+  (void)catalog;
+  std::printf("%-44s %-12s %10s %12s %12s %8s\n", "index", "role",
+              "benefitC", "forecast", "netbenefit", "MB");
+  for (const auto& e : tuner.ExplainState()) {
+    std::printf("%-44s %-12s %10.1f %12.0f %12.0f %8.1f\n", e.name.c_str(),
+                e.role.c_str(), e.crude_benefit, e.forecast_benefit,
+                e.net_benefit, e.size_bytes / (1024.0 * 1024.0));
+  }
+  std::printf("what-if budget: %d/%d\n", tuner.whatif_limit(),
+              tuner.config().max_whatif_per_epoch);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  colt::Catalog catalog = colt::MakeTpchCatalog();
+  colt::QueryOptimizer optimizer(&catalog);
+  colt::ColtConfig config;
+  config.storage_budget_bytes = 64LL * 1024 * 1024;
+  colt::ColtTuner tuner(&catalog, &optimizer, config);
+  colt::QueryParser parser(&catalog);
+
+  std::ifstream file;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+  }
+  std::istream& in = (argc > 1) ? file : std::cin;
+  const bool interactive = (argc == 1);
+
+  if (interactive) {
+    std::printf("COLT shell over the 32-table TPC-H catalog. \\d to list "
+                "tables, \\q to quit.\n");
+  }
+  std::string line;
+  int statement = 0;
+  while ((interactive && (std::printf("colt> "), true), true) &&
+         std::getline(in, line)) {
+    // Trim.
+    const auto first = line.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) continue;
+    line = line.substr(first);
+
+    if (line[0] == '\\') {
+      std::istringstream cmd(line);
+      std::string op, arg;
+      cmd >> op >> arg;
+      if (op == "\\q") break;
+      if (op == "\\d" && arg.empty()) {
+        ListTables(catalog);
+      } else if (op == "\\d") {
+        DescribeTable(catalog, arg);
+      } else if (op == "\\m") {
+        ShowMaterialized(catalog, tuner);
+      } else if (op == "\\plan") {
+        const std::string sql = line.substr(line.find(' ') + 1);
+        auto q = parser.Parse(sql);
+        if (!q.ok()) {
+          std::printf("error: %s\n", q.status().ToString().c_str());
+          continue;
+        }
+        const colt::PlanResult plan =
+            optimizer.Optimize(*q, tuner.materialized());
+        std::printf("%s", plan.plan->ToString(catalog).c_str());
+      } else {
+        std::printf("unknown command: %s\n", op.c_str());
+      }
+      continue;
+    }
+
+    auto q = parser.Parse(line);
+    if (!q.ok()) {
+      std::printf("error: %s\n", q.status().ToString().c_str());
+      continue;
+    }
+    const colt::TuningStep step = tuner.OnQuery(*q);
+    std::printf("[%4d] est. %.2f s via %s", ++statement,
+                step.execution_seconds,
+                colt::PlanNodeTypeName(step.plan.plan->type));
+    if (step.whatif_calls > 0) {
+      std::printf("  (profiled %d index(es))", step.whatif_calls);
+    }
+    std::printf("\n");
+    for (const auto& action : step.actions) {
+      std::printf("       %s %s\n",
+                  action.type == colt::IndexActionType::kMaterialize
+                      ? "CREATE INDEX"
+                      : "DROP INDEX",
+                  catalog.index(action.index).name.c_str());
+    }
+  }
+  if (interactive) std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// Quickstart: wire up a catalog, an optimizer, and a COLT tuner, feed it a
+/// query stream, and watch it pick indexes.
+///
+///   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/colt.h"
+#include "harness/workloads.h"
+#include "query/workload.h"
+#include "storage/tpch_schema.h"
+
+int main() {
+  // 1. A database schema with statistics. MakeTpchCatalog() builds the
+  //    paper's 32-table synthetic data set; statistics-only mode means no
+  //    tuples are generated — the cost model runs on the catalog.
+  colt::Catalog catalog = colt::MakeTpchCatalog();
+
+  // 2. The Extended Query Optimizer: Selinger-style planning plus the
+  //    what-if interface COLT profiles with.
+  colt::QueryOptimizer optimizer(&catalog);
+
+  // 3. COLT itself. The defaults are the paper's settings (w = 10 queries
+  //    per epoch, h = 12 epochs of memory, at most 20 what-if calls per
+  //    epoch, 90% confidence intervals).
+  colt::ColtConfig config;
+  config.storage_budget_bytes = 64LL * 1024 * 1024;  // on-line budget B
+  colt::ColtTuner tuner(&catalog, &optimizer, config);
+
+  // 4. A query stream. Here: the stable analytic workload from the paper's
+  //    first experiment.
+  const colt::QueryDistribution dist =
+      colt::ExperimentWorkloads::Focused(&catalog, 0);
+  colt::WorkloadGenerator gen(&catalog, /*seed=*/2024);
+
+  double exec = 0, overhead = 0;
+  for (int i = 0; i < 200; ++i) {
+    const colt::Query q = gen.Sample(dist);
+    const colt::TuningStep step = tuner.OnQuery(q);
+    exec += step.execution_seconds;
+    overhead += step.profiling_seconds + step.build_seconds;
+    for (const auto& action : step.actions) {
+      if (action.type == colt::IndexActionType::kMaterialize) {
+        std::printf("query %3d: MATERIALIZE %s (build %.1f s)\n", i,
+                    catalog.index(action.index).name.c_str(),
+                    action.build_seconds);
+      } else {
+        std::printf("query %3d: DROP %s\n", i,
+                    catalog.index(action.index).name.c_str());
+      }
+    }
+  }
+
+  int64_t materialized_bytes = 0;
+  for (colt::IndexId id : tuner.materialized().ids()) {
+    materialized_bytes += catalog.index(id).size_bytes;
+  }
+  std::printf("\nAfter 200 queries:\n");
+  std::printf("  simulated execution time: %.1f s\n", exec);
+  std::printf("  tuning overhead:          %.1f s\n", overhead);
+  std::printf("  materialized set (%zu indexes, %.1f MB):\n",
+              tuner.materialized().size(),
+              materialized_bytes / (1024.0 * 1024.0));
+  for (colt::IndexId id : tuner.materialized().ids()) {
+    std::printf("    %-40s %6.1f MB\n", catalog.index(id).name.c_str(),
+                catalog.index(id).size_bytes / (1024.0 * 1024.0));
+  }
+  std::printf("  what-if budget next epoch: %d of %d (self-regulated)\n",
+              tuner.whatif_limit(), config.max_whatif_per_epoch);
+  return 0;
+}

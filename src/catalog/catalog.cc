@@ -1,0 +1,232 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace colt {
+
+namespace {
+
+uint64_t HashColumnList(const std::vector<ColumnRef>& columns) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const ColumnRef& ref : columns) {
+    const uint64_t packed =
+        (static_cast<uint64_t>(static_cast<uint32_t>(ref.table)) << 32) |
+        static_cast<uint32_t>(ref.column);
+    h ^= packed + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+bool IndexConfiguration::Contains(IndexId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool IndexConfiguration::Add(IndexId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return false;
+  ids_.insert(it, id);
+  return true;
+}
+
+bool IndexConfiguration::Remove(IndexId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return false;
+  ids_.erase(it);
+  return true;
+}
+
+uint64_t IndexConfiguration::Signature() const {
+  // FNV-1a over the sorted id sequence.
+  uint64_t h = 1469598103934665603ULL;
+  for (IndexId id : ids_) {
+    uint64_t v = static_cast<uint64_t>(id);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+IndexConfiguration IndexConfiguration::With(IndexId id) const {
+  IndexConfiguration copy = *this;
+  copy.Add(id);
+  return copy;
+}
+
+IndexConfiguration IndexConfiguration::Without(IndexId id) const {
+  IndexConfiguration copy = *this;
+  copy.Remove(id);
+  return copy;
+}
+
+TableId Catalog::AddTable(TableSchema schema) {
+  tables_.push_back(std::move(schema));
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+TableId Catalog::FindTable(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name() == name) return static_cast<TableId>(i);
+  }
+  return kInvalidTableId;
+}
+
+IndexDescriptor Catalog::EstimateCompositeIndex(
+    const std::vector<ColumnRef>& columns) const {
+  const TableSchema& t = tables_[columns[0].table];
+  IndexDescriptor desc;
+  desc.column = columns[0];
+  desc.columns = columns;
+  desc.name = t.name() + ".";
+  int32_t key_bytes = 0;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const ColumnDef& col = t.column(columns[i].column);
+    if (i > 0) desc.name += "_";
+    desc.name += col.name;
+    key_bytes += col.width_bytes;
+  }
+  desc.name += "_idx";
+  desc.entry_count = t.row_count();
+  // Leaf entry: key + heap TID (6 bytes) + item overhead (~10 bytes),
+  // B+-tree pages ~70% full on average.
+  const double entry_bytes = static_cast<double>(key_bytes) + 16.0;
+  const double usable = kPageSizeBytes * 0.70;
+  const double entries_per_leaf = std::max(2.0, usable / entry_bytes);
+  desc.leaf_pages = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil(static_cast<double>(desc.entry_count) /
+                       entries_per_leaf)));
+  // Internal fanout: key + child pointer (8 bytes).
+  const double fanout =
+      std::max(2.0, usable / (static_cast<double>(key_bytes) + 12.0));
+  int32_t height = 1;
+  double level_pages = static_cast<double>(desc.leaf_pages);
+  int64_t internal_pages = 0;
+  while (level_pages > 1.0) {
+    level_pages = std::ceil(level_pages / fanout);
+    internal_pages += static_cast<int64_t>(level_pages);
+    ++height;
+  }
+  desc.height = height;
+  desc.size_bytes = (desc.leaf_pages + internal_pages) * kPageSizeBytes;
+  return desc;
+}
+
+IndexDescriptor Catalog::EstimateIndex(ColumnRef column) const {
+  return EstimateCompositeIndex({column});
+}
+
+Result<IndexDescriptor> Catalog::IndexOn(ColumnRef column) {
+  if (!column.valid() || column.table >= table_count() ||
+      column.column >= tables_[column.table].column_count()) {
+    return Status::InvalidArgument("invalid column reference");
+  }
+  if (!tables_[column.table].column(column.column).indexable) {
+    return Status::FailedPrecondition(
+        "column " + tables_[column.table].column(column.column).name +
+        " is not indexable");
+  }
+  const uint64_t key = HashColumnList({column});
+  auto it = index_by_column_.find(key);
+  if (it != index_by_column_.end()) return index_by_id_.at(it->second);
+  IndexDescriptor desc = EstimateIndex(column);
+  desc.id = static_cast<IndexId>(index_by_id_.size());
+  index_by_column_.emplace(key, desc.id);
+  index_by_id_.emplace(desc.id, desc);
+  return desc;
+}
+
+Result<IndexDescriptor> Catalog::CompositeIndexOn(
+    std::vector<ColumnRef> columns) {
+  if (columns.size() < 2) {
+    return Status::InvalidArgument(
+        "composite index needs at least 2 columns");
+  }
+  const TableId table = columns[0].table;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const ColumnRef& col = columns[i];
+    if (!col.valid() || col.table >= table_count() ||
+        col.column >= tables_[col.table].column_count()) {
+      return Status::InvalidArgument("invalid column reference");
+    }
+    if (col.table != table) {
+      return Status::InvalidArgument(
+          "composite index columns must share a table");
+    }
+    if (!tables_[col.table].column(col.column).indexable) {
+      return Status::FailedPrecondition("column is not indexable");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (columns[j] == col) {
+        return Status::InvalidArgument("duplicate column in composite index");
+      }
+    }
+  }
+  const uint64_t key = HashColumnList(columns);
+  auto it = index_by_column_.find(key);
+  if (it != index_by_column_.end()) return index_by_id_.at(it->second);
+  IndexDescriptor desc = EstimateCompositeIndex(columns);
+  desc.id = static_cast<IndexId>(index_by_id_.size());
+  index_by_column_.emplace(key, desc.id);
+  index_by_id_.emplace(desc.id, desc);
+  return desc;
+}
+
+const IndexDescriptor& Catalog::index(IndexId id) const {
+  auto it = index_by_id_.find(id);
+  COLT_CHECK(it != index_by_id_.end()) << "unknown index id " << id;
+  return it->second;
+}
+
+std::vector<IndexDescriptor> Catalog::AllIndexes() const {
+  std::vector<IndexDescriptor> out;
+  out.reserve(index_by_id_.size());
+  for (const auto& [id, desc] : index_by_id_) out.push_back(desc);
+  std::sort(out.begin(), out.end(),
+            [](const IndexDescriptor& a, const IndexDescriptor& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+int64_t Catalog::total_rows() const {
+  int64_t total = 0;
+  for (const auto& t : tables_) total += t.row_count();
+  return total;
+}
+
+int64_t Catalog::total_heap_bytes() const {
+  int64_t total = 0;
+  for (const auto& t : tables_) total += t.heap_bytes();
+  return total;
+}
+
+int32_t Catalog::total_indexable_columns() const {
+  int32_t total = 0;
+  for (const auto& t : tables_) total += t.indexable_column_count();
+  return total;
+}
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kDate:
+      return "date";
+    case ColumnType::kDecimal:
+      return "decimal";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+}  // namespace colt

@@ -1,0 +1,106 @@
+#ifndef COLT_CATALOG_SCHEMA_H_
+#define COLT_CATALOG_SCHEMA_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/column_stats.h"
+#include "catalog/types.h"
+
+namespace colt {
+
+/// Definition of a single column.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  /// Declared on-disk width in bytes (drives table/index size accounting).
+  int32_t width_bytes = 8;
+  /// Number of distinct values the generator draws from.
+  int64_t ndv = 1;
+  /// Whether an index may be built on this column. (All TPC-H attributes
+  /// are indexable in our reproduction; kept for generality.)
+  bool indexable = true;
+  /// Zipf skew of the generated value distribution over [0, ndv); 0 means
+  /// uniform. Analytic column statistics follow the same law.
+  /// (Deliberately last: aggregate initializers elsewhere stop at
+  /// `indexable`.)
+  double skew = 0.0;
+};
+
+/// Schema plus physical statistics of one table.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns,
+              int64_t row_count)
+      : name_(std::move(name)),
+        columns_(std::move(columns)),
+        row_count_(row_count) {
+    column_stats_.resize(columns_.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      column_stats_[i] =
+          columns_[i].skew > 0.0
+              ? ColumnStats::Zipf(columns_[i].ndv, row_count_,
+                                  columns_[i].skew)
+              : ColumnStats::Uniform(columns_[i].ndv, row_count_);
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  int64_t row_count() const { return row_count_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  const ColumnDef& column(ColumnId id) const { return columns_[id]; }
+  int32_t column_count() const { return static_cast<int32_t>(columns_.size()); }
+
+  /// Index of the column with `name`, or kInvalidColumnId.
+  ColumnId FindColumn(const std::string& name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return static_cast<ColumnId>(i);
+    }
+    return kInvalidColumnId;
+  }
+
+  const ColumnStats& column_stats(ColumnId id) const {
+    return column_stats_[id];
+  }
+  void set_column_stats(ColumnId id, ColumnStats stats) {
+    column_stats_[id] = std::move(stats);
+  }
+
+  /// Bytes of one tuple including per-tuple overhead.
+  int64_t tuple_bytes() const {
+    int64_t w = kTupleHeaderBytes;
+    for (const auto& c : columns_) w += c.width_bytes;
+    return w;
+  }
+
+  /// Number of heap pages occupied by the table.
+  int64_t heap_pages() const {
+    const double bytes = static_cast<double>(row_count_) *
+                         static_cast<double>(tuple_bytes()) / kPageFillFactor;
+    return std::max<int64_t>(1, static_cast<int64_t>(
+                                    std::ceil(bytes / kPageSizeBytes)));
+  }
+
+  /// Total heap bytes (pages * page size).
+  int64_t heap_bytes() const { return heap_pages() * kPageSizeBytes; }
+
+  /// Number of indexable columns.
+  int32_t indexable_column_count() const {
+    int32_t n = 0;
+    for (const auto& c : columns_) n += c.indexable ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  int64_t row_count_ = 0;
+  std::vector<ColumnStats> column_stats_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_CATALOG_SCHEMA_H_

@@ -1,0 +1,17 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace colt {
+
+namespace {
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+}  // namespace
+
+LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+
+}  // namespace colt

@@ -1,0 +1,88 @@
+#ifndef COLT_COMMON_LOGGING_H_
+#define COLT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace colt {
+
+/// Severity levels for the minimal logging facility.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log message; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    }
+    if (fatal_) std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+  LogMessage& MarkFatal() {
+    fatal_ = true;
+    return *this;
+  }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  bool fatal_ = false;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define COLT_LOG(level)                                                  \
+  ::colt::internal_logging::LogMessage(::colt::LogLevel::k##level,       \
+                                       __FILE__, __LINE__)               \
+      .stream()
+
+/// Always-on invariant check (active in release builds too); aborts with a
+/// message when `cond` is false.
+#define COLT_CHECK(cond)                                                  \
+  if (!(cond))                                                            \
+  ::colt::internal_logging::LogMessage(::colt::LogLevel::kError, __FILE__, \
+                                       __LINE__)                          \
+      .MarkFatal()                                                        \
+      .stream()                                                           \
+      << "Check failed: " #cond " "
+
+}  // namespace colt
+
+#endif  // COLT_COMMON_LOGGING_H_

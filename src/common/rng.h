@@ -1,0 +1,152 @@
+#ifndef COLT_COMMON_RNG_H_
+#define COLT_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace colt {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All randomized components of the system (data generation, workload
+/// generation, profiler sampling) draw from explicitly seeded Rng instances
+/// so that every experiment is exactly reproducible. We avoid <random>
+/// engines for cross-platform bit-for-bit determinism of the *distributions*
+/// as well as the engine.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  /// Re-seeds the generator using splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n) {
+    assert(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDoubleInRange(double lo, double hi) {
+    return lo + NextDouble() * (hi - lo);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Samples an index according to non-negative `weights` (need not sum
+  /// to 1). Requires a positive total weight.
+  size_t NextWeighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    assert(total > 0);
+    double x = NextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Spawns an independent child generator; deterministic given this
+  /// generator's state.
+  Rng Fork() { return Rng(Next() ^ 0x5deece66dULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+/// Zipf(s, n) sampler over {0, ..., n-1} using the rejection-inversion
+/// method of Hörmann & Derflinger; O(1) per sample after O(1) setup.
+/// Skew s >= 0 (s = 0 degenerates to uniform).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double skew) : n_(n), s_(skew) {
+    assert(n >= 1);
+    if (s_ < 1e-9) s_ = 1e-9;  // avoid the s == 1 / s == 0 singularities
+    if (std::fabs(s_ - 1.0) < 1e-9) s_ = 1.0 + 1e-9;
+    h_x1_ = H(1.5) - 1.0;
+    h_n_ = H(n_ + 0.5);
+    dist_range_ = h_n_ - h_x1_;
+  }
+
+  size_t Sample(Rng& rng) const {
+    for (;;) {
+      const double u = h_x1_ + rng.NextDouble() * dist_range_;
+      const double x = HInv(u);
+      size_t k = static_cast<size_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      if (k - x <= 0.5 || u >= H(k + 0.5) - std::pow(k, -s_)) {
+        return k - 1;
+      }
+    }
+  }
+
+ private:
+  double H(double x) const {
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+  }
+  double HInv(double u) const {
+    return std::pow(1.0 + u * (1.0 - s_), 1.0 / (1.0 - s_));
+  }
+
+  size_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double dist_range_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_COMMON_RNG_H_

@@ -1,0 +1,191 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace colt {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+}
+
+void RunningStats::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double InverseNormalCdf(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+namespace {
+
+// Exact two-sided critical values for the most common confidence levels at
+// very small df, where asymptotic expansions are inaccurate.
+// Rows: df 1..4; columns: 80%, 90%, 95%, 99%.
+constexpr double kSmallDfTable[4][4] = {
+    {3.0777, 6.3138, 12.7062, 63.6567},
+    {1.8856, 2.9200, 4.3027, 9.9248},
+    {1.6377, 2.3534, 3.1824, 5.8409},
+    {1.5332, 2.1318, 2.7764, 4.6041},
+};
+
+constexpr double kTableConfidences[4] = {0.80, 0.90, 0.95, 0.99};
+
+}  // namespace
+
+double StudentTCritical(double confidence, int64_t df) {
+  assert(confidence > 0.0 && confidence < 1.0);
+  assert(df >= 1);
+  if (df <= 4) {
+    // Interpolate in the table (linear in confidence) for small df.
+    const double* row = kSmallDfTable[df - 1];
+    if (confidence <= kTableConfidences[0]) return row[0];
+    if (confidence >= kTableConfidences[3]) return row[3];
+    for (int i = 0; i < 3; ++i) {
+      if (confidence <= kTableConfidences[i + 1]) {
+        const double f = (confidence - kTableConfidences[i]) /
+                         (kTableConfidences[i + 1] - kTableConfidences[i]);
+        return row[i] + f * (row[i + 1] - row[i]);
+      }
+    }
+    return row[3];
+  }
+  // Hill's expansion of the inverse t CDF around the normal quantile.
+  const double p = 0.5 + confidence / 2.0;  // two-sided -> upper tail point
+  const double z = InverseNormalCdf(p);
+  const double n = static_cast<double>(df);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  double t = z;
+  t += (z3 + z) / (4.0 * n);
+  t += (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * n * n);
+  t += (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * n * n * n);
+  return t;
+}
+
+ConfidenceInterval MeanConfidenceInterval(const RunningStats& stats,
+                                          double confidence) {
+  ConfidenceInterval ci;
+  if (stats.count() < 2) {
+    ci.low = stats.mean() - kUnknownHalfWidth;
+    ci.high = stats.mean() + kUnknownHalfWidth;
+    return ci;
+  }
+  const double t = StudentTCritical(confidence, stats.count() - 1);
+  const double half =
+      t * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+  ci.low = stats.mean() - half;
+  ci.high = stats.mean() + half;
+  return ci;
+}
+
+TwoMeansSplit ComputeTwoMeansSplit(std::vector<double> values) {
+  assert(!values.empty());
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  TwoMeansSplit best;
+  if (n == 1) {
+    best.threshold = values[0];
+    best.top_count = 1;
+    best.within_ss = 0.0;
+    return best;
+  }
+  // Prefix sums for O(n) evaluation of all split points.
+  std::vector<double> prefix(n + 1, 0.0), prefix_sq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + values[i];
+    prefix_sq[i + 1] = prefix_sq[i] + values[i] * values[i];
+  }
+  auto ss = [&](size_t lo, size_t hi) {  // sum of squared deviations, [lo,hi)
+    const double cnt = static_cast<double>(hi - lo);
+    if (cnt <= 0) return 0.0;
+    const double s = prefix[hi] - prefix[lo];
+    const double sq = prefix_sq[hi] - prefix_sq[lo];
+    return sq - s * s / cnt;
+  };
+  best.within_ss = std::numeric_limits<double>::infinity();
+  // Split k: bottom cluster = values[0..k), top cluster = values[k..n).
+  for (size_t k = 1; k < n; ++k) {
+    if (values[k] == values[k - 1]) continue;  // not a realizable threshold
+    const double total = ss(0, k) + ss(k, n);
+    // "<" (not "<=") so ties favor the later (larger-k) split, i.e., the
+    // smaller top cluster.
+    if (total < best.within_ss ||
+        (total == best.within_ss && n - k < best.top_count)) {
+      best.within_ss = total;
+      best.threshold = values[k];
+      best.top_count = n - k;
+    }
+  }
+  if (!std::isfinite(best.within_ss)) {
+    // All values identical: everything is "top".
+    best.within_ss = 0.0;
+    best.threshold = values[0];
+    best.top_count = n;
+  }
+  return best;
+}
+
+}  // namespace colt

@@ -1,0 +1,112 @@
+#ifndef COLT_COMMON_STATS_H_
+#define COLT_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace colt {
+
+/// Numerically stable running mean/variance accumulator (Welford).
+/// Used by the Profiler to maintain per-(index, cluster) gain statistics.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford / Chan).
+  void Merge(const RunningStats& other);
+
+  /// Discards all observations.
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than 2 observations.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). Requires 0 < p < 1.
+double InverseNormalCdf(double p);
+
+/// Two-sided Student-t critical value for the given confidence level
+/// (e.g. 0.90) and degrees of freedom df >= 1. Exact table for small df,
+/// Hill's asymptotic expansion beyond.
+double StudentTCritical(double confidence, int64_t df);
+
+/// A CLT-style confidence interval for a population mean.
+struct ConfidenceInterval {
+  double low = 0.0;
+  double high = 0.0;
+  /// Width high - low.
+  double width() const { return high - low; }
+  bool Contains(double x) const { return x >= low && x <= high; }
+};
+
+/// Computes a two-sided Student-t confidence interval for the mean from
+/// running statistics. With fewer than 2 observations the interval is
+/// [-inf, +inf] conceptually; we return a very wide interval around the
+/// mean (ex: +/- kUnknownHalfWidth) so callers remain conservative.
+ConfidenceInterval MeanConfidenceInterval(const RunningStats& stats,
+                                          double confidence);
+
+/// Half-width used when an interval cannot be estimated (n < 2).
+inline constexpr double kUnknownHalfWidth = 1e18;
+
+/// First-order exponential smoothing y_t = a*x_t + (1-a)*y_{t-1}.
+/// The Self-Organizer smooths crude BenefitC estimates across epochs with
+/// this filter before clustering them into hot / cold groups.
+class ExponentialSmoother {
+ public:
+  explicit ExponentialSmoother(double alpha) : alpha_(alpha) {}
+
+  /// Feeds one observation and returns the new smoothed value.
+  double Update(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    return value_;
+  }
+
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Result of an exact 1-D two-means split.
+struct TwoMeansSplit {
+  /// Values >= threshold belong to the top cluster.
+  double threshold = 0.0;
+  /// Number of elements in the top (larger-valued) cluster.
+  size_t top_count = 0;
+  /// Total within-cluster sum of squared deviations of the best split.
+  double within_ss = 0.0;
+};
+
+/// Exact minimum-variance split of `values` into two clusters by a
+/// threshold (1-D 2-means, solved by scanning all split points of the
+/// sorted sequence). Requires values.size() >= 1; with a single value the
+/// top cluster contains it. Ties are broken toward the smaller top cluster.
+TwoMeansSplit ComputeTwoMeansSplit(std::vector<double> values);
+
+}  // namespace colt
+
+#endif  // COLT_COMMON_STATS_H_

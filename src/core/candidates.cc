@@ -1,0 +1,52 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+
+namespace colt {
+
+void CandidateSet::Observe(IndexId index, double crude_gain,
+                           int current_epoch) {
+  auto it = info_.find(index);
+  if (it == info_.end()) {
+    it = info_.emplace(index, Info(alpha_)).first;
+  }
+  it->second.last_seen_epoch = current_epoch;
+  it->second.epoch_sum += crude_gain;
+}
+
+void CandidateSet::AdvanceEpoch(int finished_epoch, int epoch_length) {
+  for (auto it = info_.begin(); it != info_.end();) {
+    Info& info = it->second;
+    if (finished_epoch - info.last_seen_epoch > history_depth_) {
+      it = info_.erase(it);
+      continue;
+    }
+    info.smoothed.Update(info.epoch_sum /
+                         std::max(1, epoch_length));
+    info.epoch_sum = 0.0;
+    ++it;
+  }
+}
+
+double CandidateSet::SmoothedBenefit(IndexId index) const {
+  auto it = info_.find(index);
+  if (it == info_.end()) return 0.0;
+  if (!it->second.smoothed.initialized()) {
+    // First epoch for this candidate: fall back to the raw in-progress sum.
+    return it->second.epoch_sum;
+  }
+  return it->second.smoothed.value();
+}
+
+std::vector<IndexId> CandidateSet::All() const {
+  std::vector<IndexId> out;
+  out.reserve(info_.size());
+  for (const auto& [id, info] : info_) {
+    (void)info;
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace colt

@@ -1,0 +1,54 @@
+#ifndef COLT_CORE_CANDIDATES_H_
+#define COLT_CORE_CANDIDATES_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/stats.h"
+
+namespace colt {
+
+/// The candidate set C (paper §3): single-column indexes mined from the
+/// selection predicates of queries in S_h, each tracked with the crude
+/// first-level statistic BenefitC — an across-epoch smoothed average of the
+/// optimistic per-query gain estimate.
+class CandidateSet {
+ public:
+  CandidateSet(int history_depth, double smoothing_alpha)
+      : history_depth_(history_depth), alpha_(smoothing_alpha) {}
+
+  /// Records one crude QueryGainC observation for `index` in the current
+  /// epoch (creates the candidate on first sight).
+  void Observe(IndexId index, double crude_gain, int current_epoch);
+
+  /// Ends an epoch: folds epoch sums into the smoothed BenefitC (per-query
+  /// average over `epoch_length` queries) and expires candidates unseen for
+  /// more than h epochs.
+  void AdvanceEpoch(int finished_epoch, int epoch_length);
+
+  /// Smoothed BenefitC estimate (0 for unknown candidates).
+  double SmoothedBenefit(IndexId index) const;
+
+  bool Contains(IndexId index) const { return info_.count(index) > 0; }
+  size_t size() const { return info_.size(); }
+
+  /// All candidate ids, ascending.
+  std::vector<IndexId> All() const;
+
+ private:
+  struct Info {
+    int last_seen_epoch = 0;
+    double epoch_sum = 0.0;
+    ExponentialSmoother smoothed;
+    explicit Info(double alpha) : smoothed(alpha) {}
+  };
+
+  int history_depth_;
+  double alpha_;
+  std::unordered_map<IndexId, Info> info_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_CORE_CANDIDATES_H_

@@ -1,0 +1,117 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace colt {
+
+ClusterId ClusterManager::Assign(const Query& q) {
+  QuerySignature sig = ComputeSignature(*catalog_, q);
+  auto it = by_signature_.find(sig);
+  ClusterId id;
+  if (it == by_signature_.end()) {
+    id = next_id_++;
+    ClusterState state;
+    state.signature = sig;
+    // Relevant columns: selection columns plus both sides of each join.
+    for (const auto& [col, bucket] : sig.selections) {
+      (void)bucket;
+      state.relevant_columns.push_back(col);
+    }
+    for (const auto& [l, r] : sig.joins) {
+      state.relevant_columns.push_back(l);
+      state.relevant_columns.push_back(r);
+    }
+    std::sort(state.relevant_columns.begin(), state.relevant_columns.end());
+    state.relevant_columns.erase(
+        std::unique(state.relevant_columns.begin(),
+                    state.relevant_columns.end()),
+        state.relevant_columns.end());
+    state.counts.push_front(0);
+    by_signature_.emplace(std::move(sig), id);
+    clusters_.emplace(id, std::move(state));
+  } else {
+    id = it->second;
+  }
+  ClusterState& state = clusters_.at(id);
+  ++state.counts.front();
+  ++state.window_total;
+  return id;
+}
+
+int64_t ClusterManager::Count(ClusterId id) const {
+  auto it = clusters_.find(id);
+  return it == clusters_.end() ? 0 : it->second.window_total;
+}
+
+int64_t ClusterManager::EpochCount(ClusterId id) const {
+  auto it = clusters_.find(id);
+  if (it == clusters_.end() || it->second.counts.empty()) return 0;
+  return it->second.counts.front();
+}
+
+const std::vector<ColumnRef>& ClusterManager::RelevantColumns(
+    ClusterId id) const {
+  auto it = clusters_.find(id);
+  COLT_CHECK(it != clusters_.end()) << "unknown cluster " << id;
+  return it->second.relevant_columns;
+}
+
+const QuerySignature& ClusterManager::signature(ClusterId id) const {
+  auto it = clusters_.find(id);
+  COLT_CHECK(it != clusters_.end()) << "unknown cluster " << id;
+  return it->second.signature;
+}
+
+double ClusterManager::WindowRate(ClusterId id) const {
+  auto it = clusters_.find(id);
+  if (it == clusters_.end()) return 0.0;
+  const int span = std::min(history_depth_, epochs_observed_);
+  return static_cast<double>(it->second.window_total) /
+         static_cast<double>(std::max(1, span));
+}
+
+void ClusterManager::AdvanceEpoch() {
+  ++epochs_observed_;
+  std::vector<ClusterId> dead;
+  for (auto& [id, state] : clusters_) {
+    state.counts.push_front(0);
+    while (static_cast<int>(state.counts.size()) >
+           history_depth_ + 1) {
+      state.window_total -= state.counts.back();
+      state.counts.pop_back();
+    }
+    if (state.window_total == 0) dead.push_back(id);
+  }
+  for (ClusterId id : dead) {
+    by_signature_.erase(clusters_.at(id).signature);
+    clusters_.erase(id);
+  }
+}
+
+std::vector<ClusterId> ClusterManager::ActiveThisEpoch() const {
+  std::vector<ClusterId> out;
+  for (const auto& [id, state] : clusters_) {
+    if (!state.counts.empty() && state.counts.front() > 0) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int64_t ClusterManager::live_cluster_count() const {
+  return static_cast<int64_t>(clusters_.size());
+}
+
+std::vector<ClusterId> ClusterManager::LiveClusters() const {
+  std::vector<ClusterId> out;
+  out.reserve(clusters_.size());
+  for (const auto& [id, state] : clusters_) {
+    (void)state;
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace colt

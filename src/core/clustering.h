@@ -1,0 +1,86 @@
+#ifndef COLT_CORE_CLUSTERING_H_
+#define COLT_CORE_CLUSTERING_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+
+namespace colt {
+
+/// Identifier of a query cluster within the ClusterManager.
+using ClusterId = int32_t;
+inline constexpr ClusterId kInvalidClusterId = -1;
+
+/// The Profiler's query clustering (paper §4.1): query occurrences in S_h
+/// grouped by (tables, join predicates, selection attributes with bucketed
+/// selectivity). Each cluster tracks its per-epoch population over the last
+/// h epochs so that Count(Q_i) always reflects the system's memory window.
+class ClusterManager {
+ public:
+  /// `history_depth` = h (number of epochs of memory).
+  explicit ClusterManager(const Catalog* catalog, int history_depth)
+      : catalog_(catalog), history_depth_(history_depth) {}
+
+  /// Assigns `q` to its cluster (creating it on first sight) and counts the
+  /// occurrence in the current epoch. O(signature) expected time.
+  ClusterId Assign(const Query& q);
+
+  /// Number of occurrences of cluster `id` within the memory window S_h
+  /// (including the in-progress epoch).
+  int64_t Count(ClusterId id) const;
+
+  /// Occurrences of cluster `id` in the in-progress epoch.
+  int64_t EpochCount(ClusterId id) const;
+
+  /// Expected occurrences of cluster `id` per epoch, estimated over the
+  /// memory window: Count(Q_i) divided by the number of epochs the window
+  /// spans (at most h). This is the low-variance population estimate the
+  /// Self-Organizer uses for benefit forecasts.
+  double WindowRate(ClusterId id) const;
+
+  /// Columns of cluster `id` that can make an index relevant: selection
+  /// columns plus join columns.
+  const std::vector<ColumnRef>& RelevantColumns(ClusterId id) const;
+
+  /// Signature of cluster `id`.
+  const QuerySignature& signature(ClusterId id) const;
+
+  /// Closes the current epoch: shifts per-epoch counts, expires counts
+  /// older than h epochs, and drops clusters whose window count reaches 0.
+  void AdvanceEpoch();
+
+  /// Cluster ids with at least one occurrence in the in-progress epoch.
+  std::vector<ClusterId> ActiveThisEpoch() const;
+
+  /// Number of live clusters (window count > 0). The paper bounds this by
+  /// w * h, the number of queries in memory.
+  int64_t live_cluster_count() const;
+
+  /// All live cluster ids.
+  std::vector<ClusterId> LiveClusters() const;
+
+ private:
+  struct ClusterState {
+    QuerySignature signature;
+    std::vector<ColumnRef> relevant_columns;
+    /// counts.front() = in-progress epoch; up to h+1 entries.
+    std::deque<int64_t> counts;
+    int64_t window_total = 0;  // sum of counts
+  };
+
+  const Catalog* catalog_;
+  int history_depth_;
+  std::unordered_map<QuerySignature, ClusterId, QuerySignatureHash> by_signature_;
+  std::unordered_map<ClusterId, ClusterState> clusters_;
+  ClusterId next_id_ = 0;
+  /// Number of epochs observed so far, including the in-progress one.
+  int epochs_observed_ = 1;
+};
+
+}  // namespace colt
+
+#endif  // COLT_CORE_CLUSTERING_H_

@@ -1,0 +1,144 @@
+#include "core/colt.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace colt {
+
+ColtTuner::ColtTuner(Catalog* catalog, QueryOptimizer* optimizer,
+                     ColtConfig config, Database* db, uint64_t seed)
+    : catalog_(catalog),
+      optimizer_(optimizer),
+      config_(config),
+      clusters_(catalog, config.history_depth),
+      hot_stats_(config.confidence),
+      mat_stats_(config.confidence),
+      candidates_(config.history_depth, config.crude_smoothing_alpha),
+      forecaster_(config.history_depth),
+      profiler_(catalog, optimizer, &clusters_, &hot_stats_, &mat_stats_,
+                &candidates_, &config_, seed),
+      self_organizer_(catalog, optimizer, &clusters_, &hot_stats_,
+                      &mat_stats_, &candidates_, &forecaster_, &profiler_,
+                      &config_),
+      scheduler_(catalog, &optimizer->cost_model(), db,
+                 config.scheduling_strategy),
+      whatif_limit_(config.max_whatif_per_epoch) {}
+
+std::vector<ColtTuner::IndexExplanation> ColtTuner::ExplainState() {
+  const IndexConfiguration& materialized = scheduler_.materialized();
+  std::vector<IndexExplanation> out;
+  auto add = [&](IndexId id, const std::string& role) {
+    IndexExplanation e;
+    e.index = id;
+    e.name = catalog_->index(id).name;
+    e.role = role;
+    e.crude_benefit = candidates_.SmoothedBenefit(id);
+    e.forecast_benefit = forecaster_.TotalPredictedBenefit(id);
+    e.mat_cost =
+        materialized.Contains(id) ? 0.0 : self_organizer_.MatCost(id);
+    e.net_benefit = self_organizer_.NetBenefit(id, materialized);
+    e.size_bytes = catalog_->index(id).size_bytes;
+    out.push_back(std::move(e));
+  };
+  for (IndexId id : materialized.ids()) add(id, "materialized");
+  for (IndexId id : hot_set_) {
+    if (!materialized.Contains(id)) add(id, "hot");
+  }
+  for (IndexId id : candidates_.All()) {
+    if (materialized.Contains(id)) continue;
+    if (std::find(hot_set_.begin(), hot_set_.end(), id) != hot_set_.end()) {
+      continue;
+    }
+    add(id, "candidate");
+  }
+  std::sort(out.begin(), out.end(),
+            [](const IndexExplanation& a, const IndexExplanation& b) {
+              return a.net_benefit > b.net_benefit;
+            });
+  return out;
+}
+
+TuningStep ColtTuner::OnQuery(const Query& q) {
+  TuningStep step;
+  // Idle-time scheduling: the gap before this query makes progress on any
+  // queued builds; completed indexes are visible to this query's plan.
+  if (config_.scheduling_strategy == SchedulingStrategy::kIdleTime) {
+    Result<std::vector<IndexAction>> completed =
+        scheduler_.OnIdle(config_.idle_seconds_per_query);
+    COLT_CHECK(completed.ok()) << completed.status().ToString();
+    for (auto& action : *completed) step.actions.push_back(action);
+  }
+  const IndexConfiguration& materialized = scheduler_.materialized();
+
+  // Normal optimization: this is the plan the engine executes.
+  step.plan = optimizer_->Optimize(q, materialized);
+  step.execution_seconds = optimizer_->cost_model().ToSeconds(step.plan.cost);
+
+  // Profiling (paper Fig. 2).
+  const Profiler::ProfileOutcome profile = profiler_.ProfileQuery(
+      q, step.plan, materialized, hot_set_, whatif_limit_, &whatif_used_,
+      epoch_);
+  step.whatif_calls = profile.whatif_calls;
+  step.profiling_seconds = profile.whatif_calls * config_.whatif_call_seconds;
+  for (IndexId id : profile.probed) {
+    if (!std::binary_search(ever_probed_.begin(), ever_probed_.end(), id)) {
+      ever_probed_.insert(
+          std::lower_bound(ever_probed_.begin(), ever_probed_.end(), id), id);
+    }
+  }
+
+  // Epoch boundary: reorganization + re-budgeting.
+  if (++queries_in_epoch_ >= config_.epoch_length) {
+    step.epoch_ended = true;
+    const SelfOrganizer::Outcome outcome =
+        self_organizer_.RunEpochEnd(materialized, hot_set_);
+
+    EpochReport report;
+    report.epoch = epoch_;
+    report.whatif_used = whatif_used_;
+    report.whatif_limit = whatif_limit_;
+    report.next_whatif_limit = outcome.next_whatif_limit;
+    report.rebudget_ratio = outcome.rebudget_ratio;
+    report.candidate_count = static_cast<int64_t>(candidates_.size());
+    report.cluster_count = clusters_.live_cluster_count();
+    report.hot_ids = outcome.new_hot;
+    report.materialized_ids = outcome.new_materialized.ids();
+
+    Result<std::vector<IndexAction>> actions =
+        scheduler_.ApplyConfiguration(outcome.new_materialized);
+    COLT_CHECK(actions.ok()) << actions.status().ToString();
+    for (auto& action : *actions) {
+      step.build_seconds += action.build_seconds;
+      step.actions.push_back(action);
+    }
+    report.materialized_bytes = scheduler_.MaterializedBytes();
+    epoch_reports_.push_back(std::move(report));
+
+    hot_set_ = outcome.new_hot;
+    whatif_limit_ = outcome.next_whatif_limit;
+    if (!step.actions.empty()) {
+      // The configuration changed: statistics on the affected tables are
+      // now inconsistent, so guarantee enough budget to re-validate.
+      whatif_limit_ = std::min(
+          config_.max_whatif_per_epoch,
+          std::max(whatif_limit_, config_.min_budget_after_change));
+    }
+    whatif_used_ = 0;
+    queries_in_epoch_ = 0;
+
+    // Roll the statistical state into the next epoch.
+    profiler_.AdvanceEpoch();
+    hot_stats_.AdvanceEpoch();
+    mat_stats_.AdvanceEpoch();
+    candidates_.AdvanceEpoch(epoch_, config_.epoch_length);
+    clusters_.AdvanceEpoch();
+    const std::vector<ClusterId> live = clusters_.LiveClusters();
+    hot_stats_.RetainClusters(live);
+    mat_stats_.RetainClusters(live);
+    ++epoch_;
+  }
+  return step;
+}
+
+}  // namespace colt

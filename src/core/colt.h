@@ -1,0 +1,147 @@
+#ifndef COLT_CORE_COLT_H_
+#define COLT_CORE_COLT_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/candidates.h"
+#include "core/clustering.h"
+#include "core/config.h"
+#include "core/forecasting.h"
+#include "core/gain_stats.h"
+#include "core/profiler.h"
+#include "core/scheduler.h"
+#include "core/self_organizer.h"
+#include "optimizer/optimizer.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace colt {
+
+/// Everything that happened while COLT observed one query.
+struct TuningStep {
+  /// The plan chosen by the normal optimization under the current
+  /// materialized set (the plan the system would execute).
+  PlanResult plan;
+  /// Simulated execution time of that plan, in seconds.
+  double execution_seconds = 0.0;
+  /// Profiling overhead charged for this query (what-if calls), seconds.
+  double profiling_seconds = 0.0;
+  /// Index build time charged at this query (epoch boundaries), seconds.
+  double build_seconds = 0.0;
+  /// Configuration changes performed after this query.
+  std::vector<IndexAction> actions;
+  int whatif_calls = 0;
+  bool epoch_ended = false;
+};
+
+/// Per-epoch diagnostics (drives the paper's Fig. 5).
+struct EpochReport {
+  int epoch = 0;
+  int whatif_used = 0;
+  int whatif_limit = 0;
+  int next_whatif_limit = 0;
+  double rebudget_ratio = 1.0;
+  int64_t candidate_count = 0;
+  int64_t cluster_count = 0;
+  std::vector<IndexId> hot_ids;
+  std::vector<IndexId> materialized_ids;
+  int64_t materialized_bytes = 0;
+};
+
+/// COLT — Continuous On-Line Tuning (the paper's primary contribution).
+///
+/// Feed every query through OnQuery(); COLT clusters it, profiles candidate
+/// indexes at two levels of detail under a self-regulated what-if budget,
+/// and at each epoch boundary reorganizes the materialized index set within
+/// the storage budget.
+///
+/// The tuner works against catalog statistics by default; pass a Database
+/// to also build/drop physical B+-trees as the configuration evolves.
+class ColtTuner {
+ public:
+  /// `catalog` and `optimizer` must outlive the tuner. `db` may be null.
+  ColtTuner(Catalog* catalog, QueryOptimizer* optimizer, ColtConfig config,
+            Database* db = nullptr, uint64_t seed = 7);
+
+  ColtTuner(const ColtTuner&) = delete;
+  ColtTuner& operator=(const ColtTuner&) = delete;
+
+  /// Observes (and "executes") one query; returns everything needed for
+  /// timeline accounting.
+  TuningStep OnQuery(const Query& q);
+
+  const IndexConfiguration& materialized() const {
+    return scheduler_.materialized();
+  }
+  const std::vector<IndexId>& hot_set() const { return hot_set_; }
+  const std::vector<EpochReport>& epoch_reports() const {
+    return epoch_reports_;
+  }
+  int current_epoch() const { return epoch_; }
+  int whatif_limit() const { return whatif_limit_; }
+  int whatif_used_this_epoch() const { return whatif_used_; }
+  const ColtConfig& config() const { return config_; }
+
+  /// Distinct indexes ever probed through the what-if interface (paper
+  /// §6.2 reports COLT profiles ~11% of the relevant indexes).
+  int64_t distinct_indexes_profiled() const {
+    return static_cast<int64_t>(ever_probed_.size());
+  }
+
+  /// One row of ExplainState(): why an index is (not) materialized.
+  struct IndexExplanation {
+    IndexId index = kInvalidIndexId;
+    std::string name;
+    /// "materialized", "hot", or "candidate".
+    std::string role;
+    /// Smoothed crude BenefitC (per-query average, cost units).
+    double crude_benefit = 0.0;
+    /// Sum of PredBenefit over the next h epochs (cost units).
+    double forecast_benefit = 0.0;
+    /// Materialization cost still owed (0 when materialized).
+    double mat_cost = 0.0;
+    /// forecast_benefit - mat_cost: the KNAPSACK value.
+    double net_benefit = 0.0;
+    int64_t size_bytes = 0;
+  };
+
+  /// Snapshot of the Self-Organizer's view of every tracked index,
+  /// ordered by net benefit. Diagnostic: explains the current
+  /// configuration in the same terms §5 uses to choose it.
+  std::vector<IndexExplanation> ExplainState();
+
+  // White-box access for tests and diagnostics.
+  ClusterManager& clusters() { return clusters_; }
+  CandidateSet& candidates() { return candidates_; }
+  Profiler& profiler() { return profiler_; }
+  SelfOrganizer& self_organizer() { return self_organizer_; }
+  BenefitForecaster& forecaster() { return forecaster_; }
+
+ private:
+  Catalog* catalog_;
+  QueryOptimizer* optimizer_;
+  ColtConfig config_;
+
+  ClusterManager clusters_;
+  GainStatsStore hot_stats_;
+  GainStatsStore mat_stats_;
+  CandidateSet candidates_;
+  BenefitForecaster forecaster_;
+  Profiler profiler_;
+  SelfOrganizer self_organizer_;
+  Scheduler scheduler_;
+
+  std::vector<IndexId> hot_set_;
+  int epoch_ = 0;
+  int queries_in_epoch_ = 0;
+  int whatif_limit_ = 0;
+  int whatif_used_ = 0;
+  std::vector<EpochReport> epoch_reports_;
+  std::vector<IndexId> ever_probed_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_CORE_COLT_H_

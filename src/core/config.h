@@ -1,0 +1,109 @@
+#ifndef COLT_CORE_CONFIG_H_
+#define COLT_CORE_CONFIG_H_
+
+#include <cstdint>
+
+namespace colt {
+
+/// Materialization scheduling strategies (paper §3):
+///  (1) kImmediate — carry out requests immediately; the build cost is
+///      charged to the timeline and the index is usable from the next
+///      query. The paper's implementation choice.
+///  (2) kIdleTime — queue builds and make progress only during system idle
+///      time (the gaps between queries); nothing is charged to query
+///      latency but indexes become available later.
+/// (Strategy (3), piggy-backing on query intermediate results, is future
+/// work in the paper and here.)
+enum class SchedulingStrategy { kImmediate, kIdleTime };
+
+/// Tuning parameters of the COLT framework. Defaults are the paper's
+/// experimental settings (§6.1): w = 10, h = 12, #WI_max = 20, 90%
+/// confidence intervals.
+struct ColtConfig {
+  /// Epoch length w: queries per profiling epoch.
+  int epoch_length = 10;
+  /// History depth h: epochs of system memory; also the forecast horizon.
+  int history_depth = 12;
+  /// #WI_max: hard cap on what-if calls per epoch.
+  int max_whatif_per_epoch = 20;
+  /// Confidence level for CLT-style gain intervals.
+  double confidence = 0.90;
+  /// On-line storage budget B in bytes for the materialized set.
+  int64_t storage_budget_bytes = 512LL * 1024 * 1024;
+
+  /// Smoothing factor for the across-epoch smoothing of crude BenefitC.
+  double crude_smoothing_alpha = 0.4;
+  /// Upper bound on the size of the hot set (the two-means top cluster is
+  /// truncated to this many indexes if larger).
+  int max_hot_set_size = 10;
+  /// Floor for the adaptive sampling probability of a well-profiled pair.
+  double min_sample_rate = 0.05;
+  /// Pairs with fewer than this many measurements always sample (rate 1).
+  int min_measurements_for_interval = 2;
+
+  /// Re-budgeting thresholds (§5): profiling is suspended when the
+  /// optimistic-to-current NetBenefit ratio r <= rebudget_low and maximized
+  /// (#WI_lim = #WI_max) when r >= rebudget_high, linear in between.
+  double rebudget_low = 1.0;
+  double rebudget_high = 1.3;
+
+  /// Simulated wall-clock charge per what-if optimizer call, in seconds.
+  double whatif_call_seconds = 0.02;
+
+  /// Materialization scheduling (paper §3): immediate asynchronous builds
+  /// (the paper's implementation) or builds progressed only during idle
+  /// time between queries.
+  SchedulingStrategy scheduling_strategy = SchedulingStrategy::kImmediate;
+  /// Simulated idle seconds available between consecutive queries (used by
+  /// the kIdleTime strategy only).
+  double idle_seconds_per_query = 2.0;
+
+  /// After the two-means top cluster is taken, fill the remaining hot
+  /// slots with the best candidates by benefit *density* (BenefitC per
+  /// byte). Without this, cheap small-table indexes — exactly the ones the
+  /// KNAPSACK likes — can be starved forever by large-table candidates
+  /// whose absolute benefit dominates the two-means split.
+  bool fill_hot_by_density = true;
+  /// Minimum #WI_lim granted when the hot set contains indexes that have
+  /// never been profiled (re-budgeting needs at least some evidence about
+  /// fresh hot indexes before it can judge their potential).
+  int min_budget_for_fresh_hot = 5;
+  /// Minimum #WI_lim for the epoch right after the materialized set
+  /// changed. A configuration change invalidates the gain statistics of
+  /// every index on the affected tables (the consistency rule of §4.1);
+  /// without a re-validation budget those benefits would decay to zero and
+  /// good indexes would be dropped and expensively rebuilt.
+  int min_budget_after_change = 10;
+
+  /// Extension (the paper's stated future work): also mine two-column
+  /// composite index candidates from queries with multiple selection
+  /// predicates on one table. Statistics-only mode (physical builds of
+  /// composite indexes are not implemented).
+  bool mine_multicolumn_candidates = false;
+
+  // ---- Ablation switches (not in the paper; default = paper behavior) ----
+  /// When false, #WI_lim is pinned to max_whatif_per_epoch (no
+  /// self-regulation).
+  bool enable_rebudgeting = true;
+  /// When false, every relevant pair is sampled with a fixed uniform
+  /// probability instead of the error-contribution heuristic.
+  bool enable_adaptive_sampling = true;
+  /// Fixed rate used when adaptive sampling is disabled.
+  double uniform_sample_rate = 0.5;
+  /// When false, unprofiled queries use the interval midpoint (mean)
+  /// instead of the conservative lower bound.
+  bool conservative_estimates = true;
+  /// When true, reorganization uses the greedy value-density heuristic
+  /// instead of the KNAPSACK DP.
+  bool use_greedy_knapsack = false;
+  /// Floor for the conservative gain estimate as a fraction of the sample
+  /// mean. With 2-3 samples and high within-cluster variance the Student-t
+  /// lower bound collapses to 0, which (under a starved what-if budget)
+  /// makes genuinely useful indexes decay and get dropped; the floor keeps
+  /// the estimate conservative without letting it vanish entirely.
+  double conservative_floor_fraction = 0.25;
+};
+
+}  // namespace colt
+
+#endif  // COLT_CORE_CONFIG_H_

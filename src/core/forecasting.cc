@@ -1,0 +1,71 @@
+#include "core/forecasting.h"
+
+#include <algorithm>
+
+namespace colt {
+
+void BenefitForecaster::RecordEpoch(IndexId index, double benefit) {
+  auto& hist = history_[index];
+  hist.push_front(benefit);
+  while (static_cast<int>(hist.size()) > history_depth_) hist.pop_back();
+}
+
+double BenefitForecaster::PredBenefitFrom(const std::deque<double>& hist,
+                                          int j) const {
+  if (hist.empty()) return 0.0;
+  const int window = std::min<int>(j, static_cast<int>(hist.size()));
+  double sum = 0.0;
+  for (int i = 0; i < window; ++i) sum += hist[i];
+  // Epochs before the index entered the system's memory count as zero
+  // benefit — the index genuinely provided none. This makes the forecast
+  // ramp up over the first epochs after a shift (and is what makes COLT
+  // resist short noise bursts, paper §6.2 / Fig. 6).
+  return sum / j;
+}
+
+double BenefitForecaster::PredBenefit(IndexId index, int j) const {
+  auto it = history_.find(index);
+  if (it == history_.end()) return 0.0;
+  return PredBenefitFrom(it->second, j);
+}
+
+double BenefitForecaster::TotalPredictedBenefit(IndexId index) const {
+  auto it = history_.find(index);
+  if (it == history_.end()) return 0.0;
+  double total = 0.0;
+  for (int j = 1; j <= history_depth_; ++j) {
+    total += PredBenefitFrom(it->second, j);
+  }
+  return total;
+}
+
+double BenefitForecaster::TotalPredictedBenefitWithLatest(
+    IndexId index, double optimistic_latest) const {
+  std::deque<double> hist;
+  auto it = history_.find(index);
+  if (it != history_.end()) hist = it->second;
+  if (hist.empty()) {
+    hist.push_front(optimistic_latest);
+  } else {
+    hist.front() = optimistic_latest;
+  }
+  double total = 0.0;
+  for (int j = 1; j <= history_depth_; ++j) {
+    total += PredBenefitFrom(hist, j);
+  }
+  return total;
+}
+
+int BenefitForecaster::HistoryLength(IndexId index) const {
+  auto it = history_.find(index);
+  return it == history_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+void BenefitForecaster::Erase(IndexId index) { history_.erase(index); }
+
+const std::deque<double>* BenefitForecaster::History(IndexId index) const {
+  auto it = history_.find(index);
+  return it == history_.end() ? nullptr : &it->second;
+}
+
+}  // namespace colt

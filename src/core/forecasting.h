@@ -1,0 +1,61 @@
+#ifndef COLT_CORE_FORECASTING_H_
+#define COLT_CORE_FORECASTING_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "catalog/types.h"
+
+namespace colt {
+
+/// Per-index history of observed epoch benefits and the paper's forecast
+/// (§5): the system remembers the last h epochs and predicts the benefit of
+/// the next h epochs.
+///
+/// PredBenefit_j(I) — the forecast for the j-th future epoch — is "computed
+/// taking all of the past j epochs into account": we use the mean of the
+/// last j observed epoch benefits. Near-term forecasts therefore weight the
+/// most recent behaviour heavily while far-out forecasts average over the
+/// whole memory window, which is exactly what produces the paper's
+/// worst-case noise-burst length (a burst the size of the window dominates
+/// every horizon).
+class BenefitForecaster {
+ public:
+  explicit BenefitForecaster(int history_depth)
+      : history_depth_(history_depth) {}
+
+  /// Appends the just-finished epoch's observed benefit for `index`.
+  void RecordEpoch(IndexId index, double benefit);
+
+  /// Forecast for the j-th future epoch (1-based). Zero history => 0.
+  double PredBenefit(IndexId index, int j) const;
+
+  /// Sum of PredBenefit over the next h epochs — the gross predicted
+  /// benefit used by NetBenefit (MatCost is subtracted by the caller).
+  double TotalPredictedBenefit(IndexId index) const;
+
+  /// Same as TotalPredictedBenefit but with the latest epoch's observation
+  /// replaced by `optimistic_latest` — used by re-budgeting's best-case
+  /// scenario for hot indexes (§5).
+  double TotalPredictedBenefitWithLatest(IndexId index,
+                                         double optimistic_latest) const;
+
+  /// Number of recorded epochs for `index` (capped at h).
+  int HistoryLength(IndexId index) const;
+
+  /// Drops the history of `index`.
+  void Erase(IndexId index);
+
+  /// True benefit history access for diagnostics (front = most recent).
+  const std::deque<double>* History(IndexId index) const;
+
+ private:
+  double PredBenefitFrom(const std::deque<double>& hist, int j) const;
+
+  int history_depth_;
+  std::unordered_map<IndexId, std::deque<double>> history_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_CORE_FORECASTING_H_

@@ -1,0 +1,95 @@
+#include "core/gain_stats.h"
+
+#include <algorithm>
+
+namespace colt {
+
+void GainStatsStore::Record(IndexId index, ClusterId cluster, double gain,
+                            uint64_t table_sig) {
+  PairStats& stats = pairs_[PairKey{index, cluster}];
+  if (stats.table_sig != table_sig) {
+    // Configuration on the index's table changed since the last
+    // measurement; previous statistics are inconsistent (paper §4.1).
+    stats.gains.Reset();
+    stats.epoch_sum = 0.0;
+    stats.epoch_count = 0;
+    stats.table_sig = table_sig;
+  }
+  stats.gains.Add(gain);
+  stats.epoch_sum += gain;
+  ++stats.epoch_count;
+}
+
+const GainStatsStore::PairStats* GainStatsStore::Find(
+    IndexId index, ClusterId cluster, uint64_t table_sig) const {
+  auto it = pairs_.find(PairKey{index, cluster});
+  if (it == pairs_.end()) return nullptr;
+  if (it->second.table_sig != table_sig) return nullptr;
+  return &it->second;
+}
+
+int64_t GainStatsStore::MeasurementCount(IndexId index, ClusterId cluster,
+                                         uint64_t table_sig) const {
+  const PairStats* stats = Find(index, cluster, table_sig);
+  return stats == nullptr ? 0 : stats->gains.count();
+}
+
+ConfidenceInterval GainStatsStore::Interval(IndexId index, ClusterId cluster,
+                                            uint64_t table_sig) const {
+  const PairStats* stats = Find(index, cluster, table_sig);
+  if (stats == nullptr) {
+    ConfidenceInterval ci;
+    ci.low = -kUnknownHalfWidth;
+    ci.high = kUnknownHalfWidth;
+    return ci;
+  }
+  return MeanConfidenceInterval(stats->gains, confidence_);
+}
+
+double GainStatsStore::Variance(IndexId index, ClusterId cluster,
+                                uint64_t table_sig) const {
+  const PairStats* stats = Find(index, cluster, table_sig);
+  return stats == nullptr ? 0.0 : stats->gains.variance();
+}
+
+void GainStatsStore::EpochMeasurements(IndexId index, ClusterId cluster,
+                                       double* sum, int64_t* count) const {
+  auto it = pairs_.find(PairKey{index, cluster});
+  if (it == pairs_.end()) {
+    *sum = 0.0;
+    *count = 0;
+    return;
+  }
+  *sum = it->second.epoch_sum;
+  *count = it->second.epoch_count;
+}
+
+void GainStatsStore::AdvanceEpoch() {
+  for (auto& [key, stats] : pairs_) {
+    (void)key;
+    stats.epoch_sum = 0.0;
+    stats.epoch_count = 0;
+  }
+}
+
+void GainStatsStore::EraseIndex(IndexId index) {
+  for (auto it = pairs_.begin(); it != pairs_.end();) {
+    if (it->first.index == index) {
+      it = pairs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GainStatsStore::RetainClusters(const std::vector<ClusterId>& live) {
+  for (auto it = pairs_.begin(); it != pairs_.end();) {
+    if (!std::binary_search(live.begin(), live.end(), it->first.cluster)) {
+      it = pairs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace colt

@@ -1,0 +1,91 @@
+#ifndef COLT_CORE_GAIN_STATS_H_
+#define COLT_CORE_GAIN_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/stats.h"
+#include "core/clustering.h"
+
+namespace colt {
+
+/// Accurate (what-if-measured) gain statistics per (index, cluster) pair,
+/// with CLT-style confidence intervals (paper §4.1).
+///
+/// Consistency: a stored measurement is valid only while the materialized
+/// indexes on the measured index's table stay unchanged. Each pair records
+/// the per-table configuration signature in force when it was last updated;
+/// a mismatching signature resets the pair before use.
+class GainStatsStore {
+ public:
+  explicit GainStatsStore(double confidence) : confidence_(confidence) {}
+
+  /// Records one measured QueryGain for (index, cluster) under per-table
+  /// materialized-set signature `table_sig`. Also counted toward the
+  /// in-progress epoch's profiled sum.
+  void Record(IndexId index, ClusterId cluster, double gain,
+              uint64_t table_sig);
+
+  /// Number of stored measurements for the pair (0 if unknown or stale).
+  int64_t MeasurementCount(IndexId index, ClusterId cluster,
+                           uint64_t table_sig) const;
+
+  /// Confidence interval for the pair's mean gain. With fewer than 2
+  /// consistent measurements the interval is conservatively wide.
+  ConfidenceInterval Interval(IndexId index, ClusterId cluster,
+                              uint64_t table_sig) const;
+
+  /// Sample variance of the pair's measurements (0 when < 2).
+  double Variance(IndexId index, ClusterId cluster, uint64_t table_sig) const;
+
+  /// Sum of gains measured for the pair during the in-progress epoch, and
+  /// how many measurements contributed.
+  void EpochMeasurements(IndexId index, ClusterId cluster, double* sum,
+                         int64_t* count) const;
+
+  /// Ends the epoch: clears per-epoch sums (all-time interval stats are
+  /// kept; staleness is handled by signatures).
+  void AdvanceEpoch();
+
+  /// Drops every pair involving `index` (e.g. the index left H u M and its
+  /// statistics should not linger).
+  void EraseIndex(IndexId index);
+
+  /// Drops pairs for clusters that no longer exist.
+  void RetainClusters(const std::vector<ClusterId>& live);
+
+  int64_t pair_count() const { return static_cast<int64_t>(pairs_.size()); }
+
+ private:
+  struct PairKey {
+    IndexId index;
+    ClusterId cluster;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const {
+      return std::hash<uint64_t>()(
+          (static_cast<uint64_t>(k.index) << 32) ^
+          static_cast<uint32_t>(k.cluster));
+    }
+  };
+  struct PairStats {
+    RunningStats gains;
+    uint64_t table_sig = 0;
+    double epoch_sum = 0.0;
+    int64_t epoch_count = 0;
+  };
+
+  /// Returns the live stats for the key iff consistent, else nullptr.
+  const PairStats* Find(IndexId index, ClusterId cluster,
+                        uint64_t table_sig) const;
+
+  double confidence_;
+  std::unordered_map<PairKey, PairStats, PairKeyHash> pairs_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_CORE_GAIN_STATS_H_

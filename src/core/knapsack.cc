@@ -1,0 +1,99 @@
+#include "core/knapsack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace colt {
+
+KnapsackSolution SolveKnapsack(const std::vector<KnapsackItem>& items,
+                               int64_t capacity, int max_buckets) {
+  KnapsackSolution solution;
+  if (capacity < 0) capacity = 0;
+
+  // Partition: always-take (zero size, positive value), DP-eligible.
+  std::vector<KnapsackItem> eligible;
+  for (const auto& item : items) {
+    if (item.value <= 0.0) continue;
+    if (item.size <= 0) {
+      solution.chosen_ids.push_back(item.id);
+      solution.total_value += item.value;
+      continue;
+    }
+    if (item.size <= capacity) eligible.push_back(item);
+  }
+  if (eligible.empty() || capacity == 0) return solution;
+
+  // Discretize sizes, rounding *up* so the solution never overflows the
+  // true capacity.
+  const int64_t bucket =
+      std::max<int64_t>(1, (capacity + max_buckets - 1) / max_buckets);
+  const int64_t cap_units = capacity / bucket;
+  auto units = [bucket](int64_t size) { return (size + bucket - 1) / bucket; };
+
+  const size_t n = eligible.size();
+  // dp[c] = best value using a prefix of items with total unit-size <= c.
+  std::vector<double> dp(cap_units + 1, 0.0);
+  // keep[i] = bitset over capacities where item i is taken.
+  std::vector<std::vector<bool>> keep(n,
+                                      std::vector<bool>(cap_units + 1, false));
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t s = units(eligible[i].size);
+    const double v = eligible[i].value;
+    for (int64_t c = cap_units; c >= s; --c) {
+      const double candidate = dp[c - s] + v;
+      if (candidate > dp[c]) {
+        dp[c] = candidate;
+        keep[i][c] = true;
+      }
+    }
+  }
+  // Trace back.
+  int64_t c = cap_units;
+  for (size_t i = n; i-- > 0;) {
+    if (c >= 0 && keep[i][c]) {
+      solution.chosen_ids.push_back(eligible[i].id);
+      solution.total_value += eligible[i].value;
+      solution.total_size += eligible[i].size;
+      c -= units(eligible[i].size);
+    }
+  }
+  std::sort(solution.chosen_ids.begin(), solution.chosen_ids.end());
+  COLT_CHECK(solution.total_size <= capacity)
+      << "knapsack overflow: " << solution.total_size << " > " << capacity;
+  return solution;
+}
+
+KnapsackSolution SolveKnapsackGreedy(const std::vector<KnapsackItem>& items,
+                                     int64_t capacity) {
+  KnapsackSolution solution;
+  std::vector<KnapsackItem> sorted;
+  for (const auto& item : items) {
+    if (item.value > 0.0) sorted.push_back(item);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const KnapsackItem& a, const KnapsackItem& b) {
+              const double da =
+                  a.size > 0 ? a.value / static_cast<double>(a.size)
+                             : std::numeric_limits<double>::infinity();
+              const double db =
+                  b.size > 0 ? b.value / static_cast<double>(b.size)
+                             : std::numeric_limits<double>::infinity();
+              if (da != db) return da > db;
+              return a.id < b.id;
+            });
+  int64_t used = 0;
+  for (const auto& item : sorted) {
+    if (used + item.size > capacity) continue;
+    used += item.size;
+    solution.chosen_ids.push_back(item.id);
+    solution.total_value += item.value;
+    solution.total_size += item.size;
+  }
+  std::sort(solution.chosen_ids.begin(), solution.chosen_ids.end());
+  return solution;
+}
+
+}  // namespace colt

@@ -1,0 +1,40 @@
+#ifndef COLT_CORE_KNAPSACK_H_
+#define COLT_CORE_KNAPSACK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace colt {
+
+/// One candidate object for index selection (paper §5): an index with its
+/// storage footprint and predicted NetBenefit.
+struct KnapsackItem {
+  int64_t id = 0;
+  int64_t size = 0;   // bytes
+  double value = 0.0;  // NetBenefit; items with value <= 0 are never chosen
+};
+
+/// Result of a knapsack solve.
+struct KnapsackSolution {
+  std::vector<int64_t> chosen_ids;
+  double total_value = 0.0;
+  int64_t total_size = 0;
+};
+
+/// 0/1 KNAPSACK by dynamic programming over discretized sizes. Sizes are
+/// scaled so the DP table has at most `max_buckets` capacity cells; with
+/// discretization the solution is optimal for the rounded-up sizes, hence
+/// always feasible for the true capacity and near-optimal in value (exact
+/// when all sizes are multiples of the bucket). Items with non-positive
+/// value or size exceeding capacity are excluded; zero-size positive-value
+/// items are always taken.
+KnapsackSolution SolveKnapsack(const std::vector<KnapsackItem>& items,
+                               int64_t capacity, int max_buckets = 4096);
+
+/// Greedy density heuristic (value/size order) used by ablation benches.
+KnapsackSolution SolveKnapsackGreedy(const std::vector<KnapsackItem>& items,
+                                     int64_t capacity);
+
+}  // namespace colt
+
+#endif  // COLT_CORE_KNAPSACK_H_

@@ -1,0 +1,99 @@
+#ifndef COLT_CORE_PROFILER_H_
+#define COLT_CORE_PROFILER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "core/candidates.h"
+#include "core/clustering.h"
+#include "core/config.h"
+#include "core/gain_stats.h"
+#include "optimizer/optimizer.h"
+
+namespace colt {
+
+/// Signature of the materialized indexes of `config` that live on `table`;
+/// the Profiler's consistency tag for gain measurements (paper §4.1: "a
+/// past measurement for a hot index is consistent if the relevant indices
+/// on the same table have not changed in M").
+uint64_t TableConfigSignature(const Catalog& catalog,
+                              const IndexConfiguration& config, TableId table);
+
+/// The Profiler (paper §4): gathers two-level performance statistics per
+/// query. Level 1 — crude BenefitC for every candidate; level 2 — what-if
+/// measured gains with confidence intervals for hot and materialized
+/// indexes, under the per-epoch what-if budget, with adaptive sampling
+/// proportional to each pair's error contribution.
+class Profiler {
+ public:
+  Profiler(Catalog* catalog, QueryOptimizer* optimizer,
+           ClusterManager* clusters, GainStatsStore* hot_stats,
+           GainStatsStore* mat_stats, CandidateSet* candidates,
+           const ColtConfig* config, uint64_t seed);
+
+  struct ProfileOutcome {
+    ClusterId cluster = kInvalidClusterId;
+    /// Indexes probed through the what-if interface for this query.
+    std::vector<IndexId> probed;
+    int whatif_calls = 0;
+  };
+
+  /// One invocation per query (paper Fig. 2). `plan` is the query's normal
+  /// optimized plan under `materialized`; `whatif_used` is the epoch's
+  /// running what-if counter (#WI_cur), updated in place against
+  /// `whatif_limit` (#WI_lim).
+  ProfileOutcome ProfileQuery(const Query& q, const PlanResult& plan,
+                              const IndexConfiguration& materialized,
+                              const std::vector<IndexId>& hot_set,
+                              int whatif_limit, int* whatif_used,
+                              int current_epoch);
+
+  /// Queries of the in-progress epoch, per cluster, in which a given
+  /// materialized index was used by the normal plan (drives BenefitM).
+  int64_t EpochUsageCount(IndexId index, ClusterId cluster) const;
+
+  /// Clears per-epoch usage counts.
+  void AdvanceEpoch();
+
+  /// The adaptive sampling probability for pair (index, cluster) given the
+  /// largest error contribution among this query's competing pairs
+  /// (exposed for testing).
+  double SampleRate(IndexId index, ClusterId cluster,
+                    const IndexConfiguration& materialized,
+                    double max_error) const;
+
+  /// Error contribution of a pair: Count(Q_i) * sqrt(Var / n); the paper's
+  /// allocation heuristic weights pairs by this quantity. Unmeasured pairs
+  /// return +infinity (always sampled).
+  double ErrorContribution(IndexId index, ClusterId cluster,
+                           const IndexConfiguration& materialized) const;
+
+ private:
+  Catalog* catalog_;
+  QueryOptimizer* optimizer_;
+  ClusterManager* clusters_;
+  GainStatsStore* hot_stats_;
+  GainStatsStore* mat_stats_;
+  CandidateSet* candidates_;
+  const ColtConfig* config_;
+  Rng rng_;
+
+  struct PairKey {
+    IndexId index;
+    ClusterId cluster;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(k.index) << 32) ^
+                                   static_cast<uint32_t>(k.cluster));
+    }
+  };
+  std::unordered_map<PairKey, int64_t, PairKeyHash> epoch_usage_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_CORE_PROFILER_H_

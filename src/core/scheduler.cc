@@ -1,0 +1,100 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+namespace colt {
+
+double Scheduler::BuildSeconds(IndexId id) const {
+  const IndexDescriptor& desc = catalog_->index(id);
+  const TableSchema& table = catalog_->table(desc.column.table);
+  return cost_model_->ToSeconds(
+      cost_model_->MaterializationCost(table, desc));
+}
+
+Status Scheduler::Materialize(IndexId id) {
+  if (db_ != nullptr) {
+    COLT_RETURN_IF_ERROR(db_->BuildIndex(id));
+  }
+  materialized_.Add(id);
+  return Status::OK();
+}
+
+Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
+    const IndexConfiguration& desired) {
+  std::vector<IndexAction> actions;
+  // Drops first (free budget immediately, costless).
+  for (IndexId id : materialized_.ids()) {
+    if (desired.Contains(id)) continue;
+    IndexAction action;
+    action.type = IndexActionType::kDrop;
+    action.index = id;
+    actions.push_back(action);
+  }
+  for (const auto& action : actions) {
+    if (db_ != nullptr) db_->DropIndex(action.index);
+    materialized_.Remove(action.index);
+  }
+  // Cancel queued builds that are no longer desired.
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [&](const PendingBuild& b) {
+                                  return !desired.Contains(b.index);
+                                }),
+                 pending_.end());
+
+  for (IndexId id : desired.ids()) {
+    if (materialized_.Contains(id)) continue;
+    if (strategy_ == SchedulingStrategy::kImmediate) {
+      IndexAction action;
+      action.type = IndexActionType::kMaterialize;
+      action.index = id;
+      action.build_seconds = BuildSeconds(id);
+      COLT_RETURN_IF_ERROR(Materialize(id));
+      actions.push_back(action);
+    } else {
+      const bool queued =
+          std::any_of(pending_.begin(), pending_.end(),
+                      [&](const PendingBuild& b) { return b.index == id; });
+      if (!queued) {
+        pending_.push_back(PendingBuild{id, BuildSeconds(id)});
+      }
+    }
+  }
+  return actions;
+}
+
+Result<std::vector<IndexAction>> Scheduler::OnIdle(double seconds) {
+  std::vector<IndexAction> completed;
+  while (seconds > 0.0 && !pending_.empty()) {
+    PendingBuild& build = pending_.front();
+    const double spent = std::min(seconds, build.remaining_seconds);
+    build.remaining_seconds -= spent;
+    seconds -= spent;
+    if (build.remaining_seconds <= 1e-12) {
+      IndexAction action;
+      action.type = IndexActionType::kMaterialize;
+      action.index = build.index;
+      action.build_seconds = 0.0;  // performed during idle time
+      COLT_RETURN_IF_ERROR(Materialize(build.index));
+      completed.push_back(action);
+      pending_.pop_front();
+    }
+  }
+  return completed;
+}
+
+std::vector<IndexId> Scheduler::PendingBuilds() const {
+  std::vector<IndexId> out;
+  out.reserve(pending_.size());
+  for (const auto& b : pending_) out.push_back(b.index);
+  return out;
+}
+
+int64_t Scheduler::MaterializedBytes() const {
+  int64_t total = 0;
+  for (IndexId id : materialized_.ids()) {
+    total += catalog_->index(id).size_bytes;
+  }
+  return total;
+}
+
+}  // namespace colt

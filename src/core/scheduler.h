@@ -1,0 +1,82 @@
+#ifndef COLT_CORE_SCHEDULER_H_
+#define COLT_CORE_SCHEDULER_H_
+
+#include <deque>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/config.h"
+#include "common/status.h"
+#include "optimizer/cost_model.h"
+#include "storage/database.h"
+
+namespace colt {
+
+/// What the Scheduler did to the physical configuration.
+enum class IndexActionType { kMaterialize, kDrop };
+
+struct IndexAction {
+  IndexActionType type = IndexActionType::kMaterialize;
+  IndexId index = kInvalidIndexId;
+  /// Simulated build time charged to the timeline (0 for drops and for
+  /// builds performed during idle time).
+  double build_seconds = 0.0;
+};
+
+/// Applies Self-Organizer decisions to the physical configuration.
+/// When attached to a Database (physical mode), builds and drops real
+/// B+-trees; in statistics-only mode it just tracks the configuration.
+class Scheduler {
+ public:
+  /// `db` may be null (statistics-only mode).
+  Scheduler(const Catalog* catalog, const CostModel* cost_model, Database* db,
+            SchedulingStrategy strategy = SchedulingStrategy::kImmediate)
+      : catalog_(catalog),
+        cost_model_(cost_model),
+        db_(db),
+        strategy_(strategy) {}
+
+  /// Transitions toward `desired`. Drops take effect immediately (and
+  /// cancel pending builds that are no longer wanted). Builds take effect
+  /// immediately under kImmediate (returned with their cost) or are queued
+  /// under kIdleTime.
+  Result<std::vector<IndexAction>> ApplyConfiguration(
+      const IndexConfiguration& desired);
+
+  /// kIdleTime only: spends `seconds` of idle time on the build queue
+  /// (FIFO); returns the builds that completed (build_seconds = 0 — idle
+  /// work is free for the query stream).
+  Result<std::vector<IndexAction>> OnIdle(double seconds);
+
+  const IndexConfiguration& materialized() const { return materialized_; }
+
+  /// Indexes queued for building (kIdleTime), FIFO order.
+  std::vector<IndexId> PendingBuilds() const;
+
+  /// Total bytes occupied by the materialized set.
+  int64_t MaterializedBytes() const;
+
+  /// Simulated build time for one index in seconds.
+  double BuildSeconds(IndexId id) const;
+
+  SchedulingStrategy strategy() const { return strategy_; }
+
+ private:
+  struct PendingBuild {
+    IndexId index = kInvalidIndexId;
+    double remaining_seconds = 0.0;
+  };
+
+  Status Materialize(IndexId id);
+
+  const Catalog* catalog_;
+  const CostModel* cost_model_;
+  Database* db_;
+  SchedulingStrategy strategy_;
+  IndexConfiguration materialized_;
+  std::deque<PendingBuild> pending_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_CORE_SCHEDULER_H_

@@ -1,0 +1,269 @@
+#include "core/self_organizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace colt {
+
+SelfOrganizer::SelfOrganizer(Catalog* catalog, QueryOptimizer* optimizer,
+                             ClusterManager* clusters,
+                             GainStatsStore* hot_stats,
+                             GainStatsStore* mat_stats,
+                             CandidateSet* candidates,
+                             BenefitForecaster* forecaster, Profiler* profiler,
+                             const ColtConfig* config)
+    : catalog_(catalog),
+      optimizer_(optimizer),
+      clusters_(clusters),
+      hot_stats_(hot_stats),
+      mat_stats_(mat_stats),
+      candidates_(candidates),
+      forecaster_(forecaster),
+      profiler_(profiler),
+      config_(config) {}
+
+bool SelfOrganizer::RelevantToCluster(IndexId index, ClusterId cluster) const {
+  const ColumnRef col = catalog_->index(index).column;
+  const auto& cols = clusters_->RelevantColumns(cluster);
+  return std::binary_search(cols.begin(), cols.end(), col);
+}
+
+double SelfOrganizer::MatCost(IndexId index) const {
+  const IndexDescriptor& desc = catalog_->index(index);
+  return optimizer_->cost_model().MaterializationCost(
+      catalog_->table(desc.column.table), desc);
+}
+
+double SelfOrganizer::EpochBenefit(IndexId index, bool is_materialized,
+                                   const IndexConfiguration& materialized) const {
+  // Expected benefit per epoch under the S_h-window query distribution:
+  // sum over relevant clusters of (expected occurrences per epoch) x
+  // (conservative gain estimate). Using the window rate instead of the raw
+  // single-epoch count removes the large population variance of 10-query
+  // epochs that would otherwise dominate the forecast (see DESIGN.md).
+  //
+  // The distinction between hot and materialized indexes (§4.1) is carried
+  // by the statistics themselves: materialized indexes are only ever probed
+  // for queries whose plan used them, so clusters that do not use the index
+  // have no consistent measurements and contribute zero.
+  const GainStatsStore* store = is_materialized ? mat_stats_ : hot_stats_;
+  const TableId table = catalog_->index(index).column.table;
+  const uint64_t sig = TableConfigSignature(*catalog_, materialized, table);
+  double total = 0.0;
+  for (ClusterId cluster : clusters_->LiveClusters()) {
+    if (!RelevantToCluster(index, cluster)) continue;
+    const ConfidenceInterval ci = store->Interval(index, cluster, sig);
+    if (ci.low <= -kUnknownHalfWidth) continue;  // no consistent knowledge
+    const double mean = (ci.low + ci.high) / 2.0;
+    // The floor only kicks in once the pair has real support; with 2-3
+    // samples the Student-t lower bound IS the paper's "strong evidence"
+    // gate and flooring it would trigger materialization on noise.
+    const int64_t n = store->MeasurementCount(index, cluster, sig);
+    const double floor =
+        n >= 4 ? config_->conservative_floor_fraction * mean : 0.0;
+    const double estimate =
+        config_->conservative_estimates
+            ? std::max(0.0, std::max(ci.low, floor))
+            : std::max(0.0, mean);
+    total += estimate * clusters_->WindowRate(cluster);
+  }
+  return total;
+}
+
+double SelfOrganizer::OptimisticEpochBenefit(
+    IndexId index, const IndexConfiguration& materialized) const {
+  const TableId table = catalog_->index(index).column.table;
+  const uint64_t sig = TableConfigSignature(*catalog_, materialized, table);
+  double total = 0.0;
+  double unknown_population = 0.0;
+  for (ClusterId cluster : clusters_->LiveClusters()) {
+    if (!RelevantToCluster(index, cluster)) continue;
+    const double population = clusters_->WindowRate(cluster);
+    const ConfidenceInterval ci = hot_stats_->Interval(index, cluster, sig);
+    if (ci.high >= kUnknownHalfWidth) {
+      unknown_population += population;
+    } else {
+      total += std::max(0.0, ci.high) * population;
+    }
+  }
+  if (unknown_population > 0) {
+    // Best-case estimate for never-profiled pairs: the crude (already
+    // optimistic) candidate benefit, scaled to the unknown population.
+    const double crude_per_query = candidates_->SmoothedBenefit(index);
+    total += std::max(0.0, crude_per_query) *
+             static_cast<double>(config_->epoch_length);
+  }
+  return total;
+}
+
+double SelfOrganizer::NetBenefit(IndexId index,
+                                 const IndexConfiguration& materialized) const {
+  const double gross = forecaster_->TotalPredictedBenefit(index);
+  const double mat_cost = materialized.Contains(index) ? 0.0 : MatCost(index);
+  return gross - mat_cost;
+}
+
+SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
+    const IndexConfiguration& materialized,
+    const std::vector<IndexId>& hot_set) {
+  Outcome outcome;
+
+  // ---- 1. Fold the finished epoch's observations into the forecaster.
+  for (IndexId id : materialized.ids()) {
+    forecaster_->RecordEpoch(id, EpochBenefit(id, true, materialized));
+  }
+  for (IndexId id : hot_set) {
+    if (materialized.Contains(id)) continue;
+    forecaster_->RecordEpoch(id, EpochBenefit(id, false, materialized));
+  }
+
+  // ---- 2. Reorganization: KNAPSACK over H u M with NetBenefit values.
+  std::vector<IndexId> pool = hot_set;
+  for (IndexId id : materialized.ids()) pool.push_back(id);
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+
+  std::vector<KnapsackItem> items;
+  items.reserve(pool.size());
+  for (IndexId id : pool) {
+    KnapsackItem item;
+    item.id = id;
+    item.size = catalog_->index(id).size_bytes;
+    item.value = NetBenefit(id, materialized);
+    items.push_back(item);
+  }
+  const KnapsackSolution current =
+      config_->use_greedy_knapsack
+          ? SolveKnapsackGreedy(items, config_->storage_budget_bytes)
+          : SolveKnapsack(items, config_->storage_budget_bytes);
+  for (int64_t id : current.chosen_ids) {
+    outcome.new_materialized.Add(static_cast<IndexId>(id));
+  }
+  outcome.net_benefit_current = current.total_value;
+
+  // ---- 3. New hot set: two-means over smoothed BenefitC of the remaining
+  // candidates; the top cluster becomes H.
+  std::vector<std::pair<double, IndexId>> scored;
+  for (IndexId id : candidates_->All()) {
+    if (outcome.new_materialized.Contains(id)) continue;
+    const double b = candidates_->SmoothedBenefit(id);
+    if (b > 0.0) scored.emplace_back(b, id);
+  }
+  if (!scored.empty()) {
+    std::vector<double> values;
+    values.reserve(scored.size());
+    for (const auto& [v, id] : scored) {
+      (void)id;
+      values.push_back(v);
+    }
+    const TwoMeansSplit split = ComputeTwoMeansSplit(values);
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [v, id] : scored) {
+      if (v < split.threshold) break;
+      if (static_cast<int>(outcome.new_hot.size()) >=
+          config_->max_hot_set_size) {
+        break;
+      }
+      outcome.new_hot.push_back(id);
+    }
+    if (config_->fill_hot_by_density &&
+        static_cast<int>(outcome.new_hot.size()) <
+            config_->max_hot_set_size) {
+      // Fill spare hot slots by benefit density (value per byte), so small
+      // cheap indexes with modest absolute benefit still get profiled.
+      std::vector<std::pair<double, IndexId>> by_density;
+      for (const auto& [v, id] : scored) {
+        if (std::find(outcome.new_hot.begin(), outcome.new_hot.end(), id) !=
+            outcome.new_hot.end()) {
+          continue;
+        }
+        const int64_t size = catalog_->index(id).size_bytes;
+        by_density.emplace_back(v / std::max<int64_t>(1, size), id);
+      }
+      std::sort(by_density.begin(), by_density.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      for (const auto& [d, id] : by_density) {
+        (void)d;
+        if (static_cast<int>(outcome.new_hot.size()) >=
+            config_->max_hot_set_size) {
+          break;
+        }
+        outcome.new_hot.push_back(id);
+      }
+    }
+    std::sort(outcome.new_hot.begin(), outcome.new_hot.end());
+  }
+
+  // ---- 4. Re-budgeting: best-case scenario for the hot indexes.
+  if (!config_->enable_rebudgeting) {
+    outcome.next_whatif_limit = config_->max_whatif_per_epoch;
+    outcome.rebudget_ratio = std::numeric_limits<double>::quiet_NaN();
+    return outcome;
+  }
+  std::vector<KnapsackItem> optimistic_items;
+  std::vector<IndexId> opt_pool = outcome.new_hot;
+  for (IndexId id : outcome.new_materialized.ids()) opt_pool.push_back(id);
+  std::sort(opt_pool.begin(), opt_pool.end());
+  opt_pool.erase(std::unique(opt_pool.begin(), opt_pool.end()),
+                 opt_pool.end());
+  for (IndexId id : opt_pool) {
+    KnapsackItem item;
+    item.id = id;
+    item.size = catalog_->index(id).size_bytes;
+    if (outcome.new_materialized.Contains(id)) {
+      // Metrics of materialized indexes are left untouched (§5).
+      item.value = NetBenefit(id, materialized);
+    } else {
+      const double optimistic_latest =
+          OptimisticEpochBenefit(id, materialized);
+      item.value =
+          forecaster_->TotalPredictedBenefitWithLatest(id, optimistic_latest) -
+          MatCost(id);
+    }
+    optimistic_items.push_back(item);
+  }
+  const KnapsackSolution best_case =
+      config_->use_greedy_knapsack
+          ? SolveKnapsackGreedy(optimistic_items,
+                                config_->storage_budget_bytes)
+          : SolveKnapsack(optimistic_items, config_->storage_budget_bytes);
+  outcome.net_benefit_optimistic = best_case.total_value;
+
+  double r;
+  if (outcome.net_benefit_current <= 1e-9) {
+    r = outcome.net_benefit_optimistic > 1e-9
+            ? std::numeric_limits<double>::infinity()
+            : 1.0;
+  } else {
+    r = outcome.net_benefit_optimistic / outcome.net_benefit_current;
+  }
+  r = std::max(r, 1.0);
+  outcome.rebudget_ratio = r;
+  if (r <= config_->rebudget_low) {
+    outcome.next_whatif_limit = 0;
+  } else if (r >= config_->rebudget_high) {
+    outcome.next_whatif_limit = config_->max_whatif_per_epoch;
+  } else {
+    const double f = (r - config_->rebudget_low) /
+                     (config_->rebudget_high - config_->rebudget_low);
+    outcome.next_whatif_limit = static_cast<int>(
+        std::ceil(f * config_->max_whatif_per_epoch));
+  }
+  // Fresh hot indexes carry no profiled evidence, so r cannot yet reflect
+  // their potential: guarantee a minimal budget to gather it.
+  bool fresh_hot = false;
+  for (IndexId id : outcome.new_hot) {
+    if (forecaster_->HistoryLength(id) == 0) fresh_hot = true;
+  }
+  if (fresh_hot) {
+    outcome.next_whatif_limit =
+        std::min(config_->max_whatif_per_epoch,
+                 std::max(outcome.next_whatif_limit,
+                          config_->min_budget_for_fresh_hot));
+  }
+  return outcome;
+}
+
+}  // namespace colt

@@ -1,0 +1,84 @@
+#ifndef COLT_CORE_SELF_ORGANIZER_H_
+#define COLT_CORE_SELF_ORGANIZER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/candidates.h"
+#include "core/clustering.h"
+#include "core/config.h"
+#include "core/forecasting.h"
+#include "core/gain_stats.h"
+#include "core/knapsack.h"
+#include "core/profiler.h"
+#include "optimizer/optimizer.h"
+
+namespace colt {
+
+/// The Self-Organizer (paper §5). Invoked at the end of each epoch, it
+/// (a) reorganizes — picks the new materialized set by solving KNAPSACK
+/// over NetBenefit predictions and selects the next hot set by two-means
+/// clustering of smoothed crude benefits — and (b) re-budgets — sets the
+/// next epoch's what-if budget #WI_lim from the ratio between the
+/// best-case (optimistic) and current configurations.
+class SelfOrganizer {
+ public:
+  SelfOrganizer(Catalog* catalog, QueryOptimizer* optimizer,
+                ClusterManager* clusters, GainStatsStore* hot_stats,
+                GainStatsStore* mat_stats, CandidateSet* candidates,
+                BenefitForecaster* forecaster, Profiler* profiler,
+                const ColtConfig* config);
+
+  struct Outcome {
+    IndexConfiguration new_materialized;
+    std::vector<IndexId> new_hot;
+    int next_whatif_limit = 0;
+    /// r = NetBenefit(M') / NetBenefit(M) (>= 1; clamped for reporting).
+    double rebudget_ratio = 1.0;
+    double net_benefit_current = 0.0;
+    double net_benefit_optimistic = 0.0;
+  };
+
+  /// Runs reorganization + re-budgeting for the epoch that just finished.
+  Outcome RunEpochEnd(const IndexConfiguration& materialized,
+                      const std::vector<IndexId>& hot_set);
+
+  /// Observed benefit of `index` over the finished epoch (total cost-unit
+  /// savings across the epoch's queries), from profiled gains plus
+  /// conservative interval bounds for unprofiled queries. Exposed for
+  /// tests.
+  double EpochBenefit(IndexId index, bool is_materialized,
+                      const IndexConfiguration& materialized) const;
+
+  /// Optimistic (interval-upper-bound) epoch benefit for a hot index;
+  /// unknown pairs fall back to the crude candidate estimate.
+  double OptimisticEpochBenefit(IndexId index,
+                                const IndexConfiguration& materialized) const;
+
+  /// NetBenefit(I) = sum_j PredBenefit_j(I) - MatCost(I) (MatCost = 0 when
+  /// already materialized).
+  double NetBenefit(IndexId index,
+                    const IndexConfiguration& materialized) const;
+
+  /// Materialization cost of `index` in cost units.
+  double MatCost(IndexId index) const;
+
+ private:
+  /// True if `index` is relevant to `cluster` (its column is a selection
+  /// or join column of the cluster's signature).
+  bool RelevantToCluster(IndexId index, ClusterId cluster) const;
+
+  Catalog* catalog_;
+  QueryOptimizer* optimizer_;
+  ClusterManager* clusters_;
+  GainStatsStore* hot_stats_;
+  GainStatsStore* mat_stats_;
+  CandidateSet* candidates_;
+  BenefitForecaster* forecaster_;
+  Profiler* profiler_;
+  const ColtConfig* config_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_CORE_SELF_ORGANIZER_H_

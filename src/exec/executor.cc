@@ -1,0 +1,223 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace colt {
+
+namespace {
+
+/// Tuples per heap page for page-accounting purposes.
+int64_t TuplesPerPage(const TableSchema& schema) {
+  const int64_t per_page = static_cast<int64_t>(
+      kPageSizeBytes * kPageFillFactor / schema.tuple_bytes());
+  return std::max<int64_t>(1, per_page);
+}
+
+}  // namespace
+
+int64_t Executor::DistinctHeapPages(TableId table,
+                                    const std::vector<RowId>& rows) const {
+  const int64_t per_page = TuplesPerPage(db_->catalog().table(table));
+  std::unordered_set<int64_t> pages;
+  pages.reserve(rows.size());
+  for (RowId r : rows) pages.insert(r / per_page);
+  return static_cast<int64_t>(pages.size());
+}
+
+Result<std::vector<Executor::BoundRow>> Executor::Run(const PlanNode& node,
+                                                      ExecutionResult* acc) {
+  switch (node.type) {
+    case PlanNodeType::kSeqScan: {
+      if (!db_->HasData(node.table)) {
+        return Status::FailedPrecondition("table not materialized");
+      }
+      const TableData& data = db_->data(node.table);
+      const TableSchema& schema = db_->catalog().table(node.table);
+      acc->pages_seq += schema.heap_pages();
+      std::vector<BoundRow> out;
+      for (RowId r = 0; r < data.row_count(); ++r) {
+        ++acc->tuples_processed;
+        bool pass = true;
+        for (const auto& pred : node.filter_predicates) {
+          if (!pred.Matches(Value(node.table, pred.column.column, r))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out.push_back(BoundRow{{{node.table, r}}});
+      }
+      return out;
+    }
+    case PlanNodeType::kIndexScan: {
+      if (!db_->HasBuiltIndex(node.index_id)) {
+        return Status::FailedPrecondition("index not built: " +
+                                          std::to_string(node.index_id));
+      }
+      const BTreeIndex& index = db_->index(node.index_id);
+      std::vector<RowId> matches;
+      const int64_t leaves =
+          index.RangeScan(node.index_predicate.lo, node.index_predicate.hi,
+                          &matches);
+      acc->pages_index += leaves + index.height();
+      acc->pages_random += DistinctHeapPages(node.table, matches);
+      std::vector<BoundRow> out;
+      for (RowId r : matches) {
+        ++acc->tuples_processed;
+        bool pass = true;
+        for (const auto& pred : node.filter_predicates) {
+          if (!pred.Matches(Value(node.table, pred.column.column, r))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out.push_back(BoundRow{{{node.table, r}}});
+      }
+      return out;
+    }
+    case PlanNodeType::kBitmapScan: {
+      if (!db_->HasBuiltIndex(node.index_id)) {
+        return Status::FailedPrecondition("index not built: " +
+                                          std::to_string(node.index_id));
+      }
+      const BTreeIndex& index = db_->index(node.index_id);
+      std::vector<RowId> matches;
+      const int64_t leaves =
+          index.RangeScan(node.index_predicate.lo, node.index_predicate.hi,
+                          &matches);
+      acc->pages_index += leaves + index.height();
+      // The bitmap step: visit the heap in physical order, each page once.
+      std::sort(matches.begin(), matches.end());
+      acc->pages_bitmap += DistinctHeapPages(node.table, matches);
+      std::vector<BoundRow> out;
+      for (RowId r : matches) {
+        ++acc->tuples_processed;
+        bool pass = true;
+        for (const auto& pred : node.filter_predicates) {
+          if (!pred.Matches(Value(node.table, pred.column.column, r))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out.push_back(BoundRow{{{node.table, r}}});
+      }
+      return out;
+    }
+    case PlanNodeType::kHashJoin: {
+      COLT_ASSIGN_OR_RETURN(std::vector<BoundRow> left, Run(*node.left, acc));
+      COLT_ASSIGN_OR_RETURN(std::vector<BoundRow> right,
+                            Run(*node.right, acc));
+      // Build on the smaller side.
+      const JoinPredicate& j = node.join_predicate;
+      const bool build_left = left.size() <= right.size();
+      std::vector<BoundRow>& build = build_left ? left : right;
+      std::vector<BoundRow>& probe = build_left ? right : left;
+      auto key_col = [&](const BoundRow& row, bool from_build) -> int64_t {
+        // Determine which side of the predicate binds in this row.
+        (void)from_build;
+        const RowId lr = row.RowFor(j.left.table);
+        if (lr >= 0) return Value(j.left.table, j.left.column, lr);
+        const RowId rr = row.RowFor(j.right.table);
+        return Value(j.right.table, j.right.column, rr);
+      };
+      std::unordered_map<int64_t, std::vector<const BoundRow*>> table;
+      table.reserve(build.size());
+      for (const auto& row : build) {
+        ++acc->tuples_processed;
+        table[key_col(row, true)].push_back(&row);
+      }
+      std::vector<BoundRow> out;
+      for (const auto& row : probe) {
+        ++acc->tuples_processed;
+        auto it = table.find(key_col(row, false));
+        if (it == table.end()) continue;
+        for (const BoundRow* b : it->second) {
+          BoundRow merged = row;
+          merged.bindings.insert(merged.bindings.end(), b->bindings.begin(),
+                                 b->bindings.end());
+          out.push_back(std::move(merged));
+        }
+      }
+      return out;
+    }
+    case PlanNodeType::kNestLoopJoin: {
+      COLT_ASSIGN_OR_RETURN(std::vector<BoundRow> outer, Run(*node.left, acc));
+      COLT_ASSIGN_OR_RETURN(std::vector<BoundRow> inner,
+                            Run(*node.right, acc));
+      const JoinPredicate& j = node.join_predicate;
+      std::vector<BoundRow> out;
+      for (const auto& o : outer) {
+        for (const auto& i : inner) {
+          ++acc->tuples_processed;
+          const BoundRow& left_holder =
+              o.RowFor(j.left.table) >= 0 ? o : i;
+          const BoundRow& right_holder =
+              o.RowFor(j.right.table) >= 0 ? o : i;
+          const RowId lr = left_holder.RowFor(j.left.table);
+          const RowId rr = right_holder.RowFor(j.right.table);
+          if (lr < 0 || rr < 0) continue;
+          if (Value(j.left.table, j.left.column, lr) !=
+              Value(j.right.table, j.right.column, rr)) {
+            continue;
+          }
+          BoundRow merged = o;
+          merged.bindings.insert(merged.bindings.end(), i.bindings.begin(),
+                                 i.bindings.end());
+          out.push_back(std::move(merged));
+        }
+      }
+      return out;
+    }
+    case PlanNodeType::kIndexNLJoin: {
+      COLT_ASSIGN_OR_RETURN(std::vector<BoundRow> outer, Run(*node.left, acc));
+      if (!db_->HasBuiltIndex(node.index_id)) {
+        return Status::FailedPrecondition("probe index not built: " +
+                                          std::to_string(node.index_id));
+      }
+      const BTreeIndex& index = db_->index(node.index_id);
+      const JoinPredicate& j = node.join_predicate;
+      // Which side of the join predicate is the inner (probed) table?
+      const bool inner_is_left = (j.left.table == node.table);
+      const ColumnRef outer_col = inner_is_left ? j.right : j.left;
+      std::vector<BoundRow> out;
+      std::vector<RowId> matches;
+      for (const auto& o : outer) {
+        const RowId orow = o.RowFor(outer_col.table);
+        if (orow < 0) {
+          return Status::Internal("outer row missing join binding");
+        }
+        const int64_t key = Value(outer_col.table, outer_col.column, orow);
+        matches.clear();
+        const int64_t leaves = index.Lookup(key, &matches);
+        acc->pages_index += leaves + index.height();
+        acc->pages_random += DistinctHeapPages(node.table, matches);
+        for (RowId r : matches) {
+          ++acc->tuples_processed;
+          bool pass = true;
+          for (const auto& pred : node.filter_predicates) {
+            if (!pred.Matches(Value(node.table, pred.column.column, r))) {
+              pass = false;
+              break;
+            }
+          }
+          if (!pass) continue;
+          BoundRow merged = o;
+          merged.bindings.emplace_back(node.table, r);
+          out.push_back(std::move(merged));
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown plan node type");
+}
+
+Result<ExecutionResult> Executor::Execute(const PlanNode& plan) {
+  ExecutionResult acc;
+  COLT_ASSIGN_OR_RETURN(std::vector<BoundRow> rows, Run(plan, &acc));
+  acc.output_rows = static_cast<int64_t>(rows.size());
+  return acc;
+}
+
+}  // namespace colt

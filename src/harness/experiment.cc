@@ -1,0 +1,111 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace colt {
+
+ColtRunResult RunColtWorkload(Catalog* catalog,
+                              const std::vector<Query>& workload,
+                              const ColtConfig& config,
+                              CostParams cost_params, uint64_t seed) {
+  QueryOptimizer optimizer(catalog, cost_params);
+  ColtTuner tuner(catalog, &optimizer, config, /*db=*/nullptr, seed);
+  ColtRunResult result;
+  result.per_query.reserve(workload.size());
+  for (const auto& q : workload) {
+    const TuningStep step = tuner.OnQuery(q);
+    QueryCost cost;
+    cost.execution = step.execution_seconds;
+    cost.profiling = step.profiling_seconds;
+    cost.build = step.build_seconds;
+    result.per_query.push_back(cost);
+  }
+  result.epochs = tuner.epoch_reports();
+  result.final_materialized = tuner.materialized();
+  result.distinct_indexes_profiled = tuner.distinct_indexes_profiled();
+  result.relevant_index_count =
+      static_cast<int64_t>(tuner.candidates().size());
+  return result;
+}
+
+Result<OfflineRunResult> RunOfflineWorkload(
+    Catalog* catalog, const std::vector<Query>& workload,
+    const std::vector<Query>& tuning_workload, int64_t budget_bytes,
+    CostParams cost_params) {
+  QueryOptimizer optimizer(catalog, cost_params);
+  OfflineTuner tuner(catalog, &optimizer);
+  OfflineRunResult result;
+  COLT_ASSIGN_OR_RETURN(result.tuning,
+                        tuner.Tune(tuning_workload, budget_bytes));
+  result.per_query_seconds.reserve(workload.size());
+  for (const auto& q : workload) {
+    const PlanResult plan =
+        optimizer.Optimize(q, result.tuning.configuration);
+    const double seconds = optimizer.cost_model().ToSeconds(plan.cost);
+    result.per_query_seconds.push_back(seconds);
+    result.total_seconds += seconds;
+  }
+  return result;
+}
+
+std::vector<double> BucketTotals(const std::vector<double>& values,
+                                 int bucket_size) {
+  std::vector<double> buckets;
+  double acc = 0.0;
+  int in_bucket = 0;
+  for (double v : values) {
+    acc += v;
+    if (++in_bucket == bucket_size) {
+      buckets.push_back(acc);
+      acc = 0.0;
+      in_bucket = 0;
+    }
+  }
+  if (in_bucket > 0) buckets.push_back(acc);
+  return buckets;
+}
+
+std::vector<double> PerQueryTotals(const ColtRunResult& run) {
+  std::vector<double> out;
+  out.reserve(run.per_query.size());
+  for (const auto& q : run.per_query) out.push_back(q.total());
+  return out;
+}
+
+void PrintComparisonTable(const std::string& title,
+                          const std::vector<double>& colt_buckets,
+                          const std::vector<double>& offline_buckets,
+                          int bucket_size) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%10s %12s %12s %12s %12s %12s\n", "queries", "COLT(s)",
+              "OFFLINE(s)", "min(s)", "colt_extra", "off_extra");
+  const size_t n = std::min(colt_buckets.size(), offline_buckets.size());
+  double colt_total = 0.0, offline_total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double c = colt_buckets[i];
+    const double o = offline_buckets[i];
+    colt_total += c;
+    offline_total += o;
+    const double mn = std::min(c, o);
+    std::printf("%10zu %12.1f %12.1f %12.1f %12.1f %12.1f\n",
+                (i + 1) * static_cast<size_t>(bucket_size), c, o, mn,
+                std::max(0.0, c - o), std::max(0.0, o - c));
+  }
+  std::printf("%10s %12.1f %12.1f   (COLT/OFFLINE = %.3f)\n", "total",
+              colt_total, offline_total,
+              offline_total > 0 ? colt_total / offline_total : 0.0);
+}
+
+int64_t BudgetForIndexes(const Catalog& catalog,
+                         const std::vector<IndexId>& indexes,
+                         double target_fit) {
+  if (indexes.empty()) return 0;
+  int64_t total = 0;
+  for (IndexId id : indexes) total += catalog.index(id).size_bytes;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(indexes.size());
+  return static_cast<int64_t>(mean * target_fit);
+}
+
+}  // namespace colt

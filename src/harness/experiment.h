@@ -1,0 +1,85 @@
+#ifndef COLT_HARNESS_EXPERIMENT_H_
+#define COLT_HARNESS_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/offline_tuner.h"
+#include "catalog/catalog.h"
+#include "core/colt.h"
+#include "query/query.h"
+
+namespace colt {
+
+/// Per-query time decomposition for a COLT run (seconds).
+struct QueryCost {
+  double execution = 0.0;
+  double profiling = 0.0;
+  double build = 0.0;
+  double total() const { return execution + profiling + build; }
+};
+
+/// Result of driving one workload through COLT.
+struct ColtRunResult {
+  std::vector<QueryCost> per_query;
+  std::vector<EpochReport> epochs;
+  IndexConfiguration final_materialized;
+  int64_t distinct_indexes_profiled = 0;
+  int64_t relevant_index_count = 0;
+
+  double total_seconds() const {
+    double t = 0.0;
+    for (const auto& q : per_query) t += q.total();
+    return t;
+  }
+};
+
+/// Drives `workload` through a fresh COLT tuner over `catalog`. The
+/// reported time of each query includes execution plus COLT's profiling
+/// and materialization overheads (paper §6.1 evaluation metric).
+ColtRunResult RunColtWorkload(Catalog* catalog,
+                              const std::vector<Query>& workload,
+                              const ColtConfig& config,
+                              CostParams cost_params = {}, uint64_t seed = 7);
+
+/// Result of the OFFLINE baseline on one workload.
+struct OfflineRunResult {
+  std::vector<double> per_query_seconds;
+  OfflineResult tuning;
+  double total_seconds = 0.0;
+};
+
+/// Runs the idealized OFFLINE technique: tunes on the *exact* workload
+/// (`tuning_workload`, typically the same sequence), then executes
+/// `workload` under the fixed chosen configuration. Selection and
+/// materialization time are excluded, as in the paper.
+Result<OfflineRunResult> RunOfflineWorkload(
+    Catalog* catalog, const std::vector<Query>& workload,
+    const std::vector<Query>& tuning_workload, int64_t budget_bytes,
+    CostParams cost_params = {});
+
+/// Sums `values` into consecutive buckets of `bucket_size` (the paper's
+/// 50-query bars in Figs. 3-4). The last bucket may be partial.
+std::vector<double> BucketTotals(const std::vector<double>& values,
+                                 int bucket_size);
+
+/// Extracts total per-query seconds from a COLT run.
+std::vector<double> PerQueryTotals(const ColtRunResult& run);
+
+/// Prints a Fig. 3/4-style table: per-bucket totals for COLT and OFFLINE,
+/// the shared minimum, and each technique's extra time.
+void PrintComparisonTable(const std::string& title,
+                          const std::vector<double>& colt_buckets,
+                          const std::vector<double>& offline_buckets,
+                          int bucket_size);
+
+/// Storage budget that fits roughly `target_fit` of the given indexes
+/// (paper: "we select the space budget B so that it can fit 3 to 6 of
+/// these indices"): target_fit times the mean relevant index size.
+int64_t BudgetForIndexes(const Catalog& catalog,
+                         const std::vector<IndexId>& indexes,
+                         double target_fit);
+
+}  // namespace colt
+
+#endif  // COLT_HARNESS_EXPERIMENT_H_

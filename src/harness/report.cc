@@ -1,0 +1,68 @@
+#include "harness/report.h"
+
+#include <fstream>
+#include <functional>
+#include <ostream>
+
+namespace colt {
+
+Status WriteEpochReportCsv(const std::vector<EpochReport>& reports,
+                           std::ostream& out) {
+  out << "epoch,whatif_used,whatif_limit,next_whatif_limit,rebudget_ratio,"
+         "candidates,clusters,hot,materialized,materialized_bytes\n";
+  for (const auto& e : reports) {
+    out << e.epoch << ',' << e.whatif_used << ',' << e.whatif_limit << ','
+        << e.next_whatif_limit << ',' << e.rebudget_ratio << ','
+        << e.candidate_count << ',' << e.cluster_count << ','
+        << e.hot_ids.size() << ',' << e.materialized_ids.size() << ','
+        << e.materialized_bytes << '\n';
+  }
+  if (!out.good()) return Status::Internal("csv write failed");
+  return Status::OK();
+}
+
+Status WritePerQueryCsv(const ColtRunResult& colt_run,
+                        const std::vector<double>& offline_seconds,
+                        std::ostream& out) {
+  const bool with_offline = !offline_seconds.empty();
+  if (with_offline &&
+      offline_seconds.size() != colt_run.per_query.size()) {
+    return Status::InvalidArgument("offline series length mismatch");
+  }
+  out << "query,colt_execution_s,colt_profiling_s,colt_build_s,colt_total_s";
+  if (with_offline) out << ",offline_s";
+  out << '\n';
+  for (size_t i = 0; i < colt_run.per_query.size(); ++i) {
+    const QueryCost& q = colt_run.per_query[i];
+    out << i << ',' << q.execution << ',' << q.profiling << ',' << q.build
+        << ',' << q.total();
+    if (with_offline) out << ',' << offline_seconds[i];
+    out << '\n';
+  }
+  if (!out.good()) return Status::Internal("csv write failed");
+  return Status::OK();
+}
+
+Status WriteBucketCsv(const std::vector<double>& colt_buckets,
+                      const std::vector<double>& offline_buckets,
+                      int bucket_size, std::ostream& out) {
+  out << "queries,colt_s,offline_s\n";
+  const size_t n = std::min(colt_buckets.size(), offline_buckets.size());
+  for (size_t i = 0; i < n; ++i) {
+    out << (i + 1) * static_cast<size_t>(bucket_size) << ','
+        << colt_buckets[i] << ',' << offline_buckets[i] << '\n';
+  }
+  if (!out.good()) return Status::Internal("csv write failed");
+  return Status::OK();
+}
+
+Status MaybeWriteCsvFile(const std::string& dir, const std::string& name,
+                         const std::function<Status(std::ostream&)>& writer) {
+  if (dir.empty()) return Status::OK();
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  return writer(out);
+}
+
+}  // namespace colt

@@ -1,0 +1,43 @@
+#ifndef COLT_HARNESS_REPORT_H_
+#define COLT_HARNESS_REPORT_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "harness/experiment.h"
+
+namespace colt {
+
+/// CSV writers so the figure benches' data can be re-plotted externally
+/// (one row per epoch / query / bucket; header row included). Columns are
+/// stable and documented in the header row itself.
+
+/// Per-epoch diagnostics of a COLT run: epoch, what-if usage and limits,
+/// re-budget ratio, candidate/cluster counts, materialized bytes.
+Status WriteEpochReportCsv(const std::vector<EpochReport>& reports,
+                           std::ostream& out);
+
+/// Per-query times for COLT (execution/profiling/build) and, optionally,
+/// a parallel OFFLINE per-query series (pass empty to omit).
+Status WritePerQueryCsv(const ColtRunResult& colt_run,
+                        const std::vector<double>& offline_seconds,
+                        std::ostream& out);
+
+/// Bucketed totals (the paper's bar charts): bucket index, COLT total,
+/// OFFLINE total.
+Status WriteBucketCsv(const std::vector<double>& colt_buckets,
+                      const std::vector<double>& offline_buckets,
+                      int bucket_size, std::ostream& out);
+
+/// Convenience: writes `csv_producer` output to `dir/name` if `dir` (from
+/// the COLT_CSV_DIR environment variable, typically) is non-empty. Returns
+/// OK and does nothing when dir is empty.
+Status MaybeWriteCsvFile(const std::string& dir, const std::string& name,
+                         const std::function<Status(std::ostream&)>& writer);
+
+}  // namespace colt
+
+#endif  // COLT_HARNESS_REPORT_H_

@@ -1,0 +1,72 @@
+#include "harness/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace colt {
+
+namespace {
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = std::min(sorted.size() - 1, lo + 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+std::string LatencySummary::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count << " total=" << total << "s mean=" << mean
+     << "s p50=" << p50 << "s p95=" << p95 << "s p99=" << p99
+     << "s max=" << max << "s";
+  return os.str();
+}
+
+LatencySummary Timeline::SummarizeRange(size_t begin, size_t end) const {
+  LatencySummary summary;
+  begin = std::min(begin, samples_.size());
+  end = std::min(end, samples_.size());
+  if (begin >= end) return summary;
+  std::vector<double> sorted(samples_.begin() + begin,
+                             samples_.begin() + end);
+  std::sort(sorted.begin(), sorted.end());
+  summary.count = static_cast<int64_t>(sorted.size());
+  summary.min = sorted.front();
+  summary.max = sorted.back();
+  for (double s : sorted) summary.total += s;
+  summary.mean = summary.total / static_cast<double>(summary.count);
+  summary.p50 = PercentileOfSorted(sorted, 50.0);
+  summary.p90 = PercentileOfSorted(sorted, 90.0);
+  summary.p95 = PercentileOfSorted(sorted, 95.0);
+  summary.p99 = PercentileOfSorted(sorted, 99.0);
+  return summary;
+}
+
+std::vector<double> Timeline::MovingAverage(int window) const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  const int w = std::max(1, window);
+  double acc = 0.0;
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    acc += samples_[i];
+    if (i >= static_cast<size_t>(w)) acc -= samples_[i - w];
+    const double denom =
+        static_cast<double>(std::min<size_t>(i + 1, static_cast<size_t>(w)));
+    out.push_back(acc / denom);
+  }
+  return out;
+}
+
+double Timeline::Percentile(double p) const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileOfSorted(sorted, p);
+}
+
+}  // namespace colt

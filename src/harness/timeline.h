@@ -1,0 +1,63 @@
+#ifndef COLT_HARNESS_TIMELINE_H_
+#define COLT_HARNESS_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace colt {
+
+/// Latency distribution summary (seconds).
+struct LatencySummary {
+  int64_t count = 0;
+  double total = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Collects per-query latencies and summarizes them: percentiles over the
+/// whole run or any sub-range, and a trailing moving average for
+/// convergence plots. Used by the harness to report richer statistics than
+/// bucket totals.
+class Timeline {
+ public:
+  Timeline() = default;
+
+  void Record(double seconds) { samples_.push_back(seconds); }
+  void RecordAll(const std::vector<double>& seconds) {
+    samples_.insert(samples_.end(), seconds.begin(), seconds.end());
+  }
+
+  int64_t size() const { return static_cast<int64_t>(samples_.size()); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Summary over all samples.
+  LatencySummary Summarize() const {
+    return SummarizeRange(0, samples_.size());
+  }
+
+  /// Summary over samples [begin, end). Clamped to the valid range.
+  LatencySummary SummarizeRange(size_t begin, size_t end) const;
+
+  /// Trailing moving average with the given window (same length as the
+  /// sample vector; the first window-1 entries average what is available).
+  std::vector<double> MovingAverage(int window) const;
+
+  /// The p-th percentile (0 < p <= 100) by linear interpolation between
+  /// closest ranks; 0 for an empty timeline.
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_HARNESS_TIMELINE_H_

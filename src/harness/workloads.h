@@ -1,0 +1,46 @@
+#ifndef COLT_HARNESS_WORKLOADS_H_
+#define COLT_HARNESS_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/workload.h"
+
+namespace colt {
+
+/// Factories for the paper's experimental workloads (§6). All are built
+/// over the 4-instance TPC-H catalog from MakeTpchCatalog().
+///
+/// Each "focused" distribution concentrates on one schema instance and
+/// implies 18 relevant (selection-predicate) indexes with a wide spread of
+/// potential benefits, matching the §6.2 setup.
+class ExperimentWorkloads {
+ public:
+  /// The fixed distribution of the stable-workload experiment (Fig. 3),
+  /// focused on schema instance `instance`.
+  static QueryDistribution Focused(Catalog* catalog, int instance);
+
+  /// The 4 phase distributions of the shifting-workload experiment
+  /// (Fig. 4): phase p focuses on instance p; all phases share a small
+  /// common component so the optimal index sets overlap.
+  static std::vector<QueryDistribution> ShiftingPhases(Catalog* catalog);
+
+  /// Noise experiment (Fig. 6): Q1 = Focused(instance 0); Q2 is a compact
+  /// distribution on instance 1 (so the optimal index sets are disjoint —
+  /// the instances share no tables — and a burst concentrates enough
+  /// benefit on a few indexes to be worth materializing when long enough).
+  static QueryDistribution NoiseBase(Catalog* catalog) {
+    return Focused(catalog, 0);
+  }
+  static QueryDistribution NoiseBurst(Catalog* catalog);
+
+  /// Selection columns of a focused distribution — the experiment's
+  /// "relevant indices" (18 per instance).
+  static std::vector<ColumnRef> RelevantColumns(Catalog* catalog,
+                                                int instance);
+};
+
+}  // namespace colt
+
+#endif  // COLT_HARNESS_WORKLOADS_H_

@@ -1,0 +1,285 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace colt {
+
+struct BTreeIndex::Node {
+  bool is_leaf = true;
+  std::vector<int64_t> keys;
+  // Leaf: values[i] corresponds to keys[i].
+  std::vector<RowId> values;
+  // Internal: children.size() == keys.size() + 1; subtree children[i] holds
+  // keys < keys[i]; children[i+1] holds keys >= keys[i].
+  std::vector<Node*> children;
+  Node* next_leaf = nullptr;
+};
+
+BTreeIndex::BTreeIndex(int32_t fanout) : fanout_(std::max(4, fanout)) {}
+
+BTreeIndex::~BTreeIndex() { FreeTree(root_); }
+
+BTreeIndex::BTreeIndex(BTreeIndex&& other) noexcept
+    : root_(other.root_),
+      fanout_(other.fanout_),
+      entry_count_(other.entry_count_),
+      leaf_count_(other.leaf_count_),
+      height_(other.height_) {
+  other.root_ = nullptr;
+  other.entry_count_ = 0;
+  other.leaf_count_ = 0;
+  other.height_ = 0;
+}
+
+BTreeIndex& BTreeIndex::operator=(BTreeIndex&& other) noexcept {
+  if (this != &other) {
+    FreeTree(root_);
+    root_ = other.root_;
+    fanout_ = other.fanout_;
+    entry_count_ = other.entry_count_;
+    leaf_count_ = other.leaf_count_;
+    height_ = other.height_;
+    other.root_ = nullptr;
+    other.entry_count_ = 0;
+    other.leaf_count_ = 0;
+    other.height_ = 0;
+  }
+  return *this;
+}
+
+void BTreeIndex::FreeTree(Node* node) {
+  if (node == nullptr) return;
+  if (!node->is_leaf) {
+    for (Node* c : node->children) FreeTree(c);
+  }
+  delete node;
+}
+
+void BTreeIndex::SplitChild(Node* parent, int32_t i) {
+  Node* child = parent->children[i];
+  Node* right = new Node();
+  right->is_leaf = child->is_leaf;
+  const size_t mid = child->keys.size() / 2;
+  int64_t separator;
+  if (child->is_leaf) {
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->values.assign(child->values.begin() + mid, child->values.end());
+    child->keys.resize(mid);
+    child->values.resize(mid);
+    right->next_leaf = child->next_leaf;
+    child->next_leaf = right;
+    ++leaf_count_;
+  } else {
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    right->children.assign(child->children.begin() + mid + 1,
+                           child->children.end());
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+  }
+  parent->keys.insert(parent->keys.begin() + i, separator);
+  parent->children.insert(parent->children.begin() + i + 1, right);
+}
+
+void BTreeIndex::InsertNonFull(Node* node, int64_t key, RowId row) {
+  while (!node->is_leaf) {
+    // Descend to the child that should contain `key`.
+    size_t i = std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+               node->keys.begin();
+    Node* child = node->children[i];
+    if (static_cast<int32_t>(child->keys.size()) >= fanout_) {
+      SplitChild(node, static_cast<int32_t>(i));
+      if (key >= node->keys[i]) ++i;
+      child = node->children[i];
+    }
+    node = child;
+  }
+  const size_t pos =
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin();
+  node->keys.insert(node->keys.begin() + pos, key);
+  node->values.insert(node->values.begin() + pos, row);
+  ++entry_count_;
+}
+
+void BTreeIndex::Insert(int64_t key, RowId row) {
+  if (root_ == nullptr) {
+    root_ = new Node();
+    leaf_count_ = 1;
+    height_ = 1;
+  }
+  if (static_cast<int32_t>(root_->keys.size()) >= fanout_) {
+    Node* new_root = new Node();
+    new_root->is_leaf = false;
+    new_root->children.push_back(root_);
+    root_ = new_root;
+    ++height_;
+    SplitChild(root_, 0);
+  }
+  InsertNonFull(root_, key, row);
+}
+
+Status BTreeIndex::BulkLoad(std::vector<std::pair<int64_t, RowId>> entries) {
+  if (root_ != nullptr) {
+    return Status::FailedPrecondition("BulkLoad requires an empty tree");
+  }
+  std::sort(entries.begin(), entries.end());
+  if (entries.empty()) return Status::OK();
+
+  // Build the leaf level.
+  std::vector<Node*> level;
+  const size_t per_leaf = static_cast<size_t>(fanout_);
+  for (size_t start = 0; start < entries.size(); start += per_leaf) {
+    const size_t end = std::min(entries.size(), start + per_leaf);
+    Node* leaf = new Node();
+    leaf->keys.reserve(end - start);
+    leaf->values.reserve(end - start);
+    for (size_t i = start; i < end; ++i) {
+      leaf->keys.push_back(entries[i].first);
+      leaf->values.push_back(entries[i].second);
+    }
+    if (!level.empty()) level.back()->next_leaf = leaf;
+    level.push_back(leaf);
+  }
+  leaf_count_ = static_cast<int64_t>(level.size());
+  entry_count_ = static_cast<int64_t>(entries.size());
+  height_ = 1;
+
+  // Build internal levels bottom-up.
+  while (level.size() > 1) {
+    std::vector<Node*> parents;
+    const size_t per_node = static_cast<size_t>(fanout_);
+    for (size_t start = 0; start < level.size(); start += per_node + 1) {
+      const size_t end = std::min(level.size(), start + per_node + 1);
+      Node* parent = new Node();
+      parent->is_leaf = false;
+      for (size_t i = start; i < end; ++i) {
+        if (i > start) {
+          // Separator: smallest key reachable in child i's subtree.
+          const Node* c = level[i];
+          while (!c->is_leaf) c = c->children.front();
+          parent->keys.push_back(c->keys.front());
+        }
+        parent->children.push_back(level[i]);
+      }
+      parents.push_back(parent);
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  root_ = level.front();
+  return Status::OK();
+}
+
+const BTreeIndex::Node* BTreeIndex::FindLeaf(int64_t key) const {
+  const Node* node = root_;
+  if (node == nullptr) return nullptr;
+  while (!node->is_leaf) {
+    // lower_bound, not upper_bound: with duplicate keys the separator value
+    // can also appear in the child to its left (splits cut runs of equal
+    // keys), so the search for the *first* occurrence must descend left of
+    // any separator equal to the key. The leaf chain covers the rest.
+    const size_t i =
+        std::lower_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin();
+    node = node->children[i];
+  }
+  return node;
+}
+
+int64_t BTreeIndex::RangeScan(int64_t lo, int64_t hi,
+                              std::vector<RowId>* out) const {
+  if (root_ == nullptr || lo > hi) return 0;
+  const Node* leaf = FindLeaf(lo);
+  int64_t leaves_touched = 0;
+  while (leaf != nullptr) {
+    ++leaves_touched;
+    const size_t start =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) -
+        leaf->keys.begin();
+    bool past_end = false;
+    for (size_t i = start; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] > hi) {
+        past_end = true;
+        break;
+      }
+      out->push_back(leaf->values[i]);
+    }
+    if (past_end) break;
+    if (!leaf->keys.empty() && leaf->keys.back() > hi) break;
+    leaf = leaf->next_leaf;
+  }
+  return leaves_touched;
+}
+
+int64_t BTreeIndex::Lookup(int64_t key, std::vector<RowId>* out) const {
+  return RangeScan(key, key, out);
+}
+
+Status BTreeIndex::CheckNode(const Node* node, int depth, int64_t lo,
+                             int64_t hi, int leaf_depth) const {
+  if (!std::is_sorted(node->keys.begin(), node->keys.end())) {
+    return Status::Internal("keys not sorted");
+  }
+  for (int64_t k : node->keys) {
+    if (k < lo || k > hi) return Status::Internal("key outside bounds");
+  }
+  if (static_cast<int32_t>(node->keys.size()) > fanout_) {
+    return Status::Internal("node overflow");
+  }
+  if (node->is_leaf) {
+    if (depth != leaf_depth) return Status::Internal("uneven leaf depth");
+    if (node->keys.size() != node->values.size()) {
+      return Status::Internal("leaf key/value mismatch");
+    }
+    return Status::OK();
+  }
+  if (node->children.size() != node->keys.size() + 1) {
+    return Status::Internal("internal child count mismatch");
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const int64_t child_lo = (i == 0) ? lo : node->keys[i - 1];
+    // Duplicates may straddle a separator, so the left child's bound is
+    // inclusive of the separator value.
+    const int64_t child_hi = (i == node->keys.size()) ? hi : node->keys[i];
+    Status st =
+        CheckNode(node->children[i], depth + 1, child_lo,
+                  std::max(child_lo, child_hi), leaf_depth);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status BTreeIndex::CheckInvariants() const {
+  if (root_ == nullptr) {
+    if (entry_count_ != 0 || leaf_count_ != 0) {
+      return Status::Internal("empty tree with nonzero counts");
+    }
+    return Status::OK();
+  }
+  // Leaf depth = height_ - 1 when root counts as depth 0.
+  Status st = CheckNode(root_, 0, INT64_MIN, INT64_MAX, height_ - 1);
+  if (!st.ok()) return st;
+  // Walk the leaf chain: total entries and leaf count must match, and the
+  // concatenated key sequence must be globally sorted.
+  const Node* leaf = root_;
+  while (!leaf->is_leaf) leaf = leaf->children.front();
+  int64_t entries = 0, leaves = 0;
+  int64_t prev = INT64_MIN;
+  while (leaf != nullptr) {
+    ++leaves;
+    for (int64_t k : leaf->keys) {
+      if (k < prev) return Status::Internal("leaf chain not sorted");
+      prev = k;
+      ++entries;
+    }
+    leaf = leaf->next_leaf;
+  }
+  if (entries != entry_count_) return Status::Internal("entry count mismatch");
+  if (leaves != leaf_count_) return Status::Internal("leaf count mismatch");
+  return Status::OK();
+}
+
+}  // namespace colt

@@ -1,0 +1,77 @@
+#ifndef COLT_INDEX_BTREE_H_
+#define COLT_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace colt {
+
+/// Row identifier within a table (position in the column store).
+using RowId = int64_t;
+
+/// In-memory B+-tree from int64 keys to row ids, supporting duplicates.
+///
+/// This is the physical structure the Scheduler materializes. It is a real
+/// tree (fixed fanout, split/bulk-load, linked leaves) rather than a
+/// std::map so that leaf-page counts — the quantity the cost model charges
+/// for — fall out of the actual structure.
+class BTreeIndex {
+ public:
+  /// `fanout` = max entries per node (leaf and internal). Small fanouts are
+  /// useful in tests to force deep trees.
+  explicit BTreeIndex(int32_t fanout = 128);
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+  BTreeIndex(BTreeIndex&&) noexcept;
+  BTreeIndex& operator=(BTreeIndex&&) noexcept;
+
+  /// Inserts one (key, row) entry. Duplicate keys are allowed.
+  void Insert(int64_t key, RowId row);
+
+  /// Bulk-loads from (key, row) pairs; requires an empty tree. Pairs need
+  /// not be sorted. Produces leaves ~100% full (like CREATE INDEX).
+  Status BulkLoad(std::vector<std::pair<int64_t, RowId>> entries);
+
+  /// Appends all row ids with key in [lo, hi] (inclusive) to `out`.
+  /// Returns the number of leaf nodes touched (for I/O accounting).
+  int64_t RangeScan(int64_t lo, int64_t hi, std::vector<RowId>* out) const;
+
+  /// Appends all row ids with key == key. Returns leaves touched.
+  int64_t Lookup(int64_t key, std::vector<RowId>* out) const;
+
+  int64_t entry_count() const { return entry_count_; }
+  int64_t leaf_count() const { return leaf_count_; }
+  int32_t height() const { return height_; }
+  int32_t fanout() const { return fanout_; }
+  bool empty() const { return entry_count_ == 0; }
+
+  /// Verifies structural invariants (ordering, fanout bounds, uniform leaf
+  /// depth, leaf-chain consistency). Used by tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  Node* root_ = nullptr;
+  int32_t fanout_;
+  int64_t entry_count_ = 0;
+  int64_t leaf_count_ = 0;
+  int32_t height_ = 0;
+
+  void FreeTree(Node* node);
+  /// Splits `child` (the i-th child of `parent`) which is full.
+  void SplitChild(Node* parent, int32_t i);
+  void InsertNonFull(Node* node, int64_t key, RowId row);
+  const Node* FindLeaf(int64_t key) const;
+  Status CheckNode(const Node* node, int depth, int64_t lo, int64_t hi,
+                   int leaf_depth) const;
+};
+
+}  // namespace colt
+
+#endif  // COLT_INDEX_BTREE_H_

@@ -1,0 +1,73 @@
+#include "optimizer/plan.h"
+
+#include <sstream>
+
+namespace colt {
+
+const char* PlanNodeTypeName(PlanNodeType type) {
+  switch (type) {
+    case PlanNodeType::kSeqScan:
+      return "SeqScan";
+    case PlanNodeType::kIndexScan:
+      return "IndexScan";
+    case PlanNodeType::kBitmapScan:
+      return "BitmapScan";
+    case PlanNodeType::kNestLoopJoin:
+      return "NestLoop";
+    case PlanNodeType::kIndexNLJoin:
+      return "IndexNLJoin";
+    case PlanNodeType::kHashJoin:
+      return "HashJoin";
+  }
+  return "?";
+}
+
+void PlanNode::CollectUsedIndexes(std::vector<IndexId>* out) const {
+  if (index_id != kInvalidIndexId) out->push_back(index_id);
+  if (left) left->CollectUsedIndexes(out);
+  if (right) right->CollectUsedIndexes(out);
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->type = type;
+  copy->cost = cost;
+  copy->rows = rows;
+  copy->table = table;
+  copy->index_id = index_id;
+  copy->index_predicate = index_predicate;
+  copy->filter_predicates = filter_predicates;
+  copy->join_predicate = join_predicate;
+  if (left) copy->left = left->Clone();
+  if (right) copy->right = right->Clone();
+  return copy;
+}
+
+std::string PlanNode::ToString(const Catalog& catalog, int indent) const {
+  std::ostringstream os;
+  const std::string pad(indent * 2, ' ');
+  os << pad << PlanNodeTypeName(type);
+  if (table != kInvalidTableId &&
+      (type == PlanNodeType::kSeqScan || type == PlanNodeType::kIndexScan ||
+       type == PlanNodeType::kBitmapScan ||
+       type == PlanNodeType::kIndexNLJoin)) {
+    os << " on " << catalog.table(table).name();
+  }
+  if (index_id != kInvalidIndexId) {
+    os << " using " << catalog.index(index_id).name;
+  }
+  os << "  (cost=" << cost << " rows=" << rows << ")";
+  if (type == PlanNodeType::kIndexScan ||
+      type == PlanNodeType::kBitmapScan) {
+    os << " cond: " << PredicateToString(catalog, index_predicate);
+  }
+  for (const auto& f : filter_predicates) {
+    os << " filter: " << PredicateToString(catalog, f);
+  }
+  os << "\n";
+  if (left) os << left->ToString(catalog, indent + 1);
+  if (right) os << right->ToString(catalog, indent + 1);
+  return os.str();
+}
+
+}  // namespace colt

@@ -1,0 +1,41 @@
+#ifndef COLT_QUERY_PARSER_H_
+#define COLT_QUERY_PARSER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "query/query.h"
+
+namespace colt {
+
+/// Parses the SQL dialect the engine supports into a Query:
+///
+///   SELECT COUNT(*) FROM t1 [, t2 ...]
+///   [WHERE <condition> [AND <condition>]*] [;]
+///
+/// where each <condition> is one of
+///
+///   t.col =  <int>              -- equality selection
+///   t.col <  <int> | <= <int>   -- range selection
+///   t.col >  <int> | >= <int>
+///   t.col BETWEEN <int> AND <int>
+///   t1.a = t2.b                 -- equi-join
+///
+/// Keywords are case-insensitive; identifiers are case-sensitive and must
+/// exist in the catalog. Errors carry the offending token.
+class QueryParser {
+ public:
+  explicit QueryParser(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Parses one statement. The resulting query is validated against the
+  /// catalog before being returned.
+  Result<Query> Parse(const std::string& sql) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_QUERY_PARSER_H_

@@ -1,0 +1,55 @@
+#ifndef COLT_QUERY_PREDICATE_H_
+#define COLT_QUERY_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "catalog/types.h"
+
+namespace colt {
+
+/// A range (or equality) selection predicate: lo <= column <= hi.
+/// Equality is the degenerate case lo == hi. Open ends use INT64_MIN/MAX.
+struct SelectionPredicate {
+  ColumnRef column;
+  int64_t lo = INT64_MIN;
+  int64_t hi = INT64_MAX;
+
+  bool is_equality() const { return lo == hi; }
+  bool Matches(int64_t value) const { return value >= lo && value <= hi; }
+
+  friend bool operator==(const SelectionPredicate&,
+                         const SelectionPredicate&) = default;
+};
+
+/// An equi-join predicate between two columns of different tables.
+struct JoinPredicate {
+  ColumnRef left;
+  ColumnRef right;
+
+  /// Canonical form: smaller ColumnRef first (joins are symmetric).
+  JoinPredicate Canonical() const {
+    if (right < left) return {right, left};
+    return *this;
+  }
+
+  friend bool operator==(const JoinPredicate&, const JoinPredicate&) = default;
+};
+
+/// Estimated selectivity of `pred` against the catalog statistics.
+inline double EstimateSelectivity(const Catalog& catalog,
+                                  const SelectionPredicate& pred) {
+  const ColumnStats& stats =
+      catalog.table(pred.column.table).column_stats(pred.column.column);
+  if (pred.is_equality()) return stats.EqualitySelectivity(pred.lo);
+  return stats.RangeSelectivity(pred.lo, pred.hi);
+}
+
+/// Human-readable form, e.g. "lineitem_0.l_shipdate in [10, 90]".
+std::string PredicateToString(const Catalog& catalog,
+                              const SelectionPredicate& pred);
+
+}  // namespace colt
+
+#endif  // COLT_QUERY_PREDICATE_H_

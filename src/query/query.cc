@@ -1,0 +1,150 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace colt {
+
+Query::Query(std::vector<TableId> tables, std::vector<JoinPredicate> joins,
+             std::vector<SelectionPredicate> selections)
+    : tables_(std::move(tables)),
+      joins_(std::move(joins)),
+      selections_(std::move(selections)) {
+  std::sort(tables_.begin(), tables_.end());
+  tables_.erase(std::unique(tables_.begin(), tables_.end()), tables_.end());
+  for (auto& j : joins_) j = j.Canonical();
+  std::sort(joins_.begin(), joins_.end(),
+            [](const JoinPredicate& a, const JoinPredicate& b) {
+              return std::tie(a.left, a.right) < std::tie(b.left, b.right);
+            });
+  std::sort(selections_.begin(), selections_.end(),
+            [](const SelectionPredicate& a, const SelectionPredicate& b) {
+              return std::tie(a.column, a.lo, a.hi) <
+                     std::tie(b.column, b.lo, b.hi);
+            });
+}
+
+std::vector<SelectionPredicate> Query::SelectionsOn(TableId table) const {
+  std::vector<SelectionPredicate> out;
+  for (const auto& s : selections_) {
+    if (s.column.table == table) out.push_back(s);
+  }
+  return out;
+}
+
+bool Query::UsesTable(TableId table) const {
+  return std::binary_search(tables_.begin(), tables_.end(), table);
+}
+
+Status Query::Validate(const Catalog& catalog) const {
+  if (tables_.empty()) return Status::InvalidArgument("query has no tables");
+  for (TableId t : tables_) {
+    if (t < 0 || t >= catalog.table_count()) {
+      return Status::InvalidArgument("unknown table id");
+    }
+  }
+  auto check_column = [&](const ColumnRef& c) {
+    if (!UsesTable(c.table)) {
+      return Status::InvalidArgument("column on table not in query");
+    }
+    if (c.column < 0 || c.column >= catalog.table(c.table).column_count()) {
+      return Status::InvalidArgument("unknown column");
+    }
+    return Status::OK();
+  };
+  for (const auto& j : joins_) {
+    COLT_RETURN_IF_ERROR(check_column(j.left));
+    COLT_RETURN_IF_ERROR(check_column(j.right));
+    if (j.left.table == j.right.table) {
+      return Status::InvalidArgument("self-join predicates unsupported");
+    }
+  }
+  for (const auto& s : selections_) {
+    COLT_RETURN_IF_ERROR(check_column(s.column));
+    if (s.lo > s.hi) return Status::InvalidArgument("empty predicate range");
+  }
+  return Status::OK();
+}
+
+std::string Query::ToString(const Catalog& catalog) const {
+  std::ostringstream os;
+  os << "SELECT count(*) FROM ";
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << catalog.table(tables_[i]).name();
+  }
+  bool first = true;
+  auto emit_where = [&] {
+    os << (first ? " WHERE " : " AND ");
+    first = false;
+  };
+  for (const auto& j : joins_) {
+    emit_where();
+    os << catalog.table(j.left.table).name() << "."
+       << catalog.table(j.left.table).column(j.left.column).name << " = "
+       << catalog.table(j.right.table).name() << "."
+       << catalog.table(j.right.table).column(j.right.column).name;
+  }
+  for (const auto& s : selections_) {
+    emit_where();
+    os << PredicateToString(catalog, s);
+  }
+  return os.str();
+}
+
+std::string PredicateToString(const Catalog& catalog,
+                              const SelectionPredicate& pred) {
+  std::ostringstream os;
+  const auto& table = catalog.table(pred.column.table);
+  os << table.name() << "." << table.column(pred.column.column).name;
+  if (pred.is_equality()) {
+    os << " = " << pred.lo;
+  } else if (pred.lo == INT64_MIN) {
+    os << " <= " << pred.hi;
+  } else if (pred.hi == INT64_MAX) {
+    os << " >= " << pred.lo;
+  } else {
+    os << " BETWEEN " << pred.lo << " AND " << pred.hi;
+  }
+  return os.str();
+}
+
+size_t QuerySignatureHash::operator()(const QuerySignature& sig) const {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  for (TableId t : sig.tables) mix(static_cast<uint64_t>(t) + 1);
+  mix(0xabcd);
+  for (const auto& [l, r] : sig.joins) {
+    mix((static_cast<uint64_t>(l.table) << 32) ^
+        static_cast<uint32_t>(l.column));
+    mix((static_cast<uint64_t>(r.table) << 32) ^
+        static_cast<uint32_t>(r.column));
+  }
+  mix(0xef01);
+  for (const auto& [c, bucket] : sig.selections) {
+    mix((static_cast<uint64_t>(c.table) << 32) ^
+        static_cast<uint32_t>(c.column));
+    mix(static_cast<uint64_t>(bucket) + 17);
+  }
+  return static_cast<size_t>(h);
+}
+
+QuerySignature ComputeSignature(const Catalog& catalog, const Query& q) {
+  QuerySignature sig;
+  sig.tables = q.tables();
+  for (const auto& j : q.joins()) {
+    const JoinPredicate c = j.Canonical();
+    sig.joins.emplace_back(c.left, c.right);
+  }
+  std::sort(sig.joins.begin(), sig.joins.end());
+  for (const auto& s : q.selections()) {
+    sig.selections.emplace_back(
+        s.column, SelectivityBucket(EstimateSelectivity(catalog, s)));
+  }
+  std::sort(sig.selections.begin(), sig.selections.end());
+  return sig;
+}
+
+}  // namespace colt

@@ -1,0 +1,83 @@
+#ifndef COLT_QUERY_QUERY_H_
+#define COLT_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/predicate.h"
+
+namespace colt {
+
+/// A select-project-join query: a set of tables, equi-join predicates
+/// connecting them, and conjunctive range/equality selections. The output
+/// is an aggregate (count), so projection lists do not affect cost.
+class Query {
+ public:
+  Query() = default;
+  Query(std::vector<TableId> tables, std::vector<JoinPredicate> joins,
+        std::vector<SelectionPredicate> selections);
+
+  const std::vector<TableId>& tables() const { return tables_; }
+  const std::vector<JoinPredicate>& joins() const { return joins_; }
+  const std::vector<SelectionPredicate>& selections() const {
+    return selections_;
+  }
+
+  int64_t id() const { return id_; }
+  void set_id(int64_t id) { id_ = id; }
+
+  /// Selections on a specific table.
+  std::vector<SelectionPredicate> SelectionsOn(TableId table) const;
+
+  /// True if `table` participates in the query.
+  bool UsesTable(TableId table) const;
+
+  /// Validates internal consistency against a catalog (tables exist, join
+  /// and selection columns belong to the query's tables).
+  Status Validate(const Catalog& catalog) const;
+
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  int64_t id_ = -1;
+  std::vector<TableId> tables_;             // sorted, unique
+  std::vector<JoinPredicate> joins_;        // canonical form
+  std::vector<SelectionPredicate> selections_;
+};
+
+/// The Profiler's query-similarity key (paper §4.1): two query occurrences
+/// belong to the same cluster iff they access the same tables, have the same
+/// join predicates, and have selections on the same attributes with
+/// selectivities in the same bucket. The paper uses two buckets split at 2%
+/// ("an approximate separation between selective and non-selective
+/// predicates").
+struct QuerySignature {
+  std::vector<TableId> tables;
+  std::vector<std::pair<ColumnRef, ColumnRef>> joins;
+  /// (column, selectivity bucket index).
+  std::vector<std::pair<ColumnRef, int>> selections;
+
+  friend bool operator==(const QuerySignature&,
+                         const QuerySignature&) = default;
+};
+
+struct QuerySignatureHash {
+  size_t operator()(const QuerySignature& sig) const;
+};
+
+/// Selectivity-bucket boundaries. bucket 0: [0, 0.02); bucket 1: [0.02, 1].
+inline constexpr double kSelectivityBucketBoundary = 0.02;
+
+/// Bucket index for a selectivity value.
+inline int SelectivityBucket(double selectivity) {
+  return selectivity < kSelectivityBucketBoundary ? 0 : 1;
+}
+
+/// Computes the clustering signature of `q` under the catalog's statistics.
+QuerySignature ComputeSignature(const Catalog& catalog, const Query& q);
+
+}  // namespace colt
+
+#endif  // COLT_QUERY_QUERY_H_

@@ -1,0 +1,64 @@
+#include "query/trace.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "query/parser.h"
+
+namespace colt {
+
+Status SaveWorkloadTrace(const Catalog& catalog,
+                         const std::vector<Query>& workload,
+                         const std::string& description, std::ostream& out) {
+  out << "# colt workload trace\n";
+  if (!description.empty()) out << "# " << description << "\n";
+  out << "# " << workload.size() << " queries\n";
+  for (const Query& q : workload) {
+    COLT_RETURN_IF_ERROR(q.Validate(catalog));
+    out << q.ToString(catalog) << ";\n";
+  }
+  if (!out.good()) return Status::Internal("trace write failed");
+  return Status::OK();
+}
+
+Result<std::vector<Query>> LoadWorkloadTrace(const Catalog& catalog,
+                                             std::istream& in) {
+  QueryParser parser(&catalog);
+  std::vector<Query> workload;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    Result<Query> q = parser.Parse(line);
+    if (!q.ok()) {
+      return Status::InvalidArgument(
+          "trace line " + std::to_string(line_number) + ": " +
+          q.status().message());
+    }
+    q->set_id(static_cast<int64_t>(workload.size()));
+    workload.push_back(std::move(q).value());
+  }
+  return workload;
+}
+
+Status SaveWorkloadTraceFile(const Catalog& catalog,
+                             const std::vector<Query>& workload,
+                             const std::string& description,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  return SaveWorkloadTrace(catalog, workload, description, out);
+}
+
+Result<std::vector<Query>> LoadWorkloadTraceFile(const Catalog& catalog,
+                                                 const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return LoadWorkloadTrace(catalog, in);
+}
+
+}  // namespace colt

@@ -1,0 +1,40 @@
+#ifndef COLT_QUERY_TRACE_H_
+#define COLT_QUERY_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "query/query.h"
+
+namespace colt {
+
+/// Workload traces are plain text: one SQL statement per line (the dialect
+/// of QueryParser), '#' comment lines, and blank lines. This makes every
+/// generated experiment workload reproducible, diffable, and replayable
+/// through the colt_shell example.
+
+/// Writes `workload` to `out`, one statement per line, preceded by a
+/// comment header carrying `description`.
+Status SaveWorkloadTrace(const Catalog& catalog,
+                         const std::vector<Query>& workload,
+                         const std::string& description, std::ostream& out);
+
+/// Parses a trace produced by SaveWorkloadTrace (or hand-written SQL).
+/// Fails with the offending line number on the first malformed statement.
+Result<std::vector<Query>> LoadWorkloadTrace(const Catalog& catalog,
+                                             std::istream& in);
+
+/// File-path convenience wrappers.
+Status SaveWorkloadTraceFile(const Catalog& catalog,
+                             const std::vector<Query>& workload,
+                             const std::string& description,
+                             const std::string& path);
+Result<std::vector<Query>> LoadWorkloadTraceFile(const Catalog& catalog,
+                                                 const std::string& path);
+
+}  // namespace colt
+
+#endif  // COLT_QUERY_TRACE_H_

@@ -1,0 +1,174 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace colt {
+
+std::vector<ColumnRef> QueryDistribution::RelevantColumns() const {
+  std::vector<ColumnRef> cols;
+  for (const auto& t : templates) {
+    for (const auto& s : t.selections) cols.push_back(s.column);
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+Query WorkloadGenerator::Instantiate(const QueryTemplate& tmpl) {
+  std::vector<SelectionPredicate> selections;
+  selections.reserve(tmpl.selections.size());
+  for (const auto& spec : tmpl.selections) {
+    const ColumnStats& stats =
+        catalog_->table(spec.column.table).column_stats(spec.column.column);
+    SelectionPredicate pred;
+    pred.column = spec.column;
+    const int64_t domain_min = stats.min_value();
+    const int64_t domain_max = stats.max_value();
+    const double span =
+        static_cast<double>(domain_max - domain_min) + 1.0;
+    if (spec.equality) {
+      const int64_t v =
+          domain_min + rng_.NextInRange(0, domain_max - domain_min);
+      pred.lo = pred.hi = v;
+    } else {
+      const double target = rng_.NextDoubleInRange(
+          std::min(spec.min_selectivity, spec.max_selectivity),
+          std::max(spec.min_selectivity, spec.max_selectivity));
+      int64_t width = static_cast<int64_t>(std::llround(target * span));
+      width = std::clamp<int64_t>(width, 1, domain_max - domain_min + 1);
+      const int64_t lo =
+          domain_min + rng_.NextInRange(0, (domain_max - domain_min + 1) - width);
+      pred.lo = lo;
+      pred.hi = lo + width - 1;
+    }
+    selections.push_back(pred);
+  }
+  Query q(tmpl.tables, tmpl.joins, std::move(selections));
+  q.set_id(next_query_id_++);
+  return q;
+}
+
+Query WorkloadGenerator::Sample(const QueryDistribution& dist) {
+  COLT_CHECK(!dist.templates.empty()) << "empty distribution";
+  COLT_CHECK(dist.weights.size() == dist.templates.size())
+      << "weights/templates size mismatch in " << dist.name;
+  const size_t pick = rng_.NextWeighted(dist.weights);
+  return Instantiate(dist.templates[pick]);
+}
+
+Query WorkloadGenerator::SampleMixed(const QueryDistribution& from,
+                                     const QueryDistribution& to, double mix) {
+  return rng_.NextBool(mix) ? Sample(to) : Sample(from);
+}
+
+std::vector<Query> GeneratePhasedWorkload(
+    WorkloadGenerator& gen, const std::vector<WorkloadPhase>& phases,
+    int transition_length, std::vector<int>* phase_of_query) {
+  std::vector<Query> out;
+  if (phase_of_query != nullptr) phase_of_query->clear();
+  for (size_t p = 0; p < phases.size(); ++p) {
+    for (int i = 0; i < phases[p].length; ++i) {
+      out.push_back(gen.Sample(phases[p].distribution));
+      if (phase_of_query != nullptr) {
+        phase_of_query->push_back(static_cast<int>(p));
+      }
+    }
+    if (p + 1 < phases.size()) {
+      for (int i = 0; i < transition_length; ++i) {
+        const double mix =
+            (static_cast<double>(i) + 1.0) / (transition_length + 1.0);
+        out.push_back(gen.SampleMixed(phases[p].distribution,
+                                      phases[p + 1].distribution, mix));
+        if (phase_of_query != nullptr) {
+          phase_of_query->push_back(
+              static_cast<int>(mix >= 0.5 ? p + 1 : p));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Query> GenerateMultiClientWorkload(
+    WorkloadGenerator& gen, const std::vector<ClientSpec>& clients,
+    int total_queries, std::vector<int>* client_of_query) {
+  COLT_CHECK(!clients.empty());
+  // Pre-generate each client's own sequence, long enough that even a
+  // client receiving every slot would not exhaust it.
+  std::vector<std::vector<Query>> streams;
+  std::vector<size_t> cursor(clients.size(), 0);
+  std::vector<double> rates;
+  for (const auto& client : clients) {
+    // Repeat the client's schedule until it covers total_queries.
+    std::vector<Query> stream;
+    while (static_cast<int>(stream.size()) < total_queries) {
+      const std::vector<Query> pass = GeneratePhasedWorkload(
+          gen, client.phases, client.transition_length);
+      COLT_CHECK(!pass.empty()) << "client with empty schedule";
+      stream.insert(stream.end(), pass.begin(), pass.end());
+    }
+    streams.push_back(std::move(stream));
+    rates.push_back(client.rate);
+  }
+  std::vector<Query> out;
+  out.reserve(total_queries);
+  if (client_of_query != nullptr) client_of_query->clear();
+  for (int i = 0; i < total_queries; ++i) {
+    const size_t c = gen.rng().NextWeighted(rates);
+    out.push_back(streams[c][cursor[c]++]);
+    if (client_of_query != nullptr) {
+      client_of_query->push_back(static_cast<int>(c));
+    }
+  }
+  return out;
+}
+
+std::vector<Query> GenerateNoisyWorkload(WorkloadGenerator& gen,
+                                         const QueryDistribution& base,
+                                         const QueryDistribution& noise,
+                                         int total_queries, int warmup,
+                                         int burst_length,
+                                         double noise_fraction, int min_bursts,
+                                         std::vector<bool>* is_noise) {
+  COLT_CHECK(burst_length > 0);
+  COLT_CHECK(noise_fraction > 0.0 && noise_fraction < 1.0);
+  // Number of bursts needed so that noise makes up ~noise_fraction of the
+  // total workload.
+  int bursts = std::max(
+      min_bursts,
+      static_cast<int>(std::llround(noise_fraction * total_queries /
+                                    burst_length)));
+  int noise_total = bursts * burst_length;
+  int base_total = total_queries - noise_total;
+  if (base_total < warmup + bursts) {
+    // Workload too small for the requested configuration; grow it.
+    base_total = warmup + bursts;
+    total_queries = base_total + noise_total;
+  }
+  // Base queries between bursts (after warmup), distributed evenly.
+  const int segments = bursts;  // one base gap before each burst (post warmup)
+  const int gap = std::max(1, (base_total - warmup) / segments);
+
+  std::vector<Query> out;
+  if (is_noise != nullptr) is_noise->clear();
+  auto emit = [&](const QueryDistribution& dist, int n, bool noisy) {
+    for (int i = 0; i < n; ++i) {
+      out.push_back(gen.Sample(dist));
+      if (is_noise != nullptr) is_noise->push_back(noisy);
+    }
+  };
+  emit(base, warmup, false);
+  int base_left = base_total - warmup;
+  for (int b = 0; b < bursts; ++b) {
+    emit(noise, burst_length, true);
+    const int run = (b + 1 == bursts) ? base_left : std::min(gap, base_left);
+    emit(base, run, false);
+    base_left -= run;
+  }
+  return out;
+}
+
+}  // namespace colt

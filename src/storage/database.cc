@@ -1,0 +1,87 @@
+#include "storage/database.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace colt {
+
+Status Database::MaterializeTable(TableId table, bool refresh_stats) {
+  if (table < 0 || table >= catalog_.table_count()) {
+    return Status::InvalidArgument("bad table id");
+  }
+  if (table_data_.count(table) > 0) return Status::OK();
+  // Per-table fork keeps generation deterministic regardless of the order
+  // in which tables are materialized.
+  Rng table_rng(rng_.Next() ^ (static_cast<uint64_t>(table) * 0x9e3779b9ULL));
+  TableData data = TableData::Generate(catalog_.table(table), table_rng);
+  if (refresh_stats) {
+    TableSchema& schema = catalog_.mutable_table(table);
+    for (ColumnId c = 0; c < schema.column_count(); ++c) {
+      schema.set_column_stats(c, ColumnStats::FromValues(data.column(c)));
+    }
+  }
+  table_data_.emplace(table, std::move(data));
+  return Status::OK();
+}
+
+Status Database::MaterializeAll(bool refresh_stats) {
+  for (TableId t = 0; t < catalog_.table_count(); ++t) {
+    COLT_RETURN_IF_ERROR(MaterializeTable(t, refresh_stats));
+  }
+  return Status::OK();
+}
+
+bool Database::HasData(TableId table) const {
+  return table_data_.count(table) > 0;
+}
+
+const TableData& Database::data(TableId table) const {
+  auto it = table_data_.find(table);
+  COLT_CHECK(it != table_data_.end())
+      << "table " << table << " not materialized";
+  return it->second;
+}
+
+Status Database::BuildIndex(IndexId id) {
+  if (built_indexes_.count(id) > 0) return Status::OK();
+  if (!catalog_.HasIndex(id)) {
+    return Status::NotFound("unknown index id " + std::to_string(id));
+  }
+  const IndexDescriptor& desc = catalog_.index(id);
+  if (desc.is_composite()) {
+    return Status::NotImplemented(
+        "physical builds of composite indexes are not supported; use "
+        "statistics-only mode for the multi-column extension");
+  }
+  if (!HasData(desc.column.table)) {
+    return Status::FailedPrecondition(
+        "table not materialized; cannot build " + desc.name);
+  }
+  const TableData& data = table_data_.at(desc.column.table);
+  const auto& values = data.column(desc.column.column);
+  std::vector<std::pair<int64_t, RowId>> entries;
+  entries.reserve(values.size());
+  for (size_t row = 0; row < values.size(); ++row) {
+    entries.emplace_back(values[row], static_cast<RowId>(row));
+  }
+  auto tree = std::make_unique<BTreeIndex>();
+  COLT_RETURN_IF_ERROR(tree->BulkLoad(std::move(entries)));
+  built_indexes_.emplace(id, std::move(tree));
+  return Status::OK();
+}
+
+void Database::DropIndex(IndexId id) { built_indexes_.erase(id); }
+
+bool Database::HasBuiltIndex(IndexId id) const {
+  return built_indexes_.count(id) > 0;
+}
+
+const BTreeIndex& Database::index(IndexId id) const {
+  auto it = built_indexes_.find(id);
+  COLT_CHECK(it != built_indexes_.end()) << "index " << id << " not built";
+  return *it->second;
+}
+
+}  // namespace colt

@@ -1,0 +1,68 @@
+#ifndef COLT_STORAGE_DATABASE_H_
+#define COLT_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "index/btree.h"
+#include "storage/table_data.h"
+
+namespace colt {
+
+/// A database instance: catalog plus (optionally materialized) table data
+/// and physically built B+-tree indexes.
+///
+/// Two usage modes:
+///  * statistics-only — no tuples are generated; the optimizer and the
+///    simulated executor run entirely off catalog statistics (how the
+///    paper-scale experiments run);
+///  * physical — tables are materialized and indexes are real B+-trees,
+///    used by the physical executor for validation and by the examples.
+class Database {
+ public:
+  explicit Database(Catalog catalog, uint64_t seed = 42)
+      : catalog_(std::move(catalog)), rng_(seed) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const Catalog& catalog() const { return catalog_; }
+  Catalog& mutable_catalog() { return catalog_; }
+
+  /// Generates tuples for `table` (idempotent). When `refresh_stats` is
+  /// true, replaces the analytic column statistics with exact statistics
+  /// computed from the generated data.
+  Status MaterializeTable(TableId table, bool refresh_stats = false);
+
+  /// Materializes every table. At full Table 1 scale this allocates ~750 MB;
+  /// intended for reduced-scale catalogs.
+  Status MaterializeAll(bool refresh_stats = false);
+
+  bool HasData(TableId table) const;
+  /// Requires HasData(table).
+  const TableData& data(TableId table) const;
+
+  /// Physically builds the index `id` (bulk load). Requires the owning
+  /// table to be materialized. Idempotent.
+  Status BuildIndex(IndexId id);
+
+  /// Drops the physical index; OK even if not built.
+  void DropIndex(IndexId id);
+
+  bool HasBuiltIndex(IndexId id) const;
+  /// Requires HasBuiltIndex(id).
+  const BTreeIndex& index(IndexId id) const;
+
+ private:
+  Catalog catalog_;
+  Rng rng_;
+  std::unordered_map<TableId, TableData> table_data_;
+  std::unordered_map<IndexId, std::unique_ptr<BTreeIndex>> built_indexes_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_STORAGE_DATABASE_H_

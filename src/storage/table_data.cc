@@ -1,0 +1,43 @@
+#include "storage/table_data.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace colt {
+
+TableData TableData::Generate(const TableSchema& schema, Rng& rng) {
+  TableData data;
+  data.row_count_ = schema.row_count();
+  data.columns_.resize(schema.columns().size());
+  bool pk_assigned = false;
+  for (size_t c = 0; c < schema.columns().size(); ++c) {
+    const ColumnDef& col = schema.columns()[c];
+    auto& values = data.columns_[c];
+    values.resize(data.row_count_);
+    if (!pk_assigned && col.ndv == data.row_count_ && data.row_count_ > 1) {
+      // Primary key: a shuffled permutation, so it is unique but not
+      // physically clustered (our indexes are all unclustered).
+      std::iota(values.begin(), values.end(), 0);
+      for (int64_t i = data.row_count_ - 1; i > 0; --i) {
+        const int64_t j =
+            static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(i + 1)));
+        std::swap(values[i], values[j]);
+      }
+      pk_assigned = true;
+    } else if (col.skew > 0.0) {
+      const ZipfSampler zipf(static_cast<size_t>(std::max<int64_t>(1, col.ndv)),
+                             col.skew);
+      for (auto& v : values) {
+        v = static_cast<int64_t>(zipf.Sample(rng));
+      }
+    } else {
+      const uint64_t ndv = static_cast<uint64_t>(std::max<int64_t>(1, col.ndv));
+      for (auto& v : values) {
+        v = static_cast<int64_t>(rng.NextBelow(ndv));
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace colt

@@ -1,0 +1,45 @@
+#ifndef COLT_STORAGE_TABLE_DATA_H_
+#define COLT_STORAGE_TABLE_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/rng.h"
+
+namespace colt {
+
+/// Columnar storage for one table's generated tuples. Every logical value
+/// is an int64 payload (see catalog/types.h); logical types only affect
+/// size accounting.
+class TableData {
+ public:
+  TableData() = default;
+
+  /// Generates `schema.row_count()` rows. The first column whose ndv equals
+  /// the row count is treated as the primary key and generated as a random
+  /// permutation of [0, rows); all other columns are uniform over [0, ndv).
+  static TableData Generate(const TableSchema& schema, Rng& rng);
+
+  int64_t row_count() const { return row_count_; }
+  int32_t column_count() const {
+    return static_cast<int32_t>(columns_.size());
+  }
+
+  const std::vector<int64_t>& column(ColumnId id) const {
+    return columns_[id];
+  }
+  int64_t value(ColumnId col, int64_t row) const {
+    return columns_[col][row];
+  }
+
+  bool empty() const { return row_count_ == 0; }
+
+ private:
+  int64_t row_count_ = 0;
+  std::vector<std::vector<int64_t>> columns_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_STORAGE_TABLE_DATA_H_

@@ -1,0 +1,160 @@
+#include "storage/tpch_schema.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace colt {
+
+namespace {
+
+int64_t Scaled(int64_t base, double scale) {
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(
+                                  static_cast<double>(base) * scale)));
+}
+
+ColumnDef Col(const char* name, ColumnType type, int32_t width, int64_t ndv) {
+  ColumnDef c;
+  c.name = name;
+  c.type = type;
+  c.width_bytes = width;
+  c.ndv = std::max<int64_t>(1, ndv);
+  c.indexable = true;
+  return c;
+}
+
+}  // namespace
+
+Catalog MakeTpchCatalog(const TpchOptions& options) {
+  Catalog catalog;
+  const TpchCardinalities base;
+  const double s = options.scale;
+  // Tiny dimension tables keep their fixed TPC-H cardinality; scaling them
+  // would distort the schema rather than the data volume.
+  const int64_t n_region = base.region;
+  const int64_t n_nation = base.nation;
+  const int64_t n_supplier = Scaled(base.supplier, s);
+  const int64_t n_customer = Scaled(base.customer, s);
+  const int64_t n_part = Scaled(base.part, s);
+  const int64_t n_partsupp = Scaled(base.partsupp, s);
+  const int64_t n_orders = Scaled(base.orders, s);
+  const int64_t n_lineitem = Scaled(base.lineitem, s);
+
+  for (int inst = 0; inst < options.instances; ++inst) {
+    const std::string suffix = "_" + std::to_string(inst);
+    using CT = ColumnType;
+
+    catalog.AddTable(TableSchema(
+        "region" + suffix,
+        {
+            Col("r_regionkey", CT::kInt64, 4, n_region),
+            Col("r_name", CT::kString, 25, n_region),
+            Col("r_comment", CT::kString, 100, n_region),
+        },
+        n_region));
+
+    catalog.AddTable(TableSchema(
+        "nation" + suffix,
+        {
+            Col("n_nationkey", CT::kInt64, 4, n_nation),
+            Col("n_name", CT::kString, 25, n_nation),
+            Col("n_regionkey", CT::kInt64, 4, n_region),
+            Col("n_comment", CT::kString, 100, n_nation),
+        },
+        n_nation));
+
+    catalog.AddTable(TableSchema(
+        "supplier" + suffix,
+        {
+            Col("s_suppkey", CT::kInt64, 4, n_supplier),
+            Col("s_name", CT::kString, 25, n_supplier),
+            Col("s_address", CT::kString, 40, n_supplier),
+            Col("s_nationkey", CT::kInt64, 4, n_nation),
+            Col("s_phone", CT::kString, 15, n_supplier),
+            Col("s_acctbal", CT::kDecimal, 8, n_supplier),
+            Col("s_comment", CT::kString, 80, n_supplier),
+        },
+        n_supplier));
+
+    catalog.AddTable(TableSchema(
+        "customer" + suffix,
+        {
+            Col("c_custkey", CT::kInt64, 4, n_customer),
+            Col("c_name", CT::kString, 25, n_customer),
+            Col("c_address", CT::kString, 40, n_customer),
+            Col("c_nationkey", CT::kInt64, 4, n_nation),
+            Col("c_phone", CT::kString, 15, n_customer),
+            Col("c_acctbal", CT::kDecimal, 8, n_customer / 3),
+            Col("c_mktsegment", CT::kString, 10, 5),
+            Col("c_comment", CT::kString, 100, n_customer),
+        },
+        n_customer));
+
+    catalog.AddTable(TableSchema(
+        "part" + suffix,
+        {
+            Col("p_partkey", CT::kInt64, 4, n_part),
+            Col("p_name", CT::kString, 55, n_part),
+            Col("p_mfgr", CT::kString, 25, 5),
+            Col("p_brand", CT::kString, 10, 25),
+            Col("p_type", CT::kString, 25, 150),
+            Col("p_size", CT::kInt64, 4, 50),
+            Col("p_container", CT::kString, 10, 40),
+            Col("p_retailprice", CT::kDecimal, 8, n_part / 2),
+            Col("p_comment", CT::kString, 60, n_part),
+        },
+        n_part));
+
+    catalog.AddTable(TableSchema(
+        "partsupp" + suffix,
+        {
+            Col("ps_partkey", CT::kInt64, 4, n_part),
+            Col("ps_suppkey", CT::kInt64, 4, n_supplier),
+            Col("ps_availqty", CT::kInt64, 4, 10'000),
+            Col("ps_supplycost", CT::kDecimal, 8, 10'000),
+            Col("ps_comment", CT::kString, 150, n_partsupp),
+        },
+        n_partsupp));
+
+    catalog.AddTable(TableSchema(
+        "orders" + suffix,
+        {
+            Col("o_orderkey", CT::kInt64, 4, n_orders),
+            Col("o_custkey", CT::kInt64, 4, n_customer),
+            Col("o_orderstatus", CT::kString, 1, 3),
+            Col("o_totalprice", CT::kDecimal, 8, n_orders / 2),
+            Col("o_orderdate", CT::kDate, 4, 2'406),
+            Col("o_orderpriority", CT::kString, 15, 5),
+            Col("o_clerk", CT::kString, 15, std::max<int64_t>(1, n_orders / 150)),
+            Col("o_shippriority", CT::kInt64, 4, 1),
+            Col("o_comment", CT::kString, 60, n_orders),
+        },
+        n_orders));
+
+    catalog.AddTable(TableSchema(
+        "lineitem" + suffix,
+        {
+            Col("l_orderkey", CT::kInt64, 4, n_orders),
+            Col("l_partkey", CT::kInt64, 4, n_part),
+            Col("l_suppkey", CT::kInt64, 4, n_supplier),
+            Col("l_linenumber", CT::kInt64, 4, 7),
+            Col("l_quantity", CT::kDecimal, 8, 50),
+            Col("l_extendedprice", CT::kDecimal, 8, n_lineitem / 12),
+            Col("l_discount", CT::kDecimal, 8, 11),
+            Col("l_tax", CT::kDecimal, 8, 9),
+            Col("l_returnflag", CT::kString, 1, 3),
+            Col("l_linestatus", CT::kString, 1, 2),
+            Col("l_shipdate", CT::kDate, 4, 2'526),
+            Col("l_commitdate", CT::kDate, 4, 2'466),
+            Col("l_receiptdate", CT::kDate, 4, 2'555),
+            Col("l_shipinstruct", CT::kString, 25, 4),
+            Col("l_shipmode", CT::kString, 10, 7),
+            Col("l_comment", CT::kString, 44, n_lineitem),
+        },
+        n_lineitem));
+  }
+  return catalog;
+}
+
+}  // namespace colt

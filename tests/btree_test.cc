@@ -1,0 +1,183 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace colt {
+namespace {
+
+TEST(BTree, EmptyTree) {
+  BTreeIndex tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.entry_count(), 0);
+  std::vector<RowId> out;
+  EXPECT_EQ(tree.RangeScan(0, 100, &out), 0);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTree, SingleInsertLookup) {
+  BTreeIndex tree;
+  tree.Insert(5, 100);
+  std::vector<RowId> out;
+  tree.Lookup(5, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 100);
+  out.clear();
+  tree.Lookup(6, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTree, DuplicateKeys) {
+  BTreeIndex tree(8);
+  for (RowId r = 0; r < 100; ++r) tree.Insert(7, r);
+  std::vector<RowId> out;
+  tree.Lookup(7, &out);
+  EXPECT_EQ(out.size(), 100u);
+  std::sort(out.begin(), out.end());
+  for (RowId r = 0; r < 100; ++r) EXPECT_EQ(out[r], r);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTree, BulkLoadRequiresEmpty) {
+  BTreeIndex tree;
+  tree.Insert(1, 1);
+  EXPECT_EQ(tree.BulkLoad({{2, 2}}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BTree, BulkLoadEmptyInput) {
+  BTreeIndex tree;
+  EXPECT_TRUE(tree.BulkLoad({}).ok());
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(BTree, MoveSemantics) {
+  BTreeIndex tree(8);
+  for (int i = 0; i < 100; ++i) tree.Insert(i, i);
+  BTreeIndex moved = std::move(tree);
+  EXPECT_EQ(moved.entry_count(), 100);
+  EXPECT_TRUE(moved.CheckInvariants().ok());
+  std::vector<RowId> out;
+  moved.RangeScan(10, 19, &out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(BTree, HeightGrowsLogarithmically) {
+  BTreeIndex tree(8);
+  for (int i = 0; i < 4096; ++i) tree.Insert(i, i);
+  EXPECT_GE(tree.height(), 3);
+  EXPECT_LE(tree.height(), 8);
+  EXPECT_GE(tree.leaf_count(), 4096 / 8);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTree, BulkLoadLeavesNearlyFull) {
+  BTreeIndex tree(100);
+  std::vector<std::pair<int64_t, RowId>> entries;
+  for (int i = 0; i < 10000; ++i) entries.emplace_back(i, i);
+  ASSERT_TRUE(tree.BulkLoad(std::move(entries)).ok());
+  EXPECT_EQ(tree.leaf_count(), 100);  // exactly full leaves
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+/// Differential test against std::multimap, parameterized over
+/// (fanout, operation count) to cover shallow and deep trees.
+struct DiffParam {
+  int fanout;
+  int operations;
+  uint64_t seed;
+};
+
+class BTreeDifferentialTest : public ::testing::TestWithParam<DiffParam> {};
+
+TEST_P(BTreeDifferentialTest, MatchesReferenceMultimap) {
+  const DiffParam param = GetParam();
+  BTreeIndex tree(param.fanout);
+  std::multimap<int64_t, RowId> reference;
+  Rng rng(param.seed);
+
+  for (int i = 0; i < param.operations; ++i) {
+    const int64_t key = static_cast<int64_t>(rng.NextBelow(500)) - 250;
+    tree.Insert(key, i);
+    reference.emplace(key, i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.entry_count(),
+            static_cast<int64_t>(reference.size()));
+
+  // Random range scans.
+  for (int scan = 0; scan < 50; ++scan) {
+    int64_t lo = static_cast<int64_t>(rng.NextBelow(600)) - 300;
+    int64_t hi = lo + static_cast<int64_t>(rng.NextBelow(200));
+    std::vector<RowId> got;
+    tree.RangeScan(lo, hi, &got);
+    std::vector<RowId> expected;
+    for (auto it = reference.lower_bound(lo);
+         it != reference.end() && it->first <= hi; ++it) {
+      expected.push_back(it->second);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BTreeDifferentialTest,
+    ::testing::Values(DiffParam{4, 2000, 1}, DiffParam{4, 50, 2},
+                      DiffParam{8, 3000, 3}, DiffParam{16, 5000, 4},
+                      DiffParam{64, 5000, 5}, DiffParam{128, 10000, 6},
+                      DiffParam{5, 1000, 7}, DiffParam{4, 5000, 8}));
+
+/// Bulk load and incremental insert must contain identical data.
+class BulkVsInsertTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BulkVsInsertTest, SameContents) {
+  Rng rng(GetParam() * 31 + 7);
+  std::vector<std::pair<int64_t, RowId>> entries;
+  const int n = 1 + static_cast<int>(rng.NextBelow(3000));
+  for (int i = 0; i < n; ++i) {
+    entries.emplace_back(static_cast<int64_t>(rng.NextBelow(1000)), i);
+  }
+  BTreeIndex bulk(16), incremental(16);
+  ASSERT_TRUE(bulk.BulkLoad(entries).ok());
+  for (const auto& [k, v] : entries) incremental.Insert(k, v);
+  ASSERT_TRUE(bulk.CheckInvariants().ok());
+  ASSERT_TRUE(incremental.CheckInvariants().ok());
+  EXPECT_EQ(bulk.entry_count(), incremental.entry_count());
+  std::vector<RowId> a, b;
+  bulk.RangeScan(INT64_MIN, INT64_MAX, &a);
+  incremental.RangeScan(INT64_MIN, INT64_MAX, &b);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  // Bulk-loaded leaves should be at least as densely packed.
+  EXPECT_LE(bulk.leaf_count(), incremental.leaf_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BulkVsInsertTest, ::testing::Range(0, 10));
+
+TEST(BTree, RangeScanReportsLeavesTouched) {
+  BTreeIndex tree(10);
+  std::vector<std::pair<int64_t, RowId>> entries;
+  for (int i = 0; i < 1000; ++i) entries.emplace_back(i, i);
+  ASSERT_TRUE(tree.BulkLoad(std::move(entries)).ok());
+  std::vector<RowId> out;
+  // Scanning 100 of 1000 keys at fanout 10 touches ~10-11 leaves.
+  const int64_t leaves = tree.RangeScan(500, 599, &out);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_GE(leaves, 10);
+  EXPECT_LE(leaves, 12);
+  // Point lookup touches exactly one leaf.
+  out.clear();
+  EXPECT_EQ(tree.Lookup(42, &out), 1);
+}
+
+}  // namespace
+}  // namespace colt

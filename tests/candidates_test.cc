@@ -1,0 +1,83 @@
+#include "core/candidates.h"
+
+#include <gtest/gtest.h>
+
+namespace colt {
+namespace {
+
+TEST(Candidates, EmptyInitially) {
+  CandidateSet set(12, 0.4);
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_DOUBLE_EQ(set.SmoothedBenefit(1), 0.0);
+  EXPECT_TRUE(set.All().empty());
+}
+
+TEST(Candidates, ObserveCreates) {
+  CandidateSet set(12, 0.4);
+  set.Observe(5, 100.0, 0);
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_EQ(set.size(), 1u);
+  // Before the first epoch closes, the raw in-progress sum is reported.
+  EXPECT_DOUBLE_EQ(set.SmoothedBenefit(5), 100.0);
+}
+
+TEST(Candidates, EpochFoldsIntoPerQueryAverage) {
+  CandidateSet set(12, 1.0);  // alpha 1: no smoothing
+  set.Observe(5, 100.0, 0);
+  set.Observe(5, 50.0, 0);
+  set.AdvanceEpoch(0, 10);
+  EXPECT_DOUBLE_EQ(set.SmoothedBenefit(5), 15.0);  // 150 / 10 queries
+}
+
+TEST(Candidates, SmoothingAcrossEpochs) {
+  CandidateSet set(12, 0.5);
+  set.Observe(5, 100.0, 0);
+  set.AdvanceEpoch(0, 10);  // smoothed = 10
+  // Keep observing so the candidate does not expire; epoch sum 0 halves it.
+  set.Observe(5, 0.0, 1);
+  set.AdvanceEpoch(1, 10);
+  EXPECT_DOUBLE_EQ(set.SmoothedBenefit(5), 5.0);
+}
+
+TEST(Candidates, ExpireAfterHistoryDepth) {
+  CandidateSet set(3, 0.4);
+  set.Observe(5, 10.0, 0);
+  set.AdvanceEpoch(0, 10);
+  set.AdvanceEpoch(1, 10);
+  set.AdvanceEpoch(2, 10);
+  set.AdvanceEpoch(3, 10);
+  EXPECT_TRUE(set.Contains(5));  // last seen epoch 0, 3 - 0 == depth
+  set.AdvanceEpoch(4, 10);
+  EXPECT_FALSE(set.Contains(5));
+}
+
+TEST(Candidates, RecentObservationPreventsExpiry) {
+  CandidateSet set(3, 0.4);
+  set.Observe(5, 10.0, 0);
+  for (int e = 0; e < 10; ++e) {
+    set.Observe(5, 10.0, e);
+    set.AdvanceEpoch(e, 10);
+    EXPECT_TRUE(set.Contains(5));
+  }
+}
+
+TEST(Candidates, AllSorted) {
+  CandidateSet set(12, 0.4);
+  set.Observe(9, 1.0, 0);
+  set.Observe(2, 1.0, 0);
+  set.Observe(5, 1.0, 0);
+  EXPECT_EQ(set.All(), (std::vector<IndexId>{2, 5, 9}));
+}
+
+TEST(Candidates, IndependentAccumulators) {
+  CandidateSet set(12, 1.0);
+  set.Observe(1, 100.0, 0);
+  set.Observe(2, 10.0, 0);
+  set.AdvanceEpoch(0, 10);
+  EXPECT_DOUBLE_EQ(set.SmoothedBenefit(1), 10.0);
+  EXPECT_DOUBLE_EQ(set.SmoothedBenefit(2), 1.0);
+}
+
+}  // namespace
+}  // namespace colt

@@ -1,0 +1,141 @@
+#include "core/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace colt {
+namespace {
+
+using ::colt::testing::MakeRangeQuery;
+using ::colt::testing::MakeTestCatalog;
+using ::colt::testing::Ref;
+
+class ClusteringTest : public ::testing::Test {
+ protected:
+  ClusteringTest() : catalog_(MakeTestCatalog()), clusters_(&catalog_, 3) {}
+
+  Catalog catalog_;
+  ClusterManager clusters_;
+};
+
+TEST_F(ClusteringTest, SameShapeSameCluster) {
+  // Both selective (bucket 0): b_key over [0, 10000).
+  const Query q1 = MakeRangeQuery(catalog_, "big", "b_key", 0, 9);
+  const Query q2 = MakeRangeQuery(catalog_, "big", "b_key", 5000, 5012);
+  EXPECT_EQ(clusters_.Assign(q1), clusters_.Assign(q2));
+  EXPECT_EQ(clusters_.live_cluster_count(), 1);
+}
+
+TEST_F(ClusteringTest, DifferentBucketDifferentCluster) {
+  const Query selective = MakeRangeQuery(catalog_, "big", "b_key", 0, 9);
+  const Query broad = MakeRangeQuery(catalog_, "big", "b_key", 0, 4999);
+  EXPECT_NE(clusters_.Assign(selective), clusters_.Assign(broad));
+}
+
+TEST_F(ClusteringTest, CountsAccumulate) {
+  const Query q = MakeRangeQuery(catalog_, "big", "b_key", 0, 9);
+  ClusterId id = kInvalidClusterId;
+  for (int i = 0; i < 5; ++i) id = clusters_.Assign(q);
+  EXPECT_EQ(clusters_.Count(id), 5);
+  EXPECT_EQ(clusters_.EpochCount(id), 5);
+}
+
+TEST_F(ClusteringTest, EpochAdvanceSeparatesCounts) {
+  const Query q = MakeRangeQuery(catalog_, "big", "b_key", 0, 9);
+  const ClusterId id = clusters_.Assign(q);
+  clusters_.AdvanceEpoch();
+  EXPECT_EQ(clusters_.EpochCount(id), 0);
+  EXPECT_EQ(clusters_.Count(id), 1);
+  clusters_.Assign(q);
+  EXPECT_EQ(clusters_.EpochCount(id), 1);
+  EXPECT_EQ(clusters_.Count(id), 2);
+}
+
+TEST_F(ClusteringTest, ExpiresAfterHistoryDepth) {
+  const Query q = MakeRangeQuery(catalog_, "big", "b_key", 0, 9);
+  const ClusterId id = clusters_.Assign(q);
+  // history_depth = 3: counts survive 3 advances beyond their epoch.
+  clusters_.AdvanceEpoch();
+  clusters_.AdvanceEpoch();
+  clusters_.AdvanceEpoch();
+  EXPECT_EQ(clusters_.Count(id), 1);
+  clusters_.AdvanceEpoch();
+  EXPECT_EQ(clusters_.Count(id), 0);
+  EXPECT_EQ(clusters_.live_cluster_count(), 0);
+  // Re-assigning creates a new cluster id (old state gone).
+  const ClusterId id2 = clusters_.Assign(q);
+  EXPECT_NE(id2, id);
+}
+
+TEST_F(ClusteringTest, RelevantColumnsIncludeSelectionsAndJoins) {
+  Query join({0, 1},
+             {JoinPredicate{Ref(catalog_, "big", "b_key"),
+                            Ref(catalog_, "small", "s_ref")}},
+             {SelectionPredicate{Ref(catalog_, "big", "b_val"), 0, 9}});
+  const ClusterId id = clusters_.Assign(join);
+  const auto& cols = clusters_.RelevantColumns(id);
+  EXPECT_EQ(cols.size(), 3u);
+  EXPECT_TRUE(std::binary_search(cols.begin(), cols.end(),
+                                 Ref(catalog_, "big", "b_key")));
+  EXPECT_TRUE(std::binary_search(cols.begin(), cols.end(),
+                                 Ref(catalog_, "big", "b_val")));
+  EXPECT_TRUE(std::binary_search(cols.begin(), cols.end(),
+                                 Ref(catalog_, "small", "s_ref")));
+}
+
+TEST_F(ClusteringTest, ActiveThisEpochOnlyCurrent) {
+  const Query q1 = MakeRangeQuery(catalog_, "big", "b_key", 0, 9);
+  const Query q2 = MakeRangeQuery(catalog_, "small", "s_val", 0, 0);
+  const ClusterId id1 = clusters_.Assign(q1);
+  clusters_.AdvanceEpoch();
+  const ClusterId id2 = clusters_.Assign(q2);
+  const auto active = clusters_.ActiveThisEpoch();
+  EXPECT_EQ(active, (std::vector<ClusterId>{id2}));
+  const auto live = clusters_.LiveClusters();
+  EXPECT_EQ(live.size(), 2u);
+  (void)id1;
+}
+
+TEST_F(ClusteringTest, WindowRateAveragesOverWindow) {
+  const Query q = MakeRangeQuery(catalog_, "big", "b_key", 0, 9);
+  ClusterId id = kInvalidClusterId;
+  // Epoch 1: 4 occurrences.
+  for (int i = 0; i < 4; ++i) id = clusters_.Assign(q);
+  EXPECT_DOUBLE_EQ(clusters_.WindowRate(id), 4.0);  // 4 over 1 epoch
+  clusters_.AdvanceEpoch();
+  // Epoch 2: 2 occurrences -> 6 over 2 epochs.
+  clusters_.Assign(q);
+  clusters_.Assign(q);
+  EXPECT_DOUBLE_EQ(clusters_.WindowRate(id), 3.0);
+  clusters_.AdvanceEpoch();
+  clusters_.AdvanceEpoch();
+  // 6 occurrences over min(h=3, epochs=4) = 3 epochs.
+  EXPECT_DOUBLE_EQ(clusters_.WindowRate(id), 2.0);
+}
+
+TEST_F(ClusteringTest, SignatureAccessible) {
+  const Query q = MakeRangeQuery(catalog_, "big", "b_key", 0, 9);
+  const ClusterId id = clusters_.Assign(q);
+  const QuerySignature& sig = clusters_.signature(id);
+  EXPECT_EQ(sig.tables, (std::vector<TableId>{0}));
+  ASSERT_EQ(sig.selections.size(), 1u);
+  EXPECT_EQ(sig.selections[0].second, 0);  // selective bucket
+}
+
+TEST_F(ClusteringTest, ManyDistinctShapesBounded) {
+  // w*h bound sanity: distinct shapes create distinct clusters.
+  int created = 0;
+  for (int width : {1, 10, 5000}) {
+    for (const char* col : {"b_key", "b_val", "b_cat"}) {
+      Query q = MakeRangeQuery(catalog_, "big", col, 0, width);
+      clusters_.Assign(q);
+      ++created;
+    }
+  }
+  EXPECT_LE(clusters_.live_cluster_count(), created);
+  EXPECT_GE(clusters_.live_cluster_count(), 5);
+}
+
+}  // namespace
+}  // namespace colt

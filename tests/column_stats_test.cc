@@ -1,0 +1,201 @@
+#include "catalog/column_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace colt {
+namespace {
+
+TEST(ColumnStats, EmptyValues) {
+  const ColumnStats stats = ColumnStats::FromValues({});
+  EXPECT_TRUE(stats.empty());
+  EXPECT_DOUBLE_EQ(stats.EqualitySelectivity(5), 0.0);
+  EXPECT_DOUBLE_EQ(stats.RangeSelectivity(0, 10), 0.0);
+}
+
+TEST(ColumnStats, BasicProperties) {
+  const ColumnStats stats = ColumnStats::FromValues({1, 2, 2, 3, 7});
+  EXPECT_EQ(stats.row_count(), 5);
+  EXPECT_EQ(stats.ndv(), 4);
+  EXPECT_EQ(stats.min_value(), 1);
+  EXPECT_EQ(stats.max_value(), 7);
+}
+
+TEST(ColumnStats, EqualitySelectivityIsOneOverNdv) {
+  const ColumnStats stats = ColumnStats::FromValues({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(stats.EqualitySelectivity(2), 0.25);
+  EXPECT_DOUBLE_EQ(stats.EqualitySelectivity(9), 0.0);  // out of range
+}
+
+TEST(ColumnStats, FullRangeIsOne) {
+  const ColumnStats stats = ColumnStats::Uniform(100, 1000);
+  EXPECT_NEAR(stats.RangeSelectivity(0, 99), 1.0, 1e-9);
+  EXPECT_NEAR(stats.RangeSelectivity(INT64_MIN, INT64_MAX), 1.0, 1e-9);
+}
+
+TEST(ColumnStats, EmptyRange) {
+  const ColumnStats stats = ColumnStats::Uniform(100, 1000);
+  EXPECT_DOUBLE_EQ(stats.RangeSelectivity(10, 5), 0.0);
+  EXPECT_DOUBLE_EQ(stats.RangeSelectivity(200, 300), 0.0);
+}
+
+TEST(ColumnStats, UniformRangeProportional) {
+  const ColumnStats stats = ColumnStats::Uniform(1000, 100'000);
+  EXPECT_NEAR(stats.RangeSelectivity(0, 99), 0.1, 0.01);
+  EXPECT_NEAR(stats.RangeSelectivity(500, 549), 0.05, 0.01);
+}
+
+TEST(ColumnStats, RangeMonotoneInWidth) {
+  const ColumnStats stats = ColumnStats::Uniform(1000, 10'000);
+  double prev = 0.0;
+  for (int64_t hi = 0; hi < 1000; hi += 50) {
+    const double sel = stats.RangeSelectivity(0, hi);
+    EXPECT_GE(sel, prev);
+    prev = sel;
+  }
+}
+
+/// Property: histogram-estimated range selectivity tracks the exact
+/// fraction on generated data, for several distributions.
+class HistogramAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramAccuracyTest, EstimateTracksExactFraction) {
+  Rng rng(GetParam());
+  std::vector<int64_t> values;
+  const int n = 20'000;
+  const int64_t domain = 1'000;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextBelow(domain)));
+  }
+  const ColumnStats stats = ColumnStats::FromValues(values, 64);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t lo = static_cast<int64_t>(rng.NextBelow(domain));
+    const int64_t hi =
+        lo + static_cast<int64_t>(rng.NextBelow(domain - lo) + 1);
+    const double estimated = stats.RangeSelectivity(lo, hi);
+    const double exact =
+        static_cast<double>(std::count_if(values.begin(), values.end(),
+                                          [&](int64_t v) {
+                                            return v >= lo && v <= hi;
+                                          })) /
+        n;
+    EXPECT_NEAR(estimated, exact, 0.03)
+        << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ColumnStats, UniformMatchesFromValuesShape) {
+  Rng rng(77);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 50'000; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextBelow(500)));
+  }
+  const ColumnStats exact = ColumnStats::FromValues(values);
+  const ColumnStats analytic = ColumnStats::Uniform(500, 50'000);
+  for (int64_t lo = 0; lo < 500; lo += 100) {
+    EXPECT_NEAR(exact.RangeSelectivity(lo, lo + 49),
+                analytic.RangeSelectivity(lo, lo + 49), 0.02);
+  }
+}
+
+TEST(ColumnStats, NdvCappedByRowCount) {
+  const ColumnStats stats = ColumnStats::Uniform(1'000'000, 10);
+  EXPECT_EQ(stats.ndv(), 10);
+}
+
+
+// ---- Equi-depth histograms ----
+
+TEST(EquiDepth, BucketsApproximatelyEqual) {
+  Rng rng(99);
+  std::vector<int64_t> values;
+  ZipfSampler zipf(1000, 1.2);
+  for (int i = 0; i < 30'000; ++i) {
+    values.push_back(static_cast<int64_t>(zipf.Sample(rng)));
+  }
+  const ColumnStats stats =
+      ColumnStats::FromValues(values, 32, HistogramType::kEquiDepth);
+  EXPECT_EQ(stats.histogram_type(), HistogramType::kEquiDepth);
+  EXPECT_GE(stats.bucket_count(), 2);
+  EXPECT_LE(stats.bucket_count(), 40);
+}
+
+TEST(EquiDepth, FullRangeIsOne) {
+  Rng rng(7);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 5'000; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextBelow(100)));
+  }
+  const ColumnStats stats =
+      ColumnStats::FromValues(values, 16, HistogramType::kEquiDepth);
+  EXPECT_NEAR(stats.RangeSelectivity(INT64_MIN, INT64_MAX), 1.0, 1e-9);
+  EXPECT_NEAR(stats.RangeSelectivity(0, 99), 1.0, 1e-9);
+}
+
+/// On heavily skewed data, equi-depth estimates beat equi-width where the
+/// head of the distribution is concerned.
+class SkewAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SkewAccuracyTest, EquiDepthMoreAccurateOnSkewedData) {
+  Rng rng(42);
+  ZipfSampler zipf(10'000, GetParam());
+  std::vector<int64_t> values;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(static_cast<int64_t>(zipf.Sample(rng)));
+  }
+  const ColumnStats width =
+      ColumnStats::FromValues(values, 32, HistogramType::kEquiWidth);
+  const ColumnStats depth =
+      ColumnStats::FromValues(values, 32, HistogramType::kEquiDepth);
+  double width_err = 0.0, depth_err = 0.0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const int64_t lo = static_cast<int64_t>(rng.NextBelow(200));
+    const int64_t hi = lo + static_cast<int64_t>(rng.NextBelow(100));
+    const double exact =
+        static_cast<double>(std::count_if(values.begin(), values.end(),
+                                          [&](int64_t v) {
+                                            return v >= lo && v <= hi;
+                                          })) /
+        n;
+    width_err += std::abs(width.RangeSelectivity(lo, hi) - exact);
+    depth_err += std::abs(depth.RangeSelectivity(lo, hi) - exact);
+  }
+  EXPECT_LT(depth_err, width_err);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, SkewAccuracyTest,
+                         ::testing::Values(1.0, 1.2, 1.5));
+
+TEST(EquiDepth, SingleValueColumn) {
+  const ColumnStats stats = ColumnStats::FromValues(
+      std::vector<int64_t>(100, 7), 8, HistogramType::kEquiDepth);
+  EXPECT_DOUBLE_EQ(stats.RangeSelectivity(7, 7), 1.0);
+  EXPECT_DOUBLE_EQ(stats.RangeSelectivity(8, 9), 0.0);
+}
+
+TEST(EquiDepth, MatchesEquiWidthOnUniformData) {
+  Rng rng(5);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20'000; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextBelow(1'000)));
+  }
+  const ColumnStats width =
+      ColumnStats::FromValues(values, 32, HistogramType::kEquiWidth);
+  const ColumnStats depth =
+      ColumnStats::FromValues(values, 32, HistogramType::kEquiDepth);
+  for (int64_t lo = 0; lo < 1'000; lo += 130) {
+    EXPECT_NEAR(width.RangeSelectivity(lo, lo + 57),
+                depth.RangeSelectivity(lo, lo + 57), 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace colt

@@ -1,0 +1,150 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace colt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowUnbiasedSmallModulus) {
+  Rng rng(9);
+  std::vector<int> counts(7, 0);
+  const int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBelow(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 7.0, 5.0 * std::sqrt(kDraws / 7.0));
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextBoolRespectsProbability) {
+  Rng rng(13);
+  int heads = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) heads += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sumsq = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.01);
+  EXPECT_NEAR(sumsq / kDraws, 1.0, 0.02);
+}
+
+TEST(Rng, WeightedSamplingProportions) {
+  Rng rng(19);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.6, 0.01);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // The fork must not replay the parent's stream.
+  Rng parent2(23);
+  parent2.Next();  // align with the state after Fork()
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.Next() == parent2.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, RanksAreMonotoneAndInRange) {
+  const double skew = GetParam();
+  const size_t n = 50;
+  ZipfSampler zipf(n, skew);
+  Rng rng(29);
+  std::vector<int64_t> counts(n, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const size_t k = zipf.Sample(rng);
+    ASSERT_LT(k, n);
+    ++counts[k];
+  }
+  // Head should dominate tail for skewed distributions.
+  if (skew >= 0.8) {
+    EXPECT_GT(counts[0], counts[n - 1] * 4);
+  }
+  // Frequencies should roughly follow 1/rank^s: check the first few ranks
+  // are non-increasing within noise.
+  for (size_t k = 0; k + 1 < 5; ++k) {
+    EXPECT_GE(counts[k] + 5 * std::sqrt(static_cast<double>(counts[k]) + 1),
+              counts[k + 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfTest,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.5));
+
+TEST(Zipf, MatchesTheoreticalHeadProbability) {
+  const size_t n = 100;
+  const double s = 1.0 + 1e-9;
+  ZipfSampler zipf(n, s);
+  Rng rng(31);
+  int head = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) head += (zipf.Sample(rng) == 0) ? 1 : 0;
+  double harmonic = 0;
+  for (size_t k = 1; k <= n; ++k) harmonic += 1.0 / k;
+  EXPECT_NEAR(head / static_cast<double>(kDraws), 1.0 / harmonic, 0.01);
+}
+
+}  // namespace
+}  // namespace colt

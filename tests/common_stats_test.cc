@@ -1,0 +1,263 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace colt {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.Add(42.0);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  Rng rng(7);
+  std::vector<double> values;
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextGaussian() * 3.0 + 10.0;
+    values.push_back(x);
+    stats.Add(x);
+  }
+  const double mean =
+      std::accumulate(values.begin(), values.end(), 0.0) / values.size();
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  const double var = ss / (values.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 1e-9);
+}
+
+TEST(RunningStats, MergeEquivalentToSequential) {
+  Rng rng(13);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.NextDouble() * 100.0;
+    (i % 3 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats copy = a;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), copy.count());
+  EXPECT_DOUBLE_EQ(a.mean(), copy.mean());
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats stats;
+  stats.Add(5.0);
+  stats.Reset();
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+}
+
+TEST(InverseNormalCdf, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.95), 1.644854, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.841344746), 0.999998, 1e-4);
+}
+
+TEST(StudentTCritical, MatchesTables) {
+  // Two-sided 90% / 95% critical values from standard t tables.
+  EXPECT_NEAR(StudentTCritical(0.90, 1), 6.3138, 1e-3);
+  EXPECT_NEAR(StudentTCritical(0.90, 2), 2.9200, 1e-3);
+  EXPECT_NEAR(StudentTCritical(0.90, 5), 2.0150, 5e-3);
+  EXPECT_NEAR(StudentTCritical(0.90, 10), 1.8125, 5e-3);
+  EXPECT_NEAR(StudentTCritical(0.90, 30), 1.6973, 5e-3);
+  EXPECT_NEAR(StudentTCritical(0.95, 10), 2.2281, 5e-3);
+  EXPECT_NEAR(StudentTCritical(0.95, 1), 12.7062, 1e-2);
+  EXPECT_NEAR(StudentTCritical(0.99, 2), 9.9248, 1e-2);
+}
+
+TEST(StudentTCritical, DecreasesWithDf) {
+  for (int64_t df = 1; df < 100; ++df) {
+    EXPECT_GE(StudentTCritical(0.90, df), StudentTCritical(0.90, df + 1));
+  }
+}
+
+TEST(StudentTCritical, ApproachesNormal) {
+  EXPECT_NEAR(StudentTCritical(0.90, 100000), InverseNormalCdf(0.95), 1e-3);
+}
+
+TEST(MeanConfidenceInterval, WideWhenUnknown) {
+  RunningStats stats;
+  stats.Add(5.0);
+  const ConfidenceInterval ci = MeanConfidenceInterval(stats, 0.90);
+  EXPECT_LE(ci.low, 5.0 - kUnknownHalfWidth / 2);
+  EXPECT_GE(ci.high, 5.0 + kUnknownHalfWidth / 2);
+}
+
+TEST(MeanConfidenceInterval, ShrinksWithSamples) {
+  Rng rng(3);
+  RunningStats stats;
+  double prev_width = 1e30;
+  for (int n : {10, 100, 1000}) {
+    stats.Reset();
+    Rng local(3);
+    for (int i = 0; i < n; ++i) stats.Add(local.NextGaussian());
+    const ConfidenceInterval ci = MeanConfidenceInterval(stats, 0.90);
+    EXPECT_LT(ci.width(), prev_width);
+    prev_width = ci.width();
+  }
+}
+
+/// Property: a 90% Student-t interval covers the true mean roughly 90% of
+/// the time. Parameterized over sample size.
+class CoverageTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverageTest, CoversTrueMeanAtNominalRate) {
+  const int n = GetParam();
+  const double kTrueMean = 5.0;
+  Rng rng(42 + n);
+  int covered = 0;
+  const int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    RunningStats stats;
+    for (int i = 0; i < n; ++i) {
+      stats.Add(kTrueMean + 2.0 * rng.NextGaussian());
+    }
+    if (MeanConfidenceInterval(stats, 0.90).Contains(kTrueMean)) ++covered;
+  }
+  const double rate = static_cast<double>(covered) / kTrials;
+  EXPECT_GT(rate, 0.86);
+  EXPECT_LT(rate, 0.94);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, CoverageTest,
+                         ::testing::Values(3, 5, 10, 30, 100));
+
+// ---- Exponential smoothing ----
+
+TEST(ExponentialSmoother, FirstValuePassesThrough) {
+  ExponentialSmoother s(0.3);
+  EXPECT_FALSE(s.initialized());
+  EXPECT_DOUBLE_EQ(s.Update(10.0), 10.0);
+  EXPECT_TRUE(s.initialized());
+}
+
+TEST(ExponentialSmoother, ConvergesToConstant) {
+  ExponentialSmoother s(0.5);
+  for (int i = 0; i < 50; ++i) s.Update(7.0);
+  EXPECT_NEAR(s.value(), 7.0, 1e-9);
+}
+
+TEST(ExponentialSmoother, RespectsAlpha) {
+  ExponentialSmoother s(0.25);
+  s.Update(0.0);
+  s.Update(8.0);
+  EXPECT_DOUBLE_EQ(s.value(), 2.0);
+}
+
+// ---- Two-means split ----
+
+/// Brute-force reference: try all thresholds, minimize within-cluster SS.
+double BruteForceTwoMeansSS(std::vector<double> values, size_t* top_count) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  double best = 1e300;
+  *top_count = n;
+  auto ss = [&](size_t lo, size_t hi) {
+    if (hi <= lo) return 0.0;
+    double mean = 0;
+    for (size_t i = lo; i < hi; ++i) mean += values[i];
+    mean /= (hi - lo);
+    double out = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      out += (values[i] - mean) * (values[i] - mean);
+    }
+    return out;
+  };
+  bool found = false;
+  for (size_t k = 1; k < n; ++k) {
+    if (values[k] == values[k - 1]) continue;
+    const double total = ss(0, k) + ss(k, n);
+    if (total < best) {
+      best = total;
+      *top_count = n - k;
+      found = true;
+    }
+  }
+  if (!found) {
+    best = 0.0;
+    *top_count = n;
+  }
+  return best;
+}
+
+TEST(TwoMeansSplit, ObviousBimodal) {
+  const TwoMeansSplit split =
+      ComputeTwoMeansSplit({1.0, 1.1, 0.9, 100.0, 101.0, 99.5});
+  EXPECT_EQ(split.top_count, 3u);
+  EXPECT_GT(split.threshold, 1.1);
+  EXPECT_LE(split.threshold, 99.5);
+}
+
+TEST(TwoMeansSplit, SingleValue) {
+  const TwoMeansSplit split = ComputeTwoMeansSplit({5.0});
+  EXPECT_EQ(split.top_count, 1u);
+  EXPECT_DOUBLE_EQ(split.threshold, 5.0);
+}
+
+TEST(TwoMeansSplit, AllIdentical) {
+  const TwoMeansSplit split = ComputeTwoMeansSplit({2.0, 2.0, 2.0});
+  EXPECT_EQ(split.top_count, 3u);
+  EXPECT_DOUBLE_EQ(split.within_ss, 0.0);
+}
+
+class TwoMeansRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoMeansRandomTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.NextBelow(40));
+  std::vector<double> values;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(std::round(rng.NextDouble() * 100.0) / 10.0);
+  }
+  size_t brute_top = 0;
+  const double brute_ss = BruteForceTwoMeansSS(values, &brute_top);
+  const TwoMeansSplit split = ComputeTwoMeansSplit(values);
+  EXPECT_NEAR(split.within_ss, brute_ss, 1e-6);
+  // Verify the reported threshold realizes the reported top_count.
+  size_t above = 0;
+  for (double v : values) {
+    if (v >= split.threshold) ++above;
+  }
+  EXPECT_EQ(above, split.top_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoMeansRandomTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace colt

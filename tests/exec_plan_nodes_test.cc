@@ -1,0 +1,186 @@
+/// Direct executor tests over hand-built plan trees, covering operator
+/// paths the optimizer rarely selects (plain nested-loop join, empty
+/// inputs, stacked filters) plus failure modes.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "test_util.h"
+
+namespace colt {
+namespace {
+
+using ::colt::testing::Ref;
+
+class PlanNodeExecTest : public ::testing::Test {
+ protected:
+  PlanNodeExecTest() : db_(MakeTinyCatalog(), 5) {
+    EXPECT_TRUE(db_.MaterializeAll(/*refresh_stats=*/true).ok());
+    left_key_ = Ref(db_.catalog(), "left", "l_key");
+    left_val_ = Ref(db_.catalog(), "left", "l_val");
+    right_ref_ = Ref(db_.catalog(), "right", "r_ref");
+    auto desc = db_.mutable_catalog().IndexOn(right_ref_);
+    right_index_ = desc->id;
+    EXPECT_TRUE(db_.BuildIndex(right_index_).ok());
+  }
+
+  static Catalog MakeTinyCatalog() {
+    Catalog catalog;
+    catalog.AddTable(TableSchema("left",
+                                 {
+                                     {"l_key", ColumnType::kInt64, 8, 20},
+                                     {"l_val", ColumnType::kInt64, 8, 5},
+                                 },
+                                 200));
+    catalog.AddTable(TableSchema("right",
+                                 {
+                                     {"r_ref", ColumnType::kInt64, 8, 20},
+                                     {"r_val", ColumnType::kInt64, 8, 3},
+                                 },
+                                 100));
+    return catalog;
+  }
+
+  std::unique_ptr<PlanNode> SeqScan(const std::string& table,
+                                    std::vector<SelectionPredicate> filters) {
+    auto node = std::make_unique<PlanNode>();
+    node->type = PlanNodeType::kSeqScan;
+    node->table = db_.catalog().FindTable(table);
+    node->filter_predicates = std::move(filters);
+    return node;
+  }
+
+  int64_t CountJoinMatches(int64_t left_val_filter) {
+    // Reference: hash join computed by hand.
+    const TableData& left = db_.data(0);
+    const TableData& right = db_.data(1);
+    int64_t count = 0;
+    for (RowId l = 0; l < left.row_count(); ++l) {
+      if (left_val_filter >= 0 && left.value(1, l) != left_val_filter) {
+        continue;
+      }
+      for (RowId r = 0; r < right.row_count(); ++r) {
+        if (left.value(0, l) == right.value(0, r)) ++count;
+      }
+    }
+    return count;
+  }
+
+  Database db_;
+  ColumnRef left_key_, left_val_, right_ref_;
+  IndexId right_index_ = kInvalidIndexId;
+};
+
+TEST_F(PlanNodeExecTest, NestLoopJoinMatchesReference) {
+  auto join = std::make_unique<PlanNode>();
+  join->type = PlanNodeType::kNestLoopJoin;
+  join->join_predicate = JoinPredicate{left_key_, right_ref_};
+  join->left = SeqScan("left", {});
+  join->right = SeqScan("right", {});
+  Executor executor(&db_);
+  auto result = executor.Execute(*join);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->output_rows, CountJoinMatches(-1));
+}
+
+TEST_F(PlanNodeExecTest, NestLoopEqualsHashJoin) {
+  for (auto type : {PlanNodeType::kNestLoopJoin, PlanNodeType::kHashJoin}) {
+    auto join = std::make_unique<PlanNode>();
+    join->type = type;
+    join->join_predicate = JoinPredicate{left_key_, right_ref_};
+    join->left = SeqScan("left", {SelectionPredicate{left_val_, 2, 2}});
+    join->right = SeqScan("right", {});
+    Executor executor(&db_);
+    auto result = executor.Execute(*join);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->output_rows, CountJoinMatches(2))
+        << PlanNodeTypeName(type);
+  }
+}
+
+TEST_F(PlanNodeExecTest, IndexNLJoinMatchesReference) {
+  auto join = std::make_unique<PlanNode>();
+  join->type = PlanNodeType::kIndexNLJoin;
+  join->join_predicate = JoinPredicate{left_key_, right_ref_};
+  join->left = SeqScan("left", {SelectionPredicate{left_val_, 1, 1}});
+  join->table = db_.catalog().FindTable("right");
+  join->index_id = right_index_;
+  Executor executor(&db_);
+  auto result = executor.Execute(*join);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->output_rows, CountJoinMatches(1));
+  EXPECT_GT(result->pages_index, 0);
+}
+
+TEST_F(PlanNodeExecTest, EmptyFilterProducesEmptyJoin) {
+  auto join = std::make_unique<PlanNode>();
+  join->type = PlanNodeType::kHashJoin;
+  join->join_predicate = JoinPredicate{left_key_, right_ref_};
+  // l_val is uniform over [0, 5); value 99 never occurs.
+  join->left = SeqScan("left", {SelectionPredicate{left_val_, 99, 99}});
+  join->right = SeqScan("right", {});
+  Executor executor(&db_);
+  auto result = executor.Execute(*join);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output_rows, 0);
+}
+
+TEST_F(PlanNodeExecTest, StackedFiltersConjunctive) {
+  Executor executor(&db_);
+  auto scan = SeqScan("left", {SelectionPredicate{left_val_, 1, 2},
+                               SelectionPredicate{left_key_, 0, 9}});
+  auto result = executor.Execute(*scan);
+  ASSERT_TRUE(result.ok());
+  const TableData& left = db_.data(0);
+  int64_t expected = 0;
+  for (RowId r = 0; r < left.row_count(); ++r) {
+    if (left.value(1, r) >= 1 && left.value(1, r) <= 2 &&
+        left.value(0, r) <= 9) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(result->output_rows, expected);
+}
+
+TEST_F(PlanNodeExecTest, SeqScanOnUnmaterializedTableFails) {
+  Database empty(MakeTinyCatalog(), 5);  // no MaterializeAll
+  Executor executor(&empty);
+  auto scan = std::make_unique<PlanNode>();
+  scan->type = PlanNodeType::kSeqScan;
+  scan->table = 0;
+  EXPECT_EQ(executor.Execute(*scan).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PlanNodeExecTest, IndexScanRespectsResidualFilters) {
+  // Build an index on left.l_key and scan [0, 4] with residual l_val = 0.
+  auto desc = db_.mutable_catalog().IndexOn(left_key_);
+  ASSERT_TRUE(desc.ok());
+  ASSERT_TRUE(db_.BuildIndex(desc->id).ok());
+  auto scan = std::make_unique<PlanNode>();
+  scan->type = PlanNodeType::kIndexScan;
+  scan->table = 0;
+  scan->index_id = desc->id;
+  scan->index_predicate = SelectionPredicate{left_key_, 0, 4};
+  scan->filter_predicates = {SelectionPredicate{left_val_, 0, 0}};
+  Executor executor(&db_);
+  auto result = executor.Execute(*scan);
+  ASSERT_TRUE(result.ok());
+  const TableData& left = db_.data(0);
+  int64_t expected = 0;
+  for (RowId r = 0; r < left.row_count(); ++r) {
+    if (left.value(0, r) <= 4 && left.value(1, r) == 0) ++expected;
+  }
+  EXPECT_EQ(result->output_rows, expected);
+}
+
+TEST_F(PlanNodeExecTest, TuplesProcessedAccumulates) {
+  Executor executor(&db_);
+  auto scan = SeqScan("left", {});
+  auto result = executor.Execute(*scan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples_processed, 200);
+  EXPECT_EQ(result->output_rows, 200);
+}
+
+}  // namespace
+}  // namespace colt

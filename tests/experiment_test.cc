@@ -1,0 +1,111 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/workloads.h"
+#include "storage/tpch_schema.h"
+#include "test_util.h"
+
+namespace colt {
+namespace {
+
+TEST(BucketTotals, SumsFixedBuckets) {
+  const std::vector<double> values = {1, 2, 3, 4, 5, 6, 7};
+  const std::vector<double> buckets = BucketTotals(values, 3);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0], 6.0);
+  EXPECT_DOUBLE_EQ(buckets[1], 15.0);
+  EXPECT_DOUBLE_EQ(buckets[2], 7.0);  // partial
+}
+
+TEST(BucketTotals, EmptyInput) {
+  EXPECT_TRUE(BucketTotals({}, 10).empty());
+}
+
+TEST(BudgetForIndexes, TargetFitTimesMeanSize) {
+  Catalog catalog = testing::MakeTestCatalog();
+  const IndexId a =
+      catalog.IndexOn(testing::Ref(catalog, "big", "b_key"))->id;
+  const IndexId b =
+      catalog.IndexOn(testing::Ref(catalog, "small", "s_val"))->id;
+  const int64_t budget = BudgetForIndexes(catalog, {a, b}, 2.0);
+  const int64_t mean =
+      (catalog.index(a).size_bytes + catalog.index(b).size_bytes) / 2;
+  EXPECT_NEAR(static_cast<double>(budget), 2.0 * mean, 2.0);
+  EXPECT_EQ(BudgetForIndexes(catalog, {}, 2.0), 0);
+}
+
+/// Small end-to-end smoke: on a stable focused workload (reduced catalog),
+/// COLT converges near OFFLINE's cost while respecting budgets.
+TEST(ExperimentIntegration, ColtApproachesOfflineOnStableWorkload) {
+  TpchOptions options;
+  options.instances = 1;
+  options.scale = 0.05;
+  Catalog catalog = MakeTpchCatalog(options);
+  const QueryDistribution dist = ExperimentWorkloads::Focused(&catalog, 0);
+  WorkloadGenerator gen(&catalog, 7);
+  std::vector<Query> workload;
+  for (int i = 0; i < 400; ++i) workload.push_back(gen.Sample(dist));
+
+  QueryOptimizer probe(&catalog);
+  OfflineTuner miner(&catalog, &probe);
+  auto relevant = miner.MineRelevantIndexes(workload);
+  ASSERT_TRUE(relevant.ok());
+  const int64_t budget = BudgetForIndexes(catalog, relevant.value(), 4.0);
+
+  ColtConfig config;
+  config.storage_budget_bytes = budget;
+  const ColtRunResult colt_run = RunColtWorkload(&catalog, workload, config);
+  auto offline = RunOfflineWorkload(&catalog, workload, workload, budget);
+  ASSERT_TRUE(offline.ok());
+
+  // Tail cost (post warm-up) within 35% of the clairvoyant optimum.
+  double colt_tail = 0, off_tail = 0;
+  for (size_t i = 200; i < workload.size(); ++i) {
+    colt_tail += colt_run.per_query[i].total();
+    off_tail += offline->per_query_seconds[i];
+  }
+  EXPECT_LT(colt_tail, off_tail * 1.35);
+  // Budgets respected.
+  for (const auto& e : colt_run.epochs) {
+    EXPECT_LE(e.materialized_bytes, budget);
+    EXPECT_LE(e.whatif_used, config.max_whatif_per_epoch);
+  }
+  EXPECT_FALSE(colt_run.final_materialized.empty());
+}
+
+TEST(ExperimentIntegration, OfflineRunIsConsistent) {
+  TpchOptions options;
+  options.instances = 1;
+  options.scale = 0.02;
+  Catalog catalog = MakeTpchCatalog(options);
+  const QueryDistribution dist = ExperimentWorkloads::Focused(&catalog, 0);
+  WorkloadGenerator gen(&catalog, 11);
+  std::vector<Query> workload;
+  for (int i = 0; i < 100; ++i) workload.push_back(gen.Sample(dist));
+  auto offline = RunOfflineWorkload(&catalog, workload, workload, 1LL << 30);
+  ASSERT_TRUE(offline.ok());
+  EXPECT_EQ(offline->per_query_seconds.size(), workload.size());
+  double total = 0;
+  for (double s : offline->per_query_seconds) {
+    EXPECT_GT(s, 0.0);
+    total += s;
+  }
+  EXPECT_NEAR(total, offline->total_seconds, 1e-9);
+  // Tuned configuration no worse than empty.
+  EXPECT_LE(offline->tuning.total_cost, offline->tuning.base_cost);
+}
+
+TEST(ExperimentIntegration, PerQueryTotalsAddComponents) {
+  ColtRunResult run;
+  run.per_query.push_back({1.0, 0.25, 0.5});
+  run.per_query.push_back({2.0, 0.0, 0.0});
+  const auto totals = PerQueryTotals(run);
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_DOUBLE_EQ(totals[0], 1.75);
+  EXPECT_DOUBLE_EQ(totals[1], 2.0);
+  EXPECT_DOUBLE_EQ(run.total_seconds(), 3.75);
+}
+
+}  // namespace
+}  // namespace colt

@@ -1,0 +1,130 @@
+#include "core/forecasting.h"
+
+#include <gtest/gtest.h>
+
+namespace colt {
+namespace {
+
+TEST(Forecaster, UnknownIndexIsZero) {
+  BenefitForecaster forecaster(12);
+  EXPECT_DOUBLE_EQ(forecaster.PredBenefit(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(forecaster.TotalPredictedBenefit(1), 0.0);
+  EXPECT_EQ(forecaster.HistoryLength(1), 0);
+  EXPECT_EQ(forecaster.History(1), nullptr);
+}
+
+TEST(Forecaster, SingleEpochZeroPadded) {
+  BenefitForecaster forecaster(4);
+  forecaster.RecordEpoch(1, 100.0);
+  // PredBenefit_j = sum(last min(j, len)) / j — missing epochs count as 0.
+  EXPECT_DOUBLE_EQ(forecaster.PredBenefit(1, 1), 100.0);
+  EXPECT_DOUBLE_EQ(forecaster.PredBenefit(1, 2), 50.0);
+  EXPECT_DOUBLE_EQ(forecaster.PredBenefit(1, 4), 25.0);
+  EXPECT_DOUBLE_EQ(forecaster.TotalPredictedBenefit(1),
+                   100.0 + 50.0 + 100.0 / 3 + 25.0);
+}
+
+TEST(Forecaster, FullHistoryAverages) {
+  BenefitForecaster forecaster(3);
+  forecaster.RecordEpoch(1, 30.0);  // oldest
+  forecaster.RecordEpoch(1, 20.0);
+  forecaster.RecordEpoch(1, 10.0);  // newest
+  EXPECT_DOUBLE_EQ(forecaster.PredBenefit(1, 1), 10.0);
+  EXPECT_DOUBLE_EQ(forecaster.PredBenefit(1, 2), 15.0);
+  EXPECT_DOUBLE_EQ(forecaster.PredBenefit(1, 3), 20.0);
+  EXPECT_DOUBLE_EQ(forecaster.TotalPredictedBenefit(1), 45.0);
+}
+
+TEST(Forecaster, HistoryTruncatedToDepth) {
+  BenefitForecaster forecaster(3);
+  for (int i = 1; i <= 10; ++i) forecaster.RecordEpoch(1, i);
+  EXPECT_EQ(forecaster.HistoryLength(1), 3);
+  // Newest three are 10, 9, 8.
+  EXPECT_DOUBLE_EQ(forecaster.PredBenefit(1, 1), 10.0);
+  EXPECT_DOUBLE_EQ(forecaster.PredBenefit(1, 3), 9.0);
+}
+
+TEST(Forecaster, StableSeriesForecastsItself) {
+  BenefitForecaster forecaster(12);
+  for (int i = 0; i < 12; ++i) forecaster.RecordEpoch(7, 50.0);
+  for (int j = 1; j <= 12; ++j) {
+    EXPECT_DOUBLE_EQ(forecaster.PredBenefit(7, j), 50.0);
+  }
+  EXPECT_DOUBLE_EQ(forecaster.TotalPredictedBenefit(7), 600.0);
+}
+
+TEST(Forecaster, RampMonotonicallyApproachesSteadyState) {
+  BenefitForecaster forecaster(12);
+  double prev = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    forecaster.RecordEpoch(3, 100.0);
+    const double total = forecaster.TotalPredictedBenefit(3);
+    EXPECT_GT(total, prev);
+    prev = total;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1200.0);
+}
+
+TEST(Forecaster, DecayAfterBenefitDisappears) {
+  BenefitForecaster forecaster(12);
+  for (int i = 0; i < 12; ++i) forecaster.RecordEpoch(3, 100.0);
+  const double steady = forecaster.TotalPredictedBenefit(3);
+  forecaster.RecordEpoch(3, 0.0);
+  const double after_one = forecaster.TotalPredictedBenefit(3);
+  EXPECT_LT(after_one, steady);
+  for (int i = 0; i < 11; ++i) forecaster.RecordEpoch(3, 0.0);
+  EXPECT_DOUBLE_EQ(forecaster.TotalPredictedBenefit(3), 0.0);
+}
+
+TEST(Forecaster, OptimisticLatestSubstitutes) {
+  BenefitForecaster forecaster(2);
+  forecaster.RecordEpoch(5, 10.0);
+  forecaster.RecordEpoch(5, 20.0);  // newest
+  // With latest replaced by 100: entries [100, 10].
+  EXPECT_DOUBLE_EQ(forecaster.TotalPredictedBenefitWithLatest(5, 100.0),
+                   100.0 + 55.0);
+  // Original history untouched.
+  EXPECT_DOUBLE_EQ(forecaster.PredBenefit(5, 1), 20.0);
+}
+
+TEST(Forecaster, OptimisticLatestForUnknownIndex) {
+  BenefitForecaster forecaster(4);
+  // No history: optimistic value becomes the only (zero-padded) entry.
+  EXPECT_DOUBLE_EQ(forecaster.TotalPredictedBenefitWithLatest(9, 80.0),
+                   80.0 + 40.0 + 80.0 / 3 + 20.0);
+}
+
+TEST(Forecaster, EraseDropsHistory) {
+  BenefitForecaster forecaster(4);
+  forecaster.RecordEpoch(1, 10.0);
+  forecaster.Erase(1);
+  EXPECT_EQ(forecaster.HistoryLength(1), 0);
+  EXPECT_DOUBLE_EQ(forecaster.TotalPredictedBenefit(1), 0.0);
+}
+
+TEST(Forecaster, IndependentIndexes) {
+  BenefitForecaster forecaster(4);
+  forecaster.RecordEpoch(1, 10.0);
+  forecaster.RecordEpoch(2, 99.0);
+  EXPECT_DOUBLE_EQ(forecaster.PredBenefit(1, 1), 10.0);
+  EXPECT_DOUBLE_EQ(forecaster.PredBenefit(2, 1), 99.0);
+}
+
+/// The Fig. 6 mechanism: a 2-epoch burst (ramping rates) stays below the
+/// materialization threshold a 3-4 epoch burst crosses.
+TEST(Forecaster, ShortBurstForecastMuchSmallerThanSteady) {
+  BenefitForecaster forecaster(12);
+  // Burst epoch benefits ramp with the window rate: b_k ~ k * B / 12.
+  const double kPerEpoch = 100.0;
+  forecaster.RecordEpoch(1, 1 * kPerEpoch / 12);
+  forecaster.RecordEpoch(1, 2 * kPerEpoch / 12);
+  const double two_epochs = forecaster.TotalPredictedBenefit(1);
+  forecaster.RecordEpoch(1, 3 * kPerEpoch / 12);
+  forecaster.RecordEpoch(1, 4 * kPerEpoch / 12);
+  const double four_epochs = forecaster.TotalPredictedBenefit(1);
+  EXPECT_GT(four_epochs, 2.2 * two_epochs);
+  EXPECT_LT(two_epochs, 0.1 * (12 * kPerEpoch));
+}
+
+}  // namespace
+}  // namespace colt

@@ -1,0 +1,137 @@
+/// Randomized end-to-end robustness: random catalogs, random query streams
+/// (including degenerate shapes), full COLT pipeline. Asserts the global
+/// invariants that must survive any input: budgets respected, no empty-set
+/// violations, determinism, and plan validity.
+#include <gtest/gtest.h>
+
+#include "core/colt.h"
+#include "common/rng.h"
+
+namespace colt {
+namespace {
+
+Catalog RandomCatalog(Rng& rng) {
+  Catalog catalog;
+  const int tables = 1 + static_cast<int>(rng.NextBelow(4));
+  for (int t = 0; t < tables; ++t) {
+    std::vector<ColumnDef> columns;
+    const int ncols = 2 + static_cast<int>(rng.NextBelow(5));
+    const int64_t rows = 100 + static_cast<int64_t>(rng.NextBelow(200'000));
+    for (int c = 0; c < ncols; ++c) {
+      ColumnDef col;
+      col.name = "t" + std::to_string(t) + "_c" + std::to_string(c);
+      col.width_bytes = 4 + 4 * static_cast<int32_t>(rng.NextBelow(10));
+      col.ndv = 1 + static_cast<int64_t>(rng.NextBelow(
+                        static_cast<uint64_t>(rows)));
+      col.indexable = rng.NextBool(0.9);
+      columns.push_back(col);
+    }
+    catalog.AddTable(
+        TableSchema("table" + std::to_string(t), columns, rows));
+  }
+  return catalog;
+}
+
+Query RandomQuery(const Catalog& catalog, Rng& rng) {
+  const TableId t = static_cast<TableId>(rng.NextBelow(
+      static_cast<uint64_t>(catalog.table_count())));
+  const TableSchema& schema = catalog.table(t);
+  std::vector<SelectionPredicate> selections;
+  const int npreds =
+      1 + static_cast<int>(rng.NextBelow(
+              static_cast<uint64_t>(schema.column_count())));
+  for (int i = 0; i < npreds; ++i) {
+    const ColumnId c = static_cast<ColumnId>(
+        rng.NextBelow(static_cast<uint64_t>(schema.column_count())));
+    const int64_t ndv = schema.column(c).ndv;
+    const int64_t lo = rng.NextInRange(0, ndv - 1);
+    const int64_t hi = rng.NextBool(0.3)
+                           ? lo  // equality
+                           : std::min<int64_t>(ndv - 1,
+                                               lo + rng.NextInRange(0, ndv));
+    selections.push_back(SelectionPredicate{{t, c}, lo, hi});
+  }
+  // Possibly add a join with another table.
+  std::vector<TableId> tables = {t};
+  std::vector<JoinPredicate> joins;
+  if (catalog.table_count() > 1 && rng.NextBool(0.3)) {
+    TableId other = static_cast<TableId>(rng.NextBelow(
+        static_cast<uint64_t>(catalog.table_count())));
+    if (other != t) {
+      tables.push_back(other);
+      const ColumnId c1 = static_cast<ColumnId>(rng.NextBelow(
+          static_cast<uint64_t>(catalog.table(t).column_count())));
+      const ColumnId c2 = static_cast<ColumnId>(rng.NextBelow(
+          static_cast<uint64_t>(catalog.table(other).column_count())));
+      joins.push_back(JoinPredicate{{t, c1}, {other, c2}});
+    }
+  }
+  return Query(std::move(tables), std::move(joins), std::move(selections));
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, InvariantsHoldOnRandomWorkloads) {
+  Rng rng(GetParam() * 2654435761ULL + 17);
+  Catalog catalog = RandomCatalog(rng);
+  QueryOptimizer optimizer(&catalog);
+  ColtConfig config;
+  config.storage_budget_bytes =
+      1 + static_cast<int64_t>(rng.NextBelow(256LL << 20));
+  config.max_whatif_per_epoch =
+      1 + static_cast<int>(rng.NextBelow(30));
+  config.epoch_length = 1 + static_cast<int>(rng.NextBelow(20));
+  config.mine_multicolumn_candidates = rng.NextBool(0.5);
+  if (rng.NextBool(0.3)) {
+    config.scheduling_strategy = SchedulingStrategy::kIdleTime;
+  }
+  ColtTuner tuner(&catalog, &optimizer, config);
+
+  const int n = 100 + static_cast<int>(rng.NextBelow(200));
+  for (int i = 0; i < n; ++i) {
+    const Query q = RandomQuery(catalog, rng);
+    ASSERT_TRUE(q.Validate(catalog).ok());
+    const TuningStep step = tuner.OnQuery(q);
+    ASSERT_NE(step.plan.plan, nullptr);
+    ASSERT_GE(step.plan.cost, 0.0);
+    ASSERT_GE(step.execution_seconds, 0.0);
+    ASSERT_LE(step.whatif_calls, config.max_whatif_per_epoch);
+  }
+  // Storage budget invariant at every epoch.
+  for (const auto& report : tuner.epoch_reports()) {
+    ASSERT_LE(report.materialized_bytes, config.storage_budget_bytes);
+    ASSERT_LE(report.whatif_used, config.max_whatif_per_epoch);
+  }
+  // Every materialized index descriptor is known to the catalog.
+  for (IndexId id : tuner.materialized().ids()) {
+    ASSERT_TRUE(catalog.HasIndex(id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<uint64_t>(0, 20));
+
+TEST(FuzzDeterminism, IdenticalRunsProduceIdenticalResults) {
+  for (uint64_t seed : {3ull, 11ull}) {
+    Rng rng_a(seed), rng_b(seed);
+    Catalog cat_a = RandomCatalog(rng_a);
+    Catalog cat_b = RandomCatalog(rng_b);
+    QueryOptimizer opt_a(&cat_a), opt_b(&cat_b);
+    ColtConfig config;
+    config.storage_budget_bytes = 64LL << 20;
+    ColtTuner tuner_a(&cat_a, &opt_a, config, nullptr, 5);
+    ColtTuner tuner_b(&cat_b, &opt_b, config, nullptr, 5);
+    for (int i = 0; i < 150; ++i) {
+      const Query qa = RandomQuery(cat_a, rng_a);
+      const Query qb = RandomQuery(cat_b, rng_b);
+      const TuningStep sa = tuner_a.OnQuery(qa);
+      const TuningStep sb = tuner_b.OnQuery(qb);
+      ASSERT_DOUBLE_EQ(sa.execution_seconds, sb.execution_seconds);
+      ASSERT_EQ(sa.whatif_calls, sb.whatif_calls);
+      ASSERT_EQ(sa.actions.size(), sb.actions.size());
+    }
+    ASSERT_EQ(tuner_a.materialized().ids(), tuner_b.materialized().ids());
+  }
+}
+
+}  // namespace
+}  // namespace colt

@@ -1,0 +1,108 @@
+#include "core/gain_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace colt {
+namespace {
+
+TEST(GainStats, UnknownPairHasWideInterval) {
+  GainStatsStore store(0.90);
+  const ConfidenceInterval ci = store.Interval(1, 2, 0xabc);
+  EXPECT_LE(ci.low, -kUnknownHalfWidth);
+  EXPECT_GE(ci.high, kUnknownHalfWidth);
+  EXPECT_EQ(store.MeasurementCount(1, 2, 0xabc), 0);
+}
+
+TEST(GainStats, SingleMeasurementStillWide) {
+  GainStatsStore store(0.90);
+  store.Record(1, 2, 50.0, 7);
+  EXPECT_EQ(store.MeasurementCount(1, 2, 7), 1);
+  const ConfidenceInterval ci = store.Interval(1, 2, 7);
+  EXPECT_GT(ci.width(), kUnknownHalfWidth);
+}
+
+TEST(GainStats, IntervalTightensAroundMean) {
+  GainStatsStore store(0.90);
+  for (int i = 0; i < 30; ++i) {
+    store.Record(1, 2, 100.0 + (i % 2 == 0 ? 1.0 : -1.0), 7);
+  }
+  const ConfidenceInterval ci = store.Interval(1, 2, 7);
+  EXPECT_TRUE(ci.Contains(100.0));
+  EXPECT_LT(ci.width(), 2.0);
+  EXPECT_NEAR(store.Variance(1, 2, 7), 1.0 * 30 / 29, 0.05);
+}
+
+TEST(GainStats, SignatureMismatchResetsOnRead) {
+  GainStatsStore store(0.90);
+  store.Record(1, 2, 100.0, 7);
+  store.Record(1, 2, 100.0, 7);
+  EXPECT_EQ(store.MeasurementCount(1, 2, 7), 2);
+  // Reading under a different signature: stale, reported as unknown.
+  EXPECT_EQ(store.MeasurementCount(1, 2, 8), 0);
+  EXPECT_GE(store.Interval(1, 2, 8).high, kUnknownHalfWidth);
+  // Old signature still intact until a write under the new one.
+  EXPECT_EQ(store.MeasurementCount(1, 2, 7), 2);
+}
+
+TEST(GainStats, SignatureMismatchResetsOnWrite) {
+  GainStatsStore store(0.90);
+  store.Record(1, 2, 100.0, 7);
+  store.Record(1, 2, 100.0, 7);
+  store.Record(1, 2, 5.0, 8);  // config on the table changed
+  EXPECT_EQ(store.MeasurementCount(1, 2, 8), 1);
+  EXPECT_EQ(store.MeasurementCount(1, 2, 7), 0);
+}
+
+TEST(GainStats, EpochMeasurementsTrackCurrentEpoch) {
+  GainStatsStore store(0.90);
+  store.Record(1, 2, 10.0, 7);
+  store.Record(1, 2, 20.0, 7);
+  double sum = 0;
+  int64_t count = 0;
+  store.EpochMeasurements(1, 2, &sum, &count);
+  EXPECT_DOUBLE_EQ(sum, 30.0);
+  EXPECT_EQ(count, 2);
+  store.AdvanceEpoch();
+  store.EpochMeasurements(1, 2, &sum, &count);
+  EXPECT_DOUBLE_EQ(sum, 0.0);
+  EXPECT_EQ(count, 0);
+  // All-time stats survive the epoch boundary.
+  EXPECT_EQ(store.MeasurementCount(1, 2, 7), 2);
+}
+
+TEST(GainStats, EraseIndexRemovesAllItsPairs) {
+  GainStatsStore store(0.90);
+  store.Record(1, 2, 10.0, 7);
+  store.Record(1, 3, 10.0, 7);
+  store.Record(9, 2, 10.0, 7);
+  store.EraseIndex(1);
+  EXPECT_EQ(store.MeasurementCount(1, 2, 7), 0);
+  EXPECT_EQ(store.MeasurementCount(1, 3, 7), 0);
+  EXPECT_EQ(store.MeasurementCount(9, 2, 7), 1);
+  EXPECT_EQ(store.pair_count(), 1);
+}
+
+TEST(GainStats, RetainClustersDropsDeadOnes) {
+  GainStatsStore store(0.90);
+  store.Record(1, 2, 10.0, 7);
+  store.Record(1, 3, 10.0, 7);
+  store.Record(1, 5, 10.0, 7);
+  store.RetainClusters({2, 5});
+  EXPECT_EQ(store.MeasurementCount(1, 2, 7), 1);
+  EXPECT_EQ(store.MeasurementCount(1, 3, 7), 0);
+  EXPECT_EQ(store.MeasurementCount(1, 5, 7), 1);
+  EXPECT_EQ(store.pair_count(), 2);
+}
+
+TEST(GainStats, PairsIndependent) {
+  GainStatsStore store(0.90);
+  store.Record(1, 2, 10.0, 7);
+  store.Record(2, 2, 99.0, 7);
+  for (int i = 0; i < 5; ++i) store.Record(1, 2, 10.0, 7);
+  const ConfidenceInterval ci = store.Interval(1, 2, 7);
+  EXPECT_TRUE(ci.Contains(10.0));
+  EXPECT_FALSE(ci.Contains(99.0));
+}
+
+}  // namespace
+}  // namespace colt

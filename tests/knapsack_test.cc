@@ -1,0 +1,143 @@
+#include "core/knapsack.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace colt {
+namespace {
+
+/// Exact exponential reference.
+double BruteForceBest(const std::vector<KnapsackItem>& items,
+                      int64_t capacity) {
+  const size_t n = items.size();
+  double best = 0.0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    int64_t size = 0;
+    double value = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        size += items[i].size;
+        value += items[i].value;
+      }
+    }
+    if (size <= capacity) best = std::max(best, value);
+  }
+  return best;
+}
+
+TEST(Knapsack, EmptyItems) {
+  const KnapsackSolution s = SolveKnapsack({}, 100);
+  EXPECT_TRUE(s.chosen_ids.empty());
+  EXPECT_DOUBLE_EQ(s.total_value, 0.0);
+}
+
+TEST(Knapsack, ZeroCapacityTakesOnlyZeroSize) {
+  const KnapsackSolution s = SolveKnapsack(
+      {{1, 10, 5.0}, {2, 0, 3.0}}, 0);
+  EXPECT_EQ(s.chosen_ids, (std::vector<int64_t>{2}));
+  EXPECT_DOUBLE_EQ(s.total_value, 3.0);
+}
+
+TEST(Knapsack, NegativeAndZeroValueExcluded) {
+  const KnapsackSolution s = SolveKnapsack(
+      {{1, 5, -2.0}, {2, 5, 0.0}, {3, 5, 1.0}}, 100);
+  EXPECT_EQ(s.chosen_ids, (std::vector<int64_t>{3}));
+}
+
+TEST(Knapsack, OversizedItemExcluded) {
+  const KnapsackSolution s = SolveKnapsack({{1, 200, 100.0}}, 100);
+  EXPECT_TRUE(s.chosen_ids.empty());
+}
+
+TEST(Knapsack, ClassicInstance) {
+  // Items (size, value): (10,60) (20,100) (30,120), capacity 50 ->
+  // optimal = items 2+3 = 220.
+  const KnapsackSolution s = SolveKnapsack(
+      {{1, 10, 60.0}, {2, 20, 100.0}, {3, 30, 120.0}}, 50);
+  EXPECT_DOUBLE_EQ(s.total_value, 220.0);
+  EXPECT_EQ(s.chosen_ids, (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(s.total_size, 50);
+}
+
+TEST(Knapsack, RespectsCapacityExactly) {
+  const KnapsackSolution s = SolveKnapsack(
+      {{1, 51, 100.0}, {2, 50, 99.0}}, 100);
+  // Both do not fit together (101 > 100); best single is item 1.
+  EXPECT_DOUBLE_EQ(s.total_value, 100.0);
+  EXPECT_LE(s.total_size, 100);
+}
+
+class KnapsackRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KnapsackRandomTest, MatchesBruteForce) {
+  Rng rng(GetParam() * 97 + 11);
+  const int n = 1 + static_cast<int>(rng.NextBelow(14));
+  std::vector<KnapsackItem> items;
+  int64_t total_size = 0;
+  for (int i = 0; i < n; ++i) {
+    KnapsackItem item;
+    item.id = i;
+    item.size = 1 + static_cast<int64_t>(rng.NextBelow(50));
+    item.value = static_cast<double>(rng.NextBelow(100)) - 10.0;
+    total_size += item.size;
+    items.push_back(item);
+  }
+  const int64_t capacity = static_cast<int64_t>(
+      rng.NextBelow(static_cast<uint64_t>(total_size) + 1));
+  // Use enough buckets that discretization is exact for these small sizes.
+  const KnapsackSolution dp = SolveKnapsack(items, capacity, 1 << 16);
+  EXPECT_NEAR(dp.total_value, BruteForceBest(items, capacity), 1e-9);
+  EXPECT_LE(dp.total_size, capacity);
+  // Chosen value must equal the sum of chosen items.
+  double check = 0.0;
+  for (int64_t id : dp.chosen_ids) check += items[id].value;
+  EXPECT_NEAR(check, dp.total_value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackRandomTest,
+                         ::testing::Range<uint64_t>(0, 30));
+
+TEST(Knapsack, DiscretizationNeverOverflowsCapacity) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < 20; ++i) {
+      items.push_back({i, static_cast<int64_t>(1 + rng.NextBelow(1 << 20)),
+                       static_cast<double>(rng.NextBelow(1000))});
+    }
+    const int64_t capacity = 1 + static_cast<int64_t>(rng.NextBelow(1 << 22));
+    const KnapsackSolution s = SolveKnapsack(items, capacity, 256);
+    EXPECT_LE(s.total_size, capacity);
+  }
+}
+
+TEST(KnapsackGreedy, NeverBeatsOptimal) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<KnapsackItem> items;
+    int64_t total = 0;
+    for (int i = 0; i < 12; ++i) {
+      const int64_t size = 1 + static_cast<int64_t>(rng.NextBelow(40));
+      total += size;
+      items.push_back({i, size, static_cast<double>(rng.NextBelow(100))});
+    }
+    const int64_t capacity = total / 2;
+    const KnapsackSolution greedy = SolveKnapsackGreedy(items, capacity);
+    const KnapsackSolution optimal = SolveKnapsack(items, capacity, 1 << 16);
+    EXPECT_LE(greedy.total_value, optimal.total_value + 1e-9);
+    EXPECT_LE(greedy.total_size, capacity);
+  }
+}
+
+TEST(KnapsackGreedy, PrefersHighDensity) {
+  const KnapsackSolution s = SolveKnapsackGreedy(
+      {{1, 10, 100.0}, {2, 10, 10.0}}, 10);
+  EXPECT_EQ(s.chosen_ids, (std::vector<int64_t>{1}));
+}
+
+}  // namespace
+}  // namespace colt

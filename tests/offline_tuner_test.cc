@@ -1,0 +1,161 @@
+#include "baseline/offline_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace colt {
+namespace {
+
+using ::colt::testing::MakeRangeQuery;
+using ::colt::testing::MakeTestCatalog;
+using ::colt::testing::Ref;
+
+std::vector<Query> MixedWorkload(const Catalog& catalog, int n,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> out;
+  for (int i = 0; i < n; ++i) {
+    switch (rng.NextBelow(3)) {
+      case 0: {
+        const int64_t lo = rng.NextInRange(0, 9900);
+        out.push_back(MakeRangeQuery(catalog, "big", "b_key", lo, lo + 15));
+        break;
+      }
+      case 1: {
+        const int64_t lo = rng.NextInRange(0, 990);
+        out.push_back(MakeRangeQuery(catalog, "big", "b_val", lo, lo + 1));
+        break;
+      }
+      default: {
+        const int64_t v = rng.NextInRange(0, 99);
+        out.push_back(MakeRangeQuery(catalog, "small", "s_val", v, v));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+class OfflineTunerTest : public ::testing::Test {
+ protected:
+  OfflineTunerTest()
+      : catalog_(MakeTestCatalog()), optimizer_(&catalog_),
+        tuner_(&catalog_, &optimizer_) {}
+
+  Catalog catalog_;
+  QueryOptimizer optimizer_;
+  OfflineTuner tuner_;
+};
+
+TEST_F(OfflineTunerTest, EmptyWorkload) {
+  auto result = tuner_.Tune({}, 1 << 20);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->configuration.empty());
+  EXPECT_DOUBLE_EQ(result->total_cost, 0.0);
+}
+
+TEST_F(OfflineTunerTest, MinesSelectionColumnsOnly) {
+  Query join({0, 1},
+             {JoinPredicate{Ref(catalog_, "big", "b_key"),
+                            Ref(catalog_, "small", "s_ref")}},
+             {SelectionPredicate{Ref(catalog_, "big", "b_val"), 0, 9}});
+  auto relevant = tuner_.MineRelevantIndexes({join});
+  ASSERT_TRUE(relevant.ok());
+  EXPECT_EQ(relevant->size(), 1u);  // b_val only, not the join columns
+  OfflineTuner with_joins(&catalog_, &optimizer_, 22,
+                          /*include_join_columns=*/true);
+  auto wide = with_joins.MineRelevantIndexes({join});
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->size(), 3u);
+}
+
+TEST_F(OfflineTunerTest, PicksTheObviousIndex) {
+  const auto workload = MixedWorkload(catalog_, 60, 1);
+  auto result = tuner_.Tune(workload, 1LL << 40);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->exhaustive);
+  // All three indexed columns earn their keep now that bitmap heap scans
+  // make even the small table's index useful at its selectivities.
+  EXPECT_EQ(result->configuration.size(), 3u);
+  EXPECT_LT(result->total_cost, result->base_cost);
+}
+
+TEST_F(OfflineTunerTest, RespectsBudget) {
+  const auto workload = MixedWorkload(catalog_, 60, 2);
+  auto relevant = tuner_.MineRelevantIndexes(workload);
+  ASSERT_TRUE(relevant.ok());
+  int64_t smallest = INT64_MAX;
+  for (IndexId id : relevant.value()) {
+    smallest = std::min(smallest, catalog_.index(id).size_bytes);
+  }
+  auto result = tuner_.Tune(workload, smallest);
+  ASSERT_TRUE(result.ok());
+  int64_t used = 0;
+  for (IndexId id : result->configuration.ids()) {
+    used += catalog_.index(id).size_bytes;
+  }
+  EXPECT_LE(used, smallest);
+  EXPECT_LE(result->configuration.size(), 1u);
+}
+
+TEST_F(OfflineTunerTest, ZeroBudgetMeansNoIndexes) {
+  const auto workload = MixedWorkload(catalog_, 30, 3);
+  auto result = tuner_.Tune(workload, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->configuration.empty());
+  EXPECT_DOUBLE_EQ(result->total_cost, result->base_cost);
+}
+
+TEST_F(OfflineTunerTest, ExhaustiveMatchesBruteForceOnTinyInstance) {
+  const auto workload = MixedWorkload(catalog_, 25, 4);
+  auto relevant = tuner_.MineRelevantIndexes(workload);
+  ASSERT_TRUE(relevant.ok());
+  const auto& ids = relevant.value();
+  ASSERT_LE(ids.size(), 3u);
+  const int64_t budget = 8LL * 1024 * 1024;
+  auto result = tuner_.Tune(workload, budget);
+  ASSERT_TRUE(result.ok());
+  // Independent brute force over all subsets.
+  double best = 1e300;
+  for (uint32_t mask = 0; mask < (1u << ids.size()); ++mask) {
+    IndexConfiguration config;
+    int64_t size = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (mask & (1u << i)) {
+        config.Add(ids[i]);
+        size += catalog_.index(ids[i]).size_bytes;
+      }
+    }
+    if (size > budget) continue;
+    double total = 0.0;
+    for (const auto& q : workload) total += optimizer_.Optimize(q, config).cost;
+    best = std::min(best, total);
+  }
+  EXPECT_NEAR(result->total_cost, best, 1e-6);
+}
+
+TEST_F(OfflineTunerTest, GreedyFallbackForManyIndexes) {
+  OfflineTuner limited(&catalog_, &optimizer_, /*max_exhaustive_indexes=*/1);
+  const auto workload = MixedWorkload(catalog_, 40, 5);
+  auto result = limited.Tune(workload, 1LL << 40);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->exhaustive);
+  EXPECT_LE(result->total_cost, result->base_cost);
+  // Greedy is never better than the exhaustive optimum.
+  auto exhaustive = tuner_.Tune(workload, 1LL << 40);
+  ASSERT_TRUE(exhaustive.ok());
+  EXPECT_GE(result->total_cost, exhaustive->total_cost - 1e-6);
+}
+
+TEST_F(OfflineTunerTest, CountsEvaluatedConfigurations) {
+  const auto workload = MixedWorkload(catalog_, 20, 6);
+  auto result = tuner_.Tune(workload, 1LL << 40);
+  ASSERT_TRUE(result.ok());
+  // 3 relevant indexes -> 8 subsets scored.
+  EXPECT_EQ(result->configurations_evaluated, 8);
+}
+
+}  // namespace
+}  // namespace colt

@@ -1,0 +1,173 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace colt {
+namespace {
+
+using ::colt::testing::MakeTestCatalog;
+using ::colt::testing::Ref;
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : catalog_(MakeTestCatalog()), parser_(&catalog_) {}
+
+  Catalog catalog_;
+  QueryParser parser_;
+};
+
+TEST_F(ParserTest, MinimalQuery) {
+  auto q = parser_.Parse("SELECT COUNT(*) FROM big");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->tables(), (std::vector<TableId>{0}));
+  EXPECT_TRUE(q->selections().empty());
+  EXPECT_TRUE(q->joins().empty());
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(parser_.Parse("select count(*) from big").ok());
+  EXPECT_TRUE(parser_.Parse("SeLeCt CoUnT(*) FrOm big;").ok());
+}
+
+TEST_F(ParserTest, EqualitySelection) {
+  auto q = parser_.Parse("SELECT COUNT(*) FROM big WHERE big.b_key = 42");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->selections().size(), 1u);
+  const auto& pred = q->selections()[0];
+  EXPECT_EQ(pred.column, (Ref(catalog_, "big", "b_key")));
+  EXPECT_EQ(pred.lo, 42);
+  EXPECT_EQ(pred.hi, 42);
+  EXPECT_TRUE(pred.is_equality());
+}
+
+TEST_F(ParserTest, BetweenSelection) {
+  auto q = parser_.Parse(
+      "SELECT COUNT(*) FROM big WHERE big.b_val BETWEEN 10 AND 20");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->selections().size(), 1u);
+  EXPECT_EQ(q->selections()[0].lo, 10);
+  EXPECT_EQ(q->selections()[0].hi, 20);
+}
+
+TEST_F(ParserTest, InequalityOperators) {
+  struct Case {
+    const char* op;
+    int64_t lo, hi;
+  };
+  const Case cases[] = {
+      {"< 10", INT64_MIN, 9},
+      {"<= 10", INT64_MIN, 10},
+      {"> 10", 11, INT64_MAX},
+      {">= 10", 10, INT64_MAX},
+  };
+  for (const auto& c : cases) {
+    auto q = parser_.Parse(std::string("SELECT COUNT(*) FROM big WHERE "
+                                       "big.b_key ") +
+                           c.op);
+    ASSERT_TRUE(q.ok()) << c.op;
+    ASSERT_EQ(q->selections().size(), 1u);
+    EXPECT_EQ(q->selections()[0].lo, c.lo) << c.op;
+    EXPECT_EQ(q->selections()[0].hi, c.hi) << c.op;
+  }
+}
+
+TEST_F(ParserTest, NegativeLiterals) {
+  auto q = parser_.Parse(
+      "SELECT COUNT(*) FROM big WHERE big.b_key BETWEEN -5 AND -1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->selections()[0].lo, -5);
+  EXPECT_EQ(q->selections()[0].hi, -1);
+}
+
+TEST_F(ParserTest, JoinQuery) {
+  auto q = parser_.Parse(
+      "SELECT COUNT(*) FROM big, small "
+      "WHERE big.b_key = small.s_ref AND small.s_val = 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->tables().size(), 2u);
+  ASSERT_EQ(q->joins().size(), 1u);
+  ASSERT_EQ(q->selections().size(), 1u);
+  const JoinPredicate expected =
+      JoinPredicate{Ref(catalog_, "big", "b_key"),
+                    Ref(catalog_, "small", "s_ref")}
+          .Canonical();
+  EXPECT_EQ(q->joins()[0], expected);
+}
+
+TEST_F(ParserTest, MultipleConditions) {
+  auto q = parser_.Parse(
+      "SELECT COUNT(*) FROM big WHERE big.b_key >= 5 AND big.b_key <= 10 "
+      "AND big.b_val = 7");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->selections().size(), 3u);
+}
+
+TEST_F(ParserTest, RoundTripsThroughToString) {
+  // Parse, print, re-parse: same structure.
+  auto q1 = parser_.Parse(
+      "SELECT COUNT(*) FROM big, small "
+      "WHERE big.b_key = small.s_ref AND big.b_val BETWEEN 1 AND 9");
+  ASSERT_TRUE(q1.ok());
+  auto q2 = parser_.Parse(q1->ToString(catalog_));
+  ASSERT_TRUE(q2.ok()) << q1->ToString(catalog_) << "\n"
+                       << q2.status().ToString();
+  EXPECT_EQ(q1->tables(), q2->tables());
+  EXPECT_EQ(q1->joins(), q2->joins());
+  EXPECT_EQ(q1->selections(), q2->selections());
+}
+
+// ---- Error cases ----
+
+TEST_F(ParserTest, UnknownTable) {
+  auto q = parser_.Parse("SELECT COUNT(*) FROM nonexistent");
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ParserTest, UnknownColumn) {
+  auto q = parser_.Parse("SELECT COUNT(*) FROM big WHERE big.nope = 1");
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ParserTest, ColumnOnTableNotInFrom) {
+  auto q = parser_.Parse("SELECT COUNT(*) FROM big WHERE small.s_val = 1");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(ParserTest, MissingCount) {
+  EXPECT_FALSE(parser_.Parse("SELECT * FROM big").ok());
+}
+
+TEST_F(ParserTest, EmptyBetweenRange) {
+  auto q = parser_.Parse(
+      "SELECT COUNT(*) FROM big WHERE big.b_key BETWEEN 9 AND 3");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(ParserTest, TrailingGarbage) {
+  EXPECT_FALSE(parser_.Parse("SELECT COUNT(*) FROM big extra").ok());
+}
+
+TEST_F(ParserTest, GarbageCharacters) {
+  auto q = parser_.Parse("SELECT COUNT(*) FROM big WHERE big.b_key = @");
+  EXPECT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("unexpected character"),
+            std::string::npos);
+}
+
+TEST_F(ParserTest, ErrorsMentionPosition) {
+  auto q = parser_.Parse("SELECT COUNT(*) FROM big WHERE");
+  EXPECT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("end of input"), std::string::npos);
+}
+
+TEST_F(ParserTest, MissingOperand) {
+  EXPECT_FALSE(
+      parser_.Parse("SELECT COUNT(*) FROM big WHERE big.b_key =").ok());
+  EXPECT_FALSE(
+      parser_.Parse("SELECT COUNT(*) FROM big WHERE big.b_key").ok());
+}
+
+}  // namespace
+}  // namespace colt

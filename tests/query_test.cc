@@ -1,0 +1,149 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace colt {
+namespace {
+
+using ::colt::testing::MakeTestCatalog;
+using ::colt::testing::Ref;
+
+Query MakeJoinQuery(const Catalog& catalog) {
+  return Query(
+      {catalog.FindTable("small"), catalog.FindTable("big")},
+      {JoinPredicate{Ref(catalog, "big", "b_key"),
+                     Ref(catalog, "small", "s_ref")}},
+      {SelectionPredicate{Ref(catalog, "big", "b_val"), 0, 9},
+       SelectionPredicate{Ref(catalog, "small", "s_val"), 5, 5}});
+}
+
+TEST(Query, TablesSortedAndDeduplicated) {
+  Catalog catalog = MakeTestCatalog();
+  Query q({1, 0, 1}, {}, {});
+  EXPECT_EQ(q.tables(), (std::vector<TableId>{0, 1}));
+}
+
+TEST(Query, JoinsCanonicalized) {
+  Catalog catalog = MakeTestCatalog();
+  const ColumnRef big_key = Ref(catalog, "big", "b_key");
+  const ColumnRef small_ref = Ref(catalog, "small", "s_ref");
+  Query q1({0, 1}, {JoinPredicate{big_key, small_ref}}, {});
+  Query q2({0, 1}, {JoinPredicate{small_ref, big_key}}, {});
+  EXPECT_EQ(q1.joins()[0], q2.joins()[0]);
+}
+
+TEST(Query, SelectionsOnFiltersByTable) {
+  Catalog catalog = MakeTestCatalog();
+  const Query q = MakeJoinQuery(catalog);
+  EXPECT_EQ(q.SelectionsOn(catalog.FindTable("big")).size(), 1u);
+  EXPECT_EQ(q.SelectionsOn(catalog.FindTable("small")).size(), 1u);
+  EXPECT_TRUE(q.UsesTable(0));
+  EXPECT_TRUE(q.UsesTable(1));
+  EXPECT_FALSE(q.UsesTable(2));
+}
+
+TEST(Query, ValidateAcceptsWellFormed) {
+  Catalog catalog = MakeTestCatalog();
+  EXPECT_TRUE(MakeJoinQuery(catalog).Validate(catalog).ok());
+}
+
+TEST(Query, ValidateRejectsBadQueries) {
+  Catalog catalog = MakeTestCatalog();
+  EXPECT_FALSE(Query({}, {}, {}).Validate(catalog).ok());
+  EXPECT_FALSE(Query({99}, {}, {}).Validate(catalog).ok());
+  // Selection on a table not in the query.
+  EXPECT_FALSE(Query({0}, {},
+                     {SelectionPredicate{Ref(catalog, "small", "s_val"), 0, 1}})
+                   .Validate(catalog)
+                   .ok());
+  // Empty range.
+  EXPECT_FALSE(Query({0}, {},
+                     {SelectionPredicate{Ref(catalog, "big", "b_val"), 5, 2}})
+                   .Validate(catalog)
+                   .ok());
+  // Self-join.
+  EXPECT_FALSE(Query({0},
+                     {JoinPredicate{Ref(catalog, "big", "b_key"),
+                                    Ref(catalog, "big", "b_val")}},
+                     {})
+                   .Validate(catalog)
+                   .ok());
+}
+
+TEST(Query, ToStringMentionsTablesAndPredicates) {
+  Catalog catalog = MakeTestCatalog();
+  const std::string s = MakeJoinQuery(catalog).ToString(catalog);
+  EXPECT_NE(s.find("big"), std::string::npos);
+  EXPECT_NE(s.find("small"), std::string::npos);
+  EXPECT_NE(s.find("b_val"), std::string::npos);
+  EXPECT_NE(s.find("="), std::string::npos);
+}
+
+TEST(Predicate, Matches) {
+  SelectionPredicate pred{ColumnRef{0, 0}, 5, 10};
+  EXPECT_TRUE(pred.Matches(5));
+  EXPECT_TRUE(pred.Matches(10));
+  EXPECT_FALSE(pred.Matches(4));
+  EXPECT_FALSE(pred.Matches(11));
+  EXPECT_FALSE(pred.is_equality());
+  SelectionPredicate eq{ColumnRef{0, 0}, 7, 7};
+  EXPECT_TRUE(eq.is_equality());
+}
+
+TEST(Predicate, EstimateSelectivity) {
+  Catalog catalog = MakeTestCatalog();
+  // b_val is uniform over [0, 1000).
+  SelectionPredicate pred{Ref(catalog, "big", "b_val"), 0, 99};
+  EXPECT_NEAR(EstimateSelectivity(catalog, pred), 0.1, 0.02);
+  SelectionPredicate eq{Ref(catalog, "big", "b_val"), 5, 5};
+  EXPECT_NEAR(EstimateSelectivity(catalog, eq), 0.001, 1e-4);
+}
+
+TEST(Signature, SameShapeSameSignature) {
+  Catalog catalog = MakeTestCatalog();
+  // Same attribute, both selectivities in the 2-100% bucket.
+  const Query q1 = testing::MakeRangeQuery(catalog, "big", "b_val", 0, 99);
+  const Query q2 = testing::MakeRangeQuery(catalog, "big", "b_val", 500, 620);
+  EXPECT_EQ(ComputeSignature(catalog, q1), ComputeSignature(catalog, q2));
+  EXPECT_EQ(QuerySignatureHash()(ComputeSignature(catalog, q1)),
+            QuerySignatureHash()(ComputeSignature(catalog, q2)));
+}
+
+TEST(Signature, SelectivityBucketsSeparate) {
+  Catalog catalog = MakeTestCatalog();
+  // b_val over [0, 1000): width 5 => 0.5% (bucket 0); width 500 => 50%
+  // (bucket 1).
+  const Query selective = testing::MakeRangeQuery(catalog, "big", "b_val", 0, 4);
+  const Query broad = testing::MakeRangeQuery(catalog, "big", "b_val", 0, 499);
+  EXPECT_FALSE(ComputeSignature(catalog, selective) ==
+               ComputeSignature(catalog, broad));
+}
+
+TEST(Signature, DifferentAttributesSeparate) {
+  Catalog catalog = MakeTestCatalog();
+  const Query q1 = testing::MakeRangeQuery(catalog, "big", "b_val", 0, 4);
+  const Query q2 = testing::MakeRangeQuery(catalog, "big", "b_cat", 0, 4);
+  EXPECT_FALSE(ComputeSignature(catalog, q1) == ComputeSignature(catalog, q2));
+}
+
+TEST(Signature, JoinsIncluded) {
+  Catalog catalog = MakeTestCatalog();
+  const Query join = MakeJoinQuery(catalog);
+  Query no_join({0, 1}, {},
+                {SelectionPredicate{Ref(catalog, "big", "b_val"), 0, 9},
+                 SelectionPredicate{Ref(catalog, "small", "s_val"), 5, 5}});
+  EXPECT_FALSE(ComputeSignature(catalog, join) ==
+               ComputeSignature(catalog, no_join));
+}
+
+TEST(SelectivityBucket, BoundaryAtTwoPercent) {
+  EXPECT_EQ(SelectivityBucket(0.0), 0);
+  EXPECT_EQ(SelectivityBucket(0.0199), 0);
+  EXPECT_EQ(SelectivityBucket(0.02), 1);
+  EXPECT_EQ(SelectivityBucket(1.0), 1);
+}
+
+}  // namespace
+}  // namespace colt

@@ -1,0 +1,126 @@
+#include "baseline/reactive_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace colt {
+namespace {
+
+using ::colt::testing::MakeRangeQuery;
+using ::colt::testing::MakeTestCatalog;
+using ::colt::testing::Ref;
+
+class ReactiveTunerTest : public ::testing::Test {
+ protected:
+  ReactiveTunerTest() : catalog_(MakeTestCatalog()), optimizer_(&catalog_) {
+    options_.storage_budget_bytes = 64LL * 1024 * 1024;
+  }
+
+  std::vector<Query> KeyWorkload(int n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Query> out;
+    for (int i = 0; i < n; ++i) {
+      const int64_t lo = rng.NextInRange(0, 9900);
+      out.push_back(MakeRangeQuery(catalog_, "big", "b_key", lo, lo + 20));
+    }
+    return out;
+  }
+
+  Catalog catalog_;
+  QueryOptimizer optimizer_;
+  ReactiveTuner::Options options_;
+};
+
+TEST_F(ReactiveTunerTest, ProfilesEveryQuery) {
+  ReactiveTuner tuner(&catalog_, &optimizer_, options_);
+  const auto workload = KeyWorkload(50, 1);
+  for (const auto& q : workload) {
+    const ReactiveStep step = tuner.OnQuery(q);
+    EXPECT_EQ(step.whatif_calls, 1);  // one candidate per query, always
+  }
+  EXPECT_EQ(tuner.total_whatif_calls(), 50);
+}
+
+TEST_F(ReactiveTunerTest, MaterializesOnceGainExceedsBuildCost) {
+  ReactiveTuner tuner(&catalog_, &optimizer_, options_);
+  const IndexId b_key = catalog_.IndexOn(Ref(catalog_, "big", "b_key"))->id;
+  bool materialized = false;
+  for (const auto& q : KeyWorkload(100, 2)) {
+    const ReactiveStep step = tuner.OnQuery(q);
+    for (const auto& action : step.actions) {
+      if (action.type == IndexActionType::kMaterialize &&
+          action.index == b_key) {
+        materialized = true;
+      }
+    }
+  }
+  EXPECT_TRUE(materialized);
+  EXPECT_TRUE(tuner.materialized().Contains(b_key));
+}
+
+TEST_F(ReactiveTunerTest, ReactsFasterThanEpochBasedColt) {
+  // REACTIVE's whole selling point: no epoch boundary to wait for.
+  ReactiveTuner tuner(&catalog_, &optimizer_, options_);
+  int first_build = -1;
+  const auto workload = KeyWorkload(100, 3);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (!tuner.OnQuery(workload[i]).actions.empty() && first_build < 0) {
+      first_build = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(first_build, 0);
+  EXPECT_LT(first_build, 10);  // within the first "epoch"
+}
+
+TEST_F(ReactiveTunerTest, DropsIndexAfterWorkloadMovesOn) {
+  options_.gain_window_queries = 60;
+  ReactiveTuner tuner(&catalog_, &optimizer_, options_);
+  const IndexId b_key = catalog_.IndexOn(Ref(catalog_, "big", "b_key"))->id;
+  for (const auto& q : KeyWorkload(80, 4)) tuner.OnQuery(q);
+  ASSERT_TRUE(tuner.materialized().Contains(b_key));
+  // Shift entirely to the small table.
+  Rng rng(5);
+  for (int i = 0; i < 120; ++i) {
+    tuner.OnQuery(MakeRangeQuery(catalog_, "small", "s_val",
+                                 rng.NextInRange(0, 99), 99));
+  }
+  EXPECT_FALSE(tuner.materialized().Contains(b_key));
+}
+
+TEST_F(ReactiveTunerTest, RespectsStorageBudget) {
+  // Budget too small for the big-table index.
+  const IndexId b_key = catalog_.IndexOn(Ref(catalog_, "big", "b_key"))->id;
+  options_.storage_budget_bytes = catalog_.index(b_key).size_bytes - 1;
+  ReactiveTuner tuner(&catalog_, &optimizer_, options_);
+  for (const auto& q : KeyWorkload(150, 6)) tuner.OnQuery(q);
+  EXPECT_FALSE(tuner.materialized().Contains(b_key));
+  int64_t used = 0;
+  for (IndexId id : tuner.materialized().ids()) {
+    used += catalog_.index(id).size_bytes;
+  }
+  EXPECT_LE(used, options_.storage_budget_bytes);
+}
+
+TEST_F(ReactiveTunerTest, EvictsColdestWhenFull) {
+  // Budget fits exactly one big index; two alternating demand streams.
+  const IndexId b_key = catalog_.IndexOn(Ref(catalog_, "big", "b_key"))->id;
+  const IndexId b_val = catalog_.IndexOn(Ref(catalog_, "big", "b_val"))->id;
+  options_.storage_budget_bytes =
+      catalog_.index(b_key).size_bytes + catalog_.index(b_val).size_bytes / 2;
+  options_.gain_window_queries = 40;
+  ReactiveTuner tuner(&catalog_, &optimizer_, options_);
+  for (const auto& q : KeyWorkload(60, 7)) tuner.OnQuery(q);
+  ASSERT_TRUE(tuner.materialized().Contains(b_key));
+  Rng rng(8);
+  for (int i = 0; i < 120; ++i) {
+    const int64_t lo = rng.NextInRange(0, 990);
+    tuner.OnQuery(MakeRangeQuery(catalog_, "big", "b_val", lo, lo + 1));
+  }
+  EXPECT_TRUE(tuner.materialized().Contains(b_val));
+  EXPECT_FALSE(tuner.materialized().Contains(b_key));
+}
+
+}  // namespace
+}  // namespace colt

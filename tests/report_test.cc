@@ -1,0 +1,95 @@
+#include "harness/report.h"
+#include <fstream>
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace colt {
+namespace {
+
+ColtRunResult SampleRun() {
+  ColtRunResult run;
+  run.per_query.push_back({1.0, 0.1, 0.0});
+  run.per_query.push_back({2.0, 0.0, 5.0});
+  EpochReport e;
+  e.epoch = 0;
+  e.whatif_used = 3;
+  e.whatif_limit = 20;
+  e.next_whatif_limit = 5;
+  e.rebudget_ratio = 1.25;
+  e.candidate_count = 7;
+  e.cluster_count = 4;
+  e.hot_ids = {1, 2};
+  e.materialized_ids = {9};
+  e.materialized_bytes = 1024;
+  run.epochs.push_back(e);
+  return run;
+}
+
+TEST(Report, EpochCsvHasHeaderAndRows) {
+  const ColtRunResult run = SampleRun();
+  std::stringstream out;
+  ASSERT_TRUE(WriteEpochReportCsv(run.epochs, out).ok());
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("epoch,whatif_used"), std::string::npos);
+  EXPECT_NE(csv.find("0,3,20,5,1.25,7,4,2,1,1024"), std::string::npos);
+}
+
+TEST(Report, PerQueryCsvWithOffline) {
+  const ColtRunResult run = SampleRun();
+  std::stringstream out;
+  ASSERT_TRUE(WritePerQueryCsv(run, {0.5, 0.7}, out).ok());
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("offline_s"), std::string::npos);
+  EXPECT_NE(csv.find("0,1,0.1,0,1.1,0.5"), std::string::npos);
+  EXPECT_NE(csv.find("1,2,0,5,7,0.7"), std::string::npos);
+}
+
+TEST(Report, PerQueryCsvWithoutOffline) {
+  const ColtRunResult run = SampleRun();
+  std::stringstream out;
+  ASSERT_TRUE(WritePerQueryCsv(run, {}, out).ok());
+  EXPECT_EQ(out.str().find("offline_s"), std::string::npos);
+}
+
+TEST(Report, PerQueryCsvLengthMismatchRejected) {
+  const ColtRunResult run = SampleRun();
+  std::stringstream out;
+  EXPECT_FALSE(WritePerQueryCsv(run, {0.5}, out).ok());
+}
+
+TEST(Report, BucketCsv) {
+  std::stringstream out;
+  ASSERT_TRUE(WriteBucketCsv({10.0, 20.0}, {12.0, 18.0}, 50, out).ok());
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("queries,colt_s,offline_s"), std::string::npos);
+  EXPECT_NE(csv.find("50,10,12"), std::string::npos);
+  EXPECT_NE(csv.find("100,20,18"), std::string::npos);
+}
+
+TEST(Report, MaybeWriteIsNoOpWithEmptyDir) {
+  bool called = false;
+  ASSERT_TRUE(MaybeWriteCsvFile("", "x.csv", [&](std::ostream&) {
+                called = true;
+                return Status::OK();
+              }).ok());
+  EXPECT_FALSE(called);
+}
+
+TEST(Report, MaybeWriteWritesFile) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(MaybeWriteCsvFile(dir, "colt_report_test.csv",
+                                [&](std::ostream& out) {
+                                  out << "hello\n";
+                                  return Status::OK();
+                                })
+                  .ok());
+  std::ifstream in(dir + "/colt_report_test.csv");
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "hello");
+}
+
+}  // namespace
+}  // namespace colt

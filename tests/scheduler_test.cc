@@ -1,0 +1,182 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace colt {
+namespace {
+
+using ::colt::testing::MakeTestCatalog;
+using ::colt::testing::Ref;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : catalog_(MakeTestCatalog()) {
+    b_key_ = catalog_.IndexOn(Ref(catalog_, "big", "b_key"))->id;
+    s_val_ = catalog_.IndexOn(Ref(catalog_, "small", "s_val"))->id;
+  }
+
+  Catalog catalog_;
+  CostModel cost_model_;
+  IndexId b_key_, s_val_;
+};
+
+TEST_F(SchedulerTest, StartsEmpty) {
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr);
+  EXPECT_TRUE(scheduler.materialized().empty());
+  EXPECT_EQ(scheduler.MaterializedBytes(), 0);
+}
+
+TEST_F(SchedulerTest, MaterializeChargesBuildTime) {
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr);
+  IndexConfiguration desired;
+  desired.Add(b_key_);
+  auto actions = scheduler.ApplyConfiguration(desired);
+  ASSERT_TRUE(actions.ok());
+  ASSERT_EQ(actions->size(), 1u);
+  EXPECT_EQ((*actions)[0].type, IndexActionType::kMaterialize);
+  EXPECT_EQ((*actions)[0].index, b_key_);
+  EXPECT_GT((*actions)[0].build_seconds, 0.0);
+  EXPECT_NEAR((*actions)[0].build_seconds, scheduler.BuildSeconds(b_key_),
+              1e-12);
+  EXPECT_TRUE(scheduler.materialized().Contains(b_key_));
+  EXPECT_EQ(scheduler.MaterializedBytes(),
+            catalog_.index(b_key_).size_bytes);
+}
+
+TEST_F(SchedulerTest, DropIsFree) {
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr);
+  IndexConfiguration desired;
+  desired.Add(b_key_);
+  ASSERT_TRUE(scheduler.ApplyConfiguration(desired).ok());
+  auto actions = scheduler.ApplyConfiguration({});
+  ASSERT_TRUE(actions.ok());
+  ASSERT_EQ(actions->size(), 1u);
+  EXPECT_EQ((*actions)[0].type, IndexActionType::kDrop);
+  EXPECT_DOUBLE_EQ((*actions)[0].build_seconds, 0.0);
+  EXPECT_TRUE(scheduler.materialized().empty());
+}
+
+TEST_F(SchedulerTest, NoOpProducesNoActions) {
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr);
+  IndexConfiguration desired;
+  desired.Add(b_key_);
+  ASSERT_TRUE(scheduler.ApplyConfiguration(desired).ok());
+  auto actions = scheduler.ApplyConfiguration(desired);
+  ASSERT_TRUE(actions.ok());
+  EXPECT_TRUE(actions->empty());
+}
+
+TEST_F(SchedulerTest, MixedTransition) {
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr);
+  IndexConfiguration first;
+  first.Add(b_key_);
+  ASSERT_TRUE(scheduler.ApplyConfiguration(first).ok());
+  IndexConfiguration second;
+  second.Add(s_val_);
+  auto actions = scheduler.ApplyConfiguration(second);
+  ASSERT_TRUE(actions.ok());
+  ASSERT_EQ(actions->size(), 2u);
+  EXPECT_EQ((*actions)[0].type, IndexActionType::kDrop);
+  EXPECT_EQ((*actions)[1].type, IndexActionType::kMaterialize);
+}
+
+TEST_F(SchedulerTest, BuildTimeScalesWithTable) {
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr);
+  EXPECT_GT(scheduler.BuildSeconds(b_key_),
+            scheduler.BuildSeconds(s_val_) * 10);
+}
+
+TEST_F(SchedulerTest, PhysicalModeBuildsRealTrees) {
+  Database db(MakeTestCatalog(), 7);
+  ASSERT_TRUE(db.MaterializeAll().ok());
+  const IndexId key =
+      db.mutable_catalog().IndexOn(Ref(db.catalog(), "big", "b_key"))->id;
+  Scheduler scheduler(&db.catalog(), &cost_model_, &db);
+  IndexConfiguration desired;
+  desired.Add(key);
+  ASSERT_TRUE(scheduler.ApplyConfiguration(desired).ok());
+  EXPECT_TRUE(db.HasBuiltIndex(key));
+  ASSERT_TRUE(scheduler.ApplyConfiguration({}).ok());
+  EXPECT_FALSE(db.HasBuiltIndex(key));
+}
+
+TEST_F(SchedulerTest, PhysicalModeFailsWithoutData) {
+  Database db(MakeTestCatalog(), 7);  // tables not materialized
+  const IndexId key =
+      db.mutable_catalog().IndexOn(Ref(db.catalog(), "big", "b_key"))->id;
+  Scheduler scheduler(&db.catalog(), &cost_model_, &db);
+  IndexConfiguration desired;
+  desired.Add(key);
+  EXPECT_FALSE(scheduler.ApplyConfiguration(desired).ok());
+}
+
+
+TEST_F(SchedulerTest, IdleTimeQueuesBuilds) {
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr,
+                      SchedulingStrategy::kIdleTime);
+  IndexConfiguration desired;
+  desired.Add(b_key_);
+  auto actions = scheduler.ApplyConfiguration(desired);
+  ASSERT_TRUE(actions.ok());
+  EXPECT_TRUE(actions->empty());  // nothing happens synchronously
+  EXPECT_FALSE(scheduler.materialized().Contains(b_key_));
+  EXPECT_EQ(scheduler.PendingBuilds(), (std::vector<IndexId>{b_key_}));
+}
+
+TEST_F(SchedulerTest, IdleTimeProgressesAndCompletes) {
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr,
+                      SchedulingStrategy::kIdleTime);
+  IndexConfiguration desired;
+  desired.Add(s_val_);
+  ASSERT_TRUE(scheduler.ApplyConfiguration(desired).ok());
+  const double build = scheduler.BuildSeconds(s_val_);
+  // Half the idle time: not done yet.
+  auto half = scheduler.OnIdle(build / 2);
+  ASSERT_TRUE(half.ok());
+  EXPECT_TRUE(half->empty());
+  EXPECT_FALSE(scheduler.materialized().Contains(s_val_));
+  // The rest completes it, at zero charged cost.
+  auto rest = scheduler.OnIdle(build);
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->size(), 1u);
+  EXPECT_EQ((*rest)[0].index, s_val_);
+  EXPECT_DOUBLE_EQ((*rest)[0].build_seconds, 0.0);
+  EXPECT_TRUE(scheduler.materialized().Contains(s_val_));
+  EXPECT_TRUE(scheduler.PendingBuilds().empty());
+}
+
+TEST_F(SchedulerTest, IdleTimeCancelsUnwantedBuilds) {
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr,
+                      SchedulingStrategy::kIdleTime);
+  IndexConfiguration desired;
+  desired.Add(b_key_);
+  ASSERT_TRUE(scheduler.ApplyConfiguration(desired).ok());
+  ASSERT_EQ(scheduler.PendingBuilds().size(), 1u);
+  // The Self-Organizer changes its mind before the build completes.
+  ASSERT_TRUE(scheduler.ApplyConfiguration({}).ok());
+  EXPECT_TRUE(scheduler.PendingBuilds().empty());
+  auto done = scheduler.OnIdle(1e9);
+  ASSERT_TRUE(done.ok());
+  EXPECT_TRUE(done->empty());
+}
+
+TEST_F(SchedulerTest, IdleTimeFifoOrder) {
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr,
+                      SchedulingStrategy::kIdleTime);
+  IndexConfiguration desired;
+  desired.Add(b_key_);
+  desired.Add(s_val_);
+  ASSERT_TRUE(scheduler.ApplyConfiguration(desired).ok());
+  ASSERT_EQ(scheduler.PendingBuilds().size(), 2u);
+  // Enough idle time for the first queued build only.
+  auto done = scheduler.OnIdle(scheduler.BuildSeconds(b_key_));
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->size(), 1u);
+  EXPECT_EQ((*done)[0].index, b_key_);
+  EXPECT_EQ(scheduler.PendingBuilds(), (std::vector<IndexId>{s_val_}));
+}
+
+}  // namespace
+}  // namespace colt

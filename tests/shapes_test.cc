@@ -1,0 +1,203 @@
+/// Regression tests for the paper-reproduction *shapes* (EXPERIMENTS.md):
+/// each experiment's qualitative claim is asserted at full experiment scale
+/// (the simulator is fast enough to run them all inside ctest).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/workloads.h"
+#include "storage/tpch_schema.h"
+
+namespace colt {
+namespace {
+
+class ShapesTest : public ::testing::Test {
+ protected:
+  ShapesTest() : catalog_(MakeTpchCatalog()) {}
+
+  int64_t BudgetFor(const std::vector<Query>& sample) {
+    QueryOptimizer probe(&catalog_);
+    OfflineTuner miner(&catalog_, &probe);
+    auto relevant = miner.MineRelevantIndexes(sample);
+    EXPECT_TRUE(relevant.ok());
+    return BudgetForIndexes(catalog_, relevant.value(), 4.0);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ShapesTest, Fig3StableWorkloadConvergesToOffline) {
+  const QueryDistribution dist = ExperimentWorkloads::Focused(&catalog_, 0);
+  WorkloadGenerator gen(&catalog_, 1234);
+  std::vector<Query> workload;
+  for (int i = 0; i < 500; ++i) workload.push_back(gen.Sample(dist));
+  const int64_t budget = BudgetFor(workload);
+
+  ColtConfig config;
+  config.storage_budget_bytes = budget;
+  const ColtRunResult colt_run = RunColtWorkload(&catalog_, workload, config);
+  auto offline = RunOfflineWorkload(&catalog_, workload, workload, budget);
+  ASSERT_TRUE(offline.ok());
+
+  // Paper: after query 100, COLT within ~1% of OFFLINE. We allow 12%:
+  // our substrate's bitmap scans create more viable configurations, so
+  // corrective swaps extend to ~query 300 (see EXPERIMENTS.md).
+  double colt_tail = 0, off_tail = 0;
+  for (int i = 100; i < 500; ++i) {
+    colt_tail += colt_run.per_query[i].total();
+    off_tail += offline->per_query_seconds[i];
+  }
+  EXPECT_LT(colt_tail, off_tail * 1.12);
+  // ... and the last 150 queries are genuinely converged.
+  double colt_end = 0, off_end = 0;
+  for (int i = 350; i < 500; ++i) {
+    colt_end += colt_run.per_query[i].total();
+    off_end += offline->per_query_seconds[i];
+  }
+  EXPECT_LT(colt_end, off_end * 1.05);
+  // ... and the early overhead exists: bucket 1 is meaningfully slower.
+  double colt_head = 0, off_head = 0;
+  for (int i = 0; i < 50; ++i) {
+    colt_head += colt_run.per_query[i].total();
+    off_head += offline->per_query_seconds[i];
+  }
+  EXPECT_GT(colt_head, off_head * 1.10);
+}
+
+TEST_F(ShapesTest, Fig4ShiftingWorkloadColtBeatsOffline) {
+  const auto dists = ExperimentWorkloads::ShiftingPhases(&catalog_);
+  std::vector<WorkloadPhase> phases;
+  for (const auto& d : dists) phases.push_back({d, 300});
+  WorkloadGenerator gen(&catalog_, 99);
+  std::vector<int> phase_of_query;
+  const std::vector<Query> workload =
+      GeneratePhasedWorkload(gen, phases, 50, &phase_of_query);
+
+  WorkloadGenerator sample_gen(&catalog_, 1234);
+  std::vector<Query> sample;
+  for (const auto& d : dists) {
+    for (int i = 0; i < 200; ++i) sample.push_back(sample_gen.Sample(d));
+  }
+  const int64_t budget = BudgetFor(sample);
+
+  ColtConfig config;
+  config.storage_budget_bytes = budget;
+  const ColtRunResult colt_run = RunColtWorkload(&catalog_, workload, config);
+  auto offline = RunOfflineWorkload(&catalog_, workload, workload, budget);
+  ASSERT_TRUE(offline.ok());
+
+  // Paper: 33% overall reduction. Assert COLT wins by at least 10%.
+  EXPECT_LT(colt_run.total_seconds(), offline->total_seconds * 0.90);
+
+  // And COLT wins every post-warm-up phase (2-4).
+  double colt_phase[4] = {0, 0, 0, 0}, off_phase[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < workload.size(); ++i) {
+    colt_phase[phase_of_query[i]] += colt_run.per_query[i].total();
+    off_phase[phase_of_query[i]] += offline->per_query_seconds[i];
+  }
+  for (int p = 1; p < 4; ++p) {
+    EXPECT_LT(colt_phase[p], off_phase[p]) << "phase " << p + 1;
+  }
+}
+
+TEST_F(ShapesTest, Fig5OverheadSelfRegulates) {
+  const auto dists = ExperimentWorkloads::ShiftingPhases(&catalog_);
+  std::vector<WorkloadPhase> phases;
+  for (const auto& d : dists) phases.push_back({d, 300});
+  WorkloadGenerator gen(&catalog_, 99);
+  const std::vector<Query> workload = GeneratePhasedWorkload(gen, phases, 50);
+
+  WorkloadGenerator sample_gen(&catalog_, 1234);
+  std::vector<Query> sample;
+  for (const auto& d : dists) {
+    for (int i = 0; i < 200; ++i) sample.push_back(sample_gen.Sample(d));
+  }
+  ColtConfig config;
+  config.storage_budget_bytes = BudgetFor(sample);
+  const ColtRunResult run = RunColtWorkload(&catalog_, workload, config);
+
+  // Budget respected everywhere; average use far below the cap.
+  int64_t total_calls = 0;
+  for (const auto& e : run.epochs) {
+    EXPECT_LE(e.whatif_used, config.max_whatif_per_epoch);
+    total_calls += e.whatif_used;
+  }
+  const double avg =
+      static_cast<double>(total_calls) / static_cast<double>(run.epochs.size());
+  EXPECT_LT(avg, config.max_whatif_per_epoch / 2.0);
+
+  // Profiling activity concentrates near transitions: the 6 epochs after
+  // each phase change average more calls than the stable mid-phase epochs.
+  auto epoch_calls = [&](int epoch) {
+    return (epoch >= 0 && epoch < static_cast<int>(run.epochs.size()))
+               ? run.epochs[epoch].whatif_used
+               : 0;
+  };
+  double transition_calls = 0, stable_calls = 0;
+  int transition_n = 0, stable_n = 0;
+  for (int t : {30, 65, 100}) {  // first epochs of each transition
+    for (int e = t; e < t + 6; ++e) {
+      transition_calls += epoch_calls(e);
+      ++transition_n;
+    }
+  }
+  for (int m : {20, 55, 90, 125}) {  // deep inside each phase
+    for (int e = m; e < m + 6; ++e) {
+      stable_calls += epoch_calls(e);
+      ++stable_n;
+    }
+  }
+  EXPECT_GT(transition_calls / transition_n, stable_calls / stable_n);
+}
+
+TEST_F(ShapesTest, Fig6NoiseUShapeEndpoints) {
+  const QueryDistribution q1 = ExperimentWorkloads::NoiseBase(&catalog_);
+  const QueryDistribution q2 = ExperimentWorkloads::NoiseBurst(&catalog_);
+  WorkloadGenerator sample_gen(&catalog_, 1234);
+  std::vector<Query> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(sample_gen.Sample(q1));
+  const int64_t budget = BudgetFor(sample);
+
+  auto ratio_for_burst = [&](int burst) {
+    double colt_total = 0, off_total = 0;
+    for (int s = 0; s < 3; ++s) {
+      WorkloadGenerator gen(&catalog_, 555 + burst + 7919 * s);
+      std::vector<bool> is_noise;
+      const std::vector<Query> workload = GenerateNoisyWorkload(
+          gen, q1, q2, 500, 100, burst, 0.20, 2, &is_noise);
+      ColtConfig config;
+      config.storage_budget_bytes = budget;
+      const ColtRunResult run =
+          RunColtWorkload(&catalog_, workload, config, {}, 7 + s);
+      std::vector<Query> q1_only;
+      for (size_t i = 0; i < workload.size(); ++i) {
+        if (!is_noise[i]) q1_only.push_back(workload[i]);
+      }
+      auto offline = RunOfflineWorkload(&catalog_, workload, q1_only, budget);
+      EXPECT_TRUE(offline.ok());
+      for (size_t i = 100; i < workload.size(); ++i) {
+        colt_total += run.per_query[i].total();
+        off_total += offline->per_query_seconds[i];
+      }
+    }
+    return colt_total / off_total;
+  };
+
+  const double short_burst = ratio_for_burst(20);
+  const double mid_burst = ratio_for_burst(50);
+  const double long_burst = ratio_for_burst(90);
+  // U-shape: both endpoints beat the middle; nothing catastrophic anywhere.
+  EXPECT_LT(short_burst, mid_burst);
+  EXPECT_LT(long_burst, mid_burst);
+  EXPECT_LT(mid_burst, 1.35);
+  EXPECT_LT(short_burst, 1.15);
+  EXPECT_LT(long_burst, 1.15);
+}
+
+TEST_F(ShapesTest, Table1CharacteristicsExact) {
+  EXPECT_EQ(catalog_.table_count(), 32);
+  EXPECT_EQ(catalog_.total_rows(), 6'928'120);
+  EXPECT_EQ(catalog_.total_indexable_columns(), 244);
+}
+
+}  // namespace
+}  // namespace colt

@@ -1,0 +1,57 @@
+#ifndef COLT_TESTS_TEST_UTIL_H_
+#define COLT_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+#include "query/workload.h"
+
+namespace colt {
+namespace testing {
+
+/// A small two-table catalog for unit tests: "big" (100k rows, 4 columns)
+/// and "small" (1k rows, 3 columns). Column value domains are uniform.
+inline Catalog MakeTestCatalog() {
+  Catalog catalog;
+  catalog.AddTable(TableSchema(
+      "big",
+      {
+          {"b_id", ColumnType::kInt64, 8, 100'000, true},
+          {"b_key", ColumnType::kInt64, 8, 10'000, true},
+          {"b_val", ColumnType::kInt64, 8, 1'000, true},
+          {"b_cat", ColumnType::kInt64, 4, 50, true},
+      },
+      100'000));
+  catalog.AddTable(TableSchema(
+      "small",
+      {
+          {"s_id", ColumnType::kInt64, 8, 1'000, true},
+          {"s_ref", ColumnType::kInt64, 8, 1'000, true},
+          {"s_val", ColumnType::kInt64, 8, 100, true},
+      },
+      1'000));
+  return catalog;
+}
+
+/// Column reference by names; aborts on unknown names.
+inline ColumnRef Ref(const Catalog& catalog, const std::string& table,
+                     const std::string& column) {
+  const TableId t = catalog.FindTable(table);
+  const ColumnId c = catalog.table(t).FindColumn(column);
+  return ColumnRef{t, c};
+}
+
+/// Single-table query with one range predicate.
+inline Query MakeRangeQuery(const Catalog& catalog, const std::string& table,
+                            const std::string& column, int64_t lo,
+                            int64_t hi) {
+  return Query({catalog.FindTable(table)}, {},
+               {SelectionPredicate{Ref(catalog, table, column), lo, hi}});
+}
+
+}  // namespace testing
+}  // namespace colt
+
+#endif  // COLT_TESTS_TEST_UTIL_H_

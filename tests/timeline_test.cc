@@ -1,0 +1,96 @@
+#include "harness/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace colt {
+namespace {
+
+TEST(Timeline, EmptySummary) {
+  Timeline timeline;
+  const LatencySummary s = timeline.Summarize();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.total, 0.0);
+  EXPECT_DOUBLE_EQ(timeline.Percentile(50), 0.0);
+}
+
+TEST(Timeline, SingleSample) {
+  Timeline timeline;
+  timeline.Record(3.5);
+  const LatencySummary s = timeline.Summarize();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.p50, 3.5);
+  EXPECT_DOUBLE_EQ(s.p99, 3.5);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Timeline, KnownPercentiles) {
+  Timeline timeline;
+  for (int i = 1; i <= 100; ++i) timeline.Record(i);  // 1..100
+  EXPECT_NEAR(timeline.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(timeline.Percentile(99), 99.01, 0.01);
+  EXPECT_NEAR(timeline.Percentile(100), 100.0, 1e-12);
+  const LatencySummary s = timeline.Summarize();
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.total, 5050.0);
+}
+
+TEST(Timeline, PercentilesMonotone) {
+  Timeline timeline;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) timeline.Record(rng.NextDouble() * 10);
+  double prev = 0.0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double v = timeline.Percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Timeline, SummarizeRangeIsolatesWindow) {
+  Timeline timeline;
+  for (int i = 0; i < 10; ++i) timeline.Record(100.0);  // warm-up spike
+  for (int i = 0; i < 10; ++i) timeline.Record(1.0);    // steady state
+  const LatencySummary head = timeline.SummarizeRange(0, 10);
+  const LatencySummary tail = timeline.SummarizeRange(10, 20);
+  EXPECT_DOUBLE_EQ(head.mean, 100.0);
+  EXPECT_DOUBLE_EQ(tail.mean, 1.0);
+  // Out-of-bounds clamped.
+  EXPECT_EQ(timeline.SummarizeRange(15, 99).count, 5);
+  EXPECT_EQ(timeline.SummarizeRange(30, 40).count, 0);
+}
+
+TEST(Timeline, MovingAverageConverges) {
+  Timeline timeline;
+  for (int i = 0; i < 50; ++i) timeline.Record(i < 10 ? 10.0 : 2.0);
+  const std::vector<double> ma = timeline.MovingAverage(5);
+  ASSERT_EQ(ma.size(), 50u);
+  EXPECT_DOUBLE_EQ(ma[0], 10.0);
+  EXPECT_DOUBLE_EQ(ma[4], 10.0);
+  EXPECT_DOUBLE_EQ(ma[49], 2.0);
+  // Transition region averages in between.
+  EXPECT_GT(ma[11], 2.0);
+  EXPECT_LT(ma[11], 10.0);
+}
+
+TEST(Timeline, MovingAverageWindowOne) {
+  Timeline timeline;
+  timeline.RecordAll({1.0, 2.0, 3.0});
+  EXPECT_EQ(timeline.MovingAverage(1), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Timeline, ToStringContainsFields) {
+  Timeline timeline;
+  timeline.RecordAll({1.0, 2.0, 3.0, 4.0});
+  const std::string s = timeline.Summarize().ToString();
+  EXPECT_NE(s.find("n=4"), std::string::npos);
+  EXPECT_NE(s.find("p95="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace colt

@@ -1,0 +1,280 @@
+#include "query/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/workloads.h"
+#include "storage/tpch_schema.h"
+#include "test_util.h"
+
+namespace colt {
+namespace {
+
+using ::colt::testing::MakeTestCatalog;
+using ::colt::testing::Ref;
+
+QueryTemplate SimpleTemplate(const Catalog& catalog, double min_sel,
+                             double max_sel) {
+  QueryTemplate t;
+  t.name = "t";
+  t.tables = {catalog.FindTable("big")};
+  SelectionSpec spec;
+  spec.column = Ref(catalog, "big", "b_key");
+  spec.min_selectivity = min_sel;
+  spec.max_selectivity = max_sel;
+  t.selections = {spec};
+  return t;
+}
+
+/// Property: instantiated predicates hit the requested selectivity range.
+class InstantiateSelectivityTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(InstantiateSelectivityTest, WithinSpec) {
+  Catalog catalog = MakeTestCatalog();
+  const auto [lo, hi] = GetParam();
+  WorkloadGenerator gen(&catalog, 17);
+  const QueryTemplate tmpl = SimpleTemplate(catalog, lo, hi);
+  for (int i = 0; i < 200; ++i) {
+    const Query q = gen.Instantiate(tmpl);
+    ASSERT_EQ(q.selections().size(), 1u);
+    const double sel = EstimateSelectivity(catalog, q.selections()[0]);
+    // Rounding to integer domain bounds allows slight overshoot.
+    EXPECT_GE(sel, lo * 0.4);
+    EXPECT_LE(sel, hi * 1.6 + 1e-3);
+    EXPECT_TRUE(q.Validate(catalog).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, InstantiateSelectivityTest,
+    ::testing::Values(std::make_pair(0.001, 0.01), std::make_pair(0.01, 0.05),
+                      std::make_pair(0.05, 0.2), std::make_pair(0.3, 0.6)));
+
+TEST(WorkloadGenerator, EqualityPredicates) {
+  Catalog catalog = MakeTestCatalog();
+  WorkloadGenerator gen(&catalog, 21);
+  QueryTemplate tmpl = SimpleTemplate(catalog, 0, 0);
+  tmpl.selections[0].equality = true;
+  for (int i = 0; i < 50; ++i) {
+    const Query q = gen.Instantiate(tmpl);
+    EXPECT_TRUE(q.selections()[0].is_equality());
+  }
+}
+
+TEST(WorkloadGenerator, QueryIdsIncrease) {
+  Catalog catalog = MakeTestCatalog();
+  WorkloadGenerator gen(&catalog, 23);
+  const QueryTemplate tmpl = SimpleTemplate(catalog, 0.01, 0.05);
+  const Query q1 = gen.Instantiate(tmpl);
+  const Query q2 = gen.Instantiate(tmpl);
+  EXPECT_LT(q1.id(), q2.id());
+}
+
+TEST(WorkloadGenerator, SampleRespectsWeights) {
+  Catalog catalog = MakeTestCatalog();
+  WorkloadGenerator gen(&catalog, 29);
+  QueryDistribution dist;
+  dist.name = "d";
+  dist.templates = {SimpleTemplate(catalog, 0.001, 0.002),
+                    SimpleTemplate(catalog, 0.4, 0.5)};
+  dist.templates[1].tables = {catalog.FindTable("small")};
+  dist.templates[1].selections[0].column = Ref(catalog, "small", "s_val");
+  dist.weights = {9.0, 1.0};
+  int first = 0;
+  const int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    const Query q = gen.Sample(dist);
+    if (q.tables()[0] == catalog.FindTable("big")) ++first;
+  }
+  EXPECT_NEAR(first / static_cast<double>(kDraws), 0.9, 0.03);
+}
+
+TEST(QueryDistribution, RelevantColumnsDeduplicated) {
+  Catalog catalog = MakeTestCatalog();
+  QueryDistribution dist;
+  dist.templates = {SimpleTemplate(catalog, 0.1, 0.2),
+                    SimpleTemplate(catalog, 0.3, 0.4)};
+  dist.weights = {1, 1};
+  EXPECT_EQ(dist.RelevantColumns().size(), 1u);
+}
+
+TEST(PhasedWorkload, LengthAndPhaseLabels) {
+  Catalog catalog = MakeTestCatalog();
+  WorkloadGenerator gen(&catalog, 31);
+  QueryDistribution d1, d2;
+  d1.templates = {SimpleTemplate(catalog, 0.001, 0.01)};
+  d1.weights = {1.0};
+  d2 = d1;
+  d2.templates[0].selections[0].column = Ref(catalog, "big", "b_val");
+  std::vector<WorkloadPhase> phases = {{d1, 100}, {d2, 100}};
+  std::vector<int> labels;
+  const auto workload = GeneratePhasedWorkload(gen, phases, 20, &labels);
+  EXPECT_EQ(workload.size(), 220u);
+  EXPECT_EQ(labels.size(), 220u);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[99], 0);
+  EXPECT_EQ(labels[219], 1);
+  // Transition labels are split between adjacent phases.
+  EXPECT_EQ(labels[100], 0);
+  EXPECT_EQ(labels[119], 1);
+}
+
+TEST(PhasedWorkload, TransitionBlendsDistributions) {
+  Catalog catalog = MakeTestCatalog();
+  WorkloadGenerator gen(&catalog, 37);
+  QueryDistribution d1, d2;
+  d1.templates = {SimpleTemplate(catalog, 0.001, 0.01)};
+  d1.weights = {1.0};
+  d2.templates = {SimpleTemplate(catalog, 0.001, 0.01)};
+  d2.templates[0].tables = {catalog.FindTable("small")};
+  d2.templates[0].selections[0].column = Ref(catalog, "small", "s_val");
+  d2.weights = {1.0};
+  std::vector<WorkloadPhase> phases = {{d1, 50}, {d2, 50}};
+  const auto workload = GeneratePhasedWorkload(gen, phases, 100);
+  // Within the long transition, both tables appear.
+  int from_d2 = 0;
+  for (size_t i = 50; i < 150; ++i) {
+    if (workload[i].tables()[0] == catalog.FindTable("small")) ++from_d2;
+  }
+  EXPECT_GT(from_d2, 20);
+  EXPECT_LT(from_d2, 80);
+}
+
+TEST(NoisyWorkload, FractionAndBursts) {
+  Catalog catalog = MakeTestCatalog();
+  WorkloadGenerator gen(&catalog, 41);
+  QueryDistribution base, noise;
+  base.templates = {SimpleTemplate(catalog, 0.001, 0.01)};
+  base.weights = {1.0};
+  noise.templates = {SimpleTemplate(catalog, 0.001, 0.01)};
+  noise.templates[0].tables = {catalog.FindTable("small")};
+  noise.templates[0].selections[0].column = Ref(catalog, "small", "s_val");
+  noise.weights = {1.0};
+
+  std::vector<bool> is_noise;
+  const auto workload = GenerateNoisyWorkload(gen, base, noise, 500, 100, 25,
+                                              0.2, 2, &is_noise);
+  ASSERT_EQ(workload.size(), is_noise.size());
+  // First 100 queries are pure base.
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(is_noise[i]);
+  // Noise fraction ~20%.
+  int noisy = 0;
+  for (bool b : is_noise) noisy += b ? 1 : 0;
+  EXPECT_NEAR(noisy / static_cast<double>(workload.size()), 0.2, 0.05);
+  // Noise occurs in contiguous bursts of exactly the requested length.
+  int run = 0, bursts = 0;
+  for (size_t i = 0; i < is_noise.size(); ++i) {
+    if (is_noise[i]) {
+      ++run;
+    } else if (run > 0) {
+      EXPECT_EQ(run, 25);
+      ++bursts;
+      run = 0;
+    }
+  }
+  if (run > 0) ++bursts;
+  EXPECT_GE(bursts, 2);
+}
+
+TEST(ExperimentWorkloads, FocusedHas18RelevantColumns) {
+  Catalog catalog = MakeTpchCatalog();
+  const QueryDistribution dist =
+      ExperimentWorkloads::Focused(&catalog, 0);
+  EXPECT_EQ(dist.RelevantColumns().size(), 18u);
+  ASSERT_EQ(dist.templates.size(), dist.weights.size());
+  // All queries instantiate and validate.
+  WorkloadGenerator gen(&catalog, 43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(gen.Sample(dist).Validate(catalog).ok());
+  }
+}
+
+TEST(ExperimentWorkloads, ShiftingPhasesShareRelevantPool) {
+  Catalog catalog = MakeTpchCatalog();
+  const auto phases = ExperimentWorkloads::ShiftingPhases(&catalog);
+  ASSERT_EQ(phases.size(), 4u);
+  // Union of relevant columns stays bounded (the paper's fixed pool of 18).
+  std::vector<ColumnRef> all;
+  for (const auto& p : phases) {
+    const auto cols = p.RelevantColumns();
+    all.insert(all.end(), cols.begin(), cols.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  EXPECT_GE(all.size(), 15u);
+  EXPECT_LE(all.size(), 18u);
+  // Adjacent phases overlap.
+  for (int p = 0; p + 1 < 4; ++p) {
+    const auto a = phases[p].RelevantColumns();
+    const auto b = phases[p + 1].RelevantColumns();
+    std::vector<ColumnRef> common;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(common));
+    EXPECT_FALSE(common.empty()) << "phases " << p << " and " << p + 1;
+  }
+}
+
+TEST(ExperimentWorkloads, NoiseDistributionsDisjoint) {
+  Catalog catalog = MakeTpchCatalog();
+  const auto q1 = ExperimentWorkloads::NoiseBase(&catalog).RelevantColumns();
+  const auto q2 = ExperimentWorkloads::NoiseBurst(&catalog).RelevantColumns();
+  std::vector<ColumnRef> common;
+  std::set_intersection(q1.begin(), q1.end(), q2.begin(), q2.end(),
+                        std::back_inserter(common));
+  EXPECT_TRUE(common.empty());
+}
+
+
+TEST(MultiClientWorkload, LengthAndShares) {
+  Catalog catalog = MakeTestCatalog();
+  WorkloadGenerator gen(&catalog, 47);
+  QueryDistribution d1, d2;
+  d1.templates = {SimpleTemplate(catalog, 0.001, 0.01)};
+  d1.weights = {1.0};
+  d2.templates = {SimpleTemplate(catalog, 0.001, 0.01)};
+  d2.templates[0].tables = {catalog.FindTable("small")};
+  d2.templates[0].selections[0].column = Ref(catalog, "small", "s_val");
+  d2.weights = {1.0};
+
+  ClientSpec heavy;
+  heavy.phases = {{d1, 50}};
+  heavy.rate = 3.0;
+  ClientSpec light;
+  light.phases = {{d2, 50}};
+  light.rate = 1.0;
+
+  std::vector<int> client_of_query;
+  const auto workload = GenerateMultiClientWorkload(
+      gen, {heavy, light}, 2000, &client_of_query);
+  ASSERT_EQ(workload.size(), 2000u);
+  ASSERT_EQ(client_of_query.size(), 2000u);
+  int heavy_count = 0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const bool from_heavy = client_of_query[i] == 0;
+    heavy_count += from_heavy ? 1 : 0;
+    // The label matches the query's table.
+    EXPECT_EQ(workload[i].tables()[0],
+              from_heavy ? catalog.FindTable("big")
+                         : catalog.FindTable("small"));
+  }
+  EXPECT_NEAR(heavy_count / 2000.0, 0.75, 0.05);
+}
+
+TEST(MultiClientWorkload, SingleClientDegeneratesToPhased) {
+  Catalog catalog = MakeTestCatalog();
+  QueryDistribution d;
+  d.templates = {SimpleTemplate(catalog, 0.001, 0.01)};
+  d.weights = {1.0};
+  ClientSpec only;
+  only.phases = {{d, 30}};
+  only.transition_length = 0;
+  WorkloadGenerator gen(&catalog, 53);
+  const auto workload = GenerateMultiClientWorkload(gen, {only}, 100);
+  EXPECT_EQ(workload.size(), 100u);
+  for (const auto& q : workload) {
+    EXPECT_TRUE(q.Validate(catalog).ok());
+  }
+}
+
+}  // namespace
+}  // namespace colt

@@ -1,0 +1,22 @@
+# Gnuplot script for the CSVs produced with COLT_CSV_DIR (see EXPERIMENTS.md):
+#   COLT_CSV_DIR=out ./build/bench/fig3_stable
+#   COLT_CSV_DIR=out ./build/bench/fig5_overhead
+#   gnuplot -e "dir='out'" tools/plot_figures.gp
+if (!exists("dir")) dir = "."
+set datafile separator ","
+set terminal pngcairo size 900,500
+set key top right
+
+set output dir."/fig3_per_query.png"
+set title "Fig. 3 — per-query time (stable workload)"
+set xlabel "query"
+set ylabel "seconds"
+plot dir."/fig3_per_query.csv" using 1:5 skip 1 with lines title "COLT", \
+     dir."/fig3_per_query.csv" using 1:6 skip 1 with lines title "OFFLINE"
+
+set output dir."/fig5_whatif.png"
+set title "Fig. 5 — what-if calls per epoch (self-regulated overhead)"
+set xlabel "epoch"
+set ylabel "what-if calls"
+plot dir."/fig5_epochs.csv" using 1:2 skip 1 with boxes title "used", \
+     dir."/fig5_epochs.csv" using 1:3 skip 1 with lines title "limit"
