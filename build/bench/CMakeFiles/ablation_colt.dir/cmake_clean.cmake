@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_colt.dir/ablation_colt.cc.o"
+  "CMakeFiles/ablation_colt.dir/ablation_colt.cc.o.d"
+  "ablation_colt"
+  "ablation_colt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_colt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interaction.dir/ablation_interaction.cc.o"
+  "CMakeFiles/ablation_interaction.dir/ablation_interaction.cc.o.d"
+  "ablation_interaction"
+  "ablation_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_comparison.dir/baseline_comparison.cc.o"
+  "CMakeFiles/baseline_comparison.dir/baseline_comparison.cc.o.d"
+  "baseline_comparison"
+  "baseline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiclient.dir/ext_multiclient.cc.o"
+  "CMakeFiles/ext_multiclient.dir/ext_multiclient.cc.o.d"
+  "ext_multiclient"
+  "ext_multiclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multicolumn.dir/ext_multicolumn.cc.o"
+  "CMakeFiles/ext_multicolumn.dir/ext_multicolumn.cc.o.d"
+  "ext_multicolumn"
+  "ext_multicolumn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multicolumn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stable.dir/fig3_stable.cc.o"
+  "CMakeFiles/fig3_stable.dir/fig3_stable.cc.o.d"
+  "fig3_stable"
+  "fig3_stable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_shifting.dir/fig4_shifting.cc.o"
+  "CMakeFiles/fig4_shifting.dir/fig4_shifting.cc.o.d"
+  "fig4_shifting"
+  "fig4_shifting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_shifting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_overhead.dir/fig5_overhead.cc.o"
+  "CMakeFiles/fig5_overhead.dir/fig5_overhead.cc.o.d"
+  "fig5_overhead"
+  "fig5_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

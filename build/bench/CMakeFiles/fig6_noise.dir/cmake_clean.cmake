@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_noise.dir/fig6_noise.cc.o"
+  "CMakeFiles/fig6_noise.dir/fig6_noise.cc.o.d"
+  "fig6_noise"
+  "fig6_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

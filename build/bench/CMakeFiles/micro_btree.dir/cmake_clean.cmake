@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_btree.dir/micro_btree.cc.o"
+  "CMakeFiles/micro_btree.dir/micro_btree.cc.o.d"
+  "micro_btree"
+  "micro_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_exec.dir/micro_exec.cc.o"
+  "CMakeFiles/micro_exec.dir/micro_exec.cc.o.d"
+  "micro_exec"
+  "micro_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

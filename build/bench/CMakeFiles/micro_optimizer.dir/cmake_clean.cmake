@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_optimizer.dir/micro_optimizer.cc.o"
+  "CMakeFiles/micro_optimizer.dir/micro_optimizer.cc.o.d"
+  "micro_optimizer"
+  "micro_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dataset.dir/table1_dataset.cc.o"
+  "CMakeFiles/table1_dataset.dir/table1_dataset.cc.o.d"
+  "table1_dataset"
+  "table1_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

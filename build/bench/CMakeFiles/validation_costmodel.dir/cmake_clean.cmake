@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_costmodel.dir/validation_costmodel.cc.o"
+  "CMakeFiles/validation_costmodel.dir/validation_costmodel.cc.o.d"
+  "validation_costmodel"
+  "validation_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colt_shell.dir/colt_shell.cpp.o"
+  "CMakeFiles/colt_shell.dir/colt_shell.cpp.o.d"
+  "colt_shell"
+  "colt_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colt_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

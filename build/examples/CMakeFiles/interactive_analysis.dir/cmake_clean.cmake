@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_analysis.dir/interactive_analysis.cpp.o"
+  "CMakeFiles/interactive_analysis.dir/interactive_analysis.cpp.o.d"
+  "interactive_analysis"
+  "interactive_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

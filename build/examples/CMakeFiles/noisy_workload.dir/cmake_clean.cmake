@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_workload.dir/noisy_workload.cpp.o"
+  "CMakeFiles/noisy_workload.dir/noisy_workload.cpp.o.d"
+  "noisy_workload"
+  "noisy_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

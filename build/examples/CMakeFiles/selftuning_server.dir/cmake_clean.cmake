@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selftuning_server.dir/selftuning_server.cpp.o"
+  "CMakeFiles/selftuning_server.dir/selftuning_server.cpp.o.d"
+  "selftuning_server"
+  "selftuning_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selftuning_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

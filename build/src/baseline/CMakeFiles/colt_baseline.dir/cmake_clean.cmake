@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colt_baseline.dir/offline_tuner.cc.o"
+  "CMakeFiles/colt_baseline.dir/offline_tuner.cc.o.d"
+  "CMakeFiles/colt_baseline.dir/reactive_tuner.cc.o"
+  "CMakeFiles/colt_baseline.dir/reactive_tuner.cc.o.d"
+  "libcolt_baseline.a"
+  "libcolt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcolt_baseline.a"
+)

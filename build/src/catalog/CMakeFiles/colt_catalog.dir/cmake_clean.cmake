@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colt_catalog.dir/catalog.cc.o"
+  "CMakeFiles/colt_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/colt_catalog.dir/column_stats.cc.o"
+  "CMakeFiles/colt_catalog.dir/column_stats.cc.o.d"
+  "libcolt_catalog.a"
+  "libcolt_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colt_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

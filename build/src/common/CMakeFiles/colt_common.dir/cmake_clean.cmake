@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colt_common.dir/logging.cc.o"
+  "CMakeFiles/colt_common.dir/logging.cc.o.d"
+  "CMakeFiles/colt_common.dir/stats.cc.o"
+  "CMakeFiles/colt_common.dir/stats.cc.o.d"
+  "CMakeFiles/colt_common.dir/status.cc.o"
+  "CMakeFiles/colt_common.dir/status.cc.o.d"
+  "libcolt_common.a"
+  "libcolt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

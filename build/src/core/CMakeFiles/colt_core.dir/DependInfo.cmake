@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidates.cc" "src/core/CMakeFiles/colt_core.dir/candidates.cc.o" "gcc" "src/core/CMakeFiles/colt_core.dir/candidates.cc.o.d"
+  "/root/repo/src/core/clustering.cc" "src/core/CMakeFiles/colt_core.dir/clustering.cc.o" "gcc" "src/core/CMakeFiles/colt_core.dir/clustering.cc.o.d"
+  "/root/repo/src/core/colt.cc" "src/core/CMakeFiles/colt_core.dir/colt.cc.o" "gcc" "src/core/CMakeFiles/colt_core.dir/colt.cc.o.d"
+  "/root/repo/src/core/forecasting.cc" "src/core/CMakeFiles/colt_core.dir/forecasting.cc.o" "gcc" "src/core/CMakeFiles/colt_core.dir/forecasting.cc.o.d"
+  "/root/repo/src/core/gain_stats.cc" "src/core/CMakeFiles/colt_core.dir/gain_stats.cc.o" "gcc" "src/core/CMakeFiles/colt_core.dir/gain_stats.cc.o.d"
+  "/root/repo/src/core/knapsack.cc" "src/core/CMakeFiles/colt_core.dir/knapsack.cc.o" "gcc" "src/core/CMakeFiles/colt_core.dir/knapsack.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/colt_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/colt_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/colt_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/colt_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/self_organizer.cc" "src/core/CMakeFiles/colt_core.dir/self_organizer.cc.o" "gcc" "src/core/CMakeFiles/colt_core.dir/self_organizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/colt_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/colt_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/colt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/colt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/colt_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colt_core.dir/candidates.cc.o"
+  "CMakeFiles/colt_core.dir/candidates.cc.o.d"
+  "CMakeFiles/colt_core.dir/clustering.cc.o"
+  "CMakeFiles/colt_core.dir/clustering.cc.o.d"
+  "CMakeFiles/colt_core.dir/colt.cc.o"
+  "CMakeFiles/colt_core.dir/colt.cc.o.d"
+  "CMakeFiles/colt_core.dir/forecasting.cc.o"
+  "CMakeFiles/colt_core.dir/forecasting.cc.o.d"
+  "CMakeFiles/colt_core.dir/gain_stats.cc.o"
+  "CMakeFiles/colt_core.dir/gain_stats.cc.o.d"
+  "CMakeFiles/colt_core.dir/knapsack.cc.o"
+  "CMakeFiles/colt_core.dir/knapsack.cc.o.d"
+  "CMakeFiles/colt_core.dir/profiler.cc.o"
+  "CMakeFiles/colt_core.dir/profiler.cc.o.d"
+  "CMakeFiles/colt_core.dir/scheduler.cc.o"
+  "CMakeFiles/colt_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/colt_core.dir/self_organizer.cc.o"
+  "CMakeFiles/colt_core.dir/self_organizer.cc.o.d"
+  "libcolt_core.a"
+  "libcolt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/colt_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/colt_exec.dir/executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/colt_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/colt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/colt_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/colt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/colt_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colt_exec.dir/executor.cc.o"
+  "CMakeFiles/colt_exec.dir/executor.cc.o.d"
+  "libcolt_exec.a"
+  "libcolt_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colt_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cc" "src/harness/CMakeFiles/colt_harness.dir/experiment.cc.o" "gcc" "src/harness/CMakeFiles/colt_harness.dir/experiment.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/harness/CMakeFiles/colt_harness.dir/report.cc.o" "gcc" "src/harness/CMakeFiles/colt_harness.dir/report.cc.o.d"
+  "/root/repo/src/harness/timeline.cc" "src/harness/CMakeFiles/colt_harness.dir/timeline.cc.o" "gcc" "src/harness/CMakeFiles/colt_harness.dir/timeline.cc.o.d"
+  "/root/repo/src/harness/workloads.cc" "src/harness/CMakeFiles/colt_harness.dir/workloads.cc.o" "gcc" "src/harness/CMakeFiles/colt_harness.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/colt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/colt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/colt_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/colt_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/colt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/colt_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/colt_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colt_harness.dir/experiment.cc.o"
+  "CMakeFiles/colt_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/colt_harness.dir/report.cc.o"
+  "CMakeFiles/colt_harness.dir/report.cc.o.d"
+  "CMakeFiles/colt_harness.dir/timeline.cc.o"
+  "CMakeFiles/colt_harness.dir/timeline.cc.o.d"
+  "CMakeFiles/colt_harness.dir/workloads.cc.o"
+  "CMakeFiles/colt_harness.dir/workloads.cc.o.d"
+  "libcolt_harness.a"
+  "libcolt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

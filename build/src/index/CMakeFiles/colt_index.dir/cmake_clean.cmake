@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colt_index.dir/btree.cc.o"
+  "CMakeFiles/colt_index.dir/btree.cc.o.d"
+  "libcolt_index.a"
+  "libcolt_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colt_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cost_model.cc" "src/optimizer/CMakeFiles/colt_optimizer.dir/cost_model.cc.o" "gcc" "src/optimizer/CMakeFiles/colt_optimizer.dir/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/colt_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/colt_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/optimizer/CMakeFiles/colt_optimizer.dir/plan.cc.o" "gcc" "src/optimizer/CMakeFiles/colt_optimizer.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/colt_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/colt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

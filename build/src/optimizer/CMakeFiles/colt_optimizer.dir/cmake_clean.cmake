@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colt_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/colt_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/colt_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/colt_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/colt_optimizer.dir/plan.cc.o"
+  "CMakeFiles/colt_optimizer.dir/plan.cc.o.d"
+  "libcolt_optimizer.a"
+  "libcolt_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colt_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

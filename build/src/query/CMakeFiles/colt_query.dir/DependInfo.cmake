@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/colt_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/colt_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/colt_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/colt_query.dir/query.cc.o.d"
+  "/root/repo/src/query/trace.cc" "src/query/CMakeFiles/colt_query.dir/trace.cc.o" "gcc" "src/query/CMakeFiles/colt_query.dir/trace.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/query/CMakeFiles/colt_query.dir/workload.cc.o" "gcc" "src/query/CMakeFiles/colt_query.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/colt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colt_query.dir/parser.cc.o"
+  "CMakeFiles/colt_query.dir/parser.cc.o.d"
+  "CMakeFiles/colt_query.dir/query.cc.o"
+  "CMakeFiles/colt_query.dir/query.cc.o.d"
+  "CMakeFiles/colt_query.dir/trace.cc.o"
+  "CMakeFiles/colt_query.dir/trace.cc.o.d"
+  "CMakeFiles/colt_query.dir/workload.cc.o"
+  "CMakeFiles/colt_query.dir/workload.cc.o.d"
+  "libcolt_query.a"
+  "libcolt_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colt_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/database.cc" "src/storage/CMakeFiles/colt_storage.dir/database.cc.o" "gcc" "src/storage/CMakeFiles/colt_storage.dir/database.cc.o.d"
+  "/root/repo/src/storage/table_data.cc" "src/storage/CMakeFiles/colt_storage.dir/table_data.cc.o" "gcc" "src/storage/CMakeFiles/colt_storage.dir/table_data.cc.o.d"
+  "/root/repo/src/storage/tpch_schema.cc" "src/storage/CMakeFiles/colt_storage.dir/tpch_schema.cc.o" "gcc" "src/storage/CMakeFiles/colt_storage.dir/tpch_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/colt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/colt_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colt_storage.dir/database.cc.o"
+  "CMakeFiles/colt_storage.dir/database.cc.o.d"
+  "CMakeFiles/colt_storage.dir/table_data.cc.o"
+  "CMakeFiles/colt_storage.dir/table_data.cc.o.d"
+  "CMakeFiles/colt_storage.dir/tpch_schema.cc.o"
+  "CMakeFiles/colt_storage.dir/tpch_schema.cc.o.d"
+  "libcolt_storage.a"
+  "libcolt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidates_test.dir/candidates_test.cc.o"
+  "CMakeFiles/candidates_test.dir/candidates_test.cc.o.d"
+  "candidates_test"
+  "candidates_test.pdb"
+  "candidates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

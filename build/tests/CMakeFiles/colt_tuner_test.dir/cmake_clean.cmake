@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colt_tuner_test.dir/colt_tuner_test.cc.o"
+  "CMakeFiles/colt_tuner_test.dir/colt_tuner_test.cc.o.d"
+  "colt_tuner_test"
+  "colt_tuner_test.pdb"
+  "colt_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colt_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

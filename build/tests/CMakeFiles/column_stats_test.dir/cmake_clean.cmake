@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_stats_test.dir/column_stats_test.cc.o"
+  "CMakeFiles/column_stats_test.dir/column_stats_test.cc.o.d"
+  "column_stats_test"
+  "column_stats_test.pdb"
+  "column_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

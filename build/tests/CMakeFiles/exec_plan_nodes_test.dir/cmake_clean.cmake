@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_plan_nodes_test.dir/exec_plan_nodes_test.cc.o"
+  "CMakeFiles/exec_plan_nodes_test.dir/exec_plan_nodes_test.cc.o.d"
+  "exec_plan_nodes_test"
+  "exec_plan_nodes_test.pdb"
+  "exec_plan_nodes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_plan_nodes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecasting_test.dir/forecasting_test.cc.o"
+  "CMakeFiles/forecasting_test.dir/forecasting_test.cc.o.d"
+  "forecasting_test"
+  "forecasting_test.pdb"
+  "forecasting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecasting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gain_stats_test.dir/gain_stats_test.cc.o"
+  "CMakeFiles/gain_stats_test.dir/gain_stats_test.cc.o.d"
+  "gain_stats_test"
+  "gain_stats_test.pdb"
+  "gain_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gain_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_dp_test.dir/join_dp_test.cc.o"
+  "CMakeFiles/join_dp_test.dir/join_dp_test.cc.o.d"
+  "join_dp_test"
+  "join_dp_test.pdb"
+  "join_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

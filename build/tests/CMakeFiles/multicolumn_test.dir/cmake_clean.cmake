@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicolumn_test.dir/multicolumn_test.cc.o"
+  "CMakeFiles/multicolumn_test.dir/multicolumn_test.cc.o.d"
+  "multicolumn_test"
+  "multicolumn_test.pdb"
+  "multicolumn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicolumn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_tuner_test.dir/offline_tuner_test.cc.o"
+  "CMakeFiles/offline_tuner_test.dir/offline_tuner_test.cc.o.d"
+  "offline_tuner_test"
+  "offline_tuner_test.pdb"
+  "offline_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

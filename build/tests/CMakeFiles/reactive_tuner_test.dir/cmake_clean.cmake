@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactive_tuner_test.dir/reactive_tuner_test.cc.o"
+  "CMakeFiles/reactive_tuner_test.dir/reactive_tuner_test.cc.o.d"
+  "reactive_tuner_test"
+  "reactive_tuner_test.pdb"
+  "reactive_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactive_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

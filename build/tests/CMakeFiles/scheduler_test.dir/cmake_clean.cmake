@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_test.dir/scheduler_test.cc.o"
+  "CMakeFiles/scheduler_test.dir/scheduler_test.cc.o.d"
+  "scheduler_test"
+  "scheduler_test.pdb"
+  "scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

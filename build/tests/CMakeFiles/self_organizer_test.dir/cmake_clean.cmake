@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_organizer_test.dir/self_organizer_test.cc.o"
+  "CMakeFiles/self_organizer_test.dir/self_organizer_test.cc.o.d"
+  "self_organizer_test"
+  "self_organizer_test.pdb"
+  "self_organizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_organizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for self_organizer_test.
+# This may be replaced when dependencies are built.

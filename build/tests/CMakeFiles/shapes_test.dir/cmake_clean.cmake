@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapes_test.dir/shapes_test.cc.o"
+  "CMakeFiles/shapes_test.dir/shapes_test.cc.o.d"
+  "shapes_test"
+  "shapes_test.pdb"
+  "shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

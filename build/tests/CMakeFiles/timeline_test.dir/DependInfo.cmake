@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/timeline_test.cc" "tests/CMakeFiles/timeline_test.dir/timeline_test.cc.o" "gcc" "tests/CMakeFiles/timeline_test.dir/timeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/colt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/colt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/colt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/colt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/colt_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/colt_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/colt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/colt_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/colt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
