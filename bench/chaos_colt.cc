@@ -1,0 +1,130 @@
+/// Chaos experiment: replays the Fig. 4 shifting workload under escalating
+/// fault rates and audits the robustness invariants after every query
+/// (budget fit, no quarantined index materialized, consistent catalog and
+/// byte accounting). A fault-free run establishes the baseline; the run at
+/// `index.build` rate 0.2 must finish with every invariant intact and a
+/// total time within 2x of fault-free. Exits non-zero on any violation.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/workloads.h"
+#include "storage/tpch_schema.h"
+
+namespace {
+
+struct Tier {
+  const char* label;
+  double build_fail;
+  double whatif_fail;
+  double budget_shrink;
+};
+
+}  // namespace
+
+int main() {
+  colt::Catalog catalog = colt::MakeTpchCatalog();
+  const std::vector<colt::QueryDistribution> dists =
+      colt::ExperimentWorkloads::ShiftingPhases(&catalog);
+
+  std::vector<colt::WorkloadPhase> phases;
+  for (const auto& d : dists) phases.push_back({d, 300});
+
+  colt::WorkloadGenerator gen(&catalog, /*seed=*/99);
+  const std::vector<colt::Query> workload =
+      colt::GeneratePhasedWorkload(gen, phases, /*transition_length=*/50,
+                                   /*phase_of_query=*/nullptr);
+  std::printf("Chaos run (Fig. 4 shifting workload): %zu queries\n\n",
+              workload.size());
+
+  // Same budget recipe as fig4_shifting.
+  colt::QueryOptimizer probe_opt(&catalog);
+  colt::OfflineTuner miner(&catalog, &probe_opt);
+  colt::WorkloadGenerator phase_gen(&catalog, 1234);
+  std::vector<colt::Query> mixed_sample;
+  for (const auto& d : dists) {
+    for (int i = 0; i < 200; ++i) mixed_sample.push_back(phase_gen.Sample(d));
+  }
+  auto relevant = miner.MineRelevantIndexes(mixed_sample);
+  if (!relevant.ok()) {
+    std::fprintf(stderr, "%s\n", relevant.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t budget =
+      colt::BudgetForIndexes(catalog, relevant.value(), 4.0);
+
+  const Tier tiers[] = {
+      {"fault-free", 0.0, 0.0, 0.0},
+      {"build 5%", 0.05, 0.0, 0.0},
+      {"build 10%", 0.10, 0.0, 0.0},
+      {"build 20%", 0.20, 0.0, 0.0},
+      {"build 40% + whatif 10%", 0.40, 0.10, 0.0},
+      {"build 20% + whatif 20% + shrink", 0.20, 0.20, 0.002},
+  };
+
+  std::printf("%-34s %10s %8s %8s %8s %8s %8s %6s\n", "tier", "total(s)",
+              "faults", "bfails", "quar", "degwi", "evict", "viol");
+
+  double fault_free_total = 0.0;
+  double rate20_total = 0.0;
+  bool rate20_ok = false;
+  int64_t total_violations = 0;
+
+  for (const Tier& tier : tiers) {
+    colt::ColtConfig config;
+    config.storage_budget_bytes = budget;
+    if (tier.build_fail > 0.0) {
+      config.fault.Fail(colt::fault_sites::kIndexBuild, tier.build_fail);
+    }
+    if (tier.whatif_fail > 0.0) {
+      config.fault.Fail(colt::fault_sites::kWhatIfOptimize,
+                        tier.whatif_fail);
+    }
+    if (tier.budget_shrink > 0.0) {
+      // Rare mid-run shrinks: each fire halves the remaining budget.
+      config.fault.Slow(colt::fault_sites::kBudgetShrink,
+                        tier.budget_shrink, 0.5);
+      config.fault.rules[colt::fault_sites::kBudgetShrink].max_fires = 2;
+    }
+
+    const colt::ChaosRunResult chaos =
+        colt::RunChaosWorkload(&catalog, workload, config);
+    const double total = chaos.run.total_seconds();
+    std::printf("%-34s %10.1f %8lld %8lld %8lld %8lld %8lld %6lld\n",
+                tier.label, total,
+                static_cast<long long>(chaos.injected_faults),
+                static_cast<long long>(chaos.build_failures),
+                static_cast<long long>(chaos.quarantine_events),
+                static_cast<long long>(chaos.degraded_whatif),
+                static_cast<long long>(chaos.emergency_evictions),
+                static_cast<long long>(chaos.violation_count));
+    for (const auto& v : chaos.violations) {
+      std::printf("    VIOLATION @q%d: %s\n", v.query_index,
+                  v.detail.c_str());
+    }
+    total_violations += chaos.violation_count;
+
+    if (tier.build_fail == 0.0 && tier.whatif_fail == 0.0) {
+      fault_free_total = total;
+    }
+    if (tier.build_fail == 0.20 && tier.whatif_fail == 0.0) {
+      rate20_total = total;
+      rate20_ok = chaos.ok();
+    }
+  }
+
+  std::printf("\nfault-free total: %.1f s; build-20%% total: %.1f s "
+              "(ratio %.2fx, bound 2.00x)\n",
+              fault_free_total, rate20_total,
+              fault_free_total > 0 ? rate20_total / fault_free_total : 0.0);
+
+  bool pass = total_violations == 0 && rate20_ok;
+  if (fault_free_total > 0 && rate20_total > 2.0 * fault_free_total) {
+    std::printf("FAIL: build-20%% run exceeds 2x the fault-free total\n");
+    pass = false;
+  }
+  std::printf("%s\n", pass ? "PASS: all robustness invariants held"
+                           : "FAIL: robustness invariants violated");
+  return pass ? 0 : 1;
+}

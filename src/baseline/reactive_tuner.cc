@@ -100,10 +100,17 @@ ReactiveStep ReactiveTuner::OnQuery(const Query& q) {
   if (!(desired == materialized)) {
     Result<std::vector<IndexAction>> actions =
         scheduler_.ApplyConfiguration(desired);
-    COLT_CHECK(actions.ok()) << actions.status().ToString();
-    for (auto& action : *actions) {
-      step.build_seconds += action.build_seconds;
-      step.actions.push_back(action);
+    if (actions.ok()) {
+      for (auto& action : *actions) {
+        step.build_seconds += action.build_seconds;
+        step.actions.push_back(action);
+      }
+    } else {
+      // Keep serving queries under the previous configuration rather than
+      // aborting the tuner on a substrate error.
+      COLT_LOG(Error) << "ApplyConfiguration failed: "
+                      << actions.status().ToString()
+                      << "; keeping previous configuration";
     }
   }
   return step;

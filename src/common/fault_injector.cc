@@ -1,0 +1,77 @@
+#include "common/fault_injector.h"
+
+#include <utility>
+
+namespace colt {
+
+namespace {
+
+/// FNV-1a over the site name; mixed with the config seed to key the
+/// per-site streams.
+uint64_t SiteHash(std::string_view site) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : site) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config)) {
+  enabled_ = config_.enabled && !config_.rules.empty();
+  if (!enabled_) return;
+  for (const auto& [site, rule] : config_.rules) {
+    SiteState state;
+    state.rule = rule;
+    state.rng.Seed(config_.seed ^ SiteHash(site));
+    sites_.emplace(site, std::move(state));
+  }
+}
+
+FaultInjector::SiteState* FaultInjector::Roll(std::string_view site) {
+  if (!enabled_) return nullptr;
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return nullptr;
+  SiteState& state = it->second;
+  ++state.checks;
+  if (state.rule.max_fires >= 0 && state.fires >= state.rule.max_fires) {
+    state.rng.NextDouble();  // keep the stream advancing check-for-check
+    return nullptr;
+  }
+  if (!state.rng.NextBool(state.rule.probability)) return nullptr;
+  ++state.fires;
+  ++total_fires_;
+  return &state;
+}
+
+bool FaultInjector::Fires(std::string_view site) {
+  return Roll(site) != nullptr;
+}
+
+Status FaultInjector::MaybeFail(std::string_view site) {
+  SiteState* state = Roll(site);
+  if (state == nullptr) return Status::OK();
+  return Status(state->rule.code, "injected fault at " + std::string(site) +
+                                      " (fire #" +
+                                      std::to_string(state->fires) + ")");
+}
+
+double FaultInjector::Multiplier(std::string_view site) {
+  SiteState* state = Roll(site);
+  return state == nullptr ? 1.0 : state->rule.multiplier;
+}
+
+int64_t FaultInjector::fire_count(std::string_view site) const {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+int64_t FaultInjector::check_count(std::string_view site) const {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.checks;
+}
+
+}  // namespace colt

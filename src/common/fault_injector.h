@@ -1,0 +1,139 @@
+#ifndef COLT_COMMON_FAULT_INJECTOR_H_
+#define COLT_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace colt {
+
+/// Canonical fault-site names. Sites are free-form strings so experiments
+/// can add their own; these are the ones the tuning stack consults.
+namespace fault_sites {
+/// An index build attempt fails (Scheduler retry/backoff/quarantine path).
+inline constexpr char kIndexBuild[] = "index.build";
+/// An index build succeeds but takes `multiplier` times longer.
+inline constexpr char kIndexBuildSlow[] = "index.build.slow";
+/// A what-if optimizer call fails (Profiler degrades to the crude level-1
+/// estimate; the call's time is still charged — it was issued and wasted).
+inline constexpr char kWhatIfOptimize[] = "whatif.optimize";
+/// A what-if call is issued but takes `multiplier` times longer (interacts
+/// with ColtConfig::whatif_deadline_seconds).
+inline constexpr char kWhatIfSlow[] = "whatif.optimize.slow";
+/// A storage scan is degraded: query execution time is inflated by
+/// `multiplier` (simulates I/O interference from co-located work).
+inline constexpr char kStorageScan[] = "storage.scan";
+/// The on-line storage budget shrinks mid-run to `multiplier` times its
+/// current value (operator reclaims disk; COLT must evict to fit).
+inline constexpr char kBudgetShrink[] = "budget.shrink";
+}  // namespace fault_sites
+
+/// One site's fault behaviour. A rule fires independently on each check
+/// with `probability`, drawn from a per-site deterministic stream.
+struct FaultRule {
+  /// Per-check probability of firing, in [0, 1].
+  double probability = 0.0;
+  /// Payload for latency/shrink sites: latency factor (>= 1) for `*.slow`
+  /// and `storage.scan`, budget factor (in (0, 1]) for `budget.shrink`.
+  /// Ignored by pure-failure sites.
+  double multiplier = 1.0;
+  /// Status code of injected failures. Only kInternal and
+  /// kResourceExhausted are treated as transient (retryable) by the
+  /// Scheduler; other codes propagate like programmer errors.
+  StatusCode code = StatusCode::kInternal;
+  /// The rule stops firing after this many fires; < 0 means unlimited.
+  int64_t max_fires = -1;
+};
+
+/// A full fault-injection plan: off by default, explicitly seeded.
+struct FaultConfig {
+  /// Master switch. When false every injector API is a constant-time
+  /// no-op — no RNG draws, no state changes — so a disabled run is
+  /// bit-identical to a build without fault injection at all.
+  bool enabled = false;
+  /// Seed for the per-site deterministic streams.
+  uint64_t seed = 0x5eed;
+  std::map<std::string, FaultRule, std::less<>> rules;
+
+  /// Convenience: adds/overwrites a failure rule for `site`.
+  FaultConfig& Fail(std::string site, double probability,
+                    int64_t max_fires = -1) {
+    FaultRule rule;
+    rule.probability = probability;
+    rule.max_fires = max_fires;
+    rules[std::move(site)] = rule;
+    enabled = true;
+    return *this;
+  }
+  /// Convenience: adds/overwrites a latency/shrink rule for `site`.
+  FaultConfig& Slow(std::string site, double probability, double multiplier) {
+    FaultRule rule;
+    rule.probability = probability;
+    rule.multiplier = multiplier;
+    rules[std::move(site)] = rule;
+    enabled = true;
+    return *this;
+  }
+};
+
+/// Deterministic, site-keyed fault injector.
+///
+/// Each configured site owns an independent RNG stream derived from
+/// (config seed, site name), so the k-th check of a site yields the same
+/// verdict no matter how checks of other sites interleave with it. That
+/// makes chaos experiments reproducible and lets tests pin exact failure
+/// schedules.
+///
+/// Thread-compatibility: like the rest of the tuning stack, an injector is
+/// confined to one tuner instance; it is not internally synchronized.
+class FaultInjector {
+ public:
+  /// Disabled injector (every check is a no-op).
+  FaultInjector() = default;
+  explicit FaultInjector(FaultConfig config);
+
+  bool enabled() const { return enabled_; }
+  const FaultConfig& config() const { return config_; }
+
+  /// Bernoulli draw on `site`'s private stream. Always false when the
+  /// injector is disabled or the site has no rule.
+  bool Fires(std::string_view site);
+
+  /// Returns OK, or the site's configured failure Status when it fires.
+  Status MaybeFail(std::string_view site);
+
+  /// Returns the site's multiplier when it fires, 1.0 otherwise.
+  double Multiplier(std::string_view site);
+
+  /// Times `site` fired so far (0 for unknown sites).
+  int64_t fire_count(std::string_view site) const;
+  /// Times `site` was checked so far (0 for unknown sites; checks on sites
+  /// without a rule are not tracked — they must stay zero-cost).
+  int64_t check_count(std::string_view site) const;
+  /// Total fires across all sites.
+  int64_t total_fires() const { return total_fires_; }
+
+ private:
+  struct SiteState {
+    FaultRule rule;
+    Rng rng{0};
+    int64_t checks = 0;
+    int64_t fires = 0;
+  };
+
+  /// The site's state, or nullptr when disabled / no rule configured.
+  SiteState* Roll(std::string_view site);
+
+  bool enabled_ = false;
+  FaultConfig config_;
+  std::map<std::string, SiteState, std::less<>> sites_;
+  int64_t total_fires_ = 0;
+};
+
+}  // namespace colt
+
+#endif  // COLT_COMMON_FAULT_INJECTOR_H_

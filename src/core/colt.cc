@@ -11,19 +11,68 @@ ColtTuner::ColtTuner(Catalog* catalog, QueryOptimizer* optimizer,
     : catalog_(catalog),
       optimizer_(optimizer),
       config_(config),
+      faults_(config.fault),
       clusters_(catalog, config.history_depth),
       hot_stats_(config.confidence),
       mat_stats_(config.confidence),
       candidates_(config.history_depth, config.crude_smoothing_alpha),
       forecaster_(config.history_depth),
       profiler_(catalog, optimizer, &clusters_, &hot_stats_, &mat_stats_,
-                &candidates_, &config_, seed),
+                &candidates_, &config_, seed, &faults_),
       self_organizer_(catalog, optimizer, &clusters_, &hot_stats_,
                       &mat_stats_, &candidates_, &forecaster_, &profiler_,
                       &config_),
       scheduler_(catalog, &optimizer->cost_model(), db,
-                 config.scheduling_strategy),
+                 config.scheduling_strategy, &faults_,
+                 Scheduler::RetryPolicy{config.max_build_retries,
+                                        config.build_backoff_base_rounds,
+                                        config.max_build_backoff_rounds,
+                                        config.quarantine_cooldown_rounds}),
       whatif_limit_(config.max_whatif_per_epoch) {}
+
+void ColtTuner::MaybeShrinkBudget(TuningStep* step) {
+  const double factor = faults_.Multiplier(fault_sites::kBudgetShrink);
+  if (factor >= 1.0) return;
+  config_.storage_budget_bytes = static_cast<int64_t>(
+      static_cast<double>(config_.storage_budget_bytes) * factor);
+  COLT_LOG(Warning) << "storage budget shrunk to "
+                    << config_.storage_budget_bytes << " bytes";
+  // Emergency eviction: drop the lowest-net-benefit materialized indexes
+  // until the configuration fits again. The knapsack would converge at the
+  // next epoch boundary anyway, but the budget invariant must hold for
+  // every query in between.
+  IndexConfiguration desired = scheduler_.materialized();
+  int64_t bytes = scheduler_.MaterializedBytes();
+  while (bytes > config_.storage_budget_bytes && !desired.empty()) {
+    IndexId victim = kInvalidIndexId;
+    double victim_benefit = 0.0;
+    for (IndexId id : desired.ids()) {
+      const double net = self_organizer_.NetBenefit(id, desired);
+      if (victim == kInvalidIndexId || net < victim_benefit) {
+        victim = id;
+        victim_benefit = net;
+      }
+    }
+    bytes -= catalog_->index(victim).size_bytes;
+    desired.Remove(victim);
+  }
+  if (desired == scheduler_.materialized()) return;
+  const int dropped = static_cast<int>(scheduler_.materialized().size()) -
+                      static_cast<int>(desired.size());
+  Result<std::vector<IndexAction>> actions =
+      scheduler_.ApplyConfiguration(desired);
+  if (!actions.ok()) {
+    COLT_LOG(Error) << "emergency eviction failed: "
+                    << actions.status().ToString();
+    return;
+  }
+  for (auto& action : *actions) {
+    step->build_seconds += action.build_seconds;
+    step->actions.push_back(action);
+  }
+  emergency_evictions_epoch_ += dropped;
+  emergency_evictions_total_ += dropped;
+}
 
 std::vector<ColtTuner::IndexExplanation> ColtTuner::ExplainState() {
   const IndexConfiguration& materialized = scheduler_.materialized();
@@ -61,26 +110,40 @@ std::vector<ColtTuner::IndexExplanation> ColtTuner::ExplainState() {
 
 TuningStep ColtTuner::OnQuery(const Query& q) {
   TuningStep step;
+  // Substrate weather first: a mid-run budget shrink must be honoured
+  // before this query's plan and invariant checks.
+  if (faults_.enabled()) MaybeShrinkBudget(&step);
   // Idle-time scheduling: the gap before this query makes progress on any
   // queued builds; completed indexes are visible to this query's plan.
   if (config_.scheduling_strategy == SchedulingStrategy::kIdleTime) {
     Result<std::vector<IndexAction>> completed =
         scheduler_.OnIdle(config_.idle_seconds_per_query);
-    COLT_CHECK(completed.ok()) << completed.status().ToString();
-    for (auto& action : *completed) step.actions.push_back(action);
+    if (completed.ok()) {
+      for (auto& action : *completed) step.actions.push_back(action);
+    } else {
+      COLT_LOG(Error) << "idle build failed: "
+                      << completed.status().ToString();
+    }
   }
   const IndexConfiguration& materialized = scheduler_.materialized();
 
   // Normal optimization: this is the plan the engine executes.
   step.plan = optimizer_->Optimize(q, materialized);
   step.execution_seconds = optimizer_->cost_model().ToSeconds(step.plan.cost);
+  if (faults_.enabled()) {
+    // Degraded-storage weather: scans take longer than the plan predicts.
+    step.execution_seconds *= faults_.Multiplier(fault_sites::kStorageScan);
+  }
 
   // Profiling (paper Fig. 2).
   const Profiler::ProfileOutcome profile = profiler_.ProfileQuery(
       q, step.plan, materialized, hot_set_, whatif_limit_, &whatif_used_,
       epoch_);
   step.whatif_calls = profile.whatif_calls;
-  step.profiling_seconds = profile.whatif_calls * config_.whatif_call_seconds;
+  step.degraded_whatif_calls = profile.degraded_calls;
+  step.profiling_seconds = profile.charged_seconds;
+  degraded_whatif_epoch_ += profile.degraded_calls;
+  degraded_whatif_total_ += profile.degraded_calls;
   for (IndexId id : profile.probed) {
     if (!std::binary_search(ever_probed_.begin(), ever_probed_.end(), id)) {
       ever_probed_.insert(
@@ -91,8 +154,8 @@ TuningStep ColtTuner::OnQuery(const Query& q) {
   // Epoch boundary: reorganization + re-budgeting.
   if (++queries_in_epoch_ >= config_.epoch_length) {
     step.epoch_ended = true;
-    const SelfOrganizer::Outcome outcome =
-        self_organizer_.RunEpochEnd(materialized, hot_set_);
+    const SelfOrganizer::Outcome outcome = self_organizer_.RunEpochEnd(
+        materialized, hot_set_, scheduler_.QuarantinedIndexes());
 
     EpochReport report;
     report.epoch = epoch_;
@@ -107,12 +170,28 @@ TuningStep ColtTuner::OnQuery(const Query& q) {
 
     Result<std::vector<IndexAction>> actions =
         scheduler_.ApplyConfiguration(outcome.new_materialized);
-    COLT_CHECK(actions.ok()) << actions.status().ToString();
-    for (auto& action : *actions) {
-      step.build_seconds += action.build_seconds;
-      step.actions.push_back(action);
+    if (actions.ok()) {
+      for (auto& action : *actions) {
+        step.build_seconds += action.build_seconds;
+        step.actions.push_back(action);
+      }
+    } else {
+      // Keep tuning under the previous configuration; crashing the tuner
+      // over a substrate error would defeat the self-regulation premise.
+      COLT_LOG(Error) << "ApplyConfiguration failed: "
+                      << actions.status().ToString()
+                      << "; keeping previous configuration";
     }
     report.materialized_bytes = scheduler_.MaterializedBytes();
+    report.degraded_whatif = degraded_whatif_epoch_;
+    report.build_failures = static_cast<int>(scheduler_.build_failures() -
+                                             build_failures_reported_);
+    build_failures_reported_ = scheduler_.build_failures();
+    report.quarantined_ids = scheduler_.QuarantinedIndexes();
+    report.storage_budget_bytes = config_.storage_budget_bytes;
+    report.emergency_evictions = emergency_evictions_epoch_;
+    degraded_whatif_epoch_ = 0;
+    emergency_evictions_epoch_ = 0;
     epoch_reports_.push_back(std::move(report));
 
     hot_set_ = outcome.new_hot;

@@ -33,6 +33,9 @@ struct TuningStep {
   /// Configuration changes performed after this query.
   std::vector<IndexAction> actions;
   int whatif_calls = 0;
+  /// What-if probes that degraded to the crude level-1 estimate (what-if
+  /// failure or per-query deadline), this query.
+  int degraded_whatif_calls = 0;
   bool epoch_ended = false;
 };
 
@@ -48,6 +51,18 @@ struct EpochReport {
   std::vector<IndexId> hot_ids;
   std::vector<IndexId> materialized_ids;
   int64_t materialized_bytes = 0;
+  /// Robustness diagnostics (all zero in fault-free runs).
+  /// What-if probes that fell back to the crude estimate this epoch.
+  int degraded_whatif = 0;
+  /// Build attempts that failed this epoch.
+  int build_failures = 0;
+  /// Indexes under quarantine at the epoch boundary, ascending.
+  std::vector<IndexId> quarantined_ids;
+  /// Storage budget in force at the epoch boundary (tracks mid-run
+  /// `budget.shrink` faults).
+  int64_t storage_budget_bytes = 0;
+  /// Materialized indexes dropped by emergency eviction this epoch.
+  int emergency_evictions = 0;
 };
 
 /// COLT — Continuous On-Line Tuning (the paper's primary contribution).
@@ -83,6 +98,21 @@ class ColtTuner {
   int whatif_limit() const { return whatif_limit_; }
   int whatif_used_this_epoch() const { return whatif_used_; }
   const ColtConfig& config() const { return config_; }
+
+  /// Storage budget currently in force (differs from the constructed
+  /// config's budget after a `budget.shrink` fault).
+  int64_t storage_budget_bytes() const {
+    return config_.storage_budget_bytes;
+  }
+  /// The tuner's fault injector (disabled unless ColtConfig::fault was
+  /// enabled) and the Scheduler, for chaos harness introspection.
+  const FaultInjector& fault_injector() const { return faults_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+  /// Lifetime robustness counters.
+  int64_t degraded_whatif_total() const { return degraded_whatif_total_; }
+  int64_t emergency_evictions_total() const {
+    return emergency_evictions_total_;
+  }
 
   /// Distinct indexes ever probed through the what-if interface (paper
   /// §6.2 reports COLT profiles ~11% of the relevant indexes).
@@ -120,9 +150,15 @@ class ColtTuner {
   BenefitForecaster& forecaster() { return forecaster_; }
 
  private:
+  /// Checks the `budget.shrink` fault site; on a shrink, drops the
+  /// lowest-net-benefit materialized indexes until the configuration fits
+  /// the new budget, appending the drop actions to `step`.
+  void MaybeShrinkBudget(TuningStep* step);
+
   Catalog* catalog_;
   QueryOptimizer* optimizer_;
   ColtConfig config_;
+  FaultInjector faults_;
 
   ClusterManager clusters_;
   GainStatsStore hot_stats_;
@@ -140,6 +176,13 @@ class ColtTuner {
   int whatif_used_ = 0;
   std::vector<EpochReport> epoch_reports_;
   std::vector<IndexId> ever_probed_;
+
+  // Per-epoch and lifetime robustness counters.
+  int degraded_whatif_epoch_ = 0;
+  int emergency_evictions_epoch_ = 0;
+  int64_t build_failures_reported_ = 0;
+  int64_t degraded_whatif_total_ = 0;
+  int64_t emergency_evictions_total_ = 0;
 };
 
 }  // namespace colt

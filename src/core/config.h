@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/fault_injector.h"
+
 namespace colt {
 
 /// Materialization scheduling strategies (paper §3):
@@ -80,6 +82,28 @@ struct ColtConfig {
   /// predicates on one table. Statistics-only mode (physical builds of
   /// composite indexes are not implemented).
   bool mine_multicolumn_candidates = false;
+
+  // ---- Robustness (DESIGN.md "Robustness & fault injection") ----
+  /// Deterministic fault-injection plan for chaos experiments. Disabled by
+  /// default: a disabled injector is never consulted, so fault-free runs
+  /// are bit-identical to builds without the robustness layer.
+  FaultConfig fault;
+  /// Consecutive failed build attempts of one index before it is
+  /// quarantined (excluded from Self-Organizer picks for a cooldown).
+  int max_build_retries = 3;
+  /// Backoff before a failed build may be retried, in reorganization
+  /// rounds (one round = one epoch under COLT). Doubles after each
+  /// consecutive failure, capped at max_build_backoff_rounds.
+  int build_backoff_base_rounds = 1;
+  int max_build_backoff_rounds = 8;
+  /// Rounds a quarantined index stays excluded before its failure history
+  /// is forgotten and builds may be attempted again.
+  int quarantine_cooldown_rounds = 24;
+  /// Per-query deadline on what-if profiling time, in seconds; 0 disables.
+  /// Calls that would push a query's profiling time past the deadline are
+  /// not issued — the Profiler degrades them to the crude level-1
+  /// estimate instead (counted in EpochReport::degraded_whatif).
+  double whatif_deadline_seconds = 0.0;
 
   // ---- Ablation switches (not in the paper; default = paper behavior) ----
   /// When false, #WI_lim is pinned to max_whatif_per_epoch (no

@@ -21,7 +21,8 @@ uint64_t TableConfigSignature(const Catalog& catalog,
 Profiler::Profiler(Catalog* catalog, QueryOptimizer* optimizer,
                    ClusterManager* clusters, GainStatsStore* hot_stats,
                    GainStatsStore* mat_stats, CandidateSet* candidates,
-                   const ColtConfig* config, uint64_t seed)
+                   const ColtConfig* config, uint64_t seed,
+                   FaultInjector* faults)
     : catalog_(catalog),
       optimizer_(optimizer),
       clusters_(clusters),
@@ -29,7 +30,33 @@ Profiler::Profiler(Catalog* catalog, QueryOptimizer* optimizer,
       mat_stats_(mat_stats),
       candidates_(candidates),
       config_(config),
-      rng_(seed) {}
+      rng_(seed),
+      faults_(faults) {}
+
+void Profiler::RecordCrudeFallback(const Query& q, IndexId index,
+                                   ClusterId cluster,
+                                   const IndexConfiguration& materialized) {
+  const IndexDescriptor& desc = catalog_->index(index);
+  double crude = 0.0;
+  bool have_predicate = false;
+  for (const auto& pred : q.selections()) {
+    if (pred.column == desc.column) {
+      crude = std::max(crude, optimizer_->CrudeGain(pred, desc));
+      have_predicate = true;
+    }
+  }
+  if (!have_predicate) {
+    // Materialized index probed through plan usage with no matching
+    // selection (e.g. join support): fall back to its smoothed crude
+    // benefit so the record is coarse but non-zero.
+    crude = std::max(0.0, candidates_->SmoothedBenefit(index));
+  }
+  const TableId table = desc.column.table;
+  const uint64_t sig = TableConfigSignature(*catalog_, materialized, table);
+  GainStatsStore* store =
+      materialized.Contains(index) ? mat_stats_ : hot_stats_;
+  store->Record(index, cluster, std::max(0.0, crude), sig);
+}
 
 double Profiler::ErrorContribution(IndexId index, ClusterId cluster,
                                    const IndexConfiguration& materialized) const {
@@ -133,22 +160,55 @@ Profiler::ProfileOutcome Profiler::ProfileQuery(
   for (IndexId id : ih) consider(id);
 
   // 5-6. Call the what-if optimizer and update interval statistics.
+  // Under fault injection or a per-query deadline, individual probation
+  // entries can degrade to the crude level-1 estimate: a failed call still
+  // consumed its (possibly inflated) time and budget, a deadline-skipped
+  // call consumed neither.
   if (!probation.empty()) {
-    const std::vector<IndexGain> gains =
-        optimizer_->WhatIfOptimize(q, materialized, probation);
-    for (const auto& g : gains) {
-      const TableId table = catalog_->index(g.index).column.table;
-      const uint64_t sig =
-          TableConfigSignature(*catalog_, materialized, table);
-      if (materialized.Contains(g.index)) {
-        // BenefitM statistics: average positive benefit per use.
-        mat_stats_->Record(g.index, cluster, std::max(0.0, g.gain), sig);
-      } else {
-        hot_stats_->Record(g.index, cluster, std::max(0.0, g.gain), sig);
+    const bool faulty = faults_ != nullptr && faults_->enabled();
+    const double deadline = config_->whatif_deadline_seconds;
+    std::vector<IndexId> live;
+    live.reserve(probation.size());
+    int issued = 0;
+    double charged = 0.0;
+    for (IndexId id : probation) {
+      double call_seconds = config_->whatif_call_seconds;
+      if (faulty) {
+        call_seconds *= faults_->Multiplier(fault_sites::kWhatIfSlow);
+      }
+      if (deadline > 0.0 && charged + call_seconds > deadline) {
+        RecordCrudeFallback(q, id, cluster, materialized);
+        ++outcome.degraded_calls;
+        continue;
+      }
+      charged += call_seconds;
+      ++issued;
+      if (faulty &&
+          !faults_->MaybeFail(fault_sites::kWhatIfOptimize).ok()) {
+        RecordCrudeFallback(q, id, cluster, materialized);
+        ++outcome.degraded_calls;
+        continue;
+      }
+      live.push_back(id);
+    }
+    if (!live.empty()) {
+      const std::vector<IndexGain> gains =
+          optimizer_->WhatIfOptimize(q, materialized, live);
+      for (const auto& g : gains) {
+        const TableId table = catalog_->index(g.index).column.table;
+        const uint64_t sig =
+            TableConfigSignature(*catalog_, materialized, table);
+        if (materialized.Contains(g.index)) {
+          // BenefitM statistics: average positive benefit per use.
+          mat_stats_->Record(g.index, cluster, std::max(0.0, g.gain), sig);
+        } else {
+          hot_stats_->Record(g.index, cluster, std::max(0.0, g.gain), sig);
+        }
       }
     }
-    *whatif_used += static_cast<int>(probation.size());
-    outcome.whatif_calls = static_cast<int>(probation.size());
+    *whatif_used += issued;
+    outcome.whatif_calls = issued;
+    outcome.charged_seconds = charged;
     outcome.probed = probation;
   }
 

@@ -28,16 +28,27 @@ uint64_t TableConfigSignature(const Catalog& catalog,
 /// proportional to each pair's error contribution.
 class Profiler {
  public:
+  /// `faults` may be null (no fault injection); it must outlive the
+  /// profiler.
   Profiler(Catalog* catalog, QueryOptimizer* optimizer,
            ClusterManager* clusters, GainStatsStore* hot_stats,
            GainStatsStore* mat_stats, CandidateSet* candidates,
-           const ColtConfig* config, uint64_t seed);
+           const ColtConfig* config, uint64_t seed,
+           FaultInjector* faults = nullptr);
 
   struct ProfileOutcome {
     ClusterId cluster = kInvalidClusterId;
-    /// Indexes probed through the what-if interface for this query.
+    /// Indexes probed for this query — through the what-if interface, or
+    /// (under faults/deadline pressure) via the degraded crude path.
     std::vector<IndexId> probed;
+    /// What-if calls issued (and charged), including ones that failed.
     int whatif_calls = 0;
+    /// Probation entries that fell back to the crude level-1 estimate
+    /// because the what-if call failed or the per-query deadline was hit.
+    int degraded_calls = 0;
+    /// Simulated profiling time for this query (reflects `*.slow` latency
+    /// faults; equals whatif_calls * whatif_call_seconds without them).
+    double charged_seconds = 0.0;
   };
 
   /// One invocation per query (paper Fig. 2). `plan` is the query's normal
@@ -71,6 +82,13 @@ class Profiler {
                            const IndexConfiguration& materialized) const;
 
  private:
+  /// Degraded (level-1) fallback for a probation index whose what-if call
+  /// failed or was skipped: records the crude standard-formula gain into
+  /// the interval statistics so the benefit is estimated coarsely instead
+  /// of silently zeroed.
+  void RecordCrudeFallback(const Query& q, IndexId index, ClusterId cluster,
+                           const IndexConfiguration& materialized);
+
   Catalog* catalog_;
   QueryOptimizer* optimizer_;
   ClusterManager* clusters_;
@@ -79,6 +97,7 @@ class Profiler {
   CandidateSet* candidates_;
   const ColtConfig* config_;
   Rng rng_;
+  FaultInjector* faults_;
 
   struct PairKey {
     IndexId index;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace colt {
 
 double Scheduler::BuildSeconds(IndexId id) const {
@@ -11,16 +13,89 @@ double Scheduler::BuildSeconds(IndexId id) const {
       cost_model_->MaterializationCost(table, desc));
 }
 
-Status Scheduler::Materialize(IndexId id) {
+Status Scheduler::TryBuild(IndexId id) {
+  if (faults_ != nullptr) {
+    COLT_RETURN_IF_ERROR(faults_->MaybeFail(fault_sites::kIndexBuild));
+  }
   if (db_ != nullptr) {
     COLT_RETURN_IF_ERROR(db_->BuildIndex(id));
   }
-  materialized_.Add(id);
   return Status::OK();
+}
+
+bool Scheduler::IsQuarantined(IndexId id) const {
+  auto it = failures_.find(id);
+  return it != failures_.end() && it->second.quarantine_until_round >= 0 &&
+         round_ < it->second.quarantine_until_round;
+}
+
+std::vector<IndexId> Scheduler::QuarantinedIndexes() const {
+  std::vector<IndexId> out;
+  for (const auto& [id, state] : failures_) {
+    if (state.quarantine_until_round >= 0 &&
+        round_ < state.quarantine_until_round) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Scheduler::BuildBlocked(IndexId id) const {
+  auto it = failures_.find(id);
+  if (it == failures_.end()) return false;
+  const FailureState& state = it->second;
+  if (state.quarantine_until_round >= 0) {
+    return round_ < state.quarantine_until_round;
+  }
+  return round_ < state.retry_after_round;
+}
+
+void Scheduler::RecordBuildFailure(IndexId id,
+                                   std::vector<IndexAction>* actions) {
+  FailureState& state = failures_[id];
+  ++state.consecutive_failures;
+  ++build_failures_;
+  if (state.consecutive_failures >= retry_.max_build_retries) {
+    state.quarantine_until_round =
+        round_ + retry_.quarantine_cooldown_rounds;
+    ++quarantine_events_;
+    IndexAction action;
+    action.type = IndexActionType::kQuarantine;
+    action.index = id;
+    actions->push_back(action);
+    COLT_LOG(Warning) << "index " << catalog_->index(id).name
+                      << " quarantined after "
+                      << state.consecutive_failures
+                      << " failed builds (cooldown "
+                      << retry_.quarantine_cooldown_rounds << " rounds)";
+  } else {
+    const int shift = state.consecutive_failures - 1;
+    const int64_t backoff = std::min<int64_t>(
+        retry_.max_backoff_rounds,
+        static_cast<int64_t>(retry_.backoff_base_rounds) << shift);
+    state.retry_after_round = round_ + std::max<int64_t>(1, backoff);
+  }
+}
+
+void Scheduler::ExpireQuarantines() {
+  for (auto it = failures_.begin(); it != failures_.end();) {
+    const FailureState& state = it->second;
+    if (state.quarantine_until_round >= 0 &&
+        round_ >= state.quarantine_until_round) {
+      // Cooldown over: forget the history so the index gets a fresh retry
+      // budget next time the Self-Organizer wants it.
+      it = failures_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
     const IndexConfiguration& desired) {
+  ++round_;
+  ExpireQuarantines();
   std::vector<IndexAction> actions;
   // Drops first (free budget immediately, costless).
   for (IndexId id : materialized_.ids()) {
@@ -34,7 +109,8 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
     if (db_ != nullptr) db_->DropIndex(action.index);
     materialized_.Remove(action.index);
   }
-  // Cancel queued builds that are no longer desired.
+  // Cancel queued builds that are no longer desired. Idle seconds already
+  // spent on them are lost — never transferred to the remaining queue.
   pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
                                 [&](const PendingBuild& b) {
                                   return !desired.Contains(b.index);
@@ -43,13 +119,32 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
 
   for (IndexId id : desired.ids()) {
     if (materialized_.Contains(id)) continue;
+    if (BuildBlocked(id)) continue;  // backoff or quarantine
     if (strategy_ == SchedulingStrategy::kImmediate) {
-      IndexAction action;
-      action.type = IndexActionType::kMaterialize;
-      action.index = id;
-      action.build_seconds = BuildSeconds(id);
-      COLT_RETURN_IF_ERROR(Materialize(id));
-      actions.push_back(action);
+      double build_seconds = BuildSeconds(id);
+      if (faults_ != nullptr) {
+        build_seconds *= faults_->Multiplier(fault_sites::kIndexBuildSlow);
+      }
+      const Status built = TryBuild(id);
+      if (built.ok()) {
+        failures_.erase(id);
+        materialized_.Add(id);
+        IndexAction action;
+        action.type = IndexActionType::kMaterialize;
+        action.index = id;
+        action.build_seconds = build_seconds;
+        actions.push_back(action);
+      } else if (IsTransient(built.code())) {
+        // The attempt consumed its build time before failing; charge it.
+        IndexAction action;
+        action.type = IndexActionType::kBuildFailed;
+        action.index = id;
+        action.build_seconds = build_seconds;
+        actions.push_back(action);
+        RecordBuildFailure(id, &actions);
+      } else {
+        return built;
+      }
     } else {
       const bool queued =
           std::any_of(pending_.begin(), pending_.end(),
@@ -64,19 +159,37 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
 
 Result<std::vector<IndexAction>> Scheduler::OnIdle(double seconds) {
   std::vector<IndexAction> completed;
-  while (seconds > 0.0 && !pending_.empty()) {
+  while (!pending_.empty()) {
     PendingBuild& build = pending_.front();
+    // Zero-cost builds must complete even with no idle time left; paid
+    // builds stop consuming once the idle budget is exhausted.
+    if (build.remaining_seconds > 1e-12 && seconds <= 0.0) break;
     const double spent = std::min(seconds, build.remaining_seconds);
     build.remaining_seconds -= spent;
     seconds -= spent;
-    if (build.remaining_seconds <= 1e-12) {
+    if (build.remaining_seconds > 1e-12) break;  // out of idle time
+    const IndexId id = build.index;
+    pending_.pop_front();
+    const Status built = TryBuild(id);
+    if (built.ok()) {
+      failures_.erase(id);
+      materialized_.Add(id);
       IndexAction action;
       action.type = IndexActionType::kMaterialize;
-      action.index = build.index;
+      action.index = id;
       action.build_seconds = 0.0;  // performed during idle time
-      COLT_RETURN_IF_ERROR(Materialize(build.index));
       completed.push_back(action);
-      pending_.pop_front();
+    } else if (IsTransient(built.code())) {
+      // The idle work is lost; the retry machinery decides when (and
+      // whether) ApplyConfiguration may queue the index again.
+      IndexAction action;
+      action.type = IndexActionType::kBuildFailed;
+      action.index = id;
+      action.build_seconds = 0.0;
+      completed.push_back(action);
+      RecordBuildFailure(id, &completed);
+    } else {
+      return built;
     }
   }
   return completed;

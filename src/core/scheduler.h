@@ -1,51 +1,92 @@
 #ifndef COLT_CORE_SCHEDULER_H_
 #define COLT_CORE_SCHEDULER_H_
 
+#include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
-#include "core/config.h"
+#include "common/fault_injector.h"
 #include "common/status.h"
+#include "core/config.h"
 #include "optimizer/cost_model.h"
 #include "storage/database.h"
 
 namespace colt {
 
 /// What the Scheduler did to the physical configuration.
-enum class IndexActionType { kMaterialize, kDrop };
+enum class IndexActionType {
+  kMaterialize,
+  kDrop,
+  /// A build attempt failed; its build_seconds were wasted (charged to the
+  /// timeline so the chaos accounting stays honest).
+  kBuildFailed,
+  /// The index exhausted max_build_retries and is excluded from builds
+  /// until its cooldown elapses (build_seconds = 0, informational).
+  kQuarantine,
+};
 
 struct IndexAction {
   IndexActionType type = IndexActionType::kMaterialize;
   IndexId index = kInvalidIndexId;
-  /// Simulated build time charged to the timeline (0 for drops and for
-  /// builds performed during idle time).
+  /// Simulated build time charged to the timeline (0 for drops, quarantine
+  /// markers, and builds performed during idle time).
   double build_seconds = 0.0;
+};
+
+/// Retry/backoff/quarantine policy for failed index builds (defaults
+/// mirror ColtConfig).
+struct SchedulerRetryPolicy {
+  int max_build_retries = 3;
+  int backoff_base_rounds = 1;
+  int max_backoff_rounds = 8;
+  int quarantine_cooldown_rounds = 24;
 };
 
 /// Applies Self-Organizer decisions to the physical configuration.
 /// When attached to a Database (physical mode), builds and drops real
 /// B+-trees; in statistics-only mode it just tracks the configuration.
+///
+/// Failure handling: transient build failures (injected via the
+/// `index.build` fault site or kInternal/kResourceExhausted errors from
+/// the Database) are retried with capped exponential backoff measured in
+/// reorganization rounds (one ApplyConfiguration call = one round). An
+/// index that fails `max_build_retries` consecutive attempts is
+/// quarantined: builds are refused and callers should exclude it from
+/// planning until the cooldown elapses, after which its failure history is
+/// forgotten. Non-transient errors (kFailedPrecondition etc.) propagate to
+/// the caller unchanged — they indicate misuse, not substrate weather.
 class Scheduler {
  public:
-  /// `db` may be null (statistics-only mode).
+  using RetryPolicy = SchedulerRetryPolicy;
+
+  /// `db` may be null (statistics-only mode). `faults` may be null (no
+  /// fault injection); it must outlive the scheduler.
   Scheduler(const Catalog* catalog, const CostModel* cost_model, Database* db,
-            SchedulingStrategy strategy = SchedulingStrategy::kImmediate)
+            SchedulingStrategy strategy = SchedulingStrategy::kImmediate,
+            FaultInjector* faults = nullptr, RetryPolicy retry = {})
       : catalog_(catalog),
         cost_model_(cost_model),
         db_(db),
-        strategy_(strategy) {}
+        strategy_(strategy),
+        faults_(faults),
+        retry_(retry) {}
 
   /// Transitions toward `desired`. Drops take effect immediately (and
   /// cancel pending builds that are no longer wanted). Builds take effect
   /// immediately under kImmediate (returned with their cost) or are queued
-  /// under kIdleTime.
+  /// under kIdleTime. Indexes in backoff or quarantine are skipped; they
+  /// are retried automatically on a later call once eligible.
   Result<std::vector<IndexAction>> ApplyConfiguration(
       const IndexConfiguration& desired);
 
   /// kIdleTime only: spends `seconds` of idle time on the build queue
   /// (FIFO); returns the builds that completed (build_seconds = 0 — idle
-  /// work is free for the query stream).
+  /// work is free for the query stream). Zero-cost builds complete even
+  /// when `seconds` is 0. A build whose final Materialize fails is removed
+  /// from the queue (its idle work is lost) and handed to the
+  /// retry/backoff machinery.
   Result<std::vector<IndexAction>> OnIdle(double seconds);
 
   const IndexConfiguration& materialized() const { return materialized_; }
@@ -61,20 +102,62 @@ class Scheduler {
 
   SchedulingStrategy strategy() const { return strategy_; }
 
+  /// True while `id` is quarantined (cooldown not yet elapsed).
+  bool IsQuarantined(IndexId id) const;
+  /// Currently quarantined indexes, ascending. Callers (Self-Organizer)
+  /// must exclude these from configuration picks.
+  std::vector<IndexId> QuarantinedIndexes() const;
+
+  /// Lifetime counters for chaos reporting.
+  int64_t build_failures() const { return build_failures_; }
+  int64_t quarantine_events() const { return quarantine_events_; }
+
  private:
   struct PendingBuild {
     IndexId index = kInvalidIndexId;
     double remaining_seconds = 0.0;
   };
 
-  Status Materialize(IndexId id);
+  /// Per-index failure bookkeeping; erased on success or cooldown expiry.
+  struct FailureState {
+    int consecutive_failures = 0;
+    /// Builds blocked while round_ < retry_after_round.
+    int64_t retry_after_round = 0;
+    /// >= 0 while quarantined; builds blocked while round_ < this.
+    int64_t quarantine_until_round = -1;
+  };
+
+  /// Runs the fault check plus the physical build. Transient errors are
+  /// the retryable ones; everything else is caller misuse.
+  Status TryBuild(IndexId id);
+  static bool IsTransient(StatusCode code) {
+    return code == StatusCode::kInternal ||
+           code == StatusCode::kResourceExhausted;
+  }
+
+  /// True when a build of `id` may not be attempted this round.
+  bool BuildBlocked(IndexId id) const;
+
+  /// Records one failed attempt; appends kQuarantine to `actions` when the
+  /// retry budget is exhausted.
+  void RecordBuildFailure(IndexId id, std::vector<IndexAction>* actions);
+
+  /// Drops failure records whose quarantine cooldown has elapsed.
+  void ExpireQuarantines();
 
   const Catalog* catalog_;
   const CostModel* cost_model_;
   Database* db_;
   SchedulingStrategy strategy_;
+  FaultInjector* faults_;
+  RetryPolicy retry_;
   IndexConfiguration materialized_;
   std::deque<PendingBuild> pending_;
+  std::unordered_map<IndexId, FailureState> failures_;
+  /// Reorganization round counter; advanced by ApplyConfiguration.
+  int64_t round_ = 0;
+  int64_t build_failures_ = 0;
+  int64_t quarantine_events_ = 0;
 };
 
 }  // namespace colt

@@ -106,8 +106,12 @@ double SelfOrganizer::NetBenefit(IndexId index,
 
 SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
     const IndexConfiguration& materialized,
-    const std::vector<IndexId>& hot_set) {
+    const std::vector<IndexId>& hot_set,
+    const std::vector<IndexId>& quarantined) {
   Outcome outcome;
+  const auto is_quarantined = [&](IndexId id) {
+    return std::binary_search(quarantined.begin(), quarantined.end(), id);
+  };
 
   // ---- 1. Fold the finished epoch's observations into the forecaster.
   for (IndexId id : materialized.ids()) {
@@ -123,6 +127,11 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
   for (IndexId id : materialized.ids()) pool.push_back(id);
   std::sort(pool.begin(), pool.end());
   pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+
+  // Quarantined indexes cannot be built, so spending budget on them would
+  // waste capacity the knapsack could give to healthy indexes.
+  pool.erase(std::remove_if(pool.begin(), pool.end(), is_quarantined),
+             pool.end());
 
   std::vector<KnapsackItem> items;
   items.reserve(pool.size());
@@ -147,6 +156,7 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
   std::vector<std::pair<double, IndexId>> scored;
   for (IndexId id : candidates_->All()) {
     if (outcome.new_materialized.Contains(id)) continue;
+    if (is_quarantined(id)) continue;  // pointless to profile: unbuildable
     const double b = candidates_->SmoothedBenefit(id);
     if (b > 0.0) scored.emplace_back(b, id);
   }

@@ -40,8 +40,12 @@ class SelfOrganizer {
   };
 
   /// Runs reorganization + re-budgeting for the epoch that just finished.
+  /// `quarantined` (sorted ascending) lists indexes the Scheduler refuses
+  /// to build; they are excluded from both the knapsack pool and the new
+  /// hot set until their cooldown elapses.
   Outcome RunEpochEnd(const IndexConfiguration& materialized,
-                      const std::vector<IndexId>& hot_set);
+                      const std::vector<IndexId>& hot_set,
+                      const std::vector<IndexId>& quarantined = {});
 
   /// Observed benefit of `index` over the finished epoch (total cost-unit
   /// savings across the epoch's queries), from profiled gains plus

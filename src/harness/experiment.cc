@@ -29,6 +29,103 @@ ColtRunResult RunColtWorkload(Catalog* catalog,
   return result;
 }
 
+ChaosRunResult RunChaosWorkload(Catalog* catalog,
+                                const std::vector<Query>& workload,
+                                const ColtConfig& config, Database* db,
+                                CostParams cost_params, uint64_t seed) {
+  constexpr int kMaxRecordedViolations = 20;
+  QueryOptimizer optimizer(catalog, cost_params);
+  ColtTuner tuner(catalog, &optimizer, config, db, seed);
+  ChaosRunResult result;
+  result.run.per_query.reserve(workload.size());
+
+  auto violate = [&](int query_index, std::string detail) {
+    ++result.violation_count;
+    if (static_cast<int>(result.violations.size()) <
+        kMaxRecordedViolations) {
+      result.violations.push_back(
+          ChaosViolation{query_index, std::move(detail)});
+    }
+  };
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const TuningStep step = tuner.OnQuery(workload[i]);
+    QueryCost cost;
+    cost.execution = step.execution_seconds;
+    cost.profiling = step.profiling_seconds;
+    cost.build = step.build_seconds;
+    result.run.per_query.push_back(cost);
+
+    const int q = static_cast<int>(i);
+    const IndexConfiguration& materialized = tuner.materialized();
+    const Scheduler& scheduler = tuner.scheduler();
+
+    // Invariant 1: the materialized set fits the budget in force, even
+    // right after a budget.shrink fault.
+    const int64_t bytes = scheduler.MaterializedBytes();
+    if (bytes > tuner.storage_budget_bytes()) {
+      violate(q, "materialized bytes " + std::to_string(bytes) +
+                     " exceed budget " +
+                     std::to_string(tuner.storage_budget_bytes()));
+    }
+
+    // Invariant 2: quarantined indexes are never materialized.
+    for (IndexId id : scheduler.QuarantinedIndexes()) {
+      if (materialized.Contains(id)) {
+        violate(q, "quarantined index " + std::to_string(id) +
+                       " is materialized");
+      }
+    }
+
+    // Invariant 3: catalog consistency and honest byte accounting.
+    int64_t recounted = 0;
+    for (IndexId id : materialized.ids()) {
+      if (!catalog->HasIndex(id)) {
+        violate(q, "materialized index " + std::to_string(id) +
+                       " missing from catalog");
+        continue;
+      }
+      recounted += catalog->index(id).size_bytes;
+    }
+    if (recounted != bytes) {
+      violate(q, "byte accounting mismatch: recounted " +
+                     std::to_string(recounted) + " vs reported " +
+                     std::to_string(bytes));
+    }
+
+    // Invariant 4 (physical mode): the built B+-trees equal the
+    // materialized set, both directions.
+    if (db != nullptr) {
+      for (IndexId id : materialized.ids()) {
+        if (!db->HasBuiltIndex(id)) {
+          violate(q, "materialized index " + std::to_string(id) +
+                         " has no physical B+-tree");
+        }
+      }
+      for (IndexId id : db->BuiltIndexIds()) {
+        if (!materialized.Contains(id)) {
+          violate(q, "physical B+-tree " + std::to_string(id) +
+                         " not in the materialized set");
+        }
+      }
+    }
+  }
+
+  result.run.epochs = tuner.epoch_reports();
+  result.run.final_materialized = tuner.materialized();
+  result.run.distinct_indexes_profiled = tuner.distinct_indexes_profiled();
+  result.run.relevant_index_count =
+      static_cast<int64_t>(tuner.candidates().size());
+  result.injected_faults =
+      static_cast<int64_t>(tuner.fault_injector().total_fires());
+  result.build_failures = tuner.scheduler().build_failures();
+  result.quarantine_events = tuner.scheduler().quarantine_events();
+  result.degraded_whatif = tuner.degraded_whatif_total();
+  result.emergency_evictions = tuner.emergency_evictions_total();
+  result.final_budget_bytes = tuner.storage_budget_bytes();
+  return result;
+}
+
 Result<OfflineRunResult> RunOfflineWorkload(
     Catalog* catalog, const std::vector<Query>& workload,
     const std::vector<Query>& tuning_workload, int64_t budget_bytes,

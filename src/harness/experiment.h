@@ -42,6 +42,49 @@ ColtRunResult RunColtWorkload(Catalog* catalog,
                               const ColtConfig& config,
                               CostParams cost_params = {}, uint64_t seed = 7);
 
+/// One robustness invariant violated during a chaos run.
+struct ChaosViolation {
+  /// 0-based index of the query after which the invariant failed.
+  int query_index = 0;
+  std::string detail;
+};
+
+/// Result of driving a workload through COLT under fault injection while
+/// auditing the robustness invariants after every query.
+struct ChaosRunResult {
+  ColtRunResult run;
+  /// First violations observed (capped; see violation_count for the total).
+  std::vector<ChaosViolation> violations;
+  int64_t violation_count = 0;
+  /// Robustness counters collected from the tuner at the end of the run.
+  int64_t injected_faults = 0;
+  int64_t build_failures = 0;
+  int64_t quarantine_events = 0;
+  int64_t degraded_whatif = 0;
+  int64_t emergency_evictions = 0;
+  /// Storage budget in force when the run ended (differs from the config's
+  /// budget after `budget.shrink` faults).
+  int64_t final_budget_bytes = 0;
+
+  bool ok() const { return violation_count == 0; }
+};
+
+/// Drives `workload` through a fresh COLT tuner configured with
+/// `config.fault` and checks, after EVERY query:
+///  * materialized bytes fit the (possibly shrunk) storage budget;
+///  * no quarantined index is materialized;
+///  * every materialized index exists in the catalog and the byte
+///    accounting is self-consistent;
+///  * when `db` is non-null, the physically built B+-trees match the
+///    materialized set exactly (both directions).
+/// Violations are recorded, not fatal, so one run reports them all.
+ChaosRunResult RunChaosWorkload(Catalog* catalog,
+                                const std::vector<Query>& workload,
+                                const ColtConfig& config,
+                                Database* db = nullptr,
+                                CostParams cost_params = {},
+                                uint64_t seed = 7);
+
 /// Result of the OFFLINE baseline on one workload.
 struct OfflineRunResult {
   std::vector<double> per_query_seconds;

@@ -9,13 +9,17 @@ namespace colt {
 Status WriteEpochReportCsv(const std::vector<EpochReport>& reports,
                            std::ostream& out) {
   out << "epoch,whatif_used,whatif_limit,next_whatif_limit,rebudget_ratio,"
-         "candidates,clusters,hot,materialized,materialized_bytes\n";
+         "candidates,clusters,hot,materialized,materialized_bytes,"
+         "degraded_whatif,build_failures,quarantined,storage_budget_bytes,"
+         "emergency_evictions\n";
   for (const auto& e : reports) {
     out << e.epoch << ',' << e.whatif_used << ',' << e.whatif_limit << ','
         << e.next_whatif_limit << ',' << e.rebudget_ratio << ','
         << e.candidate_count << ',' << e.cluster_count << ','
         << e.hot_ids.size() << ',' << e.materialized_ids.size() << ','
-        << e.materialized_bytes << '\n';
+        << e.materialized_bytes << ',' << e.degraded_whatif << ','
+        << e.build_failures << ',' << e.quarantined_ids.size() << ','
+        << e.storage_budget_bytes << ',' << e.emergency_evictions << '\n';
   }
   if (!out.good()) return Status::Internal("csv write failed");
   return Status::OK();

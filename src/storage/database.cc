@@ -1,5 +1,6 @@
 #include "storage/database.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -73,6 +74,17 @@ Status Database::BuildIndex(IndexId id) {
 }
 
 void Database::DropIndex(IndexId id) { built_indexes_.erase(id); }
+
+std::vector<IndexId> Database::BuiltIndexIds() const {
+  std::vector<IndexId> ids;
+  ids.reserve(built_indexes_.size());
+  for (const auto& [id, tree] : built_indexes_) {
+    (void)tree;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
 
 bool Database::HasBuiltIndex(IndexId id) const {
   return built_indexes_.count(id) > 0;

@@ -56,6 +56,10 @@ class Database {
   /// Requires HasBuiltIndex(id).
   const BTreeIndex& index(IndexId id) const;
 
+  /// Ids of all physically built indexes, ascending (drives the chaos
+  /// harness's catalog/storage consistency invariant).
+  std::vector<IndexId> BuiltIndexIds() const;
+
  private:
   Catalog catalog_;
   Rng rng_;

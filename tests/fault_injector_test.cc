@@ -1,0 +1,159 @@
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace colt {
+namespace {
+
+TEST(FaultInjectorTest, DisabledByDefaultHasZeroEffect) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.Fires(fault_sites::kIndexBuild));
+    EXPECT_TRUE(injector.MaybeFail(fault_sites::kWhatIfOptimize).ok());
+    EXPECT_DOUBLE_EQ(injector.Multiplier(fault_sites::kStorageScan), 1.0);
+  }
+  EXPECT_EQ(injector.total_fires(), 0);
+  EXPECT_EQ(injector.check_count(fault_sites::kIndexBuild), 0);
+}
+
+TEST(FaultInjectorTest, UnconfiguredSiteNeverFires) {
+  FaultConfig config;
+  config.Fail(fault_sites::kIndexBuild, 1.0);
+  FaultInjector injector(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.Fires("no.such.site"));
+  }
+  EXPECT_EQ(injector.fire_count("no.such.site"), 0);
+  EXPECT_EQ(injector.check_count("no.such.site"), 0);
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultConfig config;
+  config.seed = 1234;
+  config.Fail(fault_sites::kIndexBuild, 0.3);
+  FaultInjector a(config);
+  FaultInjector b(config);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.Fires(fault_sites::kIndexBuild),
+              b.Fires(fault_sites::kIndexBuild));
+  }
+  EXPECT_EQ(a.fire_count(fault_sites::kIndexBuild),
+            b.fire_count(fault_sites::kIndexBuild));
+  EXPECT_GT(a.fire_count(fault_sites::kIndexBuild), 0);
+  EXPECT_LT(a.fire_count(fault_sites::kIndexBuild), 500);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultConfig config;
+  config.Fail(fault_sites::kIndexBuild, 0.5);
+  config.seed = 1;
+  FaultInjector a(config);
+  config.seed = 2;
+  FaultInjector b(config);
+  int differences = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (a.Fires(fault_sites::kIndexBuild) !=
+        b.Fires(fault_sites::kIndexBuild)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(FaultInjectorTest, SiteStreamsAreIndependent) {
+  // The k-th check of one site must yield the same verdict regardless of
+  // how checks of other sites interleave with it.
+  FaultConfig config;
+  config.seed = 99;
+  config.Fail(fault_sites::kIndexBuild, 0.4);
+  config.Fail(fault_sites::kWhatIfOptimize, 0.4);
+
+  FaultInjector pure(config);
+  std::vector<bool> expected;
+  for (int i = 0; i < 200; ++i) {
+    expected.push_back(pure.Fires(fault_sites::kIndexBuild));
+  }
+
+  FaultInjector interleaved(config);
+  for (int i = 0; i < 200; ++i) {
+    // Arbitrary bursts on the other site between checks.
+    for (int j = 0; j < i % 5; ++j) {
+      interleaved.Fires(fault_sites::kWhatIfOptimize);
+    }
+    EXPECT_EQ(interleaved.Fires(fault_sites::kIndexBuild), expected[i])
+        << "check " << i;
+  }
+}
+
+TEST(FaultInjectorTest, ProbabilityOneAlwaysFires) {
+  FaultConfig config;
+  config.Fail(fault_sites::kIndexBuild, 1.0);
+  FaultInjector injector(config);
+  for (int i = 0; i < 20; ++i) {
+    const Status status = injector.MaybeFail(fault_sites::kIndexBuild);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+  }
+  EXPECT_EQ(injector.fire_count(fault_sites::kIndexBuild), 20);
+  EXPECT_EQ(injector.total_fires(), 20);
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsInjectedFaults) {
+  FaultConfig config;
+  config.Fail(fault_sites::kIndexBuild, 1.0, /*max_fires=*/3);
+  FaultInjector injector(config);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!injector.MaybeFail(fault_sites::kIndexBuild).ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(injector.fire_count(fault_sites::kIndexBuild), 3);
+  EXPECT_EQ(injector.check_count(fault_sites::kIndexBuild), 10);
+}
+
+TEST(FaultInjectorTest, MultiplierAppliesOnlyWhenFiring) {
+  FaultConfig config;
+  config.Slow(fault_sites::kStorageScan, 1.0, 3.5);
+  config.Slow(fault_sites::kIndexBuildSlow, 0.0, 9.0);
+  FaultInjector injector(config);
+  EXPECT_DOUBLE_EQ(injector.Multiplier(fault_sites::kStorageScan), 3.5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(injector.Multiplier(fault_sites::kIndexBuildSlow), 1.0);
+  }
+}
+
+TEST(FaultInjectorTest, FailureMessageNamesTheSite) {
+  FaultConfig config;
+  config.Fail(fault_sites::kWhatIfOptimize, 1.0);
+  FaultInjector injector(config);
+  const Status status = injector.MaybeFail(fault_sites::kWhatIfOptimize);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(fault_sites::kWhatIfOptimize),
+            std::string::npos);
+}
+
+TEST(FaultInjectorTest, CustomStatusCodePropagates) {
+  FaultConfig config;
+  config.Fail(fault_sites::kIndexBuild, 1.0);
+  config.rules[fault_sites::kIndexBuild].code =
+      StatusCode::kResourceExhausted;
+  FaultInjector injector(config);
+  EXPECT_EQ(injector.MaybeFail(fault_sites::kIndexBuild).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(FaultInjectorTest, FluentHelpersEnableInjection) {
+  FaultConfig config;
+  EXPECT_FALSE(config.enabled);
+  config.Fail(fault_sites::kIndexBuild, 0.1)
+      .Slow(fault_sites::kStorageScan, 0.2, 2.0);
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.rules.size(), 2u);
+  EXPECT_DOUBLE_EQ(config.rules[fault_sites::kStorageScan].multiplier, 2.0);
+}
+
+}  // namespace
+}  // namespace colt

@@ -162,6 +162,87 @@ TEST_F(SchedulerTest, IdleTimeCancelsUnwantedBuilds) {
   EXPECT_TRUE(done->empty());
 }
 
+TEST_F(SchedulerTest, IdleTimeExactBudgetCompletesBuild) {
+  // Regression: a build whose remaining time reaches exactly zero must
+  // complete in that OnIdle call, not sit at remaining == 0 forever.
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr,
+                      SchedulingStrategy::kIdleTime);
+  IndexConfiguration desired;
+  desired.Add(s_val_);
+  ASSERT_TRUE(scheduler.ApplyConfiguration(desired).ok());
+  const double build = scheduler.BuildSeconds(s_val_);
+  auto a = scheduler.OnIdle(build / 2);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->empty());
+  // Exactly the remaining half: the idle budget hits zero at the same
+  // moment the build does, and the build must still complete.
+  auto b = scheduler.OnIdle(build / 2);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(b->size(), 1u);
+  EXPECT_EQ((*b)[0].index, s_val_);
+  EXPECT_TRUE(scheduler.materialized().Contains(s_val_));
+}
+
+TEST_F(SchedulerTest, IdleTimeZeroSecondsMakesNoProgress) {
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr,
+                      SchedulingStrategy::kIdleTime);
+  IndexConfiguration desired;
+  desired.Add(s_val_);
+  ASSERT_TRUE(scheduler.ApplyConfiguration(desired).ok());
+  auto done = scheduler.OnIdle(0.0);
+  ASSERT_TRUE(done.ok());
+  EXPECT_TRUE(done->empty());
+  EXPECT_EQ(scheduler.PendingBuilds(), (std::vector<IndexId>{s_val_}));
+}
+
+TEST_F(SchedulerTest, CancelledBuildProgressNotTransferred) {
+  // Regression: idle seconds sunk into a build that is later cancelled
+  // must not be credited to the builds still in the queue.
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr,
+                      SchedulingStrategy::kIdleTime);
+  IndexConfiguration both;
+  both.Add(b_key_);
+  both.Add(s_val_);
+  ASSERT_TRUE(scheduler.ApplyConfiguration(both).ok());
+  // Sink half of the (large) front build's cost, then cancel it.
+  ASSERT_TRUE(scheduler.OnIdle(scheduler.BuildSeconds(b_key_) / 2).ok());
+  IndexConfiguration only_small;
+  only_small.Add(s_val_);
+  ASSERT_TRUE(scheduler.ApplyConfiguration(only_small).ok());
+  ASSERT_EQ(scheduler.PendingBuilds(), (std::vector<IndexId>{s_val_}));
+  // s_val_ still owes its FULL build time; half of it is not enough even
+  // though far more than that was sunk into the cancelled build.
+  auto half = scheduler.OnIdle(scheduler.BuildSeconds(s_val_) / 2);
+  ASSERT_TRUE(half.ok());
+  EXPECT_TRUE(half->empty());
+  auto rest = scheduler.OnIdle(scheduler.BuildSeconds(s_val_) / 2);
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->size(), 1u);
+  EXPECT_EQ((*rest)[0].index, s_val_);
+}
+
+TEST_F(SchedulerTest, ReRequestedCancelledBuildOwesFullCost) {
+  Scheduler scheduler(&catalog_, &cost_model_, nullptr,
+                      SchedulingStrategy::kIdleTime);
+  IndexConfiguration desired;
+  desired.Add(b_key_);
+  ASSERT_TRUE(scheduler.ApplyConfiguration(desired).ok());
+  // Nearly finish the build, cancel it, then ask for it again.
+  ASSERT_TRUE(
+      scheduler.OnIdle(scheduler.BuildSeconds(b_key_) * 0.9).ok());
+  ASSERT_TRUE(scheduler.ApplyConfiguration({}).ok());
+  ASSERT_TRUE(scheduler.ApplyConfiguration(desired).ok());
+  // The 90% paid before the cancellation is gone: 90% again is still not
+  // enough to finish.
+  auto most = scheduler.OnIdle(scheduler.BuildSeconds(b_key_) * 0.9);
+  ASSERT_TRUE(most.ok());
+  EXPECT_TRUE(most->empty());
+  auto rest = scheduler.OnIdle(scheduler.BuildSeconds(b_key_) * 0.2);
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->size(), 1u);
+  EXPECT_TRUE(scheduler.materialized().Contains(b_key_));
+}
+
 TEST_F(SchedulerTest, IdleTimeFifoOrder) {
   Scheduler scheduler(&catalog_, &cost_model_, nullptr,
                       SchedulingStrategy::kIdleTime);
