@@ -1,7 +1,9 @@
 /// Microbenchmarks for the COLT core: per-query tuner overhead (the cost of
-/// monitoring itself), knapsack solves, and clustering assignment.
+/// monitoring itself), knapsack solves, clustering assignment, and the
+/// observability primitives the pipeline is instrumented with.
 #include <benchmark/benchmark.h>
 
+#include "common/metrics.h"
 #include "core/colt.h"
 #include "core/knapsack.h"
 #include "harness/workloads.h"
@@ -91,6 +93,57 @@ void BM_TwoMeansSplit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TwoMeansSplit)->Arg(20)->Arg(200);
+
+// ---- Observability primitives: the per-update cost every instrumented
+// call site pays. range(0) selects registry state (0 = disabled — the
+// default for production runs — 1 = enabled), so the disabled numbers
+// bound the overhead instrumentation adds to an untraced run.
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  MetricsRegistry registry;
+  registry.set_enabled(state.range(0) != 0);
+  Counter* counter = registry.GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter->Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterAdd)->Arg(0)->Arg(1);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  MetricsRegistry registry;
+  registry.set_enabled(state.range(0) != 0);
+  Histogram* hist = registry.GetHistogram("bench.hist");
+  double v = 1e-7;
+  for (auto _ : state) {
+    hist->Record(v);
+    v = v < 1.0 ? v * 1.0001 : 1e-7;
+    benchmark::DoNotOptimize(hist);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramRecord)->Arg(0)->Arg(1);
+
+void BM_MetricsScopedTimer(benchmark::State& state) {
+  MetricsRegistry registry;
+  registry.set_enabled(state.range(0) != 0);
+  Histogram* hist = registry.GetHistogram("bench.timer.seconds");
+  for (auto _ : state) {
+    ScopedTimer timer(hist);
+    benchmark::DoNotOptimize(hist);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsScopedTimer)->Arg(0)->Arg(1);
+
+void BM_WallTimerNow(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WallTimer::Now());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WallTimerNow);
 
 }  // namespace
 }  // namespace colt

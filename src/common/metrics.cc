@@ -1,0 +1,593 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace colt {
+
+namespace {
+
+double SteadyNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+#if defined(__x86_64__)
+// Seconds per TSC tick, calibrated once against steady_clock. Modern
+// x86-64 TSCs are invariant (constant_tsc/nonstop_tsc), so a single
+// short calibration holds for the process lifetime; ~0.1% calibration
+// error is irrelevant for overhead histograms but a TSC read costs less
+// than half of a clock_gettime-backed steady_clock read, which matters
+// when timers wrap microsecond-scale pipeline stages.
+double SecondsPerTick() {
+  static const double seconds_per_tick = [] {
+    const double t0 = SteadyNow();
+    const uint64_t c0 = __rdtsc();
+    double t1;
+    do {
+      t1 = SteadyNow();
+    } while (t1 - t0 < 2e-3);
+    const uint64_t c1 = __rdtsc();
+    return (t1 - t0) / static_cast<double>(c1 - c0);
+  }();
+  return seconds_per_tick;
+}
+#endif
+
+}  // namespace
+
+double WallTimer::Now() {
+#if defined(__x86_64__)
+  return static_cast<double>(__rdtsc()) * SecondsPerTick();
+#else
+  return SteadyNow();
+#endif
+}
+
+HistogramOptions HistogramOptions::Exponential(double first_upper,
+                                               double growth, int buckets) {
+  HistogramOptions options;
+  double bound = first_upper;
+  for (int i = 0; i < buckets; ++i) {
+    options.upper_bounds.push_back(bound);
+    bound *= growth;
+  }
+  return options;
+}
+
+HistogramOptions HistogramOptions::Linear(double lo, double hi, int buckets) {
+  HistogramOptions options;
+  const double width = (hi - lo) / buckets;
+  for (int i = 1; i <= buckets; ++i) {
+    options.upper_bounds.push_back(lo + width * i);
+  }
+  return options;
+}
+
+Histogram::Histogram(const bool* enabled, HistogramOptions options)
+    : enabled_(enabled), upper_bounds_(std::move(options.upper_bounds)) {
+  if (upper_bounds_.empty()) {
+    upper_bounds_ = HistogramOptions::Exponential().upper_bounds;
+  }
+  buckets_.assign(upper_bounds_.size(), 0);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  overflow_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+void Histogram::Record(double value) {
+#ifndef COLT_DISABLE_METRICS
+  if (!*enabled_) return;
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  if (it == upper_bounds_.end()) {
+    ++overflow_;
+  } else {
+    ++buckets_[static_cast<size_t>(it - upper_bounds_.begin())];
+  }
+#else
+  (void)value;
+#endif
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const int64_t before = cumulative;
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const double lower = i == 0 ? 0.0 : upper_bounds_[i - 1];
+      const double upper = upper_bounds_[i];
+      const double fraction = (target - static_cast<double>(before)) /
+                              static_cast<double>(buckets_[i]);
+      const double value = lower + fraction * (upper - lower);
+      return std::clamp(value, min_, max_);
+    }
+  }
+  return max_;  // target lies in the overflow bucket
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min();
+  snap.max = max();
+  snap.p50 = Percentile(50.0);
+  snap.p95 = Percentile(95.0);
+  snap.p99 = Percentile(99.0);
+  snap.upper_bounds = upper_bounds_;
+  snap.bucket_counts = buckets_;
+  snap.overflow = overflow_;
+  return snap;
+}
+
+ScopedTimer::ScopedTimer(Histogram* hist) {
+#ifndef COLT_DISABLE_METRICS
+  if (hist != nullptr && *hist->enabled_) {
+    hist_ = hist;
+    start_ = WallTimer::Now();
+  }
+#else
+  (void)hist;
+#endif
+}
+
+double ScopedTimer::Stop() {
+  if (hist_ == nullptr) return 0.0;
+  const double elapsed = WallTimer::Now() - start_;
+  hist_->Record(elapsed);
+  hist_ = nullptr;
+  return elapsed;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         HistogramOptions options) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(
+                          new Histogram(&enabled_, std::move(options))))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// JSONL export / import. The writer emits a deliberately small JSON subset
+// (flat objects; string, number and number-array values) so the reader can
+// stay dependency-free; FromJsonl only guarantees to parse what ToJsonl
+// writes.
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[40];
+  // %.17g round-trips every finite double exactly.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendInt(int64_t v, std::string* out) {
+  *out += std::to_string(v);
+}
+
+/// Cursor-based reader for the subset written above.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ReadString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            const std::string hex(text_.substr(pos_, 4));
+            pos_ += 4;
+            c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+            break;
+          }
+          default:
+            c = esc;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool ReadDouble(double* out) {
+    SkipSpace();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    *out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos_ += static_cast<size_t>(end - begin);
+    return true;
+  }
+  bool ReadInt(int64_t* out) {
+    double d = 0.0;
+    if (!ReadDouble(&d)) return false;
+    *out = static_cast<int64_t>(d);
+    return true;
+  }
+  bool ReadDoubleArray(std::vector<double>* out) {
+    if (!Consume('[')) return false;
+    out->clear();
+    if (Consume(']')) return true;
+    while (true) {
+      double v = 0.0;
+      if (!ReadDouble(&v)) return false;
+      out->push_back(v);
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+  bool ReadIntArray(std::vector<int64_t>* out) {
+    std::vector<double> tmp;
+    if (!ReadDoubleArray(&tmp)) return false;
+    out->assign(tmp.begin(), tmp.end());
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void AppendIntArray(const std::vector<int64_t>& values, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendInt(values[i], out);
+  }
+  out->push_back(']');
+}
+
+void AppendDoubleArray(const std::vector<double>& values, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendDouble(values[i], out);
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJsonl() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += "{\"type\":\"counter\",\"name\":";
+    AppendJsonString(name, &out);
+    out += ",\"value\":";
+    AppendInt(value, &out);
+    out += "}\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "{\"type\":\"gauge\",\"name\":";
+    AppendJsonString(name, &out);
+    out += ",\"value\":";
+    AppendDouble(value, &out);
+    out += "}\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += "{\"type\":\"histogram\",\"name\":";
+    AppendJsonString(name, &out);
+    out += ",\"count\":";
+    AppendInt(h.count, &out);
+    out += ",\"sum\":";
+    AppendDouble(h.sum, &out);
+    out += ",\"min\":";
+    AppendDouble(h.min, &out);
+    out += ",\"max\":";
+    AppendDouble(h.max, &out);
+    out += ",\"p50\":";
+    AppendDouble(h.p50, &out);
+    out += ",\"p95\":";
+    AppendDouble(h.p95, &out);
+    out += ",\"p99\":";
+    AppendDouble(h.p99, &out);
+    out += ",\"bounds\":";
+    AppendDoubleArray(h.upper_bounds, &out);
+    out += ",\"buckets\":";
+    AppendIntArray(h.bucket_counts, &out);
+    out += ",\"overflow\":";
+    AppendInt(h.overflow, &out);
+    out += "}\n";
+  }
+  return out;
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJsonl(std::string_view text) {
+  MetricsSnapshot snap;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty() || line.find_first_not_of(" \t\r") ==
+                            std::string_view::npos) {
+      continue;
+    }
+    const auto malformed = [&](const std::string& why) {
+      return Status::InvalidArgument("metrics jsonl line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    JsonReader reader(line);
+    if (!reader.Consume('{')) return malformed("expected object");
+    std::string type;
+    std::string name;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    HistogramSnapshot hist;
+    bool first = true;
+    while (!reader.Consume('}')) {
+      if (!first && !reader.Consume(',')) return malformed("expected ','");
+      first = false;
+      std::string key;
+      if (!reader.ReadString(&key) || !reader.Consume(':')) {
+        return malformed("expected key");
+      }
+      bool ok = true;
+      if (key == "type") {
+        ok = reader.ReadString(&type);
+      } else if (key == "name") {
+        ok = reader.ReadString(&name);
+      } else if (key == "value") {
+        ok = reader.ReadDouble(&double_value);
+        int_value = static_cast<int64_t>(double_value);
+      } else if (key == "count") {
+        ok = reader.ReadInt(&hist.count);
+      } else if (key == "sum") {
+        ok = reader.ReadDouble(&hist.sum);
+      } else if (key == "min") {
+        ok = reader.ReadDouble(&hist.min);
+      } else if (key == "max") {
+        ok = reader.ReadDouble(&hist.max);
+      } else if (key == "p50") {
+        ok = reader.ReadDouble(&hist.p50);
+      } else if (key == "p95") {
+        ok = reader.ReadDouble(&hist.p95);
+      } else if (key == "p99") {
+        ok = reader.ReadDouble(&hist.p99);
+      } else if (key == "bounds") {
+        ok = reader.ReadDoubleArray(&hist.upper_bounds);
+      } else if (key == "buckets") {
+        ok = reader.ReadIntArray(&hist.bucket_counts);
+      } else if (key == "overflow") {
+        ok = reader.ReadInt(&hist.overflow);
+      } else {
+        return malformed("unknown key '" + key + "'");
+      }
+      if (!ok) return malformed("bad value for '" + key + "'");
+    }
+    if (name.empty()) return malformed("missing name");
+    if (type == "counter") {
+      snap.counters[name] = int_value;
+    } else if (type == "gauge") {
+      snap.gauges[name] = double_value;
+    } else if (type == "histogram") {
+      snap.histograms[name] = std::move(hist);
+    } else {
+      return malformed("unknown type '" + type + "'");
+    }
+  }
+  return snap;
+}
+
+namespace {
+
+std::string FormatSeconds(double v) {
+  char buf[48];
+  if (std::fabs(v) >= 1.0 || v == 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  } else if (std::fabs(v) >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3fm", v * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fu", v * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatSnapshot(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  if (!snapshot.counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      out << "  " << name << " = " << value << "\n";
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      out << "  " << name << " = " << value << "\n";
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out << "histograms:\n";
+    for (const auto& [name, h] : snapshot.histograms) {
+      out << "  " << name << ": count=" << h.count << " sum="
+          << FormatSeconds(h.sum) << " min=" << FormatSeconds(h.min)
+          << " p50=" << FormatSeconds(h.p50) << " p95="
+          << FormatSeconds(h.p95) << " p99=" << FormatSeconds(h.p99)
+          << " max=" << FormatSeconds(h.max) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string FormatSnapshotDiff(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after) {
+  std::ostringstream out;
+  out << "counters (after - before):\n";
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    const int64_t prior = it == before.counters.end() ? 0 : it->second;
+    if (value == prior) continue;
+    out << "  " << name << " " << (value - prior >= 0 ? "+" : "")
+        << (value - prior) << " (" << prior << " -> " << value << ")\n";
+  }
+  for (const auto& [name, value] : before.counters) {
+    if (after.counters.find(name) == after.counters.end()) {
+      out << "  " << name << " removed (was " << value << ")\n";
+    }
+  }
+  out << "gauges (before -> after):\n";
+  for (const auto& [name, value] : after.gauges) {
+    const auto it = before.gauges.find(name);
+    const double prior = it == before.gauges.end() ? 0.0 : it->second;
+    if (value == prior) continue;
+    out << "  " << name << " " << prior << " -> " << value << "\n";
+  }
+  out << "histograms (count/sum deltas; after-side percentiles):\n";
+  for (const auto& [name, h] : after.histograms) {
+    const auto it = before.histograms.find(name);
+    const int64_t prior_count =
+        it == before.histograms.end() ? 0 : it->second.count;
+    const double prior_sum =
+        it == before.histograms.end() ? 0.0 : it->second.sum;
+    if (h.count == prior_count && h.sum == prior_sum) continue;
+    out << "  " << name << ": count +" << (h.count - prior_count)
+        << " sum +" << FormatSeconds(h.sum - prior_sum) << " p50="
+        << FormatSeconds(h.p50) << " p95=" << FormatSeconds(h.p95)
+        << " p99=" << FormatSeconds(h.p99) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace colt

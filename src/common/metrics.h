@@ -1,0 +1,235 @@
+#ifndef COLT_COMMON_METRICS_H_
+#define COLT_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace colt {
+
+/// Whether the metrics layer is compiled in. Builds configured with
+/// -DCOLT_DISABLE_METRICS=ON turn every instrument update into an empty
+/// inline function so the instrumented call sites carry zero cost; the
+/// registry/snapshot API stays link-compatible either way.
+#ifdef COLT_DISABLE_METRICS
+inline constexpr bool kMetricsCompiledIn = false;
+#else
+inline constexpr bool kMetricsCompiledIn = true;
+#endif
+
+/// Monotonic wall-clock stopwatch, the single timing primitive shared by
+/// the metrics layer, the tracer, and the benches (no more ad-hoc chrono
+/// snippets at call sites). On x86-64 it reads the invariant TSC with a
+/// one-time calibration against steady_clock — under half the cost of a
+/// clock_gettime-backed read, which matters when instrumenting
+/// microsecond-scale pipeline stages; elsewhere it is steady_clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(Now()) {}
+  void Reset() { start_ = Now(); }
+  /// Seconds elapsed since construction / last Reset().
+  double Seconds() const { return Now() - start_; }
+  /// Monotonic seconds since an arbitrary process-stable epoch.
+  static double Now();
+
+ private:
+  double start_;
+};
+
+/// Monotonic counter. Updates are dropped while the owning registry is
+/// disabled, so a disabled run observes nothing (and pays one predictable
+/// branch per update).
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(int64_t n) {
+#ifndef COLT_DISABLE_METRICS
+    if (*enabled_) value_ += n;
+#else
+    (void)n;
+#endif
+  }
+  int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const bool* enabled) : enabled_(enabled) {}
+  void Reset() { value_ = 0; }
+
+  const bool* enabled_;
+  int64_t value_ = 0;
+};
+
+/// Last-value gauge (e.g. budget utilization, current hot-set size).
+class Gauge {
+ public:
+  void Set(double v) {
+#ifndef COLT_DISABLE_METRICS
+    if (*enabled_) value_ = v;
+#else
+    (void)v;
+#endif
+  }
+  double value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
+  void Reset() { value_ = 0.0; }
+
+  const bool* enabled_;
+  double value_ = 0.0;
+};
+
+/// Bucket layout of a histogram. Bucket i covers
+/// (upper_bounds[i-1], upper_bounds[i]]; values above the last bound land
+/// in a dedicated overflow bucket. Defaults suit wall-clock seconds from
+/// ~100ns up to ~100s.
+struct HistogramOptions {
+  std::vector<double> upper_bounds;
+
+  /// Exponential bounds: first_upper * growth^i, `buckets` of them.
+  static HistogramOptions Exponential(double first_upper = 1e-7,
+                                      double growth = 4.0, int buckets = 16);
+  /// Equal-width bounds over (lo, hi].
+  static HistogramOptions Linear(double lo, double hi, int buckets);
+};
+
+/// Percentile summary of a histogram at snapshot time.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> upper_bounds;
+  std::vector<int64_t> bucket_counts;  // same length as upper_bounds
+  int64_t overflow = 0;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Fixed-bucket histogram with exact count/sum/min/max and interpolated
+/// percentiles. Single-writer, like the rest of the tuning stack.
+class Histogram {
+ public:
+  void Record(double value);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  /// The p-th percentile (0 < p <= 100) by linear interpolation inside the
+  /// containing bucket; exact min/max clamp the ends. 0 when empty.
+  double Percentile(double p) const;
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  friend class ScopedTimer;
+  Histogram(const bool* enabled, HistogramOptions options);
+  void Reset();
+
+  const bool* enabled_;
+  std::vector<double> upper_bounds_;
+  std::vector<int64_t> buckets_;
+  int64_t overflow_ = 0;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// RAII wall-clock timer recording into a histogram on scope exit. When
+/// the registry is disabled at construction the timer never reads the
+/// clock, so instrumented scopes cost one branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist);
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { Stop(); }
+
+  /// Records now instead of at scope exit; further Stop()s are no-ops.
+  /// Returns the elapsed seconds (0 when inactive).
+  double Stop();
+
+ private:
+  Histogram* hist_ = nullptr;  // null = inactive
+  double start_ = 0.0;
+};
+
+/// Full point-in-time view of a registry, exportable as JSONL (one JSON
+/// object per line) and re-parsable for offline diffing.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  std::string ToJsonl() const;
+  static Result<MetricsSnapshot> FromJsonl(std::string_view text);
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// Human-readable rendering of one snapshot / of the delta between two
+/// (counters: after - before; gauges: before -> after; histograms: count
+/// and sum deltas plus the after-side percentiles).
+std::string FormatSnapshot(const MetricsSnapshot& snapshot);
+std::string FormatSnapshotDiff(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
+/// Name-keyed registry of counters, gauges and histograms. Disabled by
+/// default: instruments can be registered and cached at any time, but
+/// record nothing until set_enabled(true), so the fault-injector pattern
+/// holds — an untouched run is observationally identical to one without
+/// the metrics layer. Instrument pointers are stable for the registry's
+/// lifetime; call sites fetch them once and update through the pointer.
+///
+/// Thread-compatibility: confined to one tuning stack, not synchronized.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the tuning stack instruments against.
+  static MetricsRegistry& Default();
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Returns the named instrument, creating it on first use. A histogram's
+  /// options are fixed by its first registration.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name, HistogramOptions options =
+                                                     HistogramOptions());
+
+  /// Zeroes every instrument; registrations (and pointers) survive.
+  void Reset();
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  bool enabled_ = false;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_COMMON_METRICS_H_

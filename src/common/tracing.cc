@@ -1,0 +1,298 @@
+#include "common/tracing.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace colt {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), epoch_(WallTimer::Now()) {}
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Scope Tracer::StartSpan(std::string_view name,
+                                std::string_view site) {
+  if (!enabled_) return Scope();
+  OpenSpan open;
+  open.span.id = next_id_++;
+  open.span.parent = open_.empty() ? 0 : open_.back().span.id;
+  open.span.name.assign(name);
+  open.span.site.assign(site);
+  open.span.start_seconds = WallTimer::Now() - epoch_;
+  open_.push_back(std::move(open));
+  return Scope(this, open_.size() - 1);
+}
+
+void Tracer::Scope::AddAttr(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  Span& span = tracer_->open_[depth_].span;
+  span.attrs.push_back(SpanAttr{std::string(key), std::string(value)});
+}
+
+void Tracer::Scope::AddAttr(std::string_view key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  AddAttr(key, std::string_view(buf));
+}
+
+void Tracer::Scope::AddAttr(std::string_view key, int64_t value) {
+  AddAttr(key, std::string_view(std::to_string(value)));
+}
+
+void Tracer::Scope::End() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  COLT_CHECK(depth_ + 1 == tracer->open_.size())
+      << "span scopes must close innermost-first (open depth "
+      << tracer->open_.size() << ", closing " << depth_ << ")";
+  Span span = std::move(tracer->open_.back().span);
+  tracer->open_.pop_back();
+  span.duration_seconds =
+      WallTimer::Now() - tracer->epoch_ - span.start_seconds;
+  tracer->Sink(std::move(span));
+}
+
+void Tracer::Sink(Span span) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[ring_start_] = std::move(span);
+  ring_start_ = (ring_start_ + 1) % ring_.size();
+  ++dropped_;
+}
+
+std::vector<Span> Tracer::Spans() const {
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_start_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  ring_.clear();
+  ring_start_ = 0;
+  dropped_ = 0;
+  epoch_ = WallTimer::Now();
+}
+
+std::string Tracer::ToJsonl() const {
+  std::string out;
+  for (const Span& span : Spans()) {
+    out += "{\"id\":";
+    out += std::to_string(span.id);
+    out += ",\"parent\":";
+    out += std::to_string(span.parent);
+    out += ",\"name\":";
+    AppendEscaped(span.name, &out);
+    out += ",\"site\":";
+    AppendEscaped(span.site, &out);
+    out += ",\"start\":";
+    AppendDouble(span.start_seconds, &out);
+    out += ",\"dur\":";
+    AppendDouble(span.duration_seconds, &out);
+    out += ",\"attrs\":{";
+    for (size_t i = 0; i < span.attrs.size(); ++i) {
+      if (i > 0) out += ",";
+      AppendEscaped(span.attrs[i].key, &out);
+      out += ":";
+      AppendEscaped(span.attrs[i].value, &out);
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+std::string Tracer::ToChromeTrace() const {
+  // Complete ("X") events; timestamps in microseconds as about:tracing
+  // expects. All spans share one process/thread — the pipeline is
+  // single-threaded — so nesting renders from the time ranges alone.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : Spans()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    AppendEscaped(span.name, &out);
+    out += ",\"cat\":";
+    AppendEscaped(span.site.empty() ? std::string("colt") : span.site, &out);
+    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
+    AppendDouble(span.start_seconds * 1e6, &out);
+    out += ",\"dur\":";
+    AppendDouble(span.duration_seconds * 1e6, &out);
+    out += ",\"args\":{\"id\":";
+    out += std::to_string(span.id);
+    out += ",\"parent\":";
+    out += std::to_string(span.parent);
+    for (const SpanAttr& attr : span.attrs) {
+      out += ",";
+      AppendEscaped(attr.key, &out);
+      out += ":";
+      AppendEscaped(attr.value, &out);
+    }
+    out += "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+Result<std::vector<Span>> Tracer::FromJsonl(std::string_view text) {
+  std::vector<Span> spans;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    const auto malformed = [&](const std::string& why) {
+      return Status::InvalidArgument("trace jsonl line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    // Hand-rolled scan over the exact shape ToJsonl writes.
+    Span span;
+    size_t i = 0;
+    auto skip_ws = [&] {
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    };
+    auto consume = [&](char c) {
+      skip_ws();
+      if (i < line.size() && line[i] == c) {
+        ++i;
+        return true;
+      }
+      return false;
+    };
+    auto read_string = [&](std::string* out) {
+      skip_ws();
+      if (i >= line.size() || line[i] != '"') return false;
+      ++i;
+      out->clear();
+      while (i < line.size() && line[i] != '"') {
+        char c = line[i++];
+        if (c == '\\' && i < line.size()) {
+          const char esc = line[i++];
+          if (esc == 'n') {
+            c = '\n';
+          } else if (esc == 'u') {
+            if (i + 4 > line.size()) return false;
+            const std::string hex(line.substr(i, 4));
+            i += 4;
+            c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+          } else {
+            c = esc;
+          }
+        }
+        out->push_back(c);
+      }
+      if (i >= line.size()) return false;
+      ++i;
+      return true;
+    };
+    auto read_double = [&](double* out) {
+      skip_ws();
+      // std::string_view is not NUL-terminated; bound the strtod copy.
+      const std::string buf(line.substr(i, std::min<size_t>(40, line.size() - i)));
+      char* endp = nullptr;
+      *out = std::strtod(buf.c_str(), &endp);
+      if (endp == buf.c_str()) return false;
+      i += static_cast<size_t>(endp - buf.c_str());
+      return true;
+    };
+    if (!consume('{')) return malformed("expected object");
+    bool first = true;
+    while (!consume('}')) {
+      if (!first && !consume(',')) return malformed("expected ','");
+      first = false;
+      std::string key;
+      if (!read_string(&key) || !consume(':')) return malformed("bad key");
+      bool ok = true;
+      double num = 0.0;
+      if (key == "id") {
+        ok = read_double(&num);
+        span.id = static_cast<int64_t>(num);
+      } else if (key == "parent") {
+        ok = read_double(&num);
+        span.parent = static_cast<int64_t>(num);
+      } else if (key == "name") {
+        ok = read_string(&span.name);
+      } else if (key == "site") {
+        ok = read_string(&span.site);
+      } else if (key == "start") {
+        ok = read_double(&span.start_seconds);
+      } else if (key == "dur") {
+        ok = read_double(&span.duration_seconds);
+      } else if (key == "attrs") {
+        if (!consume('{')) return malformed("bad attrs");
+        if (!consume('}')) {
+          while (true) {
+            SpanAttr attr;
+            if (!read_string(&attr.key) || !consume(':') ||
+                !read_string(&attr.value)) {
+              return malformed("bad attr");
+            }
+            span.attrs.push_back(std::move(attr));
+            if (consume('}')) break;
+            if (!consume(',')) return malformed("bad attrs");
+          }
+        }
+      } else {
+        return malformed("unknown key '" + key + "'");
+      }
+      if (!ok) return malformed("bad value for '" + key + "'");
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+}  // namespace colt

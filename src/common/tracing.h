@@ -1,0 +1,131 @@
+#ifndef COLT_COMMON_TRACING_H_
+#define COLT_COMMON_TRACING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace colt {
+
+/// One key=value span annotation. Values are stored as strings; numeric
+/// helpers format on attach.
+struct SpanAttr {
+  std::string key;
+  std::string value;
+};
+
+/// A finished span: one timed region of the tuning pipeline. Times are
+/// seconds relative to the tracer's epoch (construction / last Clear), so
+/// dumps from one run are directly comparable.
+struct Span {
+  int64_t id = 0;
+  /// Enclosing span's id; 0 for roots.
+  int64_t parent = 0;
+  std::string name;
+  /// Component site, e.g. "core/colt" — groups spans by subsystem.
+  std::string site;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  std::vector<SpanAttr> attrs;
+};
+
+/// Per-query structured span tracer with a fixed-capacity ring-buffer
+/// sink: the newest `capacity` finished spans are retained, older ones are
+/// dropped (counted, never resized). Spans nest through RAII scopes — the
+/// innermost open scope is the parent of the next StartSpan.
+///
+/// Disabled by default; a disabled tracer never reads the clock and
+/// returns inert scopes, following the fault-injector pattern.
+///
+/// Thread-compatibility: confined to one tuning stack, not synchronized.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 8192);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer the tuning stack emits to.
+  static Tracer& Default();
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// RAII handle for an open span; finishes (and sinks) it on destruction.
+  /// Scopes must be destroyed in reverse order of creation (stack
+  /// discipline), which plain lexical scoping guarantees.
+  class Scope {
+   public:
+    Scope() = default;
+    Scope(Scope&& other) noexcept { *this = std::move(other); }
+    Scope& operator=(Scope&& other) noexcept {
+      End();
+      tracer_ = other.tracer_;
+      depth_ = other.depth_;
+      other.tracer_ = nullptr;
+      return *this;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { End(); }
+
+    /// Attaches key=value to the open span (no-op on inert scopes).
+    void AddAttr(std::string_view key, std::string_view value);
+    void AddAttr(std::string_view key, double value);
+    void AddAttr(std::string_view key, int64_t value);
+
+    /// Finishes the span now; later End()s are no-ops.
+    void End();
+
+   private:
+    friend class Tracer;
+    Scope(Tracer* tracer, size_t depth) : tracer_(tracer), depth_(depth) {}
+
+    Tracer* tracer_ = nullptr;  // null = inert
+    size_t depth_ = 0;
+  };
+
+  /// Opens a span named `name` under the innermost open span. Returns an
+  /// inert scope when disabled.
+  Scope StartSpan(std::string_view name, std::string_view site = {});
+
+  /// Finished spans, oldest first (at most `capacity`).
+  std::vector<Span> Spans() const;
+  /// Spans evicted from the ring so far.
+  int64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Forgets all finished spans and restarts the clock epoch. Open spans
+  /// survive (their times stay on the old epoch; avoid mixing).
+  void Clear();
+
+  /// One JSON object per line; parseable by FromJsonl.
+  std::string ToJsonl() const;
+  /// Chrome trace_event JSON ("X" complete events) for about:tracing /
+  /// Perfetto.
+  std::string ToChromeTrace() const;
+  static Result<std::vector<Span>> FromJsonl(std::string_view text);
+
+ private:
+  void Sink(Span span);
+
+  bool enabled_ = false;
+  size_t capacity_;
+  /// Ring of finished spans: ring_[(start_ + i) % size] for i < size.
+  std::vector<Span> ring_;
+  size_t ring_start_ = 0;
+  int64_t dropped_ = 0;
+  int64_t next_id_ = 1;
+  double epoch_;
+  /// Open-span stack (innermost last).
+  struct OpenSpan {
+    Span span;
+  };
+  std::vector<OpenSpan> open_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_COMMON_TRACING_H_

@@ -3,8 +3,25 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/tracing.h"
 
 namespace colt {
+
+namespace {
+
+/// Routes one scheduler action's charged time into the step's successful
+/// vs. wasted build accounting (kBuildFailed time is wasted by
+/// definition; everything else is useful work).
+void ChargeAction(const IndexAction& action, TuningStep* step) {
+  if (action.type == IndexActionType::kBuildFailed) {
+    step->wasted_build_seconds += action.build_seconds;
+  } else {
+    step->build_seconds += action.build_seconds;
+  }
+  step->actions.push_back(action);
+}
+
+}  // namespace
 
 ColtTuner::ColtTuner(Catalog* catalog, QueryOptimizer* optimizer,
                      ColtConfig config, Database* db, uint64_t seed)
@@ -28,7 +45,14 @@ ColtTuner::ColtTuner(Catalog* catalog, QueryOptimizer* optimizer,
                                         config.build_backoff_base_rounds,
                                         config.max_build_backoff_rounds,
                                         config.quarantine_cooldown_rounds}),
-      whatif_limit_(config.max_whatif_per_epoch) {}
+      whatif_limit_(config.max_whatif_per_epoch) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  metrics_.queries = reg.GetCounter("colt.queries");
+  metrics_.epochs = reg.GetCounter("colt.epochs");
+  metrics_.emergency_evictions = reg.GetCounter("colt.emergency_evictions");
+  metrics_.budget_utilization = reg.GetGauge("colt.budget_utilization");
+  metrics_.on_query_seconds = reg.GetHistogram("colt.on_query.seconds");
+}
 
 void ColtTuner::MaybeShrinkBudget(TuningStep* step) {
   const double factor = faults_.Multiplier(fault_sites::kBudgetShrink);
@@ -66,12 +90,10 @@ void ColtTuner::MaybeShrinkBudget(TuningStep* step) {
                     << actions.status().ToString();
     return;
   }
-  for (auto& action : *actions) {
-    step->build_seconds += action.build_seconds;
-    step->actions.push_back(action);
-  }
+  for (const auto& action : *actions) ChargeAction(action, step);
   emergency_evictions_epoch_ += dropped;
   emergency_evictions_total_ += dropped;
+  metrics_.emergency_evictions->Add(dropped);
 }
 
 std::vector<ColtTuner::IndexExplanation> ColtTuner::ExplainState() {
@@ -109,6 +131,9 @@ std::vector<ColtTuner::IndexExplanation> ColtTuner::ExplainState() {
 }
 
 TuningStep ColtTuner::OnQuery(const Query& q) {
+  metrics_.queries->Increment();
+  ScopedTimer on_query_timer(metrics_.on_query_seconds);
+  Tracer::Scope span = Tracer::Default().StartSpan("on_query", "core");
   TuningStep step;
   // Substrate weather first: a mid-run budget shrink must be honoured
   // before this query's plan and invariant checks.
@@ -119,7 +144,7 @@ TuningStep ColtTuner::OnQuery(const Query& q) {
     Result<std::vector<IndexAction>> completed =
         scheduler_.OnIdle(config_.idle_seconds_per_query);
     if (completed.ok()) {
-      for (auto& action : *completed) step.actions.push_back(action);
+      for (const auto& action : *completed) ChargeAction(action, &step);
     } else {
       COLT_LOG(Error) << "idle build failed: "
                       << completed.status().ToString();
@@ -171,10 +196,7 @@ TuningStep ColtTuner::OnQuery(const Query& q) {
     Result<std::vector<IndexAction>> actions =
         scheduler_.ApplyConfiguration(outcome.new_materialized);
     if (actions.ok()) {
-      for (auto& action : *actions) {
-        step.build_seconds += action.build_seconds;
-        step.actions.push_back(action);
-      }
+      for (const auto& action : *actions) ChargeAction(action, &step);
     } else {
       // Keep tuning under the previous configuration; crashing the tuner
       // over a substrate error would defeat the self-regulation premise.
@@ -190,6 +212,19 @@ TuningStep ColtTuner::OnQuery(const Query& q) {
     report.quarantined_ids = scheduler_.QuarantinedIndexes();
     report.storage_budget_bytes = config_.storage_budget_bytes;
     report.emergency_evictions = emergency_evictions_epoch_;
+    report.wasted_build_seconds =
+        scheduler_.wasted_build_seconds() - wasted_build_reported_;
+    wasted_build_reported_ = scheduler_.wasted_build_seconds();
+    metrics_.epochs->Increment();
+    metrics_.budget_utilization->Set(
+        config_.storage_budget_bytes > 0
+            ? static_cast<double>(report.materialized_bytes) /
+                  static_cast<double>(config_.storage_budget_bytes)
+            : 0.0);
+    if (config_.epoch_metrics_snapshot &&
+        MetricsRegistry::Default().enabled()) {
+      report.metrics = MetricsRegistry::Default().Snapshot();
+    }
     degraded_whatif_epoch_ = 0;
     emergency_evictions_epoch_ = 0;
     epoch_reports_.push_back(std::move(report));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "core/candidates.h"
 #include "core/clustering.h"
 #include "core/config.h"
@@ -28,8 +29,12 @@ struct TuningStep {
   double execution_seconds = 0.0;
   /// Profiling overhead charged for this query (what-if calls), seconds.
   double profiling_seconds = 0.0;
-  /// Index build time charged at this query (epoch boundaries), seconds.
+  /// Index build time charged at this query (epoch boundaries) for builds
+  /// that succeeded, seconds.
   double build_seconds = 0.0;
+  /// Build time charged for attempts that failed (kBuildFailed), seconds.
+  /// Wasted work: it still occupies the timeline, but produced no index.
+  double wasted_build_seconds = 0.0;
   /// Configuration changes performed after this query.
   std::vector<IndexAction> actions;
   int whatif_calls = 0;
@@ -63,6 +68,11 @@ struct EpochReport {
   int64_t storage_budget_bytes = 0;
   /// Materialized indexes dropped by emergency eviction this epoch.
   int emergency_evictions = 0;
+  /// Simulated seconds charged for failed build attempts this epoch.
+  double wasted_build_seconds = 0.0;
+  /// Point-in-time metrics at the epoch boundary (empty unless
+  /// MetricsRegistry::Default() is enabled).
+  MetricsSnapshot metrics;
 };
 
 /// COLT — Continuous On-Line Tuning (the paper's primary contribution).
@@ -183,6 +193,17 @@ class ColtTuner {
   int64_t build_failures_reported_ = 0;
   int64_t degraded_whatif_total_ = 0;
   int64_t emergency_evictions_total_ = 0;
+  /// Scheduler wasted-build seconds already attributed to a past epoch.
+  double wasted_build_reported_ = 0.0;
+
+  struct Instruments {
+    Counter* queries;
+    Counter* epochs;
+    Counter* emergency_evictions;
+    Gauge* budget_utilization;
+    Histogram* on_query_seconds;
+  };
+  Instruments metrics_;
 };
 
 }  // namespace colt

@@ -126,6 +126,14 @@ struct ColtConfig {
   /// makes genuinely useful indexes decay and get dropped; the floor keeps
   /// the estimate conservative without letting it vanish entirely.
   double conservative_floor_fraction = 0.25;
+
+  // ---- Observability ----
+  /// When true (and MetricsRegistry::Default() is enabled), each
+  /// EpochReport carries a full metrics snapshot taken at the epoch
+  /// boundary. Off by default: a registry snapshot is orders of magnitude
+  /// more expensive than the always-on counters/timers, so per-epoch
+  /// snapshots are an explicitly requested diagnostic.
+  bool epoch_metrics_snapshot = false;
 };
 
 }  // namespace colt

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/tracing.h"
+
 namespace colt {
 
 uint64_t TableConfigSignature(const Catalog& catalog,
@@ -31,7 +33,15 @@ Profiler::Profiler(Catalog* catalog, QueryOptimizer* optimizer,
       candidates_(candidates),
       config_(config),
       rng_(seed),
-      faults_(faults) {}
+      faults_(faults) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  metrics_.whatif_issued = reg.GetCounter("profiler.whatif.issued");
+  metrics_.degraded_fault = reg.GetCounter("profiler.degraded.fault");
+  metrics_.degraded_deadline = reg.GetCounter("profiler.degraded.deadline");
+  metrics_.level1_records = reg.GetCounter("profiler.level1.records");
+  metrics_.level2_records = reg.GetCounter("profiler.level2.records");
+  metrics_.profile_seconds = reg.GetHistogram("profiler.profile.seconds");
+}
 
 void Profiler::RecordCrudeFallback(const Query& q, IndexId index,
                                    ClusterId cluster,
@@ -94,6 +104,8 @@ Profiler::ProfileOutcome Profiler::ProfileQuery(
     const IndexConfiguration& materialized,
     const std::vector<IndexId>& hot_set, int whatif_limit, int* whatif_used,
     int current_epoch) {
+  ScopedTimer timer(metrics_.profile_seconds);
+  Tracer::Scope span = Tracer::Default().StartSpan("profile_query", "core");
   ProfileOutcome outcome;
   // 1. Cluster assignment (efficient, on-line).
   outcome.cluster = clusters_->Assign(q);
@@ -179,6 +191,7 @@ Profiler::ProfileOutcome Profiler::ProfileQuery(
       if (deadline > 0.0 && charged + call_seconds > deadline) {
         RecordCrudeFallback(q, id, cluster, materialized);
         ++outcome.degraded_calls;
+        metrics_.degraded_deadline->Increment();
         continue;
       }
       charged += call_seconds;
@@ -187,6 +200,7 @@ Profiler::ProfileOutcome Profiler::ProfileQuery(
           !faults_->MaybeFail(fault_sites::kWhatIfOptimize).ok()) {
         RecordCrudeFallback(q, id, cluster, materialized);
         ++outcome.degraded_calls;
+        metrics_.degraded_fault->Increment();
         continue;
       }
       live.push_back(id);
@@ -204,9 +218,11 @@ Profiler::ProfileOutcome Profiler::ProfileQuery(
         } else {
           hot_stats_->Record(g.index, cluster, std::max(0.0, g.gain), sig);
         }
+        metrics_.level2_records->Increment();
       }
     }
     *whatif_used += issued;
+    metrics_.whatif_issued->Add(issued);
     outcome.whatif_calls = issued;
     outcome.charged_seconds = charged;
     outcome.probed = probation;
@@ -235,6 +251,7 @@ Profiler::ProfileOutcome Profiler::ProfileQuery(
     }
     const double crude = u * optimizer_->CrudeGain(pred, *desc);
     candidates_->Observe(id, crude, current_epoch);
+    metrics_.level1_records->Increment();
   }
 
   // Multi-column extension (off by default): mine one composite candidate

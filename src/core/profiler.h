@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "core/candidates.h"
 #include "core/clustering.h"
@@ -111,6 +112,16 @@ class Profiler {
     }
   };
   std::unordered_map<PairKey, int64_t, PairKeyHash> epoch_usage_;
+
+  struct Instruments {
+    Counter* whatif_issued;
+    Counter* degraded_fault;
+    Counter* degraded_deadline;
+    Counter* level1_records;
+    Counter* level2_records;
+    Histogram* profile_seconds;
+  };
+  Instruments metrics_;
 };
 
 }  // namespace colt

@@ -6,6 +6,25 @@
 
 namespace colt {
 
+Scheduler::Scheduler(const Catalog* catalog, const CostModel* cost_model,
+                     Database* db, SchedulingStrategy strategy,
+                     FaultInjector* faults, RetryPolicy retry)
+    : catalog_(catalog),
+      cost_model_(cost_model),
+      db_(db),
+      strategy_(strategy),
+      faults_(faults),
+      retry_(retry) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  metrics_.builds_completed = reg.GetCounter("scheduler.builds.completed");
+  metrics_.builds_failed = reg.GetCounter("scheduler.builds.failed");
+  metrics_.drops = reg.GetCounter("scheduler.drops");
+  metrics_.backoff_events = reg.GetCounter("scheduler.backoff.events");
+  metrics_.quarantine_events = reg.GetCounter("scheduler.quarantine.events");
+  metrics_.pending_builds = reg.GetGauge("scheduler.pending_builds");
+  metrics_.apply_seconds = reg.GetHistogram("scheduler.apply.seconds");
+}
+
 double Scheduler::BuildSeconds(IndexId id) const {
   const IndexDescriptor& desc = catalog_->index(id);
   const TableSchema& table = catalog_->table(desc.column.table);
@@ -60,6 +79,7 @@ void Scheduler::RecordBuildFailure(IndexId id,
     state.quarantine_until_round =
         round_ + retry_.quarantine_cooldown_rounds;
     ++quarantine_events_;
+    metrics_.quarantine_events->Increment();
     IndexAction action;
     action.type = IndexActionType::kQuarantine;
     action.index = id;
@@ -75,6 +95,7 @@ void Scheduler::RecordBuildFailure(IndexId id,
         retry_.max_backoff_rounds,
         static_cast<int64_t>(retry_.backoff_base_rounds) << shift);
     state.retry_after_round = round_ + std::max<int64_t>(1, backoff);
+    metrics_.backoff_events->Increment();
   }
 }
 
@@ -94,6 +115,7 @@ void Scheduler::ExpireQuarantines() {
 
 Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
     const IndexConfiguration& desired) {
+  ScopedTimer apply_timer(metrics_.apply_seconds);
   ++round_;
   ExpireQuarantines();
   std::vector<IndexAction> actions;
@@ -108,12 +130,15 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
   for (const auto& action : actions) {
     if (db_ != nullptr) db_->DropIndex(action.index);
     materialized_.Remove(action.index);
+    metrics_.drops->Increment();
   }
   // Cancel queued builds that are no longer desired. Idle seconds already
   // spent on them are lost — never transferred to the remaining queue.
   pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
                                 [&](const PendingBuild& b) {
-                                  return !desired.Contains(b.index);
+                                  if (desired.Contains(b.index)) return false;
+                                  wasted_idle_seconds_ += b.spent_seconds;
+                                  return true;
                                 }),
                  pending_.end());
 
@@ -134,6 +159,7 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
         action.index = id;
         action.build_seconds = build_seconds;
         actions.push_back(action);
+        metrics_.builds_completed->Increment();
       } else if (IsTransient(built.code())) {
         // The attempt consumed its build time before failing; charge it.
         IndexAction action;
@@ -141,6 +167,8 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
         action.index = id;
         action.build_seconds = build_seconds;
         actions.push_back(action);
+        wasted_build_seconds_ += build_seconds;
+        metrics_.builds_failed->Increment();
         RecordBuildFailure(id, &actions);
       } else {
         return built;
@@ -150,10 +178,11 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
           std::any_of(pending_.begin(), pending_.end(),
                       [&](const PendingBuild& b) { return b.index == id; });
       if (!queued) {
-        pending_.push_back(PendingBuild{id, BuildSeconds(id)});
+        pending_.push_back(PendingBuild{id, BuildSeconds(id), 0.0});
       }
     }
   }
+  metrics_.pending_builds->Set(static_cast<double>(pending_.size()));
   return actions;
 }
 
@@ -166,9 +195,12 @@ Result<std::vector<IndexAction>> Scheduler::OnIdle(double seconds) {
     if (build.remaining_seconds > 1e-12 && seconds <= 0.0) break;
     const double spent = std::min(seconds, build.remaining_seconds);
     build.remaining_seconds -= spent;
+    build.spent_seconds += spent;
+    idle_seconds_spent_ += spent;
     seconds -= spent;
     if (build.remaining_seconds > 1e-12) break;  // out of idle time
     const IndexId id = build.index;
+    const double sunk = build.spent_seconds;
     pending_.pop_front();
     const Status built = TryBuild(id);
     if (built.ok()) {
@@ -179,6 +211,7 @@ Result<std::vector<IndexAction>> Scheduler::OnIdle(double seconds) {
       action.index = id;
       action.build_seconds = 0.0;  // performed during idle time
       completed.push_back(action);
+      metrics_.builds_completed->Increment();
     } else if (IsTransient(built.code())) {
       // The idle work is lost; the retry machinery decides when (and
       // whether) ApplyConfiguration may queue the index again.
@@ -187,11 +220,14 @@ Result<std::vector<IndexAction>> Scheduler::OnIdle(double seconds) {
       action.index = id;
       action.build_seconds = 0.0;
       completed.push_back(action);
+      wasted_idle_seconds_ += sunk;
+      metrics_.builds_failed->Increment();
       RecordBuildFailure(id, &completed);
     } else {
       return built;
     }
   }
+  metrics_.pending_builds->Set(static_cast<double>(pending_.size()));
   return completed;
 }
 

@@ -8,6 +8,7 @@
 
 #include "catalog/catalog.h"
 #include "common/fault_injector.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "optimizer/cost_model.h"
@@ -65,13 +66,7 @@ class Scheduler {
   /// fault injection); it must outlive the scheduler.
   Scheduler(const Catalog* catalog, const CostModel* cost_model, Database* db,
             SchedulingStrategy strategy = SchedulingStrategy::kImmediate,
-            FaultInjector* faults = nullptr, RetryPolicy retry = {})
-      : catalog_(catalog),
-        cost_model_(cost_model),
-        db_(db),
-        strategy_(strategy),
-        faults_(faults),
-        retry_(retry) {}
+            FaultInjector* faults = nullptr, RetryPolicy retry = {});
 
   /// Transitions toward `desired`. Drops take effect immediately (and
   /// cancel pending builds that are no longer wanted). Builds take effect
@@ -112,10 +107,23 @@ class Scheduler {
   int64_t build_failures() const { return build_failures_; }
   int64_t quarantine_events() const { return quarantine_events_; }
 
+  /// Simulated seconds charged to the timeline by failed immediate-mode
+  /// build attempts (kBuildFailed actions). Kept apart from successful
+  /// build time so reports can show wasted vs. useful work.
+  double wasted_build_seconds() const { return wasted_build_seconds_; }
+  /// Idle seconds sunk into queued builds that were later cancelled or
+  /// whose final materialization failed (kIdleTime only).
+  double wasted_idle_seconds() const { return wasted_idle_seconds_; }
+  /// Total idle seconds consumed from OnIdle budgets (productive or not).
+  double idle_seconds_spent() const { return idle_seconds_spent_; }
+
  private:
   struct PendingBuild {
     IndexId index = kInvalidIndexId;
     double remaining_seconds = 0.0;
+    /// Idle seconds already sunk into this build (lost if it is cancelled
+    /// or its materialization fails).
+    double spent_seconds = 0.0;
   };
 
   /// Per-index failure bookkeeping; erased on success or cooldown expiry.
@@ -158,6 +166,20 @@ class Scheduler {
   int64_t round_ = 0;
   int64_t build_failures_ = 0;
   int64_t quarantine_events_ = 0;
+  double wasted_build_seconds_ = 0.0;
+  double wasted_idle_seconds_ = 0.0;
+  double idle_seconds_spent_ = 0.0;
+
+  struct Instruments {
+    Counter* builds_completed;
+    Counter* builds_failed;
+    Counter* drops;
+    Counter* backoff_events;
+    Counter* quarantine_events;
+    Gauge* pending_builds;
+    Histogram* apply_seconds;
+  };
+  Instruments metrics_;
 };
 
 }  // namespace colt

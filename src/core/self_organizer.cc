@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
+
+#include "common/tracing.h"
 
 namespace colt {
 
@@ -21,7 +24,15 @@ SelfOrganizer::SelfOrganizer(Catalog* catalog, QueryOptimizer* optimizer,
       candidates_(candidates),
       forecaster_(forecaster),
       profiler_(profiler),
-      config_(config) {}
+      config_(config) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  metrics_.hot_churn = reg.GetCounter("self_organizer.hot_churn");
+  metrics_.hot_set_size = reg.GetGauge("self_organizer.hot_set_size");
+  metrics_.epoch_end_seconds =
+      reg.GetHistogram("self_organizer.epoch_end.seconds");
+  metrics_.knapsack_seconds =
+      reg.GetHistogram("self_organizer.knapsack.seconds");
+}
 
 bool SelfOrganizer::RelevantToCluster(IndexId index, ClusterId cluster) const {
   const ColumnRef col = catalog_->index(index).column;
@@ -108,6 +119,8 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
     const IndexConfiguration& materialized,
     const std::vector<IndexId>& hot_set,
     const std::vector<IndexId>& quarantined) {
+  ScopedTimer timer(metrics_.epoch_end_seconds);
+  Tracer::Scope span = Tracer::Default().StartSpan("epoch_end", "core");
   Outcome outcome;
   const auto is_quarantined = [&](IndexId id) {
     return std::binary_search(quarantined.begin(), quarantined.end(), id);
@@ -142,10 +155,12 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
     item.value = NetBenefit(id, materialized);
     items.push_back(item);
   }
+  ScopedTimer knapsack_timer(metrics_.knapsack_seconds);
   const KnapsackSolution current =
       config_->use_greedy_knapsack
           ? SolveKnapsackGreedy(items, config_->storage_budget_bytes)
           : SolveKnapsack(items, config_->storage_budget_bytes);
+  knapsack_timer.Stop();
   for (int64_t id : current.chosen_ids) {
     outcome.new_materialized.Add(static_cast<IndexId>(id));
   }
@@ -206,6 +221,20 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
     std::sort(outcome.new_hot.begin(), outcome.new_hot.end());
   }
 
+  // Hot-set churn: indexes entering or leaving H this epoch (both sets
+  // are sorted, so the symmetric difference counts in one pass).
+  {
+    std::vector<IndexId> old_sorted = hot_set;
+    std::sort(old_sorted.begin(), old_sorted.end());
+    std::vector<IndexId> churned;
+    std::set_symmetric_difference(
+        old_sorted.begin(), old_sorted.end(), outcome.new_hot.begin(),
+        outcome.new_hot.end(), std::back_inserter(churned));
+    metrics_.hot_churn->Add(static_cast<int64_t>(churned.size()));
+    metrics_.hot_set_size->Set(static_cast<double>(outcome.new_hot.size()));
+    span.AddAttr("hot_churn", static_cast<int64_t>(churned.size()));
+  }
+
   // ---- 4. Re-budgeting: best-case scenario for the hot indexes.
   if (!config_->enable_rebudgeting) {
     outcome.next_whatif_limit = config_->max_whatif_per_epoch;
@@ -234,11 +263,13 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
     }
     optimistic_items.push_back(item);
   }
+  ScopedTimer opt_knapsack_timer(metrics_.knapsack_seconds);
   const KnapsackSolution best_case =
       config_->use_greedy_knapsack
           ? SolveKnapsackGreedy(optimistic_items,
                                 config_->storage_budget_bytes)
           : SolveKnapsack(optimistic_items, config_->storage_budget_bytes);
+  opt_knapsack_timer.Stop();
   outcome.net_benefit_optimistic = best_case.total_value;
 
   double r;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "core/candidates.h"
 #include "core/clustering.h"
 #include "core/config.h"
@@ -81,6 +82,14 @@ class SelfOrganizer {
   BenefitForecaster* forecaster_;
   Profiler* profiler_;
   const ColtConfig* config_;
+
+  struct Instruments {
+    Counter* hot_churn;
+    Gauge* hot_set_size;
+    Histogram* epoch_end_seconds;
+    Histogram* knapsack_seconds;
+  };
+  Instruments metrics_;
 };
 
 }  // namespace colt

@@ -17,6 +17,20 @@ int64_t TuplesPerPage(const TableSchema& schema) {
 
 }  // namespace
 
+Executor::Executor(const Database* db) : db_(db) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  static constexpr const char* kOpNames[kNumOperators] = {
+      "exec.seq_scan.seconds",      "exec.index_scan.seconds",
+      "exec.bitmap_scan.seconds",   "exec.nest_loop_join.seconds",
+      "exec.index_nl_join.seconds", "exec.hash_join.seconds",
+  };
+  for (size_t i = 0; i < kNumOperators; ++i) {
+    op_seconds_[i] = reg.GetHistogram(kOpNames[i]);
+  }
+  op_invocations_ = reg.GetCounter("exec.operator.invocations");
+  execute_seconds_ = reg.GetHistogram("exec.execute.seconds");
+}
+
 int64_t Executor::DistinctHeapPages(TableId table,
                                     const std::vector<RowId>& rows) const {
   const int64_t per_page = TuplesPerPage(db_->catalog().table(table));
@@ -28,6 +42,8 @@ int64_t Executor::DistinctHeapPages(TableId table,
 
 Result<std::vector<Executor::BoundRow>> Executor::Run(const PlanNode& node,
                                                       ExecutionResult* acc) {
+  op_invocations_->Increment();
+  ScopedTimer op_timer(op_seconds_[static_cast<size_t>(node.type)]);
   switch (node.type) {
     case PlanNodeType::kSeqScan: {
       if (!db_->HasData(node.table)) {
@@ -214,6 +230,7 @@ Result<std::vector<Executor::BoundRow>> Executor::Run(const PlanNode& node,
 }
 
 Result<ExecutionResult> Executor::Execute(const PlanNode& plan) {
+  ScopedTimer timer(execute_seconds_);
   ExecutionResult acc;
   COLT_ASSIGN_OR_RETURN(std::vector<BoundRow> rows, Run(plan, &acc));
   acc.output_rows = static_cast<int64_t>(rows.size());

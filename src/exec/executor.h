@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
@@ -46,7 +47,7 @@ struct ExecutionResult {
 /// the paper-scale experiments use the cost model's simulated timings.
 class Executor {
  public:
-  explicit Executor(const Database* db) : db_(db) {}
+  explicit Executor(const Database* db);
 
   /// Executes `plan`. Requires every scanned table to be materialized and
   /// every index used by the plan to be physically built.
@@ -77,6 +78,13 @@ class Executor {
                             const std::vector<RowId>& rows) const;
 
   const Database* db_;
+
+  /// Per-operator wall-clock histograms, indexed by PlanNodeType. An
+  /// operator's time is inclusive of its children (span semantics).
+  static constexpr size_t kNumOperators = 6;
+  Histogram* op_seconds_[kNumOperators];
+  Counter* op_invocations_;
+  Histogram* execute_seconds_;
 };
 
 }  // namespace colt

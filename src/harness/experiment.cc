@@ -19,6 +19,7 @@ ColtRunResult RunColtWorkload(Catalog* catalog,
     cost.execution = step.execution_seconds;
     cost.profiling = step.profiling_seconds;
     cost.build = step.build_seconds;
+    cost.wasted_build = step.wasted_build_seconds;
     result.per_query.push_back(cost);
   }
   result.epochs = tuner.epoch_reports();
@@ -54,6 +55,7 @@ ChaosRunResult RunChaosWorkload(Catalog* catalog,
     cost.execution = step.execution_seconds;
     cost.profiling = step.profiling_seconds;
     cost.build = step.build_seconds;
+    cost.wasted_build = step.wasted_build_seconds;
     result.run.per_query.push_back(cost);
 
     const int q = static_cast<int>(i);

@@ -16,7 +16,10 @@ struct QueryCost {
   double execution = 0.0;
   double profiling = 0.0;
   double build = 0.0;
-  double total() const { return execution + profiling + build; }
+  /// Build time charged for failed attempts. Part of the timeline (the
+  /// system really spent it), but shown separately from useful build work.
+  double wasted_build = 0.0;
+  double total() const { return execution + profiling + build + wasted_build; }
 };
 
 /// Result of driving one workload through COLT.

@@ -8,10 +8,12 @@ namespace colt {
 
 Status WriteEpochReportCsv(const std::vector<EpochReport>& reports,
                            std::ostream& out) {
+  // New columns append at the very end of each row: the gnuplot scripts
+  // address columns positionally, so existing positions must not shift.
   out << "epoch,whatif_used,whatif_limit,next_whatif_limit,rebudget_ratio,"
          "candidates,clusters,hot,materialized,materialized_bytes,"
          "degraded_whatif,build_failures,quarantined,storage_budget_bytes,"
-         "emergency_evictions\n";
+         "emergency_evictions,wasted_build_s\n";
   for (const auto& e : reports) {
     out << e.epoch << ',' << e.whatif_used << ',' << e.whatif_limit << ','
         << e.next_whatif_limit << ',' << e.rebudget_ratio << ','
@@ -19,7 +21,8 @@ Status WriteEpochReportCsv(const std::vector<EpochReport>& reports,
         << e.hot_ids.size() << ',' << e.materialized_ids.size() << ','
         << e.materialized_bytes << ',' << e.degraded_whatif << ','
         << e.build_failures << ',' << e.quarantined_ids.size() << ','
-        << e.storage_budget_bytes << ',' << e.emergency_evictions << '\n';
+        << e.storage_budget_bytes << ',' << e.emergency_evictions << ','
+        << e.wasted_build_seconds << '\n';
   }
   if (!out.good()) return Status::Internal("csv write failed");
   return Status::OK();
@@ -33,14 +36,18 @@ Status WritePerQueryCsv(const ColtRunResult& colt_run,
       offline_seconds.size() != colt_run.per_query.size()) {
     return Status::InvalidArgument("offline series length mismatch");
   }
+  // colt_wasted_build_s is appended after offline_s: the gnuplot scripts
+  // read colt_total_s/offline_s by position (columns 5 and 6).
   out << "query,colt_execution_s,colt_profiling_s,colt_build_s,colt_total_s";
   if (with_offline) out << ",offline_s";
+  out << ",colt_wasted_build_s";
   out << '\n';
   for (size_t i = 0; i < colt_run.per_query.size(); ++i) {
     const QueryCost& q = colt_run.per_query[i];
     out << i << ',' << q.execution << ',' << q.profiling << ',' << q.build
         << ',' << q.total();
     if (with_offline) out << ',' << offline_seconds[i];
+    out << ',' << q.wasted_build;
     out << '\n';
   }
   if (!out.good()) return Status::Internal("csv write failed");

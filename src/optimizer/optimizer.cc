@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/tracing.h"
 
 namespace colt {
 
@@ -24,7 +25,16 @@ uint64_t ConfigSigForTable(const Catalog& catalog,
 }  // namespace
 
 QueryOptimizer::QueryOptimizer(const Catalog* catalog, CostParams params)
-    : catalog_(catalog), cost_model_(params) {}
+    : catalog_(catalog), cost_model_(params) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  metrics_.optimize_calls = reg.GetCounter("optimizer.optimize.calls");
+  metrics_.whatif_calls = reg.GetCounter("optimizer.whatif.calls");
+  metrics_.whatif_probes = reg.GetCounter("optimizer.whatif.probes");
+  metrics_.memo_hits = reg.GetCounter("optimizer.memo.hits");
+  metrics_.memo_misses = reg.GetCounter("optimizer.memo.misses");
+  metrics_.plan_seconds = reg.GetHistogram("optimizer.plan.seconds");
+  metrics_.whatif_seconds = reg.GetHistogram("optimizer.whatif.seconds");
+}
 
 double QueryOptimizer::CombinedSelectivity(const Query& q,
                                            TableId table) const {
@@ -45,8 +55,10 @@ QueryOptimizer::AccessPath QueryOptimizer::BestAccessPath(
     auto it = memo->find(key);
     if (it != memo->end()) {
       ++stats_.subplan_reuses;
+      metrics_.memo_hits->Increment();
       return it->second;
     }
+    metrics_.memo_misses->Increment();
   }
   const TableSchema& schema = catalog_->table(table);
   const auto selections = q.SelectionsOn(table);
@@ -327,6 +339,8 @@ PlanResult QueryOptimizer::OptimizeInternal(
 PlanResult QueryOptimizer::Optimize(const Query& q,
                                     const IndexConfiguration& config) {
   ++stats_.optimize_calls;
+  metrics_.optimize_calls->Increment();
+  ScopedTimer timer(metrics_.plan_seconds);
   std::unordered_map<TableKey, AccessPath, TableKeyHash> memo;
   return OptimizeInternal(q, config, &memo);
 }
@@ -335,6 +349,12 @@ std::vector<IndexGain> QueryOptimizer::WhatIfOptimize(
     const Query& q, const IndexConfiguration& materialized,
     const std::vector<IndexId>& probation) {
   ++stats_.optimize_calls;
+  metrics_.optimize_calls->Increment();
+  metrics_.whatif_calls->Increment();
+  ScopedTimer timer(metrics_.whatif_seconds);
+  Tracer::Scope span =
+      Tracer::Default().StartSpan("whatif", "optimizer");
+  span.AddAttr("probes", static_cast<int64_t>(probation.size()));
   // The memo is shared across the base optimization and every what-if
   // re-optimization: access paths of tables unaffected by the probed index
   // are reused rather than recomputed.
@@ -344,6 +364,7 @@ std::vector<IndexGain> QueryOptimizer::WhatIfOptimize(
   gains.reserve(probation.size());
   for (IndexId id : probation) {
     ++stats_.whatif_calls;
+    metrics_.whatif_probes->Increment();
     IndexGain g;
     g.index = id;
     if (materialized.Contains(id)) {

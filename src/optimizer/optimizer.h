@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
 #include "query/query.h"
@@ -142,6 +143,19 @@ class QueryOptimizer {
   const Catalog* catalog_;
   CostModel cost_model_;
   OptimizerStats stats_;
+
+  /// Instrument pointers fetched once from MetricsRegistry::Default();
+  /// updates are no-ops until the registry is enabled.
+  struct Instruments {
+    Counter* optimize_calls;
+    Counter* whatif_calls;
+    Counter* whatif_probes;
+    Counter* memo_hits;
+    Counter* memo_misses;
+    Histogram* plan_seconds;
+    Histogram* whatif_seconds;
+  };
+  Instruments metrics_;
 };
 
 }  // namespace colt

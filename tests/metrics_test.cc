@@ -1,0 +1,256 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace colt {
+namespace {
+
+// All tests use a local registry: instruments record nothing until
+// set_enabled(true), and a private instance keeps tests independent of
+// whatever the process-wide Default() registry has accumulated.
+
+TEST(CounterTest, DisabledRegistryDropsUpdates) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 0);
+}
+
+TEST(CounterTest, EnabledRegistryAccumulates) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter* c = registry.GetCounter("test.counter");
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->value(), kMetricsCompiledIn ? 42 : 0);
+}
+
+TEST(CounterTest, ToggleMidRunOnlyCountsEnabledWindow) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  c->Add(100);  // dropped
+  registry.set_enabled(true);
+  c->Add(7);  // kept
+  registry.set_enabled(false);
+  c->Add(100);  // dropped
+  EXPECT_EQ(c->value(), kMetricsCompiledIn ? 7 : 0);
+}
+
+TEST(GaugeTest, KeepsLastValueWhileEnabled) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(3.5);  // dropped: disabled
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  registry.set_enabled(true);
+  g->Set(3.5);
+  g->Set(0.25);
+  EXPECT_DOUBLE_EQ(g->value(), kMetricsCompiledIn ? 0.25 : 0.0);
+}
+
+TEST(RegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+  EXPECT_NE(registry.GetCounter("a"), registry.GetCounter("b"));
+}
+
+TEST(RegistryTest, ResetZeroesValuesButKeepsPointers) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h");
+  c->Add(5);
+  g->Set(1.5);
+  h->Record(0.5);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_EQ(registry.GetCounter("c"), c);
+  EXPECT_EQ(registry.GetGauge("g"), g);
+  EXPECT_EQ(registry.GetHistogram("h"), h);
+  // Still enabled and usable after Reset.
+  c->Increment();
+  EXPECT_EQ(c->value(), kMetricsCompiledIn ? 1 : 0);
+}
+
+// The remaining tests exercise recorded values, so they are meaningful
+// only when the metrics layer is compiled in.
+#ifndef COLT_DISABLE_METRICS
+
+TEST(HistogramTest, CountSumMinMax) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* h = registry.GetHistogram("h");
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_DOUBLE_EQ(h->min(), 0.0);  // empty reads as 0, not +inf
+  EXPECT_DOUBLE_EQ(h->max(), 0.0);
+  h->Record(2.0);
+  h->Record(0.5);
+  h->Record(5.0);
+  EXPECT_EQ(h->count(), 3);
+  EXPECT_DOUBLE_EQ(h->sum(), 7.5);
+  EXPECT_DOUBLE_EQ(h->min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 5.0);
+}
+
+TEST(HistogramTest, BucketAssignmentUsesHalfOpenUpperBounds) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  // Buckets: (-inf,1], (1,2], (2,4], overflow (4,inf).
+  HistogramOptions options;
+  options.upper_bounds = {1.0, 2.0, 4.0};
+  Histogram* h = registry.GetHistogram("h", options);
+  h->Record(1.0);   // bucket 0 (inclusive upper bound)
+  h->Record(1.5);   // bucket 1
+  h->Record(2.0);   // bucket 1
+  h->Record(4.0);   // bucket 2
+  h->Record(100.0);  // overflow
+  const HistogramSnapshot snap = h->Snapshot();
+  ASSERT_EQ(snap.bucket_counts.size(), 3u);
+  EXPECT_EQ(snap.bucket_counts[0], 1);
+  EXPECT_EQ(snap.bucket_counts[1], 2);
+  EXPECT_EQ(snap.bucket_counts[2], 1);
+  EXPECT_EQ(snap.overflow, 1);
+}
+
+TEST(HistogramTest, PercentilesOfUniformDistribution) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  // 100 equal-width buckets over (0,100]; record 1..100 once each. The
+  // interpolated p-th percentile must land within one bucket width of p.
+  Histogram* h =
+      registry.GetHistogram("h", HistogramOptions::Linear(0.0, 100.0, 100));
+  for (int i = 1; i <= 100; ++i) h->Record(static_cast<double>(i));
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    EXPECT_NEAR(h->Percentile(p), p, 1.0) << "p=" << p;
+  }
+  // Exact extremes clamp to recorded min/max, not bucket edges.
+  EXPECT_DOUBLE_EQ(h->Percentile(100.0), 100.0);
+  EXPECT_GE(h->Percentile(0.5), 1.0);
+}
+
+TEST(HistogramTest, PercentileOfSingleValueIsThatValue) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* h = registry.GetHistogram("h");
+  h->Record(3.25e-5);
+  EXPECT_DOUBLE_EQ(h->Percentile(50.0), 3.25e-5);
+  EXPECT_DOUBLE_EQ(h->Percentile(99.0), 3.25e-5);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* h = registry.GetHistogram("h");
+  EXPECT_DOUBLE_EQ(h->Percentile(50.0), 0.0);
+}
+
+TEST(ScopedTimerTest, RecordsOneSampleOnScopeExit) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* h = registry.GetHistogram("h");
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h->count(), 1);
+  EXPECT_GE(h->min(), 0.0);
+}
+
+TEST(ScopedTimerTest, ExplicitStopIsIdempotent) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* h = registry.GetHistogram("h");
+  ScopedTimer timer(h);
+  const double elapsed = timer.Stop();
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_DOUBLE_EQ(timer.Stop(), 0.0);  // second Stop is a no-op
+  EXPECT_EQ(h->count(), 1);
+}
+
+TEST(ScopedTimerTest, DisabledRegistryRecordsNothing) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h->count(), 0);
+}
+
+TEST(WallTimerTest, MonotonicAndNonNegative) {
+  const double a = WallTimer::Now();
+  const double b = WallTimer::Now();
+  EXPECT_GE(b, a);
+  WallTimer timer;
+  EXPECT_GE(timer.Seconds(), 0.0);
+  timer.Reset();
+  EXPECT_GE(timer.Seconds(), 0.0);
+}
+
+TEST(SnapshotTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    MetricsRegistry registry;
+    registry.set_enabled(true);
+    registry.GetCounter("c")->Add(3);
+    registry.GetGauge("g")->Set(0.75);
+    Histogram* h = registry.GetHistogram("h");
+    for (double v : {1e-6, 2e-6, 5e-5, 1e-3}) h->Record(v);
+    return registry.Snapshot();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SnapshotTest, JsonlRoundTripIsLossless) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("colt.queries")->Add(1234);
+  registry.GetGauge("colt.budget_utilization")->Set(0.875);
+  Histogram* h = registry.GetHistogram("colt.on_query.seconds");
+  for (double v : {3.5e-7, 1.25e-6, 4.2e-5, 0.001, 17.0, 250.0}) {
+    h->Record(v);  // 250 lands in overflow under the default bounds
+  }
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const Result<MetricsSnapshot> reparsed =
+      MetricsSnapshot::FromJsonl(snapshot.ToJsonl());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value(), snapshot);
+}
+
+TEST(SnapshotTest, FromJsonlRejectsGarbage) {
+  EXPECT_FALSE(MetricsSnapshot::FromJsonl("not json at all").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJsonl("{\"kind\":\"wat\"}").ok());
+}
+
+TEST(SnapshotTest, EmptySnapshotRoundTrips) {
+  const MetricsSnapshot empty;
+  EXPECT_TRUE(empty.empty());
+  const Result<MetricsSnapshot> reparsed =
+      MetricsSnapshot::FromJsonl(empty.ToJsonl());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed.value().empty());
+}
+
+TEST(SnapshotTest, FormatDiffShowsCounterDeltas) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter* c = registry.GetCounter("optimizer.whatif.calls");
+  c->Add(10);
+  const MetricsSnapshot before = registry.Snapshot();
+  c->Add(32);
+  const MetricsSnapshot after = registry.Snapshot();
+  const std::string diff = FormatSnapshotDiff(before, after);
+  EXPECT_NE(diff.find("optimizer.whatif.calls"), std::string::npos);
+  EXPECT_NE(diff.find("+32"), std::string::npos);
+}
+
+#endif  // COLT_DISABLE_METRICS
+
+}  // namespace
+}  // namespace colt

@@ -1,0 +1,184 @@
+#include "common/tracing.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace colt {
+namespace {
+
+// All tests use a local Tracer so they stay independent of whatever the
+// process-wide Default() tracer has accumulated.
+
+TEST(TracerTest, DisabledTracerEmitsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  {
+    Tracer::Scope scope = tracer.StartSpan("work", "tests");
+    scope.AddAttr("k", "v");  // no-op on an inert scope
+  }
+  EXPECT_TRUE(tracer.Spans().empty());
+  EXPECT_EQ(tracer.dropped(), 0);
+}
+
+TEST(TracerTest, FinishedSpanHasNameSiteAndSaneTimes) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Scope scope = tracer.StartSpan("profile_query", "core");
+  }
+  const std::vector<Span> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "profile_query");
+  EXPECT_EQ(spans[0].site, "core");
+  EXPECT_EQ(spans[0].parent, 0);  // root
+  EXPECT_GT(spans[0].id, 0);
+  EXPECT_GE(spans[0].start_seconds, 0.0);
+  EXPECT_GE(spans[0].duration_seconds, 0.0);
+}
+
+TEST(TracerTest, NestedScopesRecordParentLinks) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Scope outer = tracer.StartSpan("on_query", "core");
+    {
+      Tracer::Scope inner = tracer.StartSpan("whatif", "optimizer");
+    }
+  }
+  // Spans finish innermost-first.
+  const std::vector<Span> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const Span& inner = spans[0];
+  const Span& outer = spans[1];
+  EXPECT_EQ(inner.name, "whatif");
+  EXPECT_EQ(outer.name, "on_query");
+  EXPECT_EQ(outer.parent, 0);
+  EXPECT_EQ(inner.parent, outer.id);
+  // The child's time range nests inside the parent's.
+  EXPECT_GE(inner.start_seconds, outer.start_seconds);
+  EXPECT_LE(inner.start_seconds + inner.duration_seconds,
+            outer.start_seconds + outer.duration_seconds + 1e-9);
+}
+
+TEST(TracerTest, AttrsAttachWithFormattedValues) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Scope scope = tracer.StartSpan("work", "tests");
+    scope.AddAttr("label", "hot");
+    scope.AddAttr("probes", static_cast<int64_t>(7));
+    scope.AddAttr("ratio", 0.5);
+  }
+  const std::vector<Span> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attrs.size(), 3u);
+  EXPECT_EQ(spans[0].attrs[0].key, "label");
+  EXPECT_EQ(spans[0].attrs[0].value, "hot");
+  EXPECT_EQ(spans[0].attrs[1].key, "probes");
+  EXPECT_EQ(spans[0].attrs[1].value, "7");
+  EXPECT_EQ(spans[0].attrs[2].key, "ratio");
+  EXPECT_EQ(spans[0].attrs[2].value.substr(0, 3), "0.5");
+}
+
+TEST(TracerTest, ExplicitEndIsIdempotent) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  Tracer::Scope scope = tracer.StartSpan("work", "tests");
+  scope.End();
+  scope.End();  // no-op
+  EXPECT_EQ(tracer.Spans().size(), 1u);
+}
+
+TEST(TracerTest, MovedFromScopeDoesNotDoubleFinish) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Scope outer = tracer.StartSpan("work", "tests");
+    Tracer::Scope moved = std::move(outer);
+  }
+  EXPECT_EQ(tracer.Spans().size(), 1u);
+}
+
+TEST(TracerTest, RingKeepsNewestSpansAndCountsDrops) {
+  Tracer tracer(/*capacity=*/4);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 6; ++i) {
+    Tracer::Scope scope =
+        tracer.StartSpan("span" + std::to_string(i), "tests");
+  }
+  const std::vector<Span> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 2);
+  // Oldest retained first: span2..span5 survive.
+  EXPECT_EQ(spans[0].name, "span2");
+  EXPECT_EQ(spans[3].name, "span5");
+}
+
+TEST(TracerTest, ClearForgetsSpansAndRestartsEpoch) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { Tracer::Scope scope = tracer.StartSpan("before", "tests"); }
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Spans().empty());
+  { Tracer::Scope scope = tracer.StartSpan("after", "tests"); }
+  const std::vector<Span> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  // Fresh epoch: the first post-Clear span starts near zero.
+  EXPECT_LT(spans[0].start_seconds, 1.0);
+}
+
+TEST(TracerTest, JsonlRoundTripPreservesEveryField) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Scope outer = tracer.StartSpan("on_query", "core");
+    outer.AddAttr("epoch", static_cast<int64_t>(3));
+    {
+      Tracer::Scope inner = tracer.StartSpan("whatif", "optimizer");
+      inner.AddAttr("quote\"and\\slash", "newline\nend");
+    }
+  }
+  const Result<std::vector<Span>> reparsed =
+      Tracer::FromJsonl(tracer.ToJsonl());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  const std::vector<Span> original = tracer.Spans();
+  ASSERT_EQ(reparsed.value().size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    const Span& a = original[i];
+    const Span& b = reparsed.value()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.site, b.site);
+    EXPECT_DOUBLE_EQ(a.start_seconds, b.start_seconds);
+    EXPECT_DOUBLE_EQ(a.duration_seconds, b.duration_seconds);
+    ASSERT_EQ(a.attrs.size(), b.attrs.size());
+    for (size_t j = 0; j < a.attrs.size(); ++j) {
+      EXPECT_EQ(a.attrs[j].key, b.attrs[j].key);
+      EXPECT_EQ(a.attrs[j].value, b.attrs[j].value);
+    }
+  }
+}
+
+TEST(TracerTest, FromJsonlRejectsGarbage) {
+  EXPECT_FALSE(Tracer::FromJsonl("not a span").ok());
+  EXPECT_FALSE(Tracer::FromJsonl("{\"id\":}").ok());
+}
+
+TEST(TracerTest, ChromeTraceContainsCompleteEvents) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { Tracer::Scope scope = tracer.StartSpan("on_query", "core"); }
+  const std::string chrome = tracer.ToChromeTrace();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"on_query\""), std::string::npos);
+  EXPECT_EQ(chrome.front(), '{');
+  EXPECT_EQ(chrome.substr(chrome.size() - 3), "]}\n");
+}
+
+}  // namespace
+}  // namespace colt

@@ -1,0 +1,61 @@
+// Pretty-prints a metrics snapshot dump, or the diff between two dumps.
+//
+//   metrics_report <snapshot.jsonl>            render one snapshot
+//   metrics_report <before.jsonl> <after.jsonl>  render after - before
+//
+// Dumps are the JSONL format written by colt::MetricsSnapshot::ToJsonl()
+// (as exported by bench/fig5_overhead and the harness).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool LoadSnapshot(const char* path, colt::MetricsSnapshot* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "metrics_report: cannot read %s\n", path);
+    return false;
+  }
+  auto parsed = colt::MetricsSnapshot::FromJsonl(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "metrics_report: %s: %s\n", path,
+                 parsed.status().message().c_str());
+    return false;
+  }
+  *out = std::move(parsed).value();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 && argc != 3) {
+    std::fprintf(stderr,
+                 "usage: metrics_report <snapshot.jsonl> [after.jsonl]\n");
+    return 2;
+  }
+  colt::MetricsSnapshot first;
+  if (!LoadSnapshot(argv[1], &first)) return 1;
+  if (argc == 2) {
+    std::fputs(colt::FormatSnapshot(first).c_str(), stdout);
+    return 0;
+  }
+  colt::MetricsSnapshot second;
+  if (!LoadSnapshot(argv[2], &second)) return 1;
+  std::fputs(colt::FormatSnapshotDiff(first, second).c_str(), stdout);
+  return 0;
+}
