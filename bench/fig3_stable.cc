@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/status.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "harness/timeline.h"
@@ -53,17 +54,18 @@ int main() {
 
   const char* csv_env = std::getenv("COLT_CSV_DIR");
   const std::string csv_dir = csv_env != nullptr ? csv_env : "";
-  (void)colt::MaybeWriteCsvFile(csv_dir, "fig3_per_query.csv",
-                                [&](std::ostream& out) {
-                                  return colt::WritePerQueryCsv(
-                                      colt_run, offline->per_query_seconds,
-                                      out);
-                                });
-  (void)colt::MaybeWriteCsvFile(csv_dir, "fig3_epochs.csv",
-                                [&](std::ostream& out) {
-                                  return colt::WriteEpochReportCsv(
-                                      colt_run.epochs, out);
-                                });
+  colt::ColtIgnoreStatus(
+      colt::MaybeWriteCsvFile(csv_dir, "fig3_per_query.csv",
+                              [&](std::ostream& out) {
+                                return colt::WritePerQueryCsv(
+                                    colt_run, offline->per_query_seconds, out);
+                              }));
+  colt::ColtIgnoreStatus(
+      colt::MaybeWriteCsvFile(csv_dir, "fig3_epochs.csv",
+                              [&](std::ostream& out) {
+                                return colt::WriteEpochReportCsv(
+                                    colt_run.epochs, out);
+                              }));
 
   const int kBucket = 50;
   colt::PrintComparisonTable(

@@ -23,6 +23,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/status.h"
 #include "common/metrics.h"
 #include "common/tracing.h"
 #include "harness/experiment.h"
@@ -83,7 +84,7 @@ int main(int argc, char** argv) {
   colt::Tracer& tracer = colt::Tracer::Default();
 
   // ---- Pass 0: warmup (not measured; fills caches, faults no one).
-  (void)colt::RunColtWorkload(&catalog, workload, config);
+  colt::ColtIgnoreStatus(colt::RunColtWorkload(&catalog, workload, config));
 
   // The overhead gate compares the metrics layer enabled vs disabled in
   // one process (runtime-disabled is strictly slower than compiled-out,
@@ -95,7 +96,7 @@ int main(int argc, char** argv) {
   const int repeats = smoke ? 15 : 5;
   auto timed_run = [&] {
     colt::WallTimer timer;
-    (void)colt::RunColtWorkload(&catalog, workload, config);
+    colt::ColtIgnoreStatus(colt::RunColtWorkload(&catalog, workload, config));
     return timer.Seconds();
   };
   tracer.set_enabled(false);
@@ -128,11 +129,12 @@ int main(int argc, char** argv) {
   // ---- Exports (COLT_CSV_DIR): epoch CSV, metrics JSONL, trace dumps.
   const char* csv_env = std::getenv("COLT_CSV_DIR");
   const std::string csv_dir = csv_env != nullptr ? csv_env : "";
-  (void)colt::MaybeWriteCsvFile(csv_dir, "fig5_epochs.csv",
-                                [&](std::ostream& out) {
-                                  return colt::WriteEpochReportCsv(
-                                      run.epochs, out);
-                                });
+  colt::ColtIgnoreStatus(
+      colt::MaybeWriteCsvFile(csv_dir, "fig5_epochs.csv",
+                              [&](std::ostream& out) {
+                                return colt::WriteEpochReportCsv(
+                                    run.epochs, out);
+                              }));
   if (!csv_dir.empty()) {
     WriteTextFile(csv_dir + "/fig5_metrics.jsonl", snapshot.ToJsonl());
     WriteTextFile(csv_dir + "/fig5_trace.jsonl", tracer.ToJsonl());

@@ -1,6 +1,7 @@
 /// Microbenchmarks for the B+-tree substrate.
 #include <benchmark/benchmark.h>
 
+#include "common/status.h"
 #include "common/rng.h"
 #include "index/btree.h"
 
@@ -51,7 +52,7 @@ void BM_BTreeRangeScan(benchmark::State& state) {
     entries.emplace_back(static_cast<int64_t>(rng.NextBelow(n)), i);
   }
   BTreeIndex tree;
-  (void)tree.BulkLoad(std::move(entries));
+  ColtIgnoreStatus(tree.BulkLoad(std::move(entries)));
   std::vector<RowId> out;
   int64_t lo = 0;
   for (auto _ : state) {
@@ -71,7 +72,7 @@ void BM_BTreePointLookup(benchmark::State& state) {
     entries.emplace_back(static_cast<int64_t>(rng.NextBelow(n)), i);
   }
   BTreeIndex tree;
-  (void)tree.BulkLoad(std::move(entries));
+  ColtIgnoreStatus(tree.BulkLoad(std::move(entries)));
   std::vector<RowId> out;
   Rng probe(11);
   for (auto _ : state) {

@@ -1,6 +1,7 @@
 /// Microbenchmarks for the physical execution engine (reduced-scale data).
 #include <benchmark/benchmark.h>
 
+#include "common/status.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
 #include "storage/tpch_schema.h"
@@ -10,12 +11,12 @@ namespace {
 
 struct Fixture {
   Fixture() : db(MakeCatalog(), 7) {
-    (void)db.MaterializeAll(/*refresh_stats=*/true);
+    ColtIgnoreStatus(db.MaterializeAll(/*refresh_stats=*/true));
     li = db.catalog().FindTable("lineitem_0");
     shipdate = db.catalog().table(li).FindColumn("l_shipdate");
     auto desc = db.mutable_catalog().IndexOn(ColumnRef{li, shipdate});
     index_id = desc->id;
-    (void)db.BuildIndex(index_id);
+    ColtIgnoreStatus(db.BuildIndex(index_id));
   }
   static Catalog MakeCatalog() {
     TpchOptions options;

@@ -151,9 +151,8 @@ Result<OfflineResult> OfflineTuner::Tune(const std::vector<Query>& workload,
   for (uint64_t mask = 0; mask <= full; ++mask) {
     if (size_of_mask(mask) > budget_bytes) continue;
     double total = 0.0;
-    for (auto& [key, group] : groups) {
-      (void)key;
-      total += group_cost(group, mask);
+    for (auto& entry : groups) {
+      total += group_cost(entry.second, mask);
       if (total >= best_cost) break;  // early bail
     }
     ++result.configurations_evaluated;

@@ -18,10 +18,7 @@ void ReactiveTuner::ExpireOldGains(CandidateState* state) const {
 
 double ReactiveTuner::WindowGain(const CandidateState& state) const {
   double total = 0.0;
-  for (const auto& [query, gain] : state.gains) {
-    (void)query;
-    total += gain;
-  }
+  for (const auto& entry : state.gains) total += entry.second;
   return total;
 }
 

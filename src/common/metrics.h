@@ -48,11 +48,9 @@ class WallTimer {
 class Counter {
  public:
   void Increment() { Add(1); }
-  void Add(int64_t n) {
+  void Add([[maybe_unused]] int64_t n) {
 #ifndef COLT_DISABLE_METRICS
     if (*enabled_) value_ += n;
-#else
-    (void)n;
 #endif
   }
   int64_t value() const { return value_; }
@@ -69,11 +67,9 @@ class Counter {
 /// Last-value gauge (e.g. budget utilization, current hot-set size).
 class Gauge {
  public:
-  void Set(double v) {
+  void Set([[maybe_unused]] double v) {
 #ifndef COLT_DISABLE_METRICS
     if (*enabled_) value_ = v;
-#else
-    (void)v;
 #endif
   }
   double value() const { return value_; }

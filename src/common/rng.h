@@ -45,7 +45,9 @@ class Rng {
   }
 
   /// Uniform double in [0, 1).
-  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform integer in [0, n). Requires n > 0.
   uint64_t NextBelow(uint64_t n) {
@@ -115,7 +117,7 @@ class ZipfSampler {
     if (s_ < 1e-9) s_ = 1e-9;  // avoid the s == 1 / s == 0 singularities
     if (std::fabs(s_ - 1.0) < 1e-9) s_ = 1.0 + 1e-9;
     h_x1_ = H(1.5) - 1.0;
-    h_n_ = H(n_ + 0.5);
+    h_n_ = H(static_cast<double>(n_) + 0.5);
     dist_range_ = h_n_ - h_x1_;
   }
 
@@ -126,7 +128,8 @@ class ZipfSampler {
       size_t k = static_cast<size_t>(x + 0.5);
       if (k < 1) k = 1;
       if (k > n_) k = n_;
-      if (k - x <= 0.5 || u >= H(k + 0.5) - std::pow(k, -s_)) {
+      const double kd = static_cast<double>(k);
+      if (kd - x <= 0.5 || u >= H(kd + 0.5) - std::pow(kd, -s_)) {
         return k - 1;
       }
     }

@@ -28,8 +28,9 @@ const char* StatusCodeName(StatusCode code);
 
 /// Result of an operation that can fail. Cheap to copy when OK (no message
 /// allocation). Functions in this codebase return Status (or Result<T>)
-/// rather than throwing.
-class Status {
+/// rather than throwing. [[nodiscard]] makes the compiler reject silently
+/// dropped errors; intentional drops must go through ColtIgnoreStatus().
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -82,7 +83,7 @@ class Status {
 /// Either a value of type T or an error Status. Analogous to
 /// absl::StatusOr / arrow::Result.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or an error keeps call sites terse:
   /// `return value;` / `return Status::NotFound(...)`.
@@ -122,6 +123,14 @@ class Result {
  private:
   std::variant<T, Status> value_;
 };
+
+/// Explicitly discards a Status or Result<T> whose failure is intentionally
+/// ignored. The only sanctioned way to drop a [[nodiscard]] value: unlike a
+/// bare `(void)` cast it is greppable, self-documenting, and enforced by
+/// tools/colt_lint (rule `status-discard`). Call sites should carry a short
+/// comment saying why the error does not matter.
+template <typename T>
+inline void ColtIgnoreStatus(T&& /*status_or_result*/) {}
 
 /// Propagates a non-OK status to the caller.
 #define COLT_RETURN_IF_ERROR(expr)          \

@@ -41,10 +41,7 @@ double CandidateSet::SmoothedBenefit(IndexId index) const {
 std::vector<IndexId> CandidateSet::All() const {
   std::vector<IndexId> out;
   out.reserve(info_.size());
-  for (const auto& [id, info] : info_) {
-    (void)info;
-    out.push_back(id);
-  }
+  for (const auto& entry : info_) out.push_back(entry.first);
   std::sort(out.begin(), out.end());
   return out;
 }

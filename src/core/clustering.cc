@@ -15,9 +15,8 @@ ClusterId ClusterManager::Assign(const Query& q) {
     ClusterState state;
     state.signature = sig;
     // Relevant columns: selection columns plus both sides of each join.
-    for (const auto& [col, bucket] : sig.selections) {
-      (void)bucket;
-      state.relevant_columns.push_back(col);
+    for (const auto& sel : sig.selections) {
+      state.relevant_columns.push_back(sel.first);
     }
     for (const auto& [l, r] : sig.joins) {
       state.relevant_columns.push_back(l);
@@ -106,10 +105,7 @@ int64_t ClusterManager::live_cluster_count() const {
 std::vector<ClusterId> ClusterManager::LiveClusters() const {
   std::vector<ClusterId> out;
   out.reserve(clusters_.size());
-  for (const auto& [id, state] : clusters_) {
-    (void)state;
-    out.push_back(id);
-  }
+  for (const auto& entry : clusters_) out.push_back(entry.first);
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -65,10 +65,9 @@ void GainStatsStore::EpochMeasurements(IndexId index, ClusterId cluster,
 }
 
 void GainStatsStore::AdvanceEpoch() {
-  for (auto& [key, stats] : pairs_) {
-    (void)key;
-    stats.epoch_sum = 0.0;
-    stats.epoch_count = 0;
+  for (auto& entry : pairs_) {
+    entry.second.epoch_sum = 0.0;
+    entry.second.epoch_count = 0;
   }
 }
 

@@ -147,18 +147,12 @@ Profiler::ProfileOutcome Profiler::ProfileQuery(
 
   // Max error contribution across competing pairs normalizes the rates.
   double max_error = 0.0;
-  bool any_unmeasured = false;
   for (const auto& group : {im, ih}) {
     for (IndexId id : group) {
       const double e = ErrorContribution(id, cluster, materialized);
-      if (std::isinf(e)) {
-        any_unmeasured = true;
-      } else {
-        max_error = std::max(max_error, e);
-      }
+      if (!std::isinf(e)) max_error = std::max(max_error, e);
     }
   }
-  (void)any_unmeasured;
 
   std::vector<IndexId> probation;
   auto consider = [&](IndexId id) {
@@ -240,13 +234,9 @@ Profiler::ProfileOutcome Profiler::ProfileQuery(
     } else if (std::find(outcome.probed.begin(), outcome.probed.end(), id) !=
                outcome.probed.end()) {
       // Just measured: trust the what-if verdict on whether it is used.
-      const TableId table = catalog_->index(id).column.table;
-      const uint64_t sig =
-          TableConfigSignature(*catalog_, materialized, table);
       double sum = 0.0;
       int64_t cnt = 0;
       hot_stats_->EpochMeasurements(id, cluster, &sum, &cnt);
-      (void)sig;
       u = (cnt > 0 && sum <= 0.0) ? 0.0 : 1.0;
     }
     const double crude = u * optimizer_->CrudeGain(pred, *desc);

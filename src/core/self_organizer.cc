@@ -178,10 +178,7 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
   if (!scored.empty()) {
     std::vector<double> values;
     values.reserve(scored.size());
-    for (const auto& [v, id] : scored) {
-      (void)id;
-      values.push_back(v);
-    }
+    for (const auto& entry : scored) values.push_back(entry.first);
     const TwoMeansSplit split = ComputeTwoMeansSplit(values);
     std::sort(scored.begin(), scored.end(),
               [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -205,17 +202,17 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
           continue;
         }
         const int64_t size = catalog_->index(id).size_bytes;
-        by_density.emplace_back(v / std::max<int64_t>(1, size), id);
+        by_density.emplace_back(
+            v / static_cast<double>(std::max<int64_t>(1, size)), id);
       }
       std::sort(by_density.begin(), by_density.end(),
                 [](const auto& a, const auto& b) { return a.first > b.first; });
-      for (const auto& [d, id] : by_density) {
-        (void)d;
+      for (const auto& entry : by_density) {
         if (static_cast<int>(outcome.new_hot.size()) >=
             config_->max_hot_set_size) {
           break;
         }
-        outcome.new_hot.push_back(id);
+        outcome.new_hot.push_back(entry.second);
       }
     }
     std::sort(outcome.new_hot.begin(), outcome.new_hot.end());

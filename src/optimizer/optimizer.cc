@@ -105,7 +105,8 @@ QueryOptimizer::AccessPath QueryOptimizer::BestAccessPath(
         cost_model_.BitmapScan(schema, desc, driving_sel, residual);
     const bool use_bitmap = bitmap.cost < plain.cost;
     CostEstimate est = use_bitmap ? bitmap : plain;
-    est.rows = std::max(1.0, schema.row_count() * combined_sel);
+    est.rows =
+        std::max(1.0, static_cast<double>(schema.row_count()) * combined_sel);
     if (est.cost < best.cost) {
       best.cost = est.cost;
       best.rows = est.rows;

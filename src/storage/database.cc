@@ -78,10 +78,7 @@ void Database::DropIndex(IndexId id) { built_indexes_.erase(id); }
 std::vector<IndexId> Database::BuiltIndexIds() const {
   std::vector<IndexId> ids;
   ids.reserve(built_indexes_.size());
-  for (const auto& [id, tree] : built_indexes_) {
-    (void)tree;
-    ids.push_back(id);
-  }
+  for (const auto& entry : built_indexes_) ids.push_back(entry.first);
   std::sort(ids.begin(), ids.end());
   return ids;
 }

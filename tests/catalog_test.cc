@@ -1,3 +1,4 @@
+#include "common/status.h"
 #include "catalog/catalog.h"
 
 #include <gtest/gtest.h>
@@ -119,9 +120,9 @@ TEST(Catalog, IndexSizeScalesWithRowsAndWidth) {
 
 TEST(Catalog, AllIndexesSortedById) {
   Catalog catalog = MakeTestCatalog();
-  (void)catalog.IndexOn(Ref(catalog, "big", "b_val"));
-  (void)catalog.IndexOn(Ref(catalog, "small", "s_ref"));
-  (void)catalog.IndexOn(Ref(catalog, "big", "b_key"));
+  ColtIgnoreStatus(catalog.IndexOn(Ref(catalog, "big", "b_val")));
+  ColtIgnoreStatus(catalog.IndexOn(Ref(catalog, "small", "s_ref")));
+  ColtIgnoreStatus(catalog.IndexOn(Ref(catalog, "big", "b_key")));
   const auto all = catalog.AllIndexes();
   ASSERT_EQ(all.size(), 3u);
   EXPECT_LT(all[0].id, all[1].id);

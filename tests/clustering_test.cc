@@ -87,14 +87,13 @@ TEST_F(ClusteringTest, RelevantColumnsIncludeSelectionsAndJoins) {
 TEST_F(ClusteringTest, ActiveThisEpochOnlyCurrent) {
   const Query q1 = MakeRangeQuery(catalog_, "big", "b_key", 0, 9);
   const Query q2 = MakeRangeQuery(catalog_, "small", "s_val", 0, 0);
-  const ClusterId id1 = clusters_.Assign(q1);
+  clusters_.Assign(q1);
   clusters_.AdvanceEpoch();
   const ClusterId id2 = clusters_.Assign(q2);
   const auto active = clusters_.ActiveThisEpoch();
   EXPECT_EQ(active, (std::vector<ClusterId>{id2}));
   const auto live = clusters_.LiveClusters();
   EXPECT_EQ(live.size(), 2u);
-  (void)id1;
 }
 
 TEST_F(ClusteringTest, WindowRateAveragesOverWindow) {

@@ -1,0 +1,8 @@
+// Fixture: libc randomness seeded from the wall clock; two findings.
+#include <cstdlib>
+#include <ctime>
+
+int Roll() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  return std::rand();
+}

@@ -1,0 +1,8 @@
+// Fixture: wall-clock time outside the logging layer.
+#include <chrono>
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}

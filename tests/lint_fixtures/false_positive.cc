@@ -1,0 +1,33 @@
+// Fixture: linted as src/core/ok.cc; every construct here is legal and the
+// file must produce zero findings.
+//
+// A comment mentioning system_clock, rand(), new, and (void)Drop() must not
+// fire: rules run on a comment-stripped view.
+#include <memory>
+#include <string>
+
+struct Widget {
+  Widget() = default;
+  // Deleted special members are not raw `delete`.
+  Widget(const Widget&) = delete;
+  Widget& operator=(const Widget&) = delete;
+};
+
+// `(void)` as a parameter list is a declaration, not a discard.
+int NoArgs(void);
+
+Widget& LeakySingleton() {
+  // The sanctioned leaky-singleton form of `new`.
+  static Widget* w = new Widget();
+  return *w;
+}
+
+std::string Banner() {
+  // Banned tokens inside string literals must not fire, and the digit
+  // separator below must not derail the char-literal lexer.
+  const long big = 1'000'000;
+  return "rand() time(nullptr) system_clock new delete (void)x" +
+         std::to_string(big);
+}
+
+std::unique_ptr<int> Owned() { return std::make_unique<int>(7); }

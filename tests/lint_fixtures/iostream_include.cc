@@ -1,0 +1,4 @@
+// Fixture: linted as src/core/bad.cc; <iostream> in the hot-path tree.
+#include <iostream>
+
+void Print() { std::cout << "hello\n"; }

@@ -1,0 +1,5 @@
+// Fixture: linted as src/storage/bad.cc. storage and query are siblings
+// (storage may reach common/catalog/index only), so this is a sideways edge.
+#include "query/query.h"
+
+int StorageThing() { return 1; }

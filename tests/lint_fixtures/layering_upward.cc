@@ -1,0 +1,5 @@
+// Fixture: linted as src/catalog/bad.cc. catalog sits below optimizer in
+// the module DAG, so this include is an upward edge.
+#include "optimizer/optimizer.h"
+
+int CatalogThing() { return 1; }

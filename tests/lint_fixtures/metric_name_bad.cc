@@ -1,0 +1,9 @@
+// Fixture: a CamelCase metric name, an undotted metric name, and a
+// non-literal name; three findings. (Never compiled, only linted.)
+#include <string>
+
+void Register(Reg& reg, const std::string& dynamic) {
+  reg.GetCounter("Colt.Queries");
+  reg.GetCounter("queries");
+  reg.GetHistogram(dynamic);
+}

@@ -1,0 +1,4 @@
+// Fixture: linted as src/core/bad.cc; raw ownership outside the B+-tree.
+int* Make() { return new int(3); }
+
+void Destroy(int* p) { delete p; }

@@ -1,0 +1,6 @@
+// Fixture: bare (void) cast of a would-be Status return.
+int DoThing();
+
+void Caller() {
+  (void)DoThing();
+}

@@ -1,0 +1,6 @@
+// Fixture: allow() with no justification; fails bad-suppression (and the
+// underlying determinism violation is NOT silenced).
+// colt-lint: allow(determinism)
+#include <cstdlib>
+
+int Roll() { return std::rand(); }

@@ -1,0 +1,6 @@
+// Fixture: a determinism violation silenced by a well-formed, justified
+// file-scoped suppression; must lint clean.
+// colt-lint: allow(determinism): fixture demonstrating a sanctioned drop.
+#include <cstdlib>
+
+int Roll() { return std::rand(); }

@@ -1,0 +1,4 @@
+// Fixture: allow() naming a rule that does not exist.
+// colt-lint: allow(no-such-rule): this id is not in the catalog.
+
+int Fine() { return 1; }

@@ -1,0 +1,4 @@
+// Fixture: trailing whitespace, a tab, and a missing final newline.
+int a = 1;  
+int	b = 2;
+int c = 3;

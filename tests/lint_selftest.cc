@@ -1,0 +1,128 @@
+// Self-test for tools/colt_lint: every fixture in tests/lint_fixtures/
+// fails with exactly the expected rule id, the suppression machinery works,
+// and — the gate that matters — the real repository tree lints clean.
+//
+// Fixture files are read from LINT_FIXTURES_DIR and linted under a claimed
+// repo-relative path (the path decides which rules and module DAG position
+// apply); they are never compiled.
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(LINT_FIXTURES_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::set<std::string> RulesHit(const std::vector<colt_lint::Violation>& vs) {
+  std::set<std::string> rules;
+  for (const auto& v : vs) rules.insert(v.rule);
+  return rules;
+}
+
+struct FixtureCase {
+  const char* fixture;
+  const char* claimed_path;
+  const char* expected_rule;
+  int min_findings;
+};
+
+class LintFixtureTest : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(LintFixtureTest, FailsWithExpectedRule) {
+  const FixtureCase& c = GetParam();
+  const auto violations = colt_lint::LintFileContent(
+      c.claimed_path, ReadFixture(c.fixture));
+  ASSERT_GE(static_cast<int>(violations.size()), c.min_findings)
+      << "fixture " << c.fixture;
+  EXPECT_EQ(RulesHit(violations), std::set<std::string>{c.expected_rule})
+      << "fixture " << c.fixture << " first: " << violations[0].ToString();
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.file, c.claimed_path);
+    EXPECT_GT(v.line, 0);
+    EXPECT_FALSE(v.message.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintFixtureTest,
+    ::testing::Values(
+        FixtureCase{"layering_upward.cc", "src/catalog/bad.cc", "layering",
+                    1},
+        FixtureCase{"layering_sideways.cc", "src/storage/bad.cc", "layering",
+                    1},
+        FixtureCase{"status_discard.cc", "src/core/bad.cc", "status-discard",
+                    1},
+        FixtureCase{"determinism_rand.cc", "src/core/bad.cc", "determinism",
+                    3},
+        FixtureCase{"determinism_system_clock.cc", "src/core/bad.cc",
+                    "determinism", 1},
+        FixtureCase{"raw_new.cc", "src/core/bad.cc", "raw-new-delete", 2},
+        FixtureCase{"iostream_include.cc", "src/core/bad.cc", "iostream", 1},
+        FixtureCase{"metric_name_bad.cc", "src/core/bad.cc", "metric-name",
+                    3},
+        FixtureCase{"whitespace_bad.cc", "src/core/bad.cc", "whitespace", 3},
+        FixtureCase{"suppression_unknown_rule.cc", "src/core/bad.cc",
+                    "bad-suppression", 1}),
+    [](const ::testing::TestParamInfo<FixtureCase>& info) {
+      std::string name = info.param.fixture;
+      return name.substr(0, name.find('.'));
+    });
+
+TEST(LintSuppressionTest, JustifiedAllowSilencesTheRule) {
+  const auto violations = colt_lint::LintFileContent(
+      "src/core/bad.cc", ReadFixture("suppression_ok.cc"));
+  EXPECT_TRUE(violations.empty())
+      << "first: " << violations[0].ToString();
+}
+
+TEST(LintSuppressionTest, MissingJustificationFailsAndDoesNotSilence) {
+  const auto violations = colt_lint::LintFileContent(
+      "src/core/bad.cc",
+      ReadFixture("suppression_missing_justification.cc"));
+  const std::set<std::string> expected = {"bad-suppression", "determinism"};
+  EXPECT_EQ(RulesHit(violations), expected);
+}
+
+TEST(LintFalsePositiveTest, LegalConstructsProduceNoFindings) {
+  const auto violations = colt_lint::LintFileContent(
+      "src/core/ok.cc", ReadFixture("false_positive.cc"));
+  EXPECT_TRUE(violations.empty())
+      << "first: " << violations[0].ToString();
+}
+
+TEST(LintRuleCatalogTest, KnownRulesRoundTrip) {
+  for (const std::string& rule : colt_lint::AllRules()) {
+    EXPECT_TRUE(colt_lint::IsKnownRule(rule)) << rule;
+  }
+  EXPECT_FALSE(colt_lint::IsKnownRule("no-such-rule"));
+  EXPECT_FALSE(colt_lint::IsKnownRule("bad-suppression"))
+      << "bad-suppression must not be suppressible";
+}
+
+TEST(LintOutputTest, ViolationFormatsAsFileLineRuleMessage) {
+  colt_lint::Violation v{"src/core/x.cc", 12, "layering", "boom"};
+  EXPECT_EQ(v.ToString(), "src/core/x.cc:12: layering: boom");
+}
+
+// The acceptance gate: the real tree has zero violations. COLT_REPO_ROOT is
+// injected by CMake and points at the source checkout.
+TEST(LintTreeTest, RepositoryLintsClean) {
+  const auto violations = colt_lint::LintTree(COLT_REPO_ROOT);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << v.ToString();
+  }
+}
+
+}  // namespace

@@ -1,5 +1,9 @@
 #include "common/metrics.h"
 
+// colt-lint: allow(metric-name): registry unit tests exercise lookup and
+// snapshot mechanics with deliberately minimal names ("a", "g", "h"); the
+// dotted-namespace convention applies to production registrations.
+
 #include <gtest/gtest.h>
 
 #include <cmath>

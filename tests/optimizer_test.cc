@@ -1,3 +1,4 @@
+#include "common/status.h"
 #include "optimizer/optimizer.h"
 
 #include <gtest/gtest.h>
@@ -169,7 +170,7 @@ TEST_F(OptimizerTest, WhatIfGainNonNegativeForUnmaterialized) {
 TEST_F(OptimizerTest, WhatIfCountsCalls) {
   optimizer_.ResetStats();
   const Query q = MakeRangeQuery(catalog_, "big", "b_key", 0, 9);
-  (void)optimizer_.WhatIfOptimize(q, {}, {b_key_, b_val_, s_ref_});
+  ColtIgnoreStatus(optimizer_.WhatIfOptimize(q, {}, {b_key_, b_val_, s_ref_}));
   EXPECT_EQ(optimizer_.stats().whatif_calls, 3);
   EXPECT_EQ(optimizer_.stats().optimize_calls, 1);
 }
@@ -178,7 +179,7 @@ TEST_F(OptimizerTest, WhatIfReusesSubplans) {
   optimizer_.ResetStats();
   const Query q = JoinQuery(0, 10);
   // Probing an index on "big" should reuse the access path for "small".
-  (void)optimizer_.WhatIfOptimize(q, {}, {b_key_, b_val_});
+  ColtIgnoreStatus(optimizer_.WhatIfOptimize(q, {}, {b_key_, b_val_}));
   EXPECT_GT(optimizer_.stats().subplan_reuses, 0);
 }
 

@@ -65,8 +65,7 @@ TEST_F(SelfOrganizerTest, EpochBenefitZeroWithoutMeasurements) {
 }
 
 TEST_F(SelfOrganizerTest, EpochBenefitUsesRateTimesGain) {
-  const ClusterId cluster = SeedCluster(4);  // rate 4/epoch
-  (void)cluster;
+  SeedCluster(4);  // rate 4/epoch
   const uint64_t sig = TableConfigSignature(catalog_, {}, 0);
   // Tight measurements around 100.
   for (int i = 0; i < 20; ++i) {

@@ -1,0 +1,28 @@
+# Dry-run clang-format over the tree and fail if any file would be
+# rewritten. Invoked by the `lint` target and the CI format-check step.
+#
+# Variables: CLANG_FORMAT, SOURCE_DIR.
+file(GLOB_RECURSE FORMAT_SOURCES
+     "${SOURCE_DIR}/src/*.cc" "${SOURCE_DIR}/src/*.h"
+     "${SOURCE_DIR}/bench/*.cc"
+     "${SOURCE_DIR}/tests/*.cc" "${SOURCE_DIR}/tests/*.h"
+     "${SOURCE_DIR}/tools/*.cc" "${SOURCE_DIR}/tools/*.h"
+     "${SOURCE_DIR}/examples/*.cpp")
+list(FILTER FORMAT_SOURCES EXCLUDE REGEX "lint_fixtures")
+
+set(FAILED 0)
+foreach(source IN LISTS FORMAT_SOURCES)
+  execute_process(
+      COMMAND "${CLANG_FORMAT}" --dry-run --Werror "${source}"
+      RESULT_VARIABLE rc
+      OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(STATUS "needs formatting: ${source}")
+    set(FAILED 1)
+  endif()
+endforeach()
+if(FAILED)
+  message(FATAL_ERROR
+      "lint: run clang-format -i on the files above (style: .clang-format)")
+endif()
+message(STATUS "lint: clang-format clean")

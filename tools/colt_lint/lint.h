@@ -1,0 +1,64 @@
+#ifndef COLT_TOOLS_COLT_LINT_LINT_H_
+#define COLT_TOOLS_COLT_LINT_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// colt_lint: dependency-free static analysis for project invariants the
+/// compiler never sees (see DESIGN.md §9). Token/regex based on a stripped
+/// view of each file (comments and literal contents blanked), so banned
+/// tokens inside strings or comments never fire.
+///
+/// Deliberately NOT a real C++ front end: every rule is a structural
+/// pattern that survives formatting churn, and every rule has a file-scoped
+/// escape hatch — a comment of the form "colt-lint" + ": allow(<rule>):
+/// <justification>" — so a false positive costs one documented comment,
+/// not a redesign of the tool.
+namespace colt_lint {
+
+/// One finding. Formats as "file:line: rule: message".
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Rule identifiers, as they appear in output and allow() suppressions.
+/// - layering:        #include must follow the module DAG (no upward or
+///                    sideways edges between src/ modules).
+/// - status-discard:  no bare `(void)` casts; intentional Status/Result
+///                    drops go through ColtIgnoreStatus().
+/// - determinism:     no rand()/srand()/std::random_device, no
+///                    time(nullptr) seeding, no std::chrono::system_clock
+///                    outside src/common/rng.h and the logging layer.
+/// - raw-new-delete:  no raw new/delete outside the B+-tree node store.
+/// - iostream:        no <iostream> in src/ (logging/metrics/tracing
+///                    excepted); harness and CLIs print via <ostream>.
+/// - metric-name:     GetCounter/GetGauge/GetHistogram names are dotted
+///                    snake_case literals; StartSpan names snake_case.
+/// - whitespace:      no tabs, trailing whitespace, CR line endings, or
+///                    missing final newline.
+/// - bad-suppression: malformed or unjustified allow() comment.
+const std::vector<std::string>& AllRules();
+
+/// True if `rule` is a known rule id (excluding bad-suppression, which
+/// cannot be suppressed).
+bool IsKnownRule(std::string_view rule);
+
+/// Lints one file's contents. `path` is the repo-relative path (forward
+/// slashes); it decides which rules and exceptions apply.
+std::vector<Violation> LintFileContent(const std::string& path,
+                                       const std::string& content);
+
+/// Walks `root` (a repository checkout) and lints every .h/.cc/.cpp file
+/// under src/, bench/, tests/, and tools/, skipping tests/lint_fixtures/
+/// and build directories. Violations are sorted by (file, line).
+std::vector<Violation> LintTree(const std::string& root);
+
+}  // namespace colt_lint
+
+#endif  // COLT_TOOLS_COLT_LINT_LINT_H_

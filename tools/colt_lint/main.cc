@@ -1,0 +1,67 @@
+/// colt_lint CLI: walks a repository checkout and enforces the project
+/// invariants described in DESIGN.md §9. Exit code 0 means clean; 1 means
+/// at least one violation (printed as "file:line: rule: message"); 2 means
+/// usage error.
+///
+/// Usage:
+///   colt_lint [--root <dir>]     lint src/ bench/ tests/ tools/ under <dir>
+///   colt_lint --as <path> <file> lint one file as if it lived at the
+///                                repo-relative <path> (used to drive the
+///                                tests/lint_fixtures corpus by hand)
+///   colt_lint --list-rules       print the rule catalog and exit
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string as_path;
+  std::string as_file;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const std::string& rule : colt_lint::AllRules()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--as") == 0 && i + 2 < argc) {
+      as_path = argv[++i];
+      as_file = argv[++i];
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: colt_lint [--root <dir>] [--as <path> <file>] "
+                 "[--list-rules]\n");
+    return 2;
+  }
+
+  std::vector<colt_lint::Violation> violations;
+  if (!as_file.empty()) {
+    std::ifstream in(as_file, std::ios::binary);
+    if (!in.good()) {
+      std::fprintf(stderr, "colt_lint: cannot read %s\n", as_file.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    violations = colt_lint::LintFileContent(as_path, buffer.str());
+  } else {
+    violations = colt_lint::LintTree(root);
+  }
+  for (const colt_lint::Violation& v : violations) {
+    std::fprintf(stderr, "%s\n", v.ToString().c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "colt_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+# Runs clang-tidy over every translation unit listed in the build's
+# compile_commands.json, using the repo's .clang-tidy. Invoked by the `lint`
+# target; fails (FATAL_ERROR) on any diagnostic so CI gates on it.
+#
+# Variables: CLANG_TIDY, SOURCE_DIR, BUILD_DIR.
+if(NOT EXISTS "${BUILD_DIR}/compile_commands.json")
+  message(FATAL_ERROR
+      "lint: ${BUILD_DIR}/compile_commands.json not found; configure with "
+      "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON")
+endif()
+
+file(GLOB_RECURSE TIDY_SOURCES
+     "${SOURCE_DIR}/src/*.cc"
+     "${SOURCE_DIR}/tools/*.cc")
+list(FILTER TIDY_SOURCES EXCLUDE REGEX "lint_fixtures")
+
+set(FAILED 0)
+foreach(source IN LISTS TIDY_SOURCES)
+  execute_process(
+      COMMAND "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet
+              --warnings-as-errors=* "${source}"
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(STATUS "clang-tidy: ${source}\n${out}")
+    set(FAILED 1)
+  endif()
+endforeach()
+if(FAILED)
+  message(FATAL_ERROR "lint: clang-tidy reported diagnostics")
+endif()
+message(STATUS "lint: clang-tidy clean")
