@@ -4,6 +4,7 @@
 /// first 100 queries, then tracks OFFLINE within a few percent.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/status.h"
 #include "harness/experiment.h"
@@ -12,7 +13,17 @@
 #include "harness/workloads.h"
 #include "storage/tpch_schema.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // --workers=N fans what-if probes and index builds across N pool
+  // workers. Results are bit-identical for every N (DESIGN.md §10); CI
+  // diffs this binary's CSVs across worker counts to prove it.
+  int workers = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
+    }
+  }
+
   colt::Catalog catalog = colt::MakeTpchCatalog();
   const colt::QueryDistribution dist =
       colt::ExperimentWorkloads::Focused(&catalog, 0);
@@ -35,12 +46,13 @@ int main() {
   const int64_t budget =
       colt::BudgetForIndexes(catalog, relevant.value(), 4.0);
   std::printf("Figure 3 (stable workload): %d queries, %zu relevant indexes, "
-              "budget = %.1f MB\n\n",
+              "budget = %.1f MB, workers = %d\n\n",
               kQueries, relevant.value().size(),
-              budget / (1024.0 * 1024.0));
+              budget / (1024.0 * 1024.0), workers);
 
   colt::ColtConfig config;
   config.storage_budget_bytes = budget;
+  config.num_workers = workers;
   const colt::ColtRunResult colt_run =
       colt::RunColtWorkload(&catalog, workload, config);
 

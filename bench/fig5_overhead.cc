@@ -21,10 +21,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/status.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/tracing.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
@@ -236,7 +238,66 @@ int main(int argc, char** argv) {
   std::printf("trace_spans=%zu dropped=%lld\n", tracer.Spans().size(),
               static_cast<long long>(tracer.dropped()));
 
+  // ---- Parallel what-if speedup (DESIGN.md §10). A probe-heavy config
+  // (#WI_max raised so the per-query live set is worth chunking) runs
+  // serial and with 4 workers; the compared quantity is the wall-clock
+  // spent inside the Profiler's what-if section
+  // (profiler.whatif_wall.seconds), min-of-N per mode. The epoch CSVs of
+  // the two modes must be byte-identical — the speedup may never buy a
+  // different answer.
+  colt::ColtConfig heavy = config;
+  heavy.max_whatif_per_epoch = 200;
+  auto heavy_pass = [&](int workers, std::string* epoch_csv) {
+    heavy.num_workers = workers;
+    registry.Reset();
+    registry.set_enabled(true);
+    const colt::ColtRunResult heavy_run =
+        colt::RunColtWorkload(&catalog, workload, heavy);
+    registry.set_enabled(false);
+    if (epoch_csv != nullptr) {
+      std::ostringstream out;
+      colt::ColtIgnoreStatus(colt::WriteEpochReportCsv(heavy_run.epochs, out));
+      *epoch_csv = out.str();
+    }
+    return HistSum(registry.Snapshot(), "profiler.whatif_wall.seconds");
+  };
+  std::string serial_csv, parallel_csv;
+  double serial_whatif = 0.0, parallel_whatif = 0.0;
+  const int speedup_repeats = 3;
+  for (int i = 0; i < speedup_repeats; ++i) {
+    const double s = heavy_pass(0, i == 0 ? &serial_csv : nullptr);
+    if (i == 0 || s < serial_whatif) serial_whatif = s;
+    const double p = heavy_pass(4, i == 0 ? &parallel_csv : nullptr);
+    if (i == 0 || p < parallel_whatif) parallel_whatif = p;
+  }
+  const double speedup =
+      parallel_whatif > 0.0 ? serial_whatif / parallel_whatif : 0.0;
+  const int hw = colt::ThreadPool::HardwareConcurrency();
+  const bool csv_identical = serial_csv == parallel_csv;
+  std::printf("\nParallel what-if profiling (workers=4 vs serial, min of %d "
+              "passes):\n  serial %.4f s, parallel %.4f s\n",
+              speedup_repeats, serial_whatif, parallel_whatif);
+  std::printf("hardware_concurrency=%d\n", hw);
+  std::printf("parallel_whatif_speedup=%.3f\n", speedup);
+  std::printf("parallel_epoch_csv_identical=%s\n",
+              csv_identical ? "ok" : "FAILED");
+
   if (!metrics_roundtrip_ok || !trace_roundtrip_ok) return 1;
+  if (!csv_identical) {
+    std::printf("FAILED: parallel epoch CSV differs from serial\n");
+    return 1;
+  }
+  // The wall-clock gate needs real cores; on smaller machines the number
+  // is still printed for the record but only determinism is enforced.
+  if (hw >= 4) {
+    if (speedup < 1.5) {
+      std::printf("FAILED: parallel what-if speedup %.3f below the 1.5x "
+                  "gate on a %d-core machine\n", speedup, hw);
+      return 1;
+    }
+  } else {
+    std::printf("speedup gate skipped: %d hardware threads < 4\n", hw);
+  }
   // The breakdown must explain the OnQuery total: components within 10%.
   if (on_query_s > 0.0 && (coverage < 0.9 || coverage > 1.1)) {
     std::printf("FAILED: breakdown components do not sum to within 10%% of "

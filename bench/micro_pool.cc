@@ -1,0 +1,84 @@
+/// Microbenchmarks for the worker pool: fan-out overhead at varying task
+/// grain and worker counts, and the end-to-end parallel what-if path
+/// (ColtTuner::OnQuery with num_workers > 0). On a single-core container
+/// the >0-worker variants measure pure overhead — the interesting quantity
+/// for the determinism-first design, since DESIGN.md §10 promises that
+/// num_workers trades wall-clock only.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/colt.h"
+#include "harness/workloads.h"
+#include "storage/tpch_schema.h"
+
+namespace colt {
+namespace {
+
+/// Simulated what-if probe: a few hundred RNG draws, about the arithmetic
+/// weight of one memoized WhatIfOptimize chunk.
+uint64_t FakeProbe(uint64_t seed, size_t task, int grain) {
+  Rng rng = ThreadPool::TaskRng(seed, task);
+  uint64_t sum = 0;
+  for (int i = 0; i < grain; ++i) sum += rng.NextBelow(1'000'000);
+  return sum;
+}
+
+/// Map() fan-out/join cost across worker counts and task grains.
+/// range(0) = workers, range(1) = draws per task.
+void BM_PoolMap(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const int grain = static_cast<int>(state.range(1));
+  ThreadPool pool(workers);
+  constexpr size_t kTasks = 8;
+  for (auto _ : state) {
+    std::vector<uint64_t> out = pool.Map(
+        kTasks, [grain](size_t task) { return FakeProbe(7, task, grain); });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kTasks));
+}
+BENCHMARK(BM_PoolMap)
+    ->ArgsProduct({{0, 2, 4}, {64, 1024, 16384}});
+
+/// Bare Submit/get round trip: the fixed cost a staged index build pays
+/// over calling Database::BuildIndex inline.
+void BM_PoolSubmitLatency(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  ThreadPool pool(workers);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Submit([] { return 1; }).get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolSubmitLatency)->Arg(0)->Arg(2)->Arg(4);
+
+/// Full tuner loop with the profiler fanning what-if probes across the
+/// pool. Compare the workers=0 row against the others: the delta is the
+/// end-to-end cost (or gain) of parallel profiling on this machine.
+void BM_ColtOnQueryWorkers(benchmark::State& state) {
+  static Catalog* catalog = new Catalog(MakeTpchCatalog());
+  QueryOptimizer optimizer(catalog);
+  ColtConfig config;
+  config.storage_budget_bytes = 64LL * 1024 * 1024;
+  config.num_workers = static_cast<int>(state.range(0));
+  ColtTuner tuner(catalog, &optimizer, config);
+  const QueryDistribution dist = ExperimentWorkloads::Focused(catalog, 0);
+  WorkloadGenerator gen(catalog, 3);
+  std::vector<Query> queries;
+  for (int i = 0; i < 256; ++i) queries.push_back(gen.Sample(dist));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tuner.OnQuery(queries[i % queries.size()]).execution_seconds);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ColtOnQueryWorkers)->Arg(0)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace colt
+
+BENCHMARK_MAIN();

@@ -12,6 +12,8 @@
 #include <sstream>
 #include <utility>
 
+#include "common/logging.h"
+
 #if defined(__x86_64__)
 #include <x86intrin.h>
 #endif
@@ -132,6 +134,18 @@ double Histogram::Percentile(double p) const {
   return max_;  // target lies in the overflow bucket
 }
 
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  COLT_CHECK(upper_bounds_ == other.upper_bounds_)
+      << "histogram merge with mismatched bucket layouts";
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   snap.count = count_;
@@ -208,6 +222,20 @@ void MetricsRegistry::Reset() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    if (c->value_ == 0) continue;
+    GetCounter(name)->value_ += c->value_;
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    HistogramOptions options;
+    options.upper_bounds = h->upper_bounds_;
+    GetHistogram(name, std::move(options))->Merge(*h);
+  }
+  // Gauges carry last-value semantics; see the header contract for why
+  // they do not transfer.
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {

@@ -134,6 +134,8 @@ class Histogram {
   friend class ScopedTimer;
   Histogram(const bool* enabled, HistogramOptions options);
   void Reset();
+  /// Folds `other` in bucket-wise; bucket layouts must match.
+  void Merge(const Histogram& other);
 
   const bool* enabled_;
   std::vector<double> upper_bounds_;
@@ -194,7 +196,13 @@ std::string FormatSnapshotDiff(const MetricsSnapshot& before,
 /// the metrics layer. Instrument pointers are stable for the registry's
 /// lifetime; call sites fetch them once and update through the pointer.
 ///
-/// Thread-compatibility: confined to one tuning stack, not synchronized.
+/// Thread-compatibility: a registry is single-writer, NOT synchronized.
+/// Parallel code follows the per-worker-buffer rule (DESIGN.md §10): each
+/// pool worker records into a private registry it exclusively owns, and
+/// the owning thread folds those buffers into the main registry with
+/// MergeFrom() at epoch boundaries, while the workers are quiescent.
+/// Default() is the main thread's registry and must not be touched from
+/// worker tasks.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -216,6 +224,15 @@ class MetricsRegistry {
 
   /// Zeroes every instrument; registrations (and pointers) survive.
   void Reset();
+
+  /// Folds another registry's recorded values into this one: counters add,
+  /// histograms merge bucket-wise (count/sum/min/max/overflow; layouts of
+  /// same-named histograms must match). Gauges are deliberately skipped —
+  /// a last-value instrument has no meaningful cross-buffer merge. `other`
+  /// is left untouched; callers Reset() it to start the next epoch's
+  /// buffer. The merge records regardless of either registry's enabled
+  /// flag: it moves bookkeeping, it is not an instrumentation site.
+  void MergeFrom(const MetricsRegistry& other);
 
   MetricsSnapshot Snapshot() const;
 

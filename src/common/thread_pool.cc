@@ -1,0 +1,58 @@
+#include "common/thread_pool.h"
+
+namespace colt {
+
+ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers < 1) return;  // inline mode
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain the queue even during shutdown: every submitted task has a
+      // future someone may get() on.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+Rng ThreadPool::TaskRng(uint64_t parent_seed, uint64_t task_index) {
+  // Golden-ratio stride separates the streams; Rng's splitmix64 seeding
+  // then decorrelates them. Using task_index + 1 keeps task 0 distinct
+  // from the parent stream itself.
+  return Rng(parent_seed + 0x9e3779b97f4a7c15ULL * (task_index + 1));
+}
+
+int ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace colt

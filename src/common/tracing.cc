@@ -50,8 +50,15 @@ Tracer::Tracer(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity), epoch_(WallTimer::Now()) {}
 
 Tracer& Tracer::Default() {
-  static Tracer* tracer = new Tracer();
-  return *tracer;
+  // One tracer per thread: the tracer's stack discipline (innermost-first
+  // scope destruction) cannot hold across threads, so worker threads in
+  // the task-parallel layer get a private, default-disabled instance —
+  // their spans are inert unless a worker explicitly enables its own
+  // tracer. The main thread's instance is the one harnesses export from.
+  // By value (not the leaky-singleton idiom) so short-lived pool workers
+  // release their instance at thread exit instead of leaking one each.
+  static thread_local Tracer tracer;
+  return tracer;
 }
 
 Tracer::Scope Tracer::StartSpan(std::string_view name,
@@ -152,8 +159,9 @@ std::string Tracer::ToJsonl() const {
 
 std::string Tracer::ToChromeTrace() const {
   // Complete ("X") events; timestamps in microseconds as about:tracing
-  // expects. All spans share one process/thread — the pipeline is
-  // single-threaded — so nesting renders from the time ranges alone.
+  // expects. All spans of one tracer share one process/thread id — each
+  // thread records into its own Default() instance (per-worker-buffer
+  // rule, DESIGN.md §10) — so nesting renders from the time ranges alone.
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const Span& span : Spans()) {

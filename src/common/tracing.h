@@ -40,14 +40,20 @@ struct Span {
 /// Disabled by default; a disabled tracer never reads the clock and
 /// returns inert scopes, following the fault-injector pattern.
 ///
-/// Thread-compatibility: confined to one tuning stack, not synchronized.
+/// Thread-compatibility: a tracer is single-writer, not synchronized. The
+/// per-worker-buffer rule (DESIGN.md §10) applies: every thread records
+/// into its own Default() instance, so instrumented code may run on pool
+/// workers without locks; worker instances stay disabled (and therefore
+/// empty) unless a worker opts in explicitly.
 class Tracer {
  public:
   explicit Tracer(size_t capacity = 8192);
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// The process-wide tracer the tuning stack emits to.
+  /// The calling thread's tracer (thread-local). The main thread's
+  /// instance is the one the tuning stack configures and harnesses export
+  /// from; pool workers see a private, default-disabled instance.
   static Tracer& Default();
 
   bool enabled() const { return enabled_; }

@@ -29,13 +29,16 @@ ColtTuner::ColtTuner(Catalog* catalog, QueryOptimizer* optimizer,
       optimizer_(optimizer),
       config_(config),
       faults_(config.fault),
+      pool_(config.num_workers > 0
+                ? std::make_unique<ThreadPool>(config.num_workers)
+                : nullptr),
       clusters_(catalog, config.history_depth),
       hot_stats_(config.confidence),
       mat_stats_(config.confidence),
       candidates_(config.history_depth, config.crude_smoothing_alpha),
       forecaster_(config.history_depth),
       profiler_(catalog, optimizer, &clusters_, &hot_stats_, &mat_stats_,
-                &candidates_, &config_, seed, &faults_),
+                &candidates_, &config_, seed, &faults_, pool_.get()),
       self_organizer_(catalog, optimizer, &clusters_, &hot_stats_,
                       &mat_stats_, &candidates_, &forecaster_, &profiler_,
                       &config_),
@@ -44,7 +47,8 @@ ColtTuner::ColtTuner(Catalog* catalog, QueryOptimizer* optimizer,
                  Scheduler::RetryPolicy{config.max_build_retries,
                                         config.build_backoff_base_rounds,
                                         config.max_build_backoff_rounds,
-                                        config.quarantine_cooldown_rounds}),
+                                        config.quarantine_cooldown_rounds},
+                 pool_.get()),
       whatif_limit_(config.max_whatif_per_epoch) {
   MetricsRegistry& reg = MetricsRegistry::Default();
   metrics_.queries = reg.GetCounter("colt.queries");

@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "core/candidates.h"
 #include "core/clustering.h"
 #include "core/config.h"
@@ -169,6 +170,10 @@ class ColtTuner {
   QueryOptimizer* optimizer_;
   ColtConfig config_;
   FaultInjector faults_;
+  /// Task-parallel layer (null when config.num_workers == 0). Declared
+  /// before the Profiler and Scheduler so it outlives both users; results
+  /// are bit-identical with or without it (DESIGN.md §10).
+  std::unique_ptr<ThreadPool> pool_;
 
   ClusterManager clusters_;
   GainStatsStore hot_stats_;

@@ -127,6 +127,15 @@ struct ColtConfig {
   /// the estimate conservative without letting it vanish entirely.
   double conservative_floor_fraction = 0.25;
 
+  // ---- Parallelism (DESIGN.md §10) ----
+  /// Worker threads for the task-parallel layer: the Profiler fans what-if
+  /// probes out across them and the Scheduler stages physical index builds
+  /// on them. 0 = fully serial (no threads are created). The knob trades
+  /// wall-clock time only — results are bit-identical for every value, by
+  /// construction (ordered joins, per-task RNG streams, worker-private
+  /// optimizer memos and metric buffers).
+  int num_workers = 0;
+
   // ---- Observability ----
   /// When true (and MetricsRegistry::Default() is enabled), each
   /// EpochReport carries a full metrics snapshot taken at the epoch

@@ -24,7 +24,7 @@ Profiler::Profiler(Catalog* catalog, QueryOptimizer* optimizer,
                    ClusterManager* clusters, GainStatsStore* hot_stats,
                    GainStatsStore* mat_stats, CandidateSet* candidates,
                    const ColtConfig* config, uint64_t seed,
-                   FaultInjector* faults)
+                   FaultInjector* faults, ThreadPool* pool)
     : catalog_(catalog),
       optimizer_(optimizer),
       clusters_(clusters),
@@ -33,7 +33,8 @@ Profiler::Profiler(Catalog* catalog, QueryOptimizer* optimizer,
       candidates_(candidates),
       config_(config),
       rng_(seed),
-      faults_(faults) {
+      faults_(faults),
+      pool_(pool) {
   MetricsRegistry& reg = MetricsRegistry::Default();
   metrics_.whatif_issued = reg.GetCounter("profiler.whatif.issued");
   metrics_.degraded_fault = reg.GetCounter("profiler.degraded.fault");
@@ -41,6 +42,16 @@ Profiler::Profiler(Catalog* catalog, QueryOptimizer* optimizer,
   metrics_.level1_records = reg.GetCounter("profiler.level1.records");
   metrics_.level2_records = reg.GetCounter("profiler.level2.records");
   metrics_.profile_seconds = reg.GetHistogram("profiler.profile.seconds");
+  metrics_.whatif_wall = reg.GetHistogram("profiler.whatif_wall.seconds");
+  const int slots = pool_ != nullptr ? pool_->num_workers() : 0;
+  worker_slots_.reserve(static_cast<size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    WorkerSlot slot;
+    slot.registry = std::make_unique<MetricsRegistry>();
+    slot.optimizer = std::make_unique<QueryOptimizer>(
+        catalog_, optimizer_->cost_model().params(), slot.registry.get());
+    worker_slots_.push_back(std::move(slot));
+  }
 }
 
 void Profiler::RecordCrudeFallback(const Query& q, IndexId index,
@@ -200,8 +211,9 @@ Profiler::ProfileOutcome Profiler::ProfileQuery(
       live.push_back(id);
     }
     if (!live.empty()) {
-      const std::vector<IndexGain> gains =
-          optimizer_->WhatIfOptimize(q, materialized, live);
+      ScopedTimer whatif_wall(metrics_.whatif_wall);
+      const std::vector<IndexGain> gains = ComputeGains(q, materialized, live);
+      whatif_wall.Stop();
       for (const auto& g : gains) {
         const TableId table = catalog_->index(g.index).column.table;
         const uint64_t sig =
@@ -270,11 +282,65 @@ Profiler::ProfileOutcome Profiler::ProfileQuery(
   return outcome;
 }
 
+std::vector<IndexGain> Profiler::ComputeGains(
+    const Query& q, const IndexConfiguration& materialized,
+    const std::vector<IndexId>& live) {
+  // Below 2 probes a fan-out cannot win anything over the pool handoff;
+  // the serial path is also the inline fallback when no pool is attached.
+  // Either path returns the same gains in the same (live) order.
+  if (worker_slots_.empty() || live.size() < 2) {
+    return optimizer_->WhatIfOptimize(q, materialized, live);
+  }
+  const size_t chunks = std::min(worker_slots_.size(), live.size());
+  // Workers are quiescent here, so flipping their buffers' enabled flags
+  // to mirror the main registry is race-free.
+  const bool enabled = MetricsRegistry::Default().enabled();
+  for (size_t c = 0; c < chunks; ++c) {
+    worker_slots_[c].registry->set_enabled(enabled);
+  }
+  std::vector<std::future<std::vector<IndexGain>>> futures;
+  futures.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = c * live.size() / chunks;
+    const size_t end = (c + 1) * live.size() / chunks;
+    std::vector<IndexId> chunk(
+        live.begin() + static_cast<std::ptrdiff_t>(begin),
+        live.begin() + static_cast<std::ptrdiff_t>(end));
+    QueryOptimizer* opt = worker_slots_[c].optimizer.get();
+    // &q / &materialized are safe to share: the loop below blocks until
+    // every task finished, and tasks only read them.
+    futures.push_back(
+        pool_->Submit([opt, &q, &materialized, chunk = std::move(chunk)] {
+          return opt->WhatIfOptimize(q, materialized, chunk);
+        }));
+  }
+  std::vector<IndexGain> gains;
+  gains.reserve(live.size());
+  for (auto& future : futures) {
+    const std::vector<IndexGain> part = future.get();
+    gains.insert(gains.end(), part.begin(), part.end());
+  }
+  // Keep the main optimizer's lifetime stats meaningful: absorb what the
+  // chunk optimizers just counted.
+  for (size_t c = 0; c < chunks; ++c) {
+    optimizer_->AbsorbStats(worker_slots_[c].optimizer->stats());
+    worker_slots_[c].optimizer->ResetStats();
+  }
+  return gains;
+}
+
 int64_t Profiler::EpochUsageCount(IndexId index, ClusterId cluster) const {
   auto it = epoch_usage_.find(PairKey{index, cluster});
   return it == epoch_usage_.end() ? 0 : it->second;
 }
 
-void Profiler::AdvanceEpoch() { epoch_usage_.clear(); }
+void Profiler::AdvanceEpoch() {
+  epoch_usage_.clear();
+  MetricsRegistry& main_registry = MetricsRegistry::Default();
+  for (WorkerSlot& slot : worker_slots_) {
+    main_registry.MergeFrom(*slot.registry);
+    slot.registry->Reset();
+  }
+}
 
 }  // namespace colt

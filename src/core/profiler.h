@@ -1,12 +1,14 @@
 #ifndef COLT_CORE_PROFILER_H_
 #define COLT_CORE_PROFILER_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/candidates.h"
 #include "core/clustering.h"
 #include "core/config.h"
@@ -30,12 +32,15 @@ uint64_t TableConfigSignature(const Catalog& catalog,
 class Profiler {
  public:
   /// `faults` may be null (no fault injection); it must outlive the
-  /// profiler.
+  /// profiler. `pool` may be null (serial what-if probing); when given, the
+  /// profiler builds one worker-private optimizer + metrics buffer per pool
+  /// worker and fans WhatIfOptimize probes out across them — with results
+  /// bit-identical to the serial path (see ProfileQuery).
   Profiler(Catalog* catalog, QueryOptimizer* optimizer,
            ClusterManager* clusters, GainStatsStore* hot_stats,
            GainStatsStore* mat_stats, CandidateSet* candidates,
            const ColtConfig* config, uint64_t seed,
-           FaultInjector* faults = nullptr);
+           FaultInjector* faults = nullptr, ThreadPool* pool = nullptr);
 
   struct ProfileOutcome {
     ClusterId cluster = kInvalidClusterId;
@@ -66,7 +71,9 @@ class Profiler {
   /// materialized index was used by the normal plan (drives BenefitM).
   int64_t EpochUsageCount(IndexId index, ClusterId cluster) const;
 
-  /// Clears per-epoch usage counts.
+  /// Clears per-epoch usage counts, and folds the worker-private metric
+  /// buffers into MetricsRegistry::Default() (the epoch boundary is the
+  /// merge point of the per-worker-buffer rule, DESIGN.md §10).
   void AdvanceEpoch();
 
   /// The adaptive sampling probability for pair (index, cluster) given the
@@ -90,6 +97,17 @@ class Profiler {
   void RecordCrudeFallback(const Query& q, IndexId index, ClusterId cluster,
                            const IndexConfiguration& materialized);
 
+  /// The what-if gains for `live`, in `live` order. Serial on the main
+  /// optimizer when no pool is attached (or the batch is too small to
+  /// amortize a handoff); otherwise contiguous chunks of `live` are probed
+  /// concurrently, one worker-private optimizer per chunk, and the chunk
+  /// results are concatenated in submission order. Identical output either
+  /// way: WhatIfOptimize is a pure function of (catalog, params, query,
+  /// materialized, probation), and its memo is a per-call cache.
+  std::vector<IndexGain> ComputeGains(const Query& q,
+                                      const IndexConfiguration& materialized,
+                                      const std::vector<IndexId>& live);
+
   Catalog* catalog_;
   QueryOptimizer* optimizer_;
   ClusterManager* clusters_;
@@ -99,6 +117,17 @@ class Profiler {
   const ColtConfig* config_;
   Rng rng_;
   FaultInjector* faults_;
+  ThreadPool* pool_;
+
+  /// One slot per pool worker: a private metrics buffer and a private
+  /// optimizer recording into it. A chunk-task uses exactly one slot, and
+  /// at most one task per slot is in flight, so slot state needs no locks;
+  /// the pool's queue mutex provides the happens-before edges.
+  struct WorkerSlot {
+    std::unique_ptr<MetricsRegistry> registry;
+    std::unique_ptr<QueryOptimizer> optimizer;
+  };
+  std::vector<WorkerSlot> worker_slots_;
 
   struct PairKey {
     IndexId index;
@@ -120,6 +149,9 @@ class Profiler {
     Counter* level1_records;
     Counter* level2_records;
     Histogram* profile_seconds;
+    /// Real wall time of the what-if section per query (main thread),
+    /// serial or fanned out — the quantity the parallel layer shrinks.
+    Histogram* whatif_wall;
   };
   Instruments metrics_;
 };

@@ -8,13 +8,15 @@ namespace colt {
 
 Scheduler::Scheduler(const Catalog* catalog, const CostModel* cost_model,
                      Database* db, SchedulingStrategy strategy,
-                     FaultInjector* faults, RetryPolicy retry)
+                     FaultInjector* faults, RetryPolicy retry,
+                     ThreadPool* pool)
     : catalog_(catalog),
       cost_model_(cost_model),
       db_(db),
       strategy_(strategy),
       faults_(faults),
-      retry_(retry) {
+      retry_(retry),
+      pool_(pool) {
   MetricsRegistry& reg = MetricsRegistry::Default();
   metrics_.builds_completed = reg.GetCounter("scheduler.builds.completed");
   metrics_.builds_failed = reg.GetCounter("scheduler.builds.failed");
@@ -32,14 +34,30 @@ double Scheduler::BuildSeconds(IndexId id) const {
       cost_model_->MaterializationCost(table, desc));
 }
 
-Status Scheduler::TryBuild(IndexId id) {
+Status Scheduler::TryBuild(IndexId id, StagedTree staged) {
+  // The fault draw stays on the owner thread, before any physical work is
+  // consumed, at the same sequence point as the inline path — so fault
+  // sites fire identically with and without background builds.
   if (faults_ != nullptr) {
     COLT_RETURN_IF_ERROR(faults_->MaybeFail(fault_sites::kIndexBuild));
   }
-  if (db_ != nullptr) {
-    COLT_RETURN_IF_ERROR(db_->BuildIndex(id));
+  if (db_ == nullptr) return Status::OK();
+  if (staged.valid()) {
+    Result<std::unique_ptr<BTreeIndex>> tree = staged.get();
+    if (tree.ok()) {
+      return db_->InstallIndex(id, std::move(tree).value());
+    }
+    // The staged attempt reflects the world at queue time; fall through to
+    // an inline build so completion-time state decides, exactly as it
+    // would without a pool.
   }
-  return Status::OK();
+  return db_->BuildIndex(id);
+}
+
+Scheduler::StagedTree Scheduler::StageBuild(IndexId id) {
+  if (pool_ == nullptr || db_ == nullptr) return {};
+  const Database* db = db_;
+  return pool_->Submit([db, id] { return db->PrepareIndex(id); });
 }
 
 bool Scheduler::IsQuarantined(IndexId id) const {
@@ -142,6 +160,25 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
                                 }),
                  pending_.end());
 
+  // Immediate mode with a pool: pre-build every tree this round will want
+  // concurrently on the workers, then run the loop below unchanged — it
+  // draws faults and installs (in `desired` order) on this thread, so the
+  // only difference to the inline path is wall-clock time. The loop's
+  // skip conditions are per-id and unaffected by earlier iterations, so
+  // the prefetch list matches the ids the loop attempts.
+  std::unordered_map<IndexId, StagedTree> prefetched;
+  if (strategy_ == SchedulingStrategy::kImmediate && pool_ != nullptr &&
+      db_ != nullptr) {
+    std::vector<IndexId> to_build;
+    for (IndexId id : desired.ids()) {
+      if (materialized_.Contains(id) || BuildBlocked(id)) continue;
+      to_build.push_back(id);
+    }
+    if (to_build.size() >= 2) {
+      for (IndexId id : to_build) prefetched.emplace(id, StageBuild(id));
+    }
+  }
+
   for (IndexId id : desired.ids()) {
     if (materialized_.Contains(id)) continue;
     if (BuildBlocked(id)) continue;  // backoff or quarantine
@@ -150,7 +187,12 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
       if (faults_ != nullptr) {
         build_seconds *= faults_->Multiplier(fault_sites::kIndexBuildSlow);
       }
-      const Status built = TryBuild(id);
+      StagedTree staged;
+      if (auto it = prefetched.find(id); it != prefetched.end()) {
+        staged = std::move(it->second);
+        prefetched.erase(it);
+      }
+      const Status built = TryBuild(id, std::move(staged));
       if (built.ok()) {
         failures_.erase(id);
         materialized_.Add(id);
@@ -178,7 +220,14 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
           std::any_of(pending_.begin(), pending_.end(),
                       [&](const PendingBuild& b) { return b.index == id; });
       if (!queued) {
-        pending_.push_back(PendingBuild{id, BuildSeconds(id), 0.0});
+        PendingBuild build;
+        build.index = id;
+        build.remaining_seconds = BuildSeconds(id);
+        // Background mode: the physical bulk load starts now, overlapping
+        // the query stream; the simulated idle clock still gates when the
+        // index becomes visible (OnIdle joins the future at completion).
+        build.staged = StageBuild(id);
+        pending_.push_back(std::move(build));
       }
     }
   }
@@ -201,8 +250,9 @@ Result<std::vector<IndexAction>> Scheduler::OnIdle(double seconds) {
     if (build.remaining_seconds > 1e-12) break;  // out of idle time
     const IndexId id = build.index;
     const double sunk = build.spent_seconds;
+    StagedTree staged = std::move(build.staged);
     pending_.pop_front();
-    const Status built = TryBuild(id);
+    const Status built = TryBuild(id, std::move(staged));
     if (built.ok()) {
       failures_.erase(id);
       materialized_.Add(id);

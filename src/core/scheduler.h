@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <future>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/config.h"
 #include "optimizer/cost_model.h"
 #include "storage/database.h"
@@ -63,10 +66,17 @@ class Scheduler {
   using RetryPolicy = SchedulerRetryPolicy;
 
   /// `db` may be null (statistics-only mode). `faults` may be null (no
-  /// fault injection); it must outlive the scheduler.
+  /// fault injection); it must outlive the scheduler. `pool` may be null
+  /// (inline builds); when given together with a Database, physical tree
+  /// construction (Database::PrepareIndex) is staged on pool workers so it
+  /// overlaps query execution, while fault checks and the registration of
+  /// finished trees (InstallIndex) stay on the owner thread at exactly the
+  /// serial sequence points — actions, fault draws, and retry bookkeeping
+  /// are bit-identical with and without the pool.
   Scheduler(const Catalog* catalog, const CostModel* cost_model, Database* db,
             SchedulingStrategy strategy = SchedulingStrategy::kImmediate,
-            FaultInjector* faults = nullptr, RetryPolicy retry = {});
+            FaultInjector* faults = nullptr, RetryPolicy retry = {},
+            ThreadPool* pool = nullptr);
 
   /// Transitions toward `desired`. Drops take effect immediately (and
   /// cancel pending builds that are no longer wanted). Builds take effect
@@ -118,12 +128,20 @@ class Scheduler {
   double idle_seconds_spent() const { return idle_seconds_spent_; }
 
  private:
+  /// Future for a tree staged on a pool worker (background build mode).
+  using StagedTree = std::future<Result<std::unique_ptr<BTreeIndex>>>;
+
   struct PendingBuild {
     IndexId index = kInvalidIndexId;
     double remaining_seconds = 0.0;
     /// Idle seconds already sunk into this build (lost if it is cancelled
     /// or its materialization fails).
     double spent_seconds = 0.0;
+    /// Background mode only: the physical tree being bulk-loaded on a pool
+    /// worker while the simulated idle clock runs down. Joined at the
+    /// OnIdle completion boundary; discarded (not installed) if the build
+    /// is cancelled first.
+    StagedTree staged;
   };
 
   /// Per-index failure bookkeeping; erased on success or cooldown expiry.
@@ -135,9 +153,16 @@ class Scheduler {
     int64_t quarantine_until_round = -1;
   };
 
-  /// Runs the fault check plus the physical build. Transient errors are
-  /// the retryable ones; everything else is caller misuse.
-  Status TryBuild(IndexId id);
+  /// Runs the fault check plus the physical build, installing `staged`
+  /// when it holds a successfully pre-built tree (an invalid or failed
+  /// future falls back to an inline build, so completion-time state
+  /// decides — exactly as without a pool). Transient errors are the
+  /// retryable ones; everything else is caller misuse.
+  Status TryBuild(IndexId id, StagedTree staged = {});
+
+  /// Submits Database::PrepareIndex(id) to the pool, or returns an invalid
+  /// future when background builds are off (no pool / no database).
+  StagedTree StageBuild(IndexId id);
   static bool IsTransient(StatusCode code) {
     return code == StatusCode::kInternal ||
            code == StatusCode::kResourceExhausted;
@@ -159,6 +184,7 @@ class Scheduler {
   SchedulingStrategy strategy_;
   FaultInjector* faults_;
   RetryPolicy retry_;
+  ThreadPool* pool_;
   IndexConfiguration materialized_;
   std::deque<PendingBuild> pending_;
   std::unordered_map<IndexId, FailureState> failures_;

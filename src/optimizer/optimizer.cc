@@ -24,9 +24,11 @@ uint64_t ConfigSigForTable(const Catalog& catalog,
 
 }  // namespace
 
-QueryOptimizer::QueryOptimizer(const Catalog* catalog, CostParams params)
+QueryOptimizer::QueryOptimizer(const Catalog* catalog, CostParams params,
+                               MetricsRegistry* registry)
     : catalog_(catalog), cost_model_(params) {
-  MetricsRegistry& reg = MetricsRegistry::Default();
+  MetricsRegistry& reg =
+      registry != nullptr ? *registry : MetricsRegistry::Default();
   metrics_.optimize_calls = reg.GetCounter("optimizer.optimize.calls");
   metrics_.whatif_calls = reg.GetCounter("optimizer.whatif.calls");
   metrics_.whatif_probes = reg.GetCounter("optimizer.whatif.probes");

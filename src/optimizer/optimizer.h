@@ -57,7 +57,12 @@ struct OptimizerStats {
 /// and hash joins.
 class QueryOptimizer {
  public:
-  explicit QueryOptimizer(const Catalog* catalog, CostParams params = {});
+  /// `registry` selects where this optimizer's instruments live; null means
+  /// MetricsRegistry::Default(). Worker-private optimizers in the parallel
+  /// profiler pass their worker's buffer registry (per-worker-buffer rule,
+  /// DESIGN.md §10) so instrument updates never race on the main registry.
+  explicit QueryOptimizer(const Catalog* catalog, CostParams params = {},
+                          MetricsRegistry* registry = nullptr);
 
   /// Optimizes `q` assuming exactly the indexes in `config` exist.
   PlanResult Optimize(const Query& q, const IndexConfiguration& config);
@@ -90,6 +95,17 @@ class QueryOptimizer {
 
   const OptimizerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = OptimizerStats(); }
+  /// Folds another optimizer's counters into this one. The parallel
+  /// profiler runs probes on worker-private optimizers and absorbs their
+  /// stats here after each fan-out, so stats() keeps describing the whole
+  /// tuning stack. (optimize_calls counts one per WhatIfOptimize chunk, so
+  /// its total may exceed the serial count; whatif_calls and subplan
+  /// semantics are unchanged.)
+  void AbsorbStats(const OptimizerStats& other) {
+    stats_.optimize_calls += other.optimize_calls;
+    stats_.whatif_calls += other.whatif_calls;
+    stats_.subplan_reuses += other.subplan_reuses;
+  }
 
   const CostModel& cost_model() const { return cost_model_; }
   const Catalog& catalog() const { return *catalog_; }

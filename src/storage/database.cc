@@ -47,6 +47,12 @@ const TableData& Database::data(TableId table) const {
 
 Status Database::BuildIndex(IndexId id) {
   if (built_indexes_.count(id) > 0) return Status::OK();
+  Result<std::unique_ptr<BTreeIndex>> tree = PrepareIndex(id);
+  COLT_RETURN_IF_ERROR(tree.status());
+  return InstallIndex(id, std::move(tree).value());
+}
+
+Result<std::unique_ptr<BTreeIndex>> Database::PrepareIndex(IndexId id) const {
   if (!catalog_.HasIndex(id)) {
     return Status::NotFound("unknown index id " + std::to_string(id));
   }
@@ -69,6 +75,14 @@ Status Database::BuildIndex(IndexId id) {
   }
   auto tree = std::make_unique<BTreeIndex>();
   COLT_RETURN_IF_ERROR(tree->BulkLoad(std::move(entries)));
+  return tree;
+}
+
+Status Database::InstallIndex(IndexId id, std::unique_ptr<BTreeIndex> tree) {
+  if (tree == nullptr) {
+    return Status::InvalidArgument("InstallIndex requires a staged tree");
+  }
+  if (built_indexes_.count(id) > 0) return Status::OK();
   built_indexes_.emplace(id, std::move(tree));
   return Status::OK();
 }

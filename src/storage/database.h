@@ -46,8 +46,23 @@ class Database {
   const TableData& data(TableId table) const;
 
   /// Physically builds the index `id` (bulk load). Requires the owning
-  /// table to be materialized. Idempotent.
+  /// table to be materialized. Idempotent. Equivalent to PrepareIndex
+  /// followed by InstallIndex.
   Status BuildIndex(IndexId id);
+
+  /// Stage 1 of a (possibly background) build: bulk-loads the B+-tree for
+  /// `id` without registering it. Const and touching only the catalog and
+  /// the (frozen-by-contract) table data, so it is safe to run on a pool
+  /// worker while the owning thread serves reads through other indexes —
+  /// provided no Materialize*/mutable_catalog call runs concurrently.
+  /// Does NOT check whether `id` is already built (that read would race
+  /// with the owner's installs); InstallIndex resolves duplicates.
+  Result<std::unique_ptr<BTreeIndex>> PrepareIndex(IndexId id) const;
+
+  /// Stage 2: registers a tree staged by PrepareIndex. Owner thread only.
+  /// Idempotent like BuildIndex — when `id` is already built the staged
+  /// tree is discarded.
+  Status InstallIndex(IndexId id, std::unique_ptr<BTreeIndex> tree);
 
   /// Drops the physical index; OK even if not built.
   void DropIndex(IndexId id);

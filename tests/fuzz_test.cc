@@ -110,6 +110,38 @@ TEST_P(FuzzTest, InvariantsHoldOnRandomWorkloads) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<uint64_t>(0, 20));
 
+TEST(FuzzParallelDeterminism, WorkerPoolNeverChangesResults) {
+  // Like FuzzDeterminism, but tuner B fans what-if probes and index builds
+  // across a 3-worker pool (DESIGN.md §10): every step must still be
+  // bit-identical to the serial tuner A, on random catalogs and workloads.
+  for (uint64_t seed : {5ull, 23ull, 41ull}) {
+    Rng rng_a(seed), rng_b(seed);
+    Catalog cat_a = RandomCatalog(rng_a);
+    Catalog cat_b = RandomCatalog(rng_b);
+    QueryOptimizer opt_a(&cat_a), opt_b(&cat_b);
+    ColtConfig config_a;
+    config_a.storage_budget_bytes = 64LL << 20;
+    config_a.epoch_length = 5;
+    ColtConfig config_b = config_a;
+    config_b.num_workers = 3;
+    ColtTuner tuner_a(&cat_a, &opt_a, config_a, nullptr, 5);
+    ColtTuner tuner_b(&cat_b, &opt_b, config_b, nullptr, 5);
+    for (int i = 0; i < 150; ++i) {
+      const Query qa = RandomQuery(cat_a, rng_a);
+      const Query qb = RandomQuery(cat_b, rng_b);
+      const TuningStep sa = tuner_a.OnQuery(qa);
+      const TuningStep sb = tuner_b.OnQuery(qb);
+      ASSERT_EQ(sa.plan.cost, sb.plan.cost) << "query " << i;
+      ASSERT_EQ(sa.execution_seconds, sb.execution_seconds) << "query " << i;
+      ASSERT_EQ(sa.profiling_seconds, sb.profiling_seconds) << "query " << i;
+      ASSERT_EQ(sa.whatif_calls, sb.whatif_calls) << "query " << i;
+      ASSERT_EQ(sa.actions.size(), sb.actions.size()) << "query " << i;
+    }
+    ASSERT_EQ(tuner_a.materialized().ids(), tuner_b.materialized().ids());
+    ASSERT_EQ(tuner_a.epoch_reports().size(), tuner_b.epoch_reports().size());
+  }
+}
+
 TEST(FuzzDeterminism, IdenticalRunsProduceIdenticalResults) {
   for (uint64_t seed : {3ull, 11ull}) {
     Rng rng_a(seed), rng_b(seed);

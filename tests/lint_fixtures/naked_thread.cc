@@ -1,0 +1,15 @@
+// Fixture: thread creation outside the pool; three findings. The
+// std::this_thread call is legal and must NOT fire.
+#include <future>
+#include <thread>
+
+void Sleep();
+
+int Spawn() {
+  std::thread worker([] { Sleep(); });
+  std::this_thread::yield();
+  auto f = std::async([] { return 1; });
+  worker.join();
+  std::jthread other([] { Sleep(); });
+  return f.get();
+}

@@ -69,6 +69,7 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"determinism_system_clock.cc", "src/core/bad.cc",
                     "determinism", 1},
         FixtureCase{"raw_new.cc", "src/core/bad.cc", "raw-new-delete", 2},
+        FixtureCase{"naked_thread.cc", "src/core/bad.cc", "naked-thread", 3},
         FixtureCase{"iostream_include.cc", "src/core/bad.cc", "iostream", 1},
         FixtureCase{"metric_name_bad.cc", "src/core/bad.cc", "metric-name",
                     3},

@@ -1,0 +1,256 @@
+/// Differential tests for the determinism contract of DESIGN.md §10: a run
+/// with ColtConfig::num_workers = N must be bit-identical to the serial
+/// run for every N — same per-query time decomposition, same epoch
+/// reports (compared as CSV bytes), same chosen index sets, same chaos
+/// counters, same physically built trees. Parallelism may only change
+/// wall-clock time, never results.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline/offline_tuner.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/workloads.h"
+#include "query/workload.h"
+#include "storage/tpch_schema.h"
+#include "test_util.h"
+
+namespace colt {
+namespace {
+
+using ::colt::testing::MakeRangeQuery;
+using ::colt::testing::MakeTestCatalog;
+
+std::string EpochCsv(const ColtRunResult& run) {
+  std::ostringstream out;
+  EXPECT_TRUE(WriteEpochReportCsv(run.epochs, out).ok());
+  return out.str();
+}
+
+std::string PerQueryCsv(const ColtRunResult& run) {
+  std::ostringstream out;
+  EXPECT_TRUE(WritePerQueryCsv(run, /*offline_seconds=*/{}, out).ok());
+  return out.str();
+}
+
+/// EXPECT_EQ on doubles is deliberate throughout: the contract is
+/// bit-identity, not approximate equality.
+void ExpectRunsBitIdentical(const ColtRunResult& serial,
+                            const ColtRunResult& parallel) {
+  ASSERT_EQ(serial.per_query.size(), parallel.per_query.size());
+  for (size_t i = 0; i < serial.per_query.size(); ++i) {
+    EXPECT_EQ(serial.per_query[i].execution, parallel.per_query[i].execution)
+        << "query " << i;
+    EXPECT_EQ(serial.per_query[i].profiling, parallel.per_query[i].profiling)
+        << "query " << i;
+    EXPECT_EQ(serial.per_query[i].build, parallel.per_query[i].build)
+        << "query " << i;
+    EXPECT_EQ(serial.per_query[i].wasted_build,
+              parallel.per_query[i].wasted_build)
+        << "query " << i;
+  }
+  EXPECT_EQ(serial.final_materialized.ids(), parallel.final_materialized.ids());
+  EXPECT_EQ(serial.distinct_indexes_profiled,
+            parallel.distinct_indexes_profiled);
+  EXPECT_EQ(EpochCsv(serial), EpochCsv(parallel));
+  EXPECT_EQ(PerQueryCsv(serial), PerQueryCsv(parallel));
+}
+
+/// The Fig. 4 experiment at reduced scale: 4 phases x 60 queries with
+/// 20-query gradual transitions over the TPC-H catalog.
+std::vector<Query> ShiftingWorkload(Catalog* catalog) {
+  const std::vector<QueryDistribution> dists =
+      ExperimentWorkloads::ShiftingPhases(catalog);
+  std::vector<WorkloadPhase> phases;
+  for (const auto& d : dists) phases.push_back({d, 60});
+  WorkloadGenerator gen(catalog, /*seed=*/99);
+  return GeneratePhasedWorkload(gen, phases, /*transition_length=*/20);
+}
+
+/// Budget sized like fig4_shifting.cc (fits ~4 relevant indexes), computed
+/// on a scratch catalog so the run catalogs start identical.
+int64_t ShiftingBudget() {
+  Catalog catalog = MakeTpchCatalog();
+  const std::vector<QueryDistribution> dists =
+      ExperimentWorkloads::ShiftingPhases(&catalog);
+  QueryOptimizer opt(&catalog);
+  OfflineTuner miner(&catalog, &opt);
+  WorkloadGenerator gen(&catalog, 1234);
+  std::vector<Query> sample;
+  for (const auto& d : dists) {
+    for (int i = 0; i < 60; ++i) sample.push_back(gen.Sample(d));
+  }
+  Result<std::vector<IndexId>> relevant = miner.MineRelevantIndexes(sample);
+  EXPECT_TRUE(relevant.ok());
+  return BudgetForIndexes(catalog, relevant.value(), 4.0);
+}
+
+ColtRunResult RunShifting(int workers, int64_t budget) {
+  Catalog catalog = MakeTpchCatalog();
+  const std::vector<Query> workload = ShiftingWorkload(&catalog);
+  ColtConfig config;
+  config.storage_budget_bytes = budget;
+  config.num_workers = workers;
+  return RunColtWorkload(&catalog, workload, config);
+}
+
+TEST(ParallelDeterminismTest, ShiftingWorkloadSerialVsFourWorkers) {
+  const int64_t budget = ShiftingBudget();
+  const ColtRunResult serial = RunShifting(/*workers=*/0, budget);
+  // The run must have done real work for the comparison to mean anything.
+  ASSERT_FALSE(serial.final_materialized.empty());
+  ASSERT_FALSE(serial.epochs.empty());
+  ExpectRunsBitIdentical(serial, RunShifting(/*workers=*/4, budget));
+}
+
+TEST(ParallelDeterminismTest, ResultsInvariantAcrossWorkerCounts) {
+  const int64_t budget = ShiftingBudget();
+  const ColtRunResult one = RunShifting(/*workers=*/1, budget);
+  ExpectRunsBitIdentical(one, RunShifting(/*workers=*/3, budget));
+}
+
+/// Mixed-column workload over the small test catalog, enough repetition on
+/// a few columns for COLT to materialize.
+std::vector<Query> MixedWorkload(const Catalog& catalog, int n,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> out;
+  for (int i = 0; i < n; ++i) {
+    const int64_t lo = rng.NextInRange(0, 9000);
+    switch (rng.NextBelow(4)) {
+      case 0:
+        out.push_back(
+            MakeRangeQuery(catalog, "big", "b_val", lo % 1000, lo % 1000 + 5));
+        break;
+      case 1:
+        out.push_back(
+            MakeRangeQuery(catalog, "small", "s_ref", lo % 1000,
+                           lo % 1000 + 10));
+        break;
+      default:
+        // Key-heavy core: concentrated enough benefit that COLT
+        // materializes (and, under faults, retries) the b_key index.
+        out.push_back(MakeRangeQuery(catalog, "big", "b_key", lo, lo + 20));
+        break;
+    }
+  }
+  return out;
+}
+
+/// The chaos-tier fault plan (bench/chaos_colt.cc "moderate" weather):
+/// every fault site active so the differential covers degraded what-if,
+/// failed builds, slow scans, and budget shrinks.
+ColtConfig ChaosConfig(int workers) {
+  ColtConfig config;
+  config.storage_budget_bytes = 64LL * 1024 * 1024;
+  config.num_workers = workers;
+  config.fault.Fail(fault_sites::kIndexBuild, 0.40);
+  config.fault.Fail(fault_sites::kWhatIfOptimize, 0.10);
+  config.fault.Slow(fault_sites::kWhatIfSlow, 0.10, 3.0);
+  config.fault.Slow(fault_sites::kStorageScan, 0.10, 2.5);
+  config.fault.Slow(fault_sites::kBudgetShrink, 0.01, 0.9);
+  config.whatif_deadline_seconds = 0.1;
+  return config;
+}
+
+void ExpectChaosRunsBitIdentical(const ChaosRunResult& serial,
+                                 const ChaosRunResult& parallel) {
+  EXPECT_EQ(serial.violation_count, parallel.violation_count);
+  EXPECT_EQ(serial.injected_faults, parallel.injected_faults);
+  EXPECT_EQ(serial.build_failures, parallel.build_failures);
+  EXPECT_EQ(serial.quarantine_events, parallel.quarantine_events);
+  EXPECT_EQ(serial.degraded_whatif, parallel.degraded_whatif);
+  EXPECT_EQ(serial.emergency_evictions, parallel.emergency_evictions);
+  EXPECT_EQ(serial.final_budget_bytes, parallel.final_budget_bytes);
+  ExpectRunsBitIdentical(serial.run, parallel.run);
+}
+
+TEST(ParallelDeterminismTest, ChaosFaultSitesFireIdenticallyWithWorkers) {
+  Catalog cat_serial = MakeTestCatalog();
+  Catalog cat_parallel = MakeTestCatalog();
+  const std::vector<Query> workload = MixedWorkload(cat_serial, 250, 11);
+  const ChaosRunResult serial =
+      RunChaosWorkload(&cat_serial, workload, ChaosConfig(0));
+  const ChaosRunResult parallel =
+      RunChaosWorkload(&cat_parallel, workload, ChaosConfig(4));
+  // The weather must actually have happened, and the invariants held.
+  ASSERT_GT(serial.injected_faults, 0);
+  ASSERT_GT(serial.build_failures, 0);
+  EXPECT_TRUE(serial.ok()) << (serial.violations.empty()
+                                   ? "no detail"
+                                   : serial.violations[0].detail);
+  EXPECT_TRUE(parallel.ok());
+  ExpectChaosRunsBitIdentical(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, PhysicalStagedBuildsMatchSerialUnderFaults) {
+  // Physical mode: staged PrepareIndex/InstallIndex runs against real
+  // B+-trees, with injected build failures; the chaos audit checks after
+  // every query that the physical trees equal the materialized set.
+  auto run = [](int workers) {
+    Database db(MakeTestCatalog(), 7);
+    EXPECT_TRUE(db.MaterializeAll().ok());
+    Catalog* catalog = &db.mutable_catalog();
+    const std::vector<Query> workload = MixedWorkload(*catalog, 200, 13);
+    ColtConfig config;
+    config.storage_budget_bytes = 64LL * 1024 * 1024;
+    config.num_workers = workers;
+    config.fault.Fail(fault_sites::kIndexBuild, 0.5);
+    ChaosRunResult result = RunChaosWorkload(catalog, workload, config, &db);
+    // Fold the physical end state into the comparison.
+    EXPECT_EQ(db.BuiltIndexIds(), result.run.final_materialized.ids());
+    return result;
+  };
+  const ChaosRunResult serial = run(0);
+  const ChaosRunResult parallel = run(2);
+  ASSERT_GT(serial.injected_faults, 0);
+  EXPECT_TRUE(serial.ok()) << (serial.violations.empty()
+                                   ? "no detail"
+                                   : serial.violations[0].detail);
+  EXPECT_TRUE(parallel.ok()) << (parallel.violations.empty()
+                                     ? "no detail"
+                                     : parallel.violations[0].detail);
+  ExpectChaosRunsBitIdentical(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, IdleTimeBackgroundBuildsMatchSerial) {
+  // kIdleTime is where builds genuinely overlap the query stream: the
+  // bulk load runs on a worker while the simulated idle clock ticks, and
+  // the tree is installed at the OnIdle completion boundary.
+  auto run = [](int workers) {
+    Database db(MakeTestCatalog(), 7);
+    EXPECT_TRUE(db.MaterializeAll().ok());
+    Catalog* catalog = &db.mutable_catalog();
+    const std::vector<Query> workload = MixedWorkload(*catalog, 150, 17);
+    ColtConfig config;
+    config.storage_budget_bytes = 64LL * 1024 * 1024;
+    config.scheduling_strategy = SchedulingStrategy::kIdleTime;
+    // Generous idle budget so queued builds actually finish within the
+    // short workload (the default 2 s/query never completes a 100k-row
+    // bulk load before the run ends).
+    config.idle_seconds_per_query = 60.0;
+    config.num_workers = workers;
+    ChaosRunResult result = RunChaosWorkload(catalog, workload, config, &db);
+    EXPECT_EQ(db.BuiltIndexIds(), result.run.final_materialized.ids());
+    return result;
+  };
+  const ChaosRunResult serial = run(0);
+  const ChaosRunResult parallel = run(2);
+  // Background builds must actually have completed at some epoch (the
+  // final set may legitimately be empty again — the tuner drops indexes
+  // whose benefit decays near the end of the stream).
+  bool any_materialized = false;
+  for (const EpochReport& e : serial.run.epochs) {
+    any_materialized = any_materialized || !e.materialized_ids.empty();
+  }
+  ASSERT_TRUE(any_materialized);
+  EXPECT_TRUE(serial.ok());
+  EXPECT_TRUE(parallel.ok());
+  ExpectChaosRunsBitIdentical(serial, parallel);
+}
+
+}  // namespace
+}  // namespace colt

@@ -402,6 +402,39 @@ void CheckRawNewDelete(const std::string& path, const std::string& stripped,
   }
 }
 
+void CheckNakedThread(const std::string& path, const std::string& stripped,
+                      std::vector<Violation>* out) {
+  if (StartsWith(path, "src/common/thread_pool")) {
+    return;  // the one sanctioned thread-creation site
+  }
+  struct Pattern {
+    const char* regex;
+    const char* what;
+  };
+  // std::this_thread (sleeps, yields) stays legal: the patterns anchor on
+  // the creation tokens, which "this_thread" does not contain.
+  static const Pattern kPatterns[] = {
+      {R"(std\s*::\s*(jthread|thread)\b)", "std::thread/std::jthread"},
+      {R"((^|[^A-Za-z0-9_])std\s*::\s*async\b)", "std::async"},
+      {R"((^|[^A-Za-z0-9_])pthread_create\b)", "pthread_create"},
+  };
+  for (const Pattern& p : kPatterns) {
+    const std::regex re(p.regex);
+    for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      out->push_back(
+          {path, LineOfOffset(stripped, static_cast<size_t>(it->position())),
+           "naked-thread",
+           std::string(p.what) +
+               " outside src/common/thread_pool: route parallel work "
+               "through colt::ThreadPool (ordered joins, per-task RNG "
+               "streams, centralized shutdown) so the serial-equivalence "
+               "contract of DESIGN.md §10 stays enforceable; for the core "
+               "count use ThreadPool::HardwareConcurrency()"});
+    }
+  }
+}
+
 void CheckIostream(const std::string& path, const std::string& original,
                    const std::string& stripped,
                    std::vector<Violation>* out) {
@@ -508,7 +541,7 @@ std::string Violation::ToString() const {
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
       "layering",   "status-discard", "determinism", "raw-new-delete",
-      "iostream",   "metric-name",    "whitespace"};
+      "naked-thread", "iostream",     "metric-name", "whitespace"};
   return kRules;
 }
 
@@ -527,6 +560,7 @@ std::vector<Violation> LintFileContent(const std::string& path,
   CheckStatusDiscard(path, lexed.stripped, &raw);
   CheckDeterminism(path, lexed.stripped, &raw);
   CheckRawNewDelete(path, lexed.stripped, &raw);
+  CheckNakedThread(path, lexed.stripped, &raw);
   CheckIostream(path, content, lexed.stripped, &raw);
   CheckMetricNames(path, content, lexed.stripped, &raw);
   CheckWhitespace(path, content, &raw);

@@ -36,6 +36,10 @@ struct Violation {
 ///                    time(nullptr) seeding, no std::chrono::system_clock
 ///                    outside src/common/rng.h and the logging layer.
 /// - raw-new-delete:  no raw new/delete outside the B+-tree node store.
+/// - naked-thread:    no std::thread/std::jthread/std::async/
+///                    pthread_create outside src/common/thread_pool;
+///                    parallel work goes through colt::ThreadPool so the
+///                    serial-equivalence contract (DESIGN.md §10) holds.
 /// - iostream:        no <iostream> in src/ (logging/metrics/tracing
 ///                    excepted); harness and CLIs print via <ostream>.
 /// - metric-name:     GetCounter/GetGauge/GetHistogram names are dotted
