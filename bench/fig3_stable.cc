@@ -17,10 +17,16 @@ int main(int argc, char** argv) {
   // --workers=N fans what-if probes and index builds across N pool
   // workers. Results are bit-identical for every N (DESIGN.md §10); CI
   // diffs this binary's CSVs across worker counts to prove it.
+  // --cache-bytes=N sets the what-if plan cache budget (0 disables;
+  // DESIGN.md §11). CI also diffs cache-on vs cache-off CSVs: neither
+  // knob may change a single output byte.
   int workers = 0;
+  long long cache_bytes = 8LL * 1024 * 1024;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--cache-bytes=", 14) == 0) {
+      cache_bytes = std::atoll(argv[i] + 14);
     }
   }
 
@@ -53,6 +59,7 @@ int main(int argc, char** argv) {
   colt::ColtConfig config;
   config.storage_budget_bytes = budget;
   config.num_workers = workers;
+  config.whatif_cache_bytes = cache_bytes;
   const colt::ColtRunResult colt_run =
       colt::RunColtWorkload(&catalog, workload, config);
 

@@ -247,6 +247,10 @@ int main(int argc, char** argv) {
   // different answer.
   colt::ColtConfig heavy = config;
   heavy.max_whatif_per_epoch = 200;
+  // The plan cache would short-circuit most repeat probes and leave the
+  // pool nothing to parallelize; this pass measures the fan-out itself,
+  // so it runs uncached (the cache gets its own gate below).
+  heavy.whatif_cache_bytes = 0;
   auto heavy_pass = [&](int workers, std::string* epoch_csv) {
     heavy.num_workers = workers;
     registry.Reset();
@@ -282,9 +286,104 @@ int main(int argc, char** argv) {
   std::printf("parallel_epoch_csv_identical=%s\n",
               csv_identical ? "ok" : "FAILED");
 
+  // ---- Cross-epoch what-if plan cache (DESIGN.md §11). A recurring
+  // stable-phase workload — a fixed pool of distinct queries reissued at
+  // random, the canned-report/dashboard shape the cache exists for — runs
+  // cache-off and cache-on under a probe-heavy config. Compared: the
+  // what-if wall-clock (min-of-N), the hit rate of the cache-on pass, and
+  // (mandatory) byte-identical epoch CSVs — the cache may only buy time,
+  // never a different answer.
+  colt::WorkloadGenerator cache_gen(&catalog, /*seed=*/4242);
+  std::vector<colt::Query> pool;
+  for (int i = 0; i < 25; ++i) pool.push_back(cache_gen.Sample(dists[0]));
+  const int stable_n = smoke ? 400 : 1200;
+  std::vector<colt::Query> stable;
+  stable.reserve(static_cast<size_t>(stable_n));
+  colt::Rng pick(/*seed=*/777);
+  for (int i = 0; i < stable_n; ++i) {
+    colt::Query q = pool[pick.NextBelow(pool.size())];
+    q.set_id(i);
+    stable.push_back(q);
+  }
+  colt::ColtConfig cache_cfg = config;
+  // Probe every relevant pair every time: re-budgeting and adaptive
+  // sampling would throttle the stable phase to a trickle of what-if
+  // calls, and this gate wants the cache under real load.
+  cache_cfg.enable_rebudgeting = false;
+  cache_cfg.enable_adaptive_sampling = false;
+  cache_cfg.uniform_sample_rate = 1.0;
+  cache_cfg.max_whatif_per_epoch = 200;
+  int64_t cache_sc = 0, cache_hits = 0, cache_misses = 0;
+  auto cache_pass = [&](int64_t cache_bytes, std::string* epoch_csv,
+                        bool record_counters) {
+    cache_cfg.whatif_cache_bytes = cache_bytes;
+    registry.Reset();
+    registry.set_enabled(true);
+    const colt::ColtRunResult r =
+        colt::RunColtWorkload(&catalog, stable, cache_cfg);
+    registry.set_enabled(false);
+    if (epoch_csv != nullptr) {
+      std::ostringstream out;
+      colt::ColtIgnoreStatus(colt::WriteEpochReportCsv(r.epochs, out));
+      *epoch_csv = out.str();
+    }
+    if (record_counters) {
+      cache_sc = registry
+                     .GetCounter("profiler.whatif_cache.shortcircuit_hits")
+                     ->value();
+      cache_hits = registry.GetCounter("optimizer.whatif_cache.hits")->value();
+      cache_misses =
+          registry.GetCounter("optimizer.whatif_cache.misses")->value();
+    }
+    return HistSum(registry.Snapshot(), "profiler.whatif_wall.seconds");
+  };
+  std::string cache_off_csv, cache_on_csv;
+  double cache_off_whatif = 0.0, cache_on_whatif = 0.0;
+  for (int i = 0; i < speedup_repeats; ++i) {
+    const double off = cache_pass(0, i == 0 ? &cache_off_csv : nullptr, false);
+    if (i == 0 || off < cache_off_whatif) cache_off_whatif = off;
+    const double on = cache_pass(8LL * 1024 * 1024,
+                                 i == 0 ? &cache_on_csv : nullptr, i == 0);
+    if (i == 0 || on < cache_on_whatif) cache_on_whatif = on;
+  }
+  const int64_t cache_lookups = cache_sc + cache_hits + cache_misses;
+  const double cache_hit_rate =
+      cache_lookups > 0
+          ? static_cast<double>(cache_sc + cache_hits) / cache_lookups
+          : 0.0;
+  const double cache_speedup =
+      cache_on_whatif > 0.0 ? cache_off_whatif / cache_on_whatif : 0.0;
+  const bool cache_csv_identical = cache_off_csv == cache_on_csv;
+  std::printf("\nWhat-if plan cache (recurring stable workload, min of %d "
+              "passes):\n  cache off %.4f s, cache on %.4f s of what-if "
+              "wall\n  %lld short-circuit + %lld optimizer hits / %lld "
+              "lookups\n",
+              speedup_repeats, cache_off_whatif, cache_on_whatif,
+              static_cast<long long>(cache_sc),
+              static_cast<long long>(cache_hits),
+              static_cast<long long>(cache_lookups));
+  std::printf("whatif_cache_hit_rate=%.3f\n", cache_hit_rate);
+  std::printf("whatif_cache_speedup=%.3f\n", cache_speedup);
+  std::printf("whatif_cache_epoch_csv_identical=%s\n",
+              cache_csv_identical ? "ok" : "FAILED");
+
   if (!metrics_roundtrip_ok || !trace_roundtrip_ok) return 1;
   if (!csv_identical) {
     std::printf("FAILED: parallel epoch CSV differs from serial\n");
+    return 1;
+  }
+  if (!cache_csv_identical) {
+    std::printf("FAILED: cache-on epoch CSV differs from cache-off\n");
+    return 1;
+  }
+  if (cache_hit_rate <= 0.5) {
+    std::printf("FAILED: what-if cache hit rate %.3f below the 0.5 gate on "
+                "a recurring workload\n", cache_hit_rate);
+    return 1;
+  }
+  if (cache_speedup < 1.2) {
+    std::printf("FAILED: what-if cache speedup %.3f below the 1.2x gate\n",
+                cache_speedup);
     return 1;
   }
   // The wall-clock gate needs real cores; on smaller machines the number

@@ -124,11 +124,23 @@ class Catalog {
   IndexDescriptor EstimateCompositeIndex(
       const std::vector<ColumnRef>& columns) const;
 
+  /// Monotonic counter over everything the cost model reads: bumped on any
+  /// real index install/drop and on statistics refresh (Database and
+  /// Scheduler call BumpVersion at those points). The what-if plan cache
+  /// tags every entry with the version it was computed under and treats a
+  /// mismatch as a miss, so invalidation is precise (DESIGN.md §11).
+  /// Creating descriptors lazily (IndexOn) does NOT bump: a new descriptor
+  /// cannot appear in any already-cached configuration.
+  uint64_t version() const { return version_; }
+  /// Records a catalog change that can affect optimizer cost estimates.
+  void BumpVersion() { ++version_; }
+
  private:
   std::vector<TableSchema> tables_;
   /// Key: FNV over the packed column list (single or composite).
   std::unordered_map<uint64_t, IndexId> index_by_column_;
   std::unordered_map<IndexId, IndexDescriptor> index_by_id_;
+  uint64_t version_ = 1;
 };
 
 }  // namespace colt

@@ -136,6 +136,17 @@ struct ColtConfig {
   /// optimizer memos and metric buffers).
   int num_workers = 0;
 
+  // ---- What-if plan cache (DESIGN.md §11) ----
+  /// LRU byte budget of the cross-epoch what-if plan cache: memoized
+  /// (query signature x configuration signature) -> plan cost entries,
+  /// invalidated precisely by the catalog version counter and merged from
+  /// per-worker segments at epoch boundaries. 0 disables caching. The
+  /// cache trades wall-clock time only — tuning results are bit-identical
+  /// with the cache on or off, at every worker count, by construction
+  /// (equal keys imply identical canonical queries, hence identical
+  /// floating-point evaluation order).
+  int64_t whatif_cache_bytes = 8LL * 1024 * 1024;
+
   // ---- Observability ----
   /// When true (and MetricsRegistry::Default() is enabled), each
   /// EpochReport carries a full metrics snapshot taken at the epoch

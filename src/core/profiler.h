@@ -14,6 +14,7 @@
 #include "core/config.h"
 #include "core/gain_stats.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/whatif_cache.h"
 
 namespace colt {
 
@@ -41,6 +42,13 @@ class Profiler {
            GainStatsStore* mat_stats, CandidateSet* candidates,
            const ColtConfig* config, uint64_t seed,
            FaultInjector* faults = nullptr, ThreadPool* pool = nullptr);
+
+  /// Detaches the what-if cache from the (externally owned) main optimizer
+  /// — the cache dies with the profiler, the optimizer may not.
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
 
   struct ProfileOutcome {
     ClusterId cluster = kInvalidClusterId;
@@ -71,10 +79,16 @@ class Profiler {
   /// materialized index was used by the normal plan (drives BenefitM).
   int64_t EpochUsageCount(IndexId index, ClusterId cluster) const;
 
-  /// Clears per-epoch usage counts, and folds the worker-private metric
+  /// Clears per-epoch usage counts, folds the worker-private metric
   /// buffers into MetricsRegistry::Default() (the epoch boundary is the
-  /// merge point of the per-worker-buffer rule, DESIGN.md §10).
+  /// merge point of the per-worker-buffer rule, DESIGN.md §10), and merges
+  /// the per-worker what-if cache segments into the frozen cross-epoch
+  /// cache in canonical sorted-key order (DESIGN.md §11).
   void AdvanceEpoch();
+
+  /// The frozen cross-epoch what-if cache, or null when
+  /// ColtConfig::whatif_cache_bytes == 0 (exposed for tests and tools).
+  const WhatIfPlanCache* whatif_cache() const { return shared_cache_.get(); }
 
   /// The adaptive sampling probability for pair (index, cluster) given the
   /// largest error contribution among this query's competing pairs
@@ -97,6 +111,14 @@ class Profiler {
   void RecordCrudeFallback(const Query& q, IndexId index, ClusterId cluster,
                            const IndexConfiguration& materialized);
 
+  /// Degraded-mode cache consult: answers QueryGain(q, index) from the
+  /// frozen cross-epoch cache alone (never the in-flight segments — in
+  /// serial mode fresh entries would be visible mid-epoch, in parallel
+  /// mode they would not, and a difference would break serial-vs-parallel
+  /// byte-identity). Returns false when either cost is absent or stale.
+  bool CachedWhatIfGain(const Query& q, IndexId index,
+                        const IndexConfiguration& materialized, double* gain);
+
   /// The what-if gains for `live`, in `live` order. Serial on the main
   /// optimizer when no pool is attached (or the batch is too small to
   /// amortize a handoff); otherwise contiguous chunks of `live` are probed
@@ -107,6 +129,13 @@ class Profiler {
   std::vector<IndexGain> ComputeGains(const Query& q,
                                       const IndexConfiguration& materialized,
                                       const std::vector<IndexId>& live);
+
+  /// ComputeGains minus the frozen-cache short-circuit: the serial or
+  /// chunked fan-out path. (Worker optimizers still consult their private
+  /// segments and Peek the frozen cache per cost computation.)
+  std::vector<IndexGain> ComputeGainsUncached(
+      const Query& q, const IndexConfiguration& materialized,
+      const std::vector<IndexId>& live);
 
   Catalog* catalog_;
   QueryOptimizer* optimizer_;
@@ -126,8 +155,21 @@ class Profiler {
   struct WorkerSlot {
     std::unique_ptr<MetricsRegistry> registry;
     std::unique_ptr<QueryOptimizer> optimizer;
+    /// Fresh what-if cache entries this worker computed during the epoch;
+    /// drained into the frozen cache at AdvanceEpoch.
+    std::unique_ptr<WhatIfPlanCache> cache_segment;
   };
   std::vector<WorkerSlot> worker_slots_;
+
+  /// Cross-epoch what-if plan cache (DESIGN.md §11), created when
+  /// config->whatif_cache_bytes > 0. `shared_cache_` is frozen within an
+  /// epoch: workers Peek it (const), only the owner thread mutates it —
+  /// LRU touches in the probe short-circuit and the degraded fallback,
+  /// structural changes only in AdvanceEpoch while workers are quiescent.
+  /// `owner_segment_` collects fresh entries from the serial path (the
+  /// main optimizer), mirroring the per-worker segments.
+  std::unique_ptr<WhatIfPlanCache> shared_cache_;
+  std::unique_ptr<WhatIfPlanCache> owner_segment_;
 
   struct PairKey {
     IndexId index;
@@ -146,12 +188,24 @@ class Profiler {
     Counter* whatif_issued;
     Counter* degraded_fault;
     Counter* degraded_deadline;
+    /// Degraded probes answered with a measured gain from the frozen
+    /// what-if cache instead of the crude level-1 estimate.
+    Counter* degraded_cache_hit;
     Counter* level1_records;
     Counter* level2_records;
+    /// Probes fully answered by the frozen cache before the fan-out.
+    Counter* shortcircuit_hits;
+    Counter* cache_evictions;
+    Counter* cache_stale_dropped;
+    Gauge* cache_bytes;
+    Gauge* cache_entries;
     Histogram* profile_seconds;
     /// Real wall time of the what-if section per query (main thread),
     /// serial or fanned out — the quantity the parallel layer shrinks.
     Histogram* whatif_wall;
+    /// Wall time of the owner's short-circuit scan over the frozen cache
+    /// (the p95 of this is the per-query cache lookup cost).
+    Histogram* cache_lookup_seconds;
   };
   Instruments metrics_;
 };

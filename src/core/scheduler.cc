@@ -6,7 +6,7 @@
 
 namespace colt {
 
-Scheduler::Scheduler(const Catalog* catalog, const CostModel* cost_model,
+Scheduler::Scheduler(Catalog* catalog, const CostModel* cost_model,
                      Database* db, SchedulingStrategy strategy,
                      FaultInjector* faults, RetryPolicy retry,
                      ThreadPool* pool)
@@ -148,6 +148,7 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
   for (const auto& action : actions) {
     if (db_ != nullptr) db_->DropIndex(action.index);
     materialized_.Remove(action.index);
+    catalog_->BumpVersion();
     metrics_.drops->Increment();
   }
   // Cancel queued builds that are no longer desired. Idle seconds already
@@ -196,6 +197,7 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
       if (built.ok()) {
         failures_.erase(id);
         materialized_.Add(id);
+        catalog_->BumpVersion();
         IndexAction action;
         action.type = IndexActionType::kMaterialize;
         action.index = id;
@@ -256,6 +258,7 @@ Result<std::vector<IndexAction>> Scheduler::OnIdle(double seconds) {
     if (built.ok()) {
       failures_.erase(id);
       materialized_.Add(id);
+      catalog_->BumpVersion();
       IndexAction action;
       action.type = IndexActionType::kMaterialize;
       action.index = id;

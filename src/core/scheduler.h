@@ -73,7 +73,11 @@ class Scheduler {
   /// finished trees (InstallIndex) stay on the owner thread at exactly the
   /// serial sequence points — actions, fault draws, and retry bookkeeping
   /// are bit-identical with and without the pool.
-  Scheduler(const Catalog* catalog, const CostModel* cost_model, Database* db,
+  ///
+  /// `catalog` is non-const because every install and drop bumps
+  /// Catalog::BumpVersion() — in both physical and statistics-only mode —
+  /// so the what-if plan cache invalidates precisely (DESIGN.md §11).
+  Scheduler(Catalog* catalog, const CostModel* cost_model, Database* db,
             SchedulingStrategy strategy = SchedulingStrategy::kImmediate,
             FaultInjector* faults = nullptr, RetryPolicy retry = {},
             ThreadPool* pool = nullptr);
@@ -178,7 +182,7 @@ class Scheduler {
   /// Drops failure records whose quarantine cooldown has elapsed.
   void ExpireQuarantines();
 
-  const Catalog* catalog_;
+  Catalog* catalog_;
   const CostModel* cost_model_;
   Database* db_;
   SchedulingStrategy strategy_;

@@ -14,6 +14,8 @@
 
 namespace colt {
 
+class WhatIfPlanCache;
+
 /// A fully optimized query: the chosen physical plan and its estimated cost.
 struct PlanResult {
   double cost = 0.0;
@@ -110,6 +112,20 @@ class QueryOptimizer {
   const CostModel& cost_model() const { return cost_model_; }
   const Catalog& catalog() const { return *catalog_; }
 
+  /// Attaches the cross-epoch what-if plan cache (DESIGN.md §11); either
+  /// pointer may be null, and (null, null) detaches. `shared` is the frozen
+  /// epoch cache — deliberately const: this optimizer may run on a pool
+  /// worker, so it only ever Peeks (no LRU motion, no stat mutation) and
+  /// records hits/misses in its own metrics registry. `segment` is this
+  /// optimizer's private fresh-entry segment; newly computed costs land
+  /// there and the Profiler merges segments into the frozen cache at the
+  /// epoch boundary. Both must outlive this optimizer or be detached first.
+  void set_whatif_cache(const WhatIfPlanCache* shared,
+                        WhatIfPlanCache* segment) {
+    shared_cache_ = shared;
+    segment_cache_ = segment;
+  }
+
  private:
   struct AccessPath {
     double cost = 0.0;
@@ -145,6 +161,17 @@ class QueryOptimizer {
                               std::unordered_map<TableKey, AccessPath,
                                                  TableKeyHash>* memo);
 
+  /// Optimal cost of `q` under exactly `config`, served from the attached
+  /// what-if caches when possible (segment first, then a versioned Peek of
+  /// the frozen cache), computed via OptimizeInternal and inserted into the
+  /// segment otherwise. `qhash` is QueryPlanSignature(q), hoisted by the
+  /// caller so one WhatIfOptimize hashes the query once. Cached and
+  /// computed costs are bit-identical (see QueryPlanSignature).
+  double CachedCost(const Query& q, uint64_t qhash,
+                    const IndexConfiguration& config,
+                    std::unordered_map<TableKey, AccessPath, TableKeyHash>*
+                        memo);
+
   /// Join selectivity of the predicate set connecting `t` to tables in
   /// `mask`; also reports one usable equi-join predicate for index-NLJ.
   double JoinSelectivity(const Query& q, uint32_t mask, TableId t,
@@ -159,6 +186,10 @@ class QueryOptimizer {
   const Catalog* catalog_;
   CostModel cost_model_;
   OptimizerStats stats_;
+  /// Frozen cross-epoch cache (Peek-only; owned by the Profiler).
+  const WhatIfPlanCache* shared_cache_ = nullptr;
+  /// Private fresh-entry segment (owned by the Profiler).
+  WhatIfPlanCache* segment_cache_ = nullptr;
 
   /// Instrument pointers fetched once from MetricsRegistry::Default();
   /// updates are no-ops until the registry is enabled.
@@ -168,6 +199,10 @@ class QueryOptimizer {
     Counter* whatif_probes;
     Counter* memo_hits;
     Counter* memo_misses;
+    Counter* cache_hits;
+    Counter* cache_misses;
+    Counter* cache_invalidations;
+    Counter* cache_inserts;
     Histogram* plan_seconds;
     Histogram* whatif_seconds;
   };

@@ -1,0 +1,153 @@
+#include "optimizer/whatif_cache.h"
+
+#include <algorithm>
+
+namespace colt {
+
+uint64_t QueryPlanSignature(const Query& q) {
+  // FNV-1a over the canonical stored form, with the golden-ratio mix used
+  // by the other signature hashes in the tree. Section separators keep
+  // e.g. a join column from colliding with a selection column.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 1099511628211ULL;
+  };
+  auto mix_column = [&mix](const ColumnRef& c) {
+    mix((static_cast<uint64_t>(c.table) << 32) ^
+        static_cast<uint32_t>(c.column));
+  };
+  for (TableId t : q.tables()) mix(static_cast<uint64_t>(t) + 1);
+  mix(0x10f5);
+  for (const JoinPredicate& j : q.joins()) {
+    mix_column(j.left);
+    mix_column(j.right);
+  }
+  mix(0x51ec);
+  for (const SelectionPredicate& s : q.selections()) {
+    mix_column(s.column);
+    mix(static_cast<uint64_t>(s.lo));
+    mix(static_cast<uint64_t>(s.hi));
+  }
+  return h;
+}
+
+WhatIfPlanCache::WhatIfPlanCache(int64_t max_bytes) : max_bytes_(max_bytes) {}
+
+const CachedPlanCost* WhatIfPlanCache::Lookup(const WhatIfCacheKey& key,
+                                              uint64_t catalog_version) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second->second.catalog_version != catalog_version) {
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->second;
+}
+
+const CachedPlanCost* WhatIfPlanCache::Peek(const WhatIfCacheKey& key,
+                                            uint64_t catalog_version,
+                                            bool* stale) const {
+  if (stale != nullptr) *stale = false;
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  if (it->second->second.catalog_version != catalog_version) {
+    if (stale != nullptr) *stale = true;
+    return nullptr;
+  }
+  return &it->second->second;
+}
+
+void WhatIfPlanCache::Insert(const WhatIfCacheKey& key,
+                             const CachedPlanCost& value) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, value);
+  index_.emplace(key, lru_.begin());
+  ++stats_.inserts;
+  stats_.evictions += EvictToBudget();
+}
+
+int64_t WhatIfPlanCache::EvictToBudget() {
+  if (max_bytes_ <= 0) return 0;
+  int64_t evicted = 0;
+  while (!lru_.empty() && bytes() > max_bytes_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evicted;
+  }
+  return evicted;
+}
+
+void WhatIfPlanCache::DrainEntriesInto(
+    std::vector<std::pair<WhatIfCacheKey, CachedPlanCost>>* out) {
+  for (auto& entry : lru_) out->push_back(entry);
+  lru_.clear();
+  index_.clear();
+}
+
+WhatIfPlanCache::MergeOutcome WhatIfPlanCache::MergeFreshEntries(
+    std::vector<std::pair<WhatIfCacheKey, CachedPlanCost>> entries,
+    uint64_t catalog_version) {
+  MergeOutcome outcome;
+  // Precise invalidation: resident entries computed under an older catalog
+  // version can never be served again, so the merge is where they leave.
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->second.catalog_version != catalog_version) {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      ++outcome.stale_dropped;
+    } else {
+      ++it;
+    }
+  }
+  // Canonical order: the fresh entries were computed across an unknown
+  // number of worker segments; sorting by key makes the insertion sequence
+  // (and therefore the LRU recency of new entries) independent of how the
+  // epoch's work was chunked.
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const auto& [key, value] = entries[i];
+    if (i > 0 && key == entries[i - 1].first) {
+      // Same key computed by two segments: identical value by
+      // construction (the cost is a pure function of the key + version).
+      ++outcome.duplicates;
+      continue;
+    }
+    if (value.catalog_version != catalog_version) {
+      ++outcome.stale_dropped;
+      continue;
+    }
+    if (index_.count(key) > 0) {
+      // Already resident with the identical value; leaving recency alone
+      // keeps the LRU state independent of segment distribution.
+      ++outcome.duplicates;
+      continue;
+    }
+    lru_.emplace_front(key, value);
+    index_.emplace(key, lru_.begin());
+    ++stats_.inserts;
+    ++outcome.inserted;
+  }
+  outcome.evicted = EvictToBudget();
+  stats_.evictions += outcome.evicted;
+  return outcome;
+}
+
+void WhatIfPlanCache::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace colt

@@ -1,0 +1,177 @@
+#ifndef COLT_OPTIMIZER_WHATIF_CACHE_H_
+#define COLT_OPTIMIZER_WHATIF_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+
+namespace colt {
+
+/// Exact canonical signature of a query's relational content: tables, join
+/// predicates, and selection predicates with their exact bounds. Two queries
+/// hash equal iff their canonical stored forms are identical (the Query
+/// constructor sorts tables, canonicalizes + sorts joins, and sorts
+/// selections, so construction-order permutations collapse before hashing).
+/// That makes the signature safe as a cost-cache key: equal signatures imply
+/// the optimizer evaluates the same floating-point expressions in the same
+/// order, so a memoized cost is bit-identical to a recomputed one.
+///
+/// Distinct from QuerySignature (the Profiler's clustering key), which
+/// buckets selectivities and deliberately merges similar queries; this
+/// signature never merges queries with different predicate bounds. The
+/// query's id() is excluded — two occurrences of the same query share cache
+/// entries.
+uint64_t QueryPlanSignature(const Query& q);
+
+/// Cache key: exact query signature x order-independent signature of the
+/// hypothetical index configuration the cost was computed under.
+struct WhatIfCacheKey {
+  uint64_t query_hash = 0;
+  uint64_t config_sig = 0;
+
+  friend bool operator==(const WhatIfCacheKey&,
+                         const WhatIfCacheKey&) = default;
+  /// Canonical merge order (epoch-boundary merges insert in sorted key
+  /// order so the frozen cache's LRU state is deterministic).
+  friend bool operator<(const WhatIfCacheKey& a, const WhatIfCacheKey& b) {
+    if (a.query_hash != b.query_hash) return a.query_hash < b.query_hash;
+    return a.config_sig < b.config_sig;
+  }
+};
+
+struct WhatIfCacheKeyHash {
+  size_t operator()(const WhatIfCacheKey& k) const {
+    // The components are already FNV-mixed; a rotate keeps the pair from
+    // cancelling when query_hash == config_sig.
+    return static_cast<size_t>(k.query_hash ^
+                               ((k.config_sig << 27) | (k.config_sig >> 37)));
+  }
+};
+
+/// A memoized what-if optimization result: the optimal plan cost for one
+/// (query, configuration) pair, plus which configuration indexes the best
+/// plan actually used (bit i of `used_index_bitmap` corresponds to position
+/// i in the configuration's sorted id list; positions >= 64 are not
+/// recorded — configurations are budget-bounded far below that).
+struct CachedPlanCost {
+  double cost = 0.0;
+  double rows = 0.0;
+  uint64_t used_index_bitmap = 0;
+  /// Catalog version the cost was computed under; lookups under any other
+  /// version treat the entry as stale.
+  uint64_t catalog_version = 0;
+};
+
+/// An LRU-bounded memo of what-if plan costs, keyed by
+/// QueryPlanSignature x IndexConfiguration::Signature and guarded by the
+/// catalog version counter (DESIGN.md §11).
+///
+/// The same class serves two roles in the tuning stack:
+///  * the frozen cross-epoch cache — owned by the Profiler, read-only to
+///    pool workers during an epoch (const Peek only: no LRU motion, no stat
+///    mutation), mutated by the owner thread at deterministic points
+///    (probe short-circuit, degraded fallback, epoch-boundary merge);
+///  * per-worker fresh segments — private to one worker (or to the owner's
+///    serial path), absorbing this epoch's newly computed costs, drained
+///    into the frozen cache at the epoch boundary in canonical sorted-key
+///    order so the frozen contents are identical at every worker count.
+class WhatIfPlanCache {
+ public:
+  /// Aggregate effects of one epoch-boundary merge.
+  struct MergeOutcome {
+    int64_t inserted = 0;
+    /// Fresh entries skipped because the frozen cache already held the key
+    /// (identical value by construction; recency is left untouched).
+    int64_t duplicates = 0;
+    /// Entries dropped — fresh or resident — whose catalog version no
+    /// longer matches (precise invalidation on install/drop/stats change).
+    int64_t stale_dropped = 0;
+    int64_t evicted = 0;
+  };
+
+  /// Lifetime lookup/insert totals (metrics counters are the per-run source
+  /// of truth; these back the unit tests and tools).
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t invalidations = 0;
+    int64_t inserts = 0;
+    int64_t evictions = 0;
+  };
+
+  /// Estimated resident bytes per entry (key + value + LRU/map overhead);
+  /// the byte budget divides through this.
+  static constexpr int64_t kEntryBytes = 96;
+
+  /// `max_bytes` <= 0 means unbounded (used by tests; production segments
+  /// and the frozen cache always get ColtConfig::whatif_cache_bytes).
+  explicit WhatIfPlanCache(int64_t max_bytes);
+
+  /// Owner-thread lookup: moves the entry to the LRU front on a hit and
+  /// updates stats(). Returns null when absent or stale (a stale entry
+  /// counts as an invalidation + miss and stays resident until the next
+  /// merge prunes it — eager erasure would make LRU state depend on lookup
+  /// patterns that differ across worker counts).
+  const CachedPlanCost* Lookup(const WhatIfCacheKey& key,
+                               uint64_t catalog_version);
+
+  /// Worker-safe lookup: no LRU motion, no stat mutation — genuinely const
+  /// so concurrent Peeks during a fan-out are race-free by construction.
+  /// `stale` (optional) reports that the key was present but invalidated,
+  /// letting the caller count invalidations in its own metrics buffer.
+  const CachedPlanCost* Peek(const WhatIfCacheKey& key,
+                             uint64_t catalog_version,
+                             bool* stale = nullptr) const;
+
+  /// Inserts (or refreshes) an entry at the LRU front, then evicts from the
+  /// LRU tail until the byte budget holds.
+  void Insert(const WhatIfCacheKey& key, const CachedPlanCost& value);
+
+  /// Appends every entry to `out` and clears the cache (stats are kept).
+  /// Segment drain for the epoch-boundary merge; the caller sorts, so the
+  /// internal iteration order never matters.
+  void DrainEntriesInto(
+      std::vector<std::pair<WhatIfCacheKey, CachedPlanCost>>* out);
+
+  /// Epoch-boundary merge (owner thread, workers quiescent): prunes
+  /// resident entries whose version != `catalog_version`, sorts `entries`
+  /// by key, drops stale and duplicate ones, inserts the remainder in
+  /// canonical order, then evicts to the byte budget. Every step is a
+  /// deterministic function of (current contents, entry multiset, version),
+  /// so the post-merge cache is identical no matter how the entries were
+  /// distributed across worker segments.
+  MergeOutcome MergeFreshEntries(
+      std::vector<std::pair<WhatIfCacheKey, CachedPlanCost>> entries,
+      uint64_t catalog_version);
+
+  int64_t bytes() const {
+    return static_cast<int64_t>(lru_.size()) * kEntryBytes;
+  }
+  size_t size() const { return lru_.size(); }
+  int64_t max_bytes() const { return max_bytes_; }
+  const Stats& stats() const { return stats_; }
+
+  void Clear();
+
+ private:
+  using EntryList = std::list<std::pair<WhatIfCacheKey, CachedPlanCost>>;
+
+  /// Evicts LRU-tail entries until bytes() <= max_bytes_; returns how many.
+  int64_t EvictToBudget();
+
+  int64_t max_bytes_;
+  /// Front = most recently used.
+  EntryList lru_;
+  std::unordered_map<WhatIfCacheKey, EntryList::iterator, WhatIfCacheKeyHash>
+      index_;
+  Stats stats_;
+};
+
+}  // namespace colt
+
+#endif  // COLT_OPTIMIZER_WHATIF_CACHE_H_

@@ -22,6 +22,9 @@ Status Database::MaterializeTable(TableId table, bool refresh_stats) {
     for (ColumnId c = 0; c < schema.column_count(); ++c) {
       schema.set_column_stats(c, ColumnStats::FromValues(data.column(c)));
     }
+    // New statistics change every cost estimate; cached what-if plan costs
+    // computed against the old stats must not survive (DESIGN.md §11).
+    catalog_.BumpVersion();
   }
   table_data_.emplace(table, std::move(data));
   return Status::OK();
@@ -84,10 +87,13 @@ Status Database::InstallIndex(IndexId id, std::unique_ptr<BTreeIndex> tree) {
   }
   if (built_indexes_.count(id) > 0) return Status::OK();
   built_indexes_.emplace(id, std::move(tree));
+  catalog_.BumpVersion();
   return Status::OK();
 }
 
-void Database::DropIndex(IndexId id) { built_indexes_.erase(id); }
+void Database::DropIndex(IndexId id) {
+  if (built_indexes_.erase(id) > 0) catalog_.BumpVersion();
+}
 
 std::vector<IndexId> Database::BuiltIndexIds() const {
   std::vector<IndexId> ids;

@@ -117,7 +117,7 @@ TEST_F(ChaosSchedulerTest, NonTransientErrorsPropagate) {
   Database db(MakeTestCatalog(), 7);
   const IndexId key =
       db.mutable_catalog().IndexOn(Ref(db.catalog(), "big", "b_key"))->id;
-  Scheduler scheduler(&db.catalog(), &cost_model_, &db);
+  Scheduler scheduler(&db.mutable_catalog(), &cost_model_, &db);
   IndexConfiguration desired;
   desired.Add(key);
   auto result = scheduler.ApplyConfiguration(desired);

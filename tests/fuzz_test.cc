@@ -4,8 +4,9 @@
 /// violations, determinism, and plan validity.
 #include <gtest/gtest.h>
 
-#include "core/colt.h"
 #include "common/rng.h"
+#include "core/colt.h"
+#include "optimizer/whatif_cache.h"
 
 namespace colt {
 namespace {
@@ -139,6 +140,62 @@ TEST(FuzzParallelDeterminism, WorkerPoolNeverChangesResults) {
     }
     ASSERT_EQ(tuner_a.materialized().ids(), tuner_b.materialized().ids());
     ASSERT_EQ(tuner_a.epoch_reports().size(), tuner_b.epoch_reports().size());
+  }
+}
+
+TEST(FuzzWhatIfCacheDeterminism, CacheNeverChangesResults) {
+  // Tuner A runs with the what-if plan cache disabled; tuner B runs with a
+  // deliberately tiny cache (heavy eviction churn) plus spurious external
+  // catalog version bumps injected at random points, and tuner C adds a
+  // 2-worker pool on top. Every step of all three must stay bit-identical:
+  // the cache and its invalidation machinery may only change hit rates,
+  // never a single recorded double (DESIGN.md §11).
+  for (uint64_t seed : {9ull, 27ull, 63ull}) {
+    Rng rng_a(seed), rng_b(seed), rng_c(seed);
+    Rng bumps(seed * 977ULL + 5);
+    Catalog cat_a = RandomCatalog(rng_a);
+    Catalog cat_b = RandomCatalog(rng_b);
+    Catalog cat_c = RandomCatalog(rng_c);
+    QueryOptimizer opt_a(&cat_a), opt_b(&cat_b), opt_c(&cat_c);
+    ColtConfig config_a;
+    config_a.storage_budget_bytes = 64LL << 20;
+    config_a.epoch_length = 5;
+    config_a.whatif_cache_bytes = 0;  // cache off
+    ColtConfig config_b = config_a;
+    config_b.whatif_cache_bytes = 6 * WhatIfPlanCache::kEntryBytes;
+    ColtConfig config_c = config_b;
+    config_c.num_workers = 2;
+    ColtTuner tuner_a(&cat_a, &opt_a, config_a, nullptr, 5);
+    ColtTuner tuner_b(&cat_b, &opt_b, config_b, nullptr, 5);
+    ColtTuner tuner_c(&cat_c, &opt_c, config_c, nullptr, 5);
+    for (int i = 0; i < 150; ++i) {
+      if (bumps.NextBool(0.1)) {
+        // An external stats refresh: invalidates cached plan costs on the
+        // caching tuners without touching the cacheless baseline.
+        cat_b.BumpVersion();
+        cat_c.BumpVersion();
+      }
+      const Query qa = RandomQuery(cat_a, rng_a);
+      const Query qb = RandomQuery(cat_b, rng_b);
+      const Query qc = RandomQuery(cat_c, rng_c);
+      const TuningStep sa = tuner_a.OnQuery(qa);
+      const TuningStep sb = tuner_b.OnQuery(qb);
+      const TuningStep sc = tuner_c.OnQuery(qc);
+      ASSERT_EQ(sa.plan.cost, sb.plan.cost) << "query " << i;
+      ASSERT_EQ(sa.plan.cost, sc.plan.cost) << "query " << i;
+      ASSERT_EQ(sa.execution_seconds, sb.execution_seconds) << "query " << i;
+      ASSERT_EQ(sa.execution_seconds, sc.execution_seconds) << "query " << i;
+      ASSERT_EQ(sa.profiling_seconds, sb.profiling_seconds) << "query " << i;
+      ASSERT_EQ(sa.profiling_seconds, sc.profiling_seconds) << "query " << i;
+      ASSERT_EQ(sa.whatif_calls, sb.whatif_calls) << "query " << i;
+      ASSERT_EQ(sa.whatif_calls, sc.whatif_calls) << "query " << i;
+      ASSERT_EQ(sa.actions.size(), sb.actions.size()) << "query " << i;
+      ASSERT_EQ(sa.actions.size(), sc.actions.size()) << "query " << i;
+    }
+    ASSERT_EQ(tuner_a.materialized().ids(), tuner_b.materialized().ids());
+    ASSERT_EQ(tuner_a.materialized().ids(), tuner_c.materialized().ids());
+    ASSERT_EQ(tuner_a.epoch_reports().size(), tuner_b.epoch_reports().size());
+    ASSERT_EQ(tuner_a.epoch_reports().size(), tuner_c.epoch_reports().size());
   }
 }
 

@@ -93,7 +93,7 @@ TEST_F(SchedulerTest, PhysicalModeBuildsRealTrees) {
   ASSERT_TRUE(db.MaterializeAll().ok());
   const IndexId key =
       db.mutable_catalog().IndexOn(Ref(db.catalog(), "big", "b_key"))->id;
-  Scheduler scheduler(&db.catalog(), &cost_model_, &db);
+  Scheduler scheduler(&db.mutable_catalog(), &cost_model_, &db);
   IndexConfiguration desired;
   desired.Add(key);
   ASSERT_TRUE(scheduler.ApplyConfiguration(desired).ok());
@@ -106,7 +106,7 @@ TEST_F(SchedulerTest, PhysicalModeFailsWithoutData) {
   Database db(MakeTestCatalog(), 7);  // tables not materialized
   const IndexId key =
       db.mutable_catalog().IndexOn(Ref(db.catalog(), "big", "b_key"))->id;
-  Scheduler scheduler(&db.catalog(), &cost_model_, &db);
+  Scheduler scheduler(&db.mutable_catalog(), &cost_model_, &db);
   IndexConfiguration desired;
   desired.Add(key);
   EXPECT_FALSE(scheduler.ApplyConfiguration(desired).ok());

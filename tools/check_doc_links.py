@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links in the repo's documentation resolve.
+
+Scans the root-level *.md files plus docs/*.md for inline links
+[text](target) and fails (exit 1) if a relative target does not exist on
+disk, resolved against the linking file's directory. External links
+(http/https/mailto) and pure in-page anchors (#...) are skipped; a
+#fragment on a relative link is stripped before the existence check.
+
+Stdlib only; run from anywhere:  python3 tools/check_doc_links.py
+"""
+
+import os
+import re
+import sys
+
+# Inline markdown links. Deliberately simple: no nested parens in targets,
+# which the repo's docs never use. Images (![alt](src)) match too, which is
+# what we want — a missing image is just as broken as a missing page.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def doc_files(root: str) -> list:
+    files = []
+    for name in sorted(os.listdir(root)):
+        if name.endswith(".md"):
+            files.append(os.path.join(root, name))
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    return files
+
+
+def check_file(path: str) -> list:
+    """Returns a list of 'file:line: broken link' strings."""
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        in_code_block = False
+        for lineno, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_code_block = not in_code_block
+                continue
+            if in_code_block:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                if target.startswith("#"):
+                    continue  # in-page anchor; headings are not checked
+                target = target.split("#", 1)[0]
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target))
+                if not os.path.exists(resolved):
+                    errors.append("%s:%d: broken link -> %s"
+                                  % (os.path.relpath(path, repo_root()),
+                                     lineno, match.group(1)))
+    return errors
+
+
+def main() -> int:
+    root = repo_root()
+    files = doc_files(root)
+    if not files:
+        print("check_doc_links: no markdown files found under %s" % root)
+        return 1
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error)
+    print("check_doc_links: %d files, %d broken links"
+          % (len(files), len(errors)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
