@@ -1,0 +1,233 @@
+/// Kill-restart recovery gate (DESIGN.md §12). For each injected crash
+/// point, a forked child runs COLT on a shifting TPC-H workload with
+/// checkpointing enabled and dies mid-commit via the persist crash hook
+/// (_Exit, no destructors — exactly what kill -9 leaves on disk). The
+/// parent then recovers from the state directory in a fresh tuner,
+/// finishes the workload, and requires the post-recovery epoch-report CSV
+/// to be byte-identical to an uninterrupted reference run at the same
+/// seed. Exit code 0 = every crash point passed.
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "harness/workloads.h"
+#include "storage/tpch_schema.h"
+
+namespace {
+
+struct GateOptions {
+  uint64_t seed = 7;
+  int queries_per_phase = 120;
+  /// Commit (= epoch) number whose checkpoint the crash interrupts. Late
+  /// enough that real tuning state (hot set, materialized indexes,
+  /// profiler statistics) is at stake.
+  int crash_commit = 12;
+  std::string state_root;
+};
+
+std::vector<colt::Query> BuildWorkload(colt::Catalog* catalog,
+                                       const GateOptions& opts) {
+  const std::vector<colt::QueryDistribution> dists =
+      colt::ExperimentWorkloads::ShiftingPhases(catalog);
+  std::vector<colt::WorkloadPhase> phases;
+  for (size_t i = 0; i < dists.size() && i < 2; ++i) {
+    phases.push_back({dists[i], opts.queries_per_phase});
+  }
+  colt::WorkloadGenerator gen(catalog, opts.seed);
+  return colt::GeneratePhasedWorkload(gen, phases, /*transition_length=*/30,
+                                      /*phase_of_query=*/nullptr);
+}
+
+colt::ColtConfig BaseConfig() {
+  colt::ColtConfig config;
+  config.storage_budget_bytes = 96LL * 1024 * 1024;
+  return config;
+}
+
+std::string EpochCsv(const std::vector<colt::EpochReport>& reports) {
+  std::ostringstream out;
+  colt::ColtIgnoreStatus(colt::WriteEpochReportCsv(reports, out));
+  return out.str();
+}
+
+/// Runs the whole workload with checkpointing on and a crash rule that
+/// fires inside commit #crash_commit; never returns on the expected path.
+void RunVictim(const GateOptions& opts, const std::string& state_dir,
+               const char* crash_site) {
+  colt::Catalog catalog = colt::MakeTpchCatalog();
+  const std::vector<colt::Query> workload = BuildWorkload(&catalog, opts);
+  colt::ColtConfig config = BaseConfig();
+  config.state_dir = state_dir;
+  config.fault.FireOnCheck(crash_site, opts.crash_commit);
+  colt::QueryOptimizer optimizer(&catalog);
+  colt::ColtTuner tuner(&catalog, &optimizer, config);
+  tuner.set_persist_crash_hook([] { ::_Exit(42); });
+  for (const colt::Query& q : workload) tuner.OnQuery(q);
+  // The crash site never fired: the workload is too short for crash_commit.
+  ::_Exit(3);
+}
+
+bool RunGate(const GateOptions& opts, const char* crash_site,
+             const std::vector<colt::EpochReport>& reference,
+             const std::string& csv_dir) {
+  std::string leaf = crash_site;
+  for (char& c : leaf) {
+    if (c == '.') c = '_';
+  }
+  const std::string state_dir = opts.state_root + "/" + leaf;
+  ::mkdir(state_dir.c_str(), 0755);
+  std::remove((state_dir + "/wal.log").c_str());
+  std::remove((state_dir + "/snap-0.bin").c_str());
+  std::remove((state_dir + "/snap-1.bin").c_str());
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "[%s] fork failed\n", crash_site);
+    return false;
+  }
+  if (pid == 0) RunVictim(opts, state_dir, crash_site);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 42) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: victim exited %d, expected crash-hook 42\n",
+                 crash_site, WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    return false;
+  }
+
+  // Recover in this process from whatever the dead child left on disk.
+  colt::Catalog catalog = colt::MakeTpchCatalog();
+  const std::vector<colt::Query> workload = BuildWorkload(&catalog, opts);
+  colt::ColtConfig config = BaseConfig();
+  config.state_dir = state_dir;
+  colt::QueryOptimizer optimizer(&catalog);
+  colt::ColtTuner tuner(&catalog, &optimizer, config);
+  const colt::Result<bool> resumed = tuner.RecoverFromStateDir();
+  if (!resumed.ok()) {
+    std::fprintf(stderr, "[%s] FAIL: recovery error: %s\n", crash_site,
+                 resumed.status().ToString().c_str());
+    return false;
+  }
+  if (!*resumed || tuner.queries_observed() <= 0) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: cold start — no durable checkpoint survived "
+                 "the crash\n",
+                 crash_site);
+    return false;
+  }
+  const int resumed_epoch = tuner.current_epoch();
+  // Crashing before the rename loses at most the in-flight commit;
+  // crashing after it may keep it. Anything else means recovery picked an
+  // impossible snapshot.
+  if (resumed_epoch != opts.crash_commit &&
+      resumed_epoch != opts.crash_commit - 1) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: resumed at epoch %d, expected %d or %d\n",
+                 crash_site, resumed_epoch, opts.crash_commit - 1,
+                 opts.crash_commit);
+    return false;
+  }
+  for (size_t i = static_cast<size_t>(tuner.queries_observed());
+       i < workload.size(); ++i) {
+    tuner.OnQuery(workload[i]);
+  }
+
+  // The gate: every epoch report produced after recovery must serialize to
+  // exactly the bytes the uninterrupted run produced for those epochs.
+  const std::vector<colt::EpochReport> tail(
+      reference.begin() + resumed_epoch, reference.end());
+  const std::string want = EpochCsv(tail);
+  const std::string got = EpochCsv(tuner.epoch_reports());
+  if (want != got) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: post-recovery epoch CSV diverges from the "
+                 "uninterrupted run (resumed at epoch %d)\n",
+                 crash_site, resumed_epoch);
+    colt::ColtIgnoreStatus(colt::MaybeWriteCsvFile(
+        csv_dir, std::string("crash_recovery_got_") + crash_site + ".csv",
+        [&](std::ostream& out) {
+          out << got;
+          return colt::Status();
+        }));
+    return false;
+  }
+  std::printf("[%s] PASS: crashed in commit %d, resumed at epoch %d, "
+              "%zu post-recovery epochs byte-identical\n",
+              crash_site, opts.crash_commit, resumed_epoch,
+              tuner.epoch_reports().size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  GateOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      opts.seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--queries-per-phase=", 20) == 0) {
+      opts.queries_per_phase = std::atoi(argv[i] + 20);
+    } else if (std::strncmp(argv[i], "--crash-commit=", 15) == 0) {
+      opts.crash_commit = std::atoi(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--state-dir=", 12) == 0) {
+      opts.state_root = argv[i] + 12;
+    }
+  }
+  if (opts.state_root.empty()) {
+    char tmpl[] = "/tmp/colt_crash_recovery_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    if (made == nullptr) {
+      std::fprintf(stderr, "cannot create state directory\n");
+      return 1;
+    }
+    opts.state_root = made;
+  }
+  const char* csv_env = std::getenv("COLT_CSV_DIR");
+  const std::string csv_dir = csv_env != nullptr ? csv_env : "";
+
+  std::printf("Crash-recovery gate: seed=%llu, 2 phases x %d queries, "
+              "crash at commit %d, state under %s\n\n",
+              static_cast<unsigned long long>(opts.seed),
+              opts.queries_per_phase, opts.crash_commit,
+              opts.state_root.c_str());
+
+  // Uninterrupted reference at the same seed, persistence off.
+  colt::Catalog catalog = colt::MakeTpchCatalog();
+  const std::vector<colt::Query> workload = BuildWorkload(&catalog, opts);
+  const colt::ColtRunResult reference =
+      colt::RunColtWorkload(&catalog, workload, BaseConfig());
+  colt::ColtIgnoreStatus(colt::MaybeWriteCsvFile(
+      csv_dir, "crash_recovery_ref.csv", [&](std::ostream& out) {
+        return colt::WriteEpochReportCsv(reference.epochs, out);
+      }));
+  std::printf("reference: %zu queries, %zu epochs, %zu indexes "
+              "materialized\n",
+              workload.size(), reference.epochs.size(),
+              reference.final_materialized.size());
+
+  const char* kCrashSites[] = {
+      colt::fault_sites::kPersistCrashAfterWalBegin,
+      colt::fault_sites::kPersistCrashBeforeRename,
+      colt::fault_sites::kPersistCrashAfterRename,
+  };
+  int failures = 0;
+  for (const char* site : kCrashSites) {
+    if (!RunGate(opts, site, reference.epochs, csv_dir)) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%d of 3 crash points FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nAll 3 crash points recovered bit-identically.\n");
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/status.h"
 #include "harness/experiment.h"
@@ -20,13 +21,19 @@ int main(int argc, char** argv) {
   // --cache-bytes=N sets the what-if plan cache budget (0 disables;
   // DESIGN.md §11). CI also diffs cache-on vs cache-off CSVs: neither
   // knob may change a single output byte.
+  // --state-dir=DIR checkpoints tuner state there every epoch (DESIGN.md
+  // §12; empty disables). Commits happen outside the tuning math, so CI
+  // diffs persistence-on vs persistence-off CSVs the same way.
   int workers = 0;
   long long cache_bytes = 8LL * 1024 * 1024;
+  std::string state_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       workers = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--cache-bytes=", 14) == 0) {
       cache_bytes = std::atoll(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--state-dir=", 12) == 0) {
+      state_dir = argv[i] + 12;
     }
   }
 
@@ -60,6 +67,7 @@ int main(int argc, char** argv) {
   config.storage_budget_bytes = budget;
   config.num_workers = workers;
   config.whatif_cache_bytes = cache_bytes;
+  config.state_dir = state_dir;
   const colt::ColtRunResult colt_run =
       colt::RunColtWorkload(&catalog, workload, config);
 

@@ -213,6 +213,91 @@ int32_t Catalog::total_indexable_columns() const {
   return total;
 }
 
+namespace {
+constexpr uint32_t kCatalogSectionTag = 0x4C544143;  // "CATL"
+}  // namespace
+
+uint64_t Catalog::Fingerprint() const {
+  BinaryWriter w;
+  w.WriteU64(tables_.size());
+  for (const TableSchema& t : tables_) {
+    w.WriteString(t.name());
+    w.WriteI64(t.row_count());
+    w.WriteU64(t.columns().size());
+    for (const ColumnDef& c : t.columns()) {
+      w.WriteString(c.name);
+      w.WriteU32(static_cast<uint32_t>(c.type));
+      w.WriteU32(static_cast<uint32_t>(c.width_bytes));
+      w.WriteI64(c.ndv);
+      w.WriteBool(c.indexable);
+      w.WriteDouble(c.skew);
+    }
+    for (int32_t i = 0; i < t.column_count(); ++i) {
+      w.WriteU64(t.column_stats(i).Fingerprint());
+    }
+  }
+  return Fnv1a64(w.buffer());
+}
+
+void Catalog::SaveState(BinaryWriter* writer) const {
+  writer->WriteU32(kCatalogSectionTag);
+  writer->WriteU64(Fingerprint());
+  const std::vector<IndexDescriptor> indexes = AllIndexes();
+  writer->WriteU64(indexes.size());
+  for (const IndexDescriptor& desc : indexes) {
+    writer->WriteI64(desc.id);
+    writer->WriteU64(desc.columns.size());
+    for (const ColumnRef& ref : desc.columns) {
+      writer->WriteI64(ref.table);
+      writer->WriteI64(ref.column);
+    }
+  }
+  writer->WriteU64(version_);
+}
+
+Status Catalog::LoadState(BinaryReader* reader, uint64_t* version) {
+  COLT_RETURN_IF_ERROR(reader->ExpectTag(kCatalogSectionTag));
+  uint64_t fingerprint = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&fingerprint));
+  if (fingerprint != Fingerprint()) {
+    return Status::FailedPrecondition(
+        "catalog fingerprint mismatch: the checkpoint was taken against a "
+        "different schema or statistics");
+  }
+  uint64_t index_count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&index_count));
+  for (uint64_t i = 0; i < index_count; ++i) {
+    int64_t id = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&id));
+    uint64_t column_count = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&column_count));
+    if (column_count == 0 || column_count > 64) {
+      return Status::InvalidArgument("corrupt descriptor column count " +
+                                     std::to_string(column_count));
+    }
+    std::vector<ColumnRef> columns;
+    columns.reserve(column_count);
+    for (uint64_t j = 0; j < column_count; ++j) {
+      int64_t table = 0, column = 0;
+      COLT_RETURN_IF_ERROR(reader->ReadI64(&table));
+      COLT_RETURN_IF_ERROR(reader->ReadI64(&column));
+      columns.push_back(ColumnRef{static_cast<TableId>(table),
+                                  static_cast<ColumnId>(column)});
+    }
+    Result<IndexDescriptor> desc =
+        columns.size() == 1 ? IndexOn(columns[0])
+                            : CompositeIndexOn(std::move(columns));
+    COLT_RETURN_IF_ERROR(desc.status());
+    if (desc->id != static_cast<IndexId>(id)) {
+      return Status::FailedPrecondition(
+          "descriptor id drift during recovery: persisted id " +
+          std::to_string(id) + " recreated as " + std::to_string(desc->id));
+    }
+  }
+  COLT_RETURN_IF_ERROR(reader->ReadU64(version));
+  return Status::OK();
+}
+
 const char* ColumnTypeName(ColumnType type) {
   switch (type) {
     case ColumnType::kInt64:

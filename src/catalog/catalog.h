@@ -7,6 +7,7 @@
 
 #include "catalog/schema.h"
 #include "catalog/types.h"
+#include "common/persist/serializer.h"
 #include "common/status.h"
 
 namespace colt {
@@ -134,6 +135,29 @@ class Catalog {
   uint64_t version() const { return version_; }
   /// Records a catalog change that can affect optimizer cost estimates.
   void BumpVersion() { ++version_; }
+  /// Overwrites the version counter with a persisted value. Recovery calls
+  /// this LAST, after index rebuilds have bumped the live counter, so the
+  /// restored run continues the exact counter sequence of the original.
+  void RestoreVersion(uint64_t version) { version_ = version; }
+
+  /// Content hash of schemas + column statistics (not descriptors, not the
+  /// version counter). Recovery uses it to verify that the restart rebuilt
+  /// the same environment the checkpoint was taken in.
+  uint64_t Fingerprint() const;
+
+  /// Serializes the fingerprint, every index descriptor (column lists, in
+  /// ascending id order — ids are assigned in creation order, so recovery
+  /// must replay creations in that order), and the version counter.
+  void SaveState(BinaryWriter* writer) const;
+
+  /// Restores descriptors into this (already rebuilt) catalog: verifies
+  /// the fingerprint matches, replays IndexOn/CompositeIndexOn in
+  /// persisted id order, and confirms each id lands where it did in the
+  /// original run. The persisted version counter is returned through
+  /// `version` for the caller to apply (via RestoreVersion) once dependent
+  /// components finish their own recovery. kFailedPrecondition on
+  /// fingerprint mismatch; kInvalidArgument on malformed bytes.
+  Status LoadState(BinaryReader* reader, uint64_t* version);
 
  private:
   std::vector<TableSchema> tables_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/persist/serializer.h"
+
 namespace colt {
 
 ColumnStats ColumnStats::FromValues(const std::vector<int64_t>& values,
@@ -178,6 +180,21 @@ double ColumnStats::RangeSelectivity(int64_t lo, int64_t hi) const {
     }
   }
   return std::min(1.0, selected / static_cast<double>(row_count_));
+}
+
+uint64_t ColumnStats::Fingerprint() const {
+  BinaryWriter w;
+  w.WriteI64(row_count_);
+  w.WriteI64(ndv_);
+  w.WriteI64(min_);
+  w.WriteI64(max_);
+  w.WriteU32(static_cast<uint32_t>(type_));
+  w.WriteU64(bucket_counts_.size());
+  for (int64_t c : bucket_counts_) w.WriteI64(c);
+  w.WriteDouble(bucket_width_);
+  w.WriteU64(bucket_upper_.size());
+  for (int64_t u : bucket_upper_) w.WriteI64(u);
+  return Fnv1a64(w.buffer());
 }
 
 }  // namespace colt

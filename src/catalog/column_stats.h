@@ -51,6 +51,12 @@ class ColumnStats {
   HistogramType histogram_type() const { return type_; }
   int bucket_count() const { return static_cast<int>(bucket_counts_.size()); }
 
+  /// Content hash over every field the optimizer reads (counts, bounds,
+  /// histogram shape and contents). Checkpoint recovery compares the
+  /// persisted fingerprint against the deterministically rebuilt catalog
+  /// to detect a changed environment before trusting restored state.
+  uint64_t Fingerprint() const;
+
  private:
   int64_t row_count_ = 0;
   int64_t ndv_ = 0;

@@ -1,5 +1,6 @@
 #include "common/fault_injector.h"
 
+#include <array>
 #include <utility>
 
 namespace colt {
@@ -37,7 +38,8 @@ FaultInjector::SiteState* FaultInjector::Roll(std::string_view site) {
   if (it == sites_.end()) return nullptr;
   SiteState& state = it->second;
   ++state.checks;
-  if (state.rule.max_fires >= 0 && state.fires >= state.rule.max_fires) {
+  if ((state.rule.max_fires >= 0 && state.fires >= state.rule.max_fires) ||
+      state.checks <= state.rule.skip_checks) {
     state.rng.NextDouble();  // keep the stream advancing check-for-check
     return nullptr;
   }
@@ -72,6 +74,49 @@ int64_t FaultInjector::fire_count(std::string_view site) const {
 int64_t FaultInjector::check_count(std::string_view site) const {
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.checks;
+}
+
+namespace {
+constexpr uint32_t kFaultSectionTag = 0x544C4641;  // "AFLT"
+}  // namespace
+
+void FaultInjector::SaveState(BinaryWriter* writer) const {
+  writer->WriteU32(kFaultSectionTag);
+  writer->WriteBool(enabled_);
+  writer->WriteI64(total_fires_);
+  writer->WriteU64(sites_.size());
+  for (const auto& [name, state] : sites_) {  // std::map: sorted, stable
+    writer->WriteString(name);
+    for (uint64_t word : state.rng.state()) writer->WriteU64(word);
+    writer->WriteI64(state.checks);
+    writer->WriteI64(state.fires);
+  }
+}
+
+Status FaultInjector::LoadState(BinaryReader* reader) {
+  COLT_RETURN_IF_ERROR(reader->ExpectTag(kFaultSectionTag));
+  bool was_enabled = false;
+  COLT_RETURN_IF_ERROR(reader->ReadBool(&was_enabled));
+  int64_t total_fires = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&total_fires));
+  uint64_t count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    COLT_RETURN_IF_ERROR(reader->ReadString(&name));
+    std::array<uint64_t, 4> rng_state{};
+    for (uint64_t& word : rng_state) COLT_RETURN_IF_ERROR(reader->ReadU64(&word));
+    int64_t checks = 0, fires = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&checks));
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&fires));
+    auto it = sites_.find(name);
+    if (it == sites_.end()) continue;  // site not configured this run
+    it->second.rng.set_state(rng_state);
+    it->second.checks = checks;
+    it->second.fires = fires;
+  }
+  total_fires_ = total_fires;
+  return Status::OK();
 }
 
 }  // namespace colt

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/persist/serializer.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -30,6 +31,23 @@ inline constexpr char kStorageScan[] = "storage.scan";
 /// The on-line storage budget shrinks mid-run to `multiplier` times its
 /// current value (operator reclaims disk; COLT must evict to fit).
 inline constexpr char kBudgetShrink[] = "budget.shrink";
+/// A WAL append is torn: only a prefix of the record reaches the disk.
+inline constexpr char kPersistWalAppend[] = "persist.wal.append";
+/// The WAL fsync fails after a complete append.
+inline constexpr char kPersistWalFsync[] = "persist.wal.fsync";
+/// A snapshot write is short: a torn prefix of the file survives.
+inline constexpr char kPersistSnapshotWrite[] = "persist.snapshot.short_write";
+/// The snapshot fsync fails after a complete write.
+inline constexpr char kPersistSnapshotFsync[] = "persist.snapshot.fsync";
+/// Process dies between the WAL BEGIN append and the snapshot write.
+inline constexpr char kPersistCrashAfterWalBegin[] =
+    "persist.crash.after_wal_begin";
+/// Process dies after the snapshot tmp write, before the atomic rename.
+inline constexpr char kPersistCrashBeforeRename[] =
+    "persist.crash.before_rename";
+/// Process dies after the rename, before the WAL COMMIT append.
+inline constexpr char kPersistCrashAfterRename[] =
+    "persist.crash.after_rename";
 }  // namespace fault_sites
 
 /// One site's fault behaviour. A rule fires independently on each check
@@ -47,6 +65,11 @@ struct FaultRule {
   StatusCode code = StatusCode::kInternal;
   /// The rule stops firing after this many fires; < 0 means unlimited.
   int64_t max_fires = -1;
+  /// The rule never fires on the first `skip_checks` checks of its site
+  /// (the stream still advances check-for-check). Combined with
+  /// probability 1 and max_fires 1 this pins a fault to exactly the N-th
+  /// check — how the crash-recovery bench schedules its kill points.
+  int64_t skip_checks = 0;
 };
 
 /// A full fault-injection plan: off by default, explicitly seeded.
@@ -74,6 +97,17 @@ struct FaultConfig {
     FaultRule rule;
     rule.probability = probability;
     rule.multiplier = multiplier;
+    rules[std::move(site)] = rule;
+    enabled = true;
+    return *this;
+  }
+  /// Convenience: fires exactly once, on the `check_number`-th check of
+  /// `site` (1-based).
+  FaultConfig& FireOnCheck(std::string site, int64_t check_number) {
+    FaultRule rule;
+    rule.probability = 1.0;
+    rule.max_fires = 1;
+    rule.skip_checks = check_number - 1;
     rules[std::move(site)] = rule;
     enabled = true;
     return *this;
@@ -116,6 +150,13 @@ class FaultInjector {
   int64_t check_count(std::string_view site) const;
   /// Total fires across all sites.
   int64_t total_fires() const { return total_fires_; }
+
+  /// Serializes the dynamic per-site state (stream positions, check/fire
+  /// counts) for crash-safe persistence. Rules are NOT serialized: they
+  /// are reconstructed from the config on restart, and persisted state for
+  /// sites absent from the restart config is skipped.
+  void SaveState(BinaryWriter* writer) const;
+  Status LoadState(BinaryReader* reader);
 
  private:
   struct SiteState {

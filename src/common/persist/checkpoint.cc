@@ -1,0 +1,424 @@
+#include "common/persist/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/persist/serializer.h"
+
+namespace colt {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x43455257;   // "WREC"
+constexpr uint64_t kSnapMagic = 0x50414E53544C4F43ULL;  // "COLTSNAP"
+constexpr uint32_t kWalBegin = 1;
+constexpr uint32_t kWalCommit = 2;
+/// Encoded WAL record size: magic, kind, epoch, generation, payload length,
+/// payload checksum, record checksum.
+constexpr size_t kWalRecordBytes = 4 + 4 + 8 + 4 + 8 + 8 + 8;
+/// Compact once the WAL holds more records than this (keeps the "small
+/// append-only epoch WAL" promise over arbitrarily long runs).
+constexpr size_t kWalCompactThreshold = 64;
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// RAII FILE* so every error path closes the handle. The close result is
+/// only meaningful on write paths, which call CheckingClose() explicitly
+/// before relying on durability.
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : path_(path), file_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    // Destructor close: cleanup after a failure already being reported, so
+    // the close result cannot change the outcome.
+    if (file_ != nullptr) fclose(file_);
+  }
+  bool ok() const { return file_ != nullptr; }
+  FILE* get() const { return file_; }
+
+  Status CheckingClose() {
+    FILE* f = file_;
+    file_ = nullptr;
+    if (fclose(f) != 0) return ErrnoStatus("close failed for", path_);
+    return Status::OK();
+  }
+
+  Status Sync() {
+    if (fflush(file_) != 0) return ErrnoStatus("flush failed for", path_);
+    if (fsync(fileno(file_)) != 0) return ErrnoStatus("fsync failed for", path_);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  FILE* file_;
+};
+
+/// fsync on the directory makes the rename itself durable.
+Status SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open failed for directory", dir);
+  const int rc = fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync failed for directory", dir);
+  return Status::OK();
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  File f(path, "rb");
+  if (!f.ok()) return Status::NotFound("cannot open " + path);
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const size_t n = fread(buf, 1, sizeof(buf), f.get());
+    out->append(buf, n);
+    if (n < sizeof(buf)) {
+      if (ferror(f.get()) != 0) return ErrnoStatus("read failed for", path);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Counter* CorruptSnapshotCounter() {
+  return MetricsRegistry::Default().GetCounter(
+      "persist.recovery.corrupt_snapshots");
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir)
+    : CheckpointStore(std::move(dir), Options{}) {}
+
+CheckpointStore::CheckpointStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(std::move(options)) {}
+
+std::string CheckpointStore::SnapshotPath(uint32_t generation) const {
+  return dir_ + "/snap-" + std::to_string(generation) + ".bin";
+}
+
+std::string CheckpointStore::WalPath() const { return dir_ + "/wal.log"; }
+
+Status CheckpointStore::Open() {
+  if (opened_) return Status::OK();
+  if (dir_.empty()) {
+    return Status::InvalidArgument("checkpoint store needs a directory");
+  }
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("mkdir failed for", dir_);
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+Status CheckpointStore::CrashPoint(const char* site) {
+  if (options_.faults == nullptr || !options_.faults->Fires(site)) {
+    return Status::OK();
+  }
+  if (options_.crash_hook) options_.crash_hook();
+  // The hook returned (test mode): abandon the commit exactly where the
+  // process would have died.
+  return Status::Internal(std::string("injected crash at ") + site);
+}
+
+Status CheckpointStore::AppendWalRecord(const WalRecord& record) {
+  BinaryWriter body;
+  body.WriteU32(kWalMagic);
+  body.WriteU32(record.kind);
+  body.WriteI64(record.epoch);
+  body.WriteU32(record.generation);
+  body.WriteU64(record.payload_length);
+  body.WriteU64(record.payload_checksum);
+  BinaryWriter full;
+  full.WriteU64(Fnv1a64(body.buffer()));
+  const std::string bytes = body.TakeBuffer() + full.buffer();
+
+  File wal(WalPath(), "ab");
+  if (!wal.ok()) return ErrnoStatus("open failed for", WalPath());
+  size_t to_write = bytes.size();
+  if (options_.faults != nullptr &&
+      options_.faults->Fires(fault_sites::kPersistWalAppend)) {
+    to_write /= 2;  // torn append: half the record reaches the disk
+  }
+  if (fwrite(bytes.data(), 1, to_write, wal.get()) != to_write) {
+    return ErrnoStatus("write failed for", WalPath());
+  }
+  if (to_write != bytes.size()) {
+    COLT_RETURN_IF_ERROR(wal.Sync());
+    COLT_RETURN_IF_ERROR(wal.CheckingClose());
+    return Status::Internal("injected short WAL append");
+  }
+  if (options_.faults != nullptr &&
+      options_.faults->Fires(fault_sites::kPersistWalFsync)) {
+    return Status::Internal("injected WAL fsync failure");
+  }
+  COLT_RETURN_IF_ERROR(wal.Sync());
+  return wal.CheckingClose();
+}
+
+Status CheckpointStore::WriteSnapshot(const std::string& path, int64_t epoch,
+                                      std::string_view payload) {
+  BinaryWriter header;
+  header.WriteU64(kSnapMagic);
+  header.WriteU32(kFormatVersion);
+  header.WriteI64(epoch);
+  header.WriteU64(payload.size());
+  header.WriteU64(Fnv1a64(payload));
+
+  File snap(path, "wb");
+  if (!snap.ok()) return ErrnoStatus("open failed for", path);
+  size_t to_write = header.size() + payload.size();
+  if (options_.faults != nullptr &&
+      options_.faults->Fires(fault_sites::kPersistSnapshotWrite)) {
+    to_write /= 2;  // short write: a torn prefix survives on disk
+  }
+  const size_t header_part = std::min(to_write, header.size());
+  if (fwrite(header.buffer().data(), 1, header_part, snap.get()) !=
+      header_part) {
+    return ErrnoStatus("write failed for", path);
+  }
+  const size_t payload_part = to_write - header_part;
+  if (fwrite(payload.data(), 1, payload_part, snap.get()) != payload_part) {
+    return ErrnoStatus("write failed for", path);
+  }
+  if (to_write != header.size() + payload.size()) {
+    COLT_RETURN_IF_ERROR(snap.Sync());
+    COLT_RETURN_IF_ERROR(snap.CheckingClose());
+    return Status::Internal("injected short snapshot write");
+  }
+  if (options_.faults != nullptr &&
+      options_.faults->Fires(fault_sites::kPersistSnapshotFsync)) {
+    return Status::Internal("injected snapshot fsync failure");
+  }
+  COLT_RETURN_IF_ERROR(snap.Sync());
+  return snap.CheckingClose();
+}
+
+Status CheckpointStore::Commit(int64_t epoch, std::string_view payload) {
+  COLT_RETURN_IF_ERROR(Open());
+  WalRecord record;
+  record.epoch = epoch;
+  record.generation = static_cast<uint32_t>(epoch & 1);
+  record.payload_length = payload.size();
+  record.payload_checksum = Fnv1a64(payload);
+
+  record.kind = kWalBegin;
+  COLT_RETURN_IF_ERROR(AppendWalRecord(record));
+  COLT_RETURN_IF_ERROR(CrashPoint(fault_sites::kPersistCrashAfterWalBegin));
+
+  const std::string tmp =
+      dir_ + "/snap-" + std::to_string(record.generation) + ".tmp";
+  COLT_RETURN_IF_ERROR(WriteSnapshot(tmp, epoch, payload));
+  COLT_RETURN_IF_ERROR(CrashPoint(fault_sites::kPersistCrashBeforeRename));
+  const std::string final_path = SnapshotPath(record.generation);
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return ErrnoStatus("rename failed for", final_path);
+  }
+  COLT_RETURN_IF_ERROR(SyncDirectory(dir_));
+  COLT_RETURN_IF_ERROR(CrashPoint(fault_sites::kPersistCrashAfterRename));
+
+  record.kind = kWalCommit;
+  COLT_RETURN_IF_ERROR(AppendWalRecord(record));
+
+  std::vector<WalRecord> records;
+  COLT_RETURN_IF_ERROR(ReadWal(&records));
+  COLT_RETURN_IF_ERROR(MaybeCompactWal(records.size()));
+  MetricsRegistry::Default().GetCounter("persist.commits")->Increment();
+  return Status::OK();
+}
+
+Status CheckpointStore::ReadWal(std::vector<WalRecord>* out) {
+  out->clear();
+  std::string bytes;
+  const Status read = ReadWholeFile(WalPath(), &bytes);
+  if (read.code() == StatusCode::kNotFound) return Status::OK();  // fresh dir
+  COLT_RETURN_IF_ERROR(read);
+  BinaryReader reader(bytes);
+  while (reader.remaining() >= kWalRecordBytes) {
+    // A record that fails any structural check marks the torn tail of the
+    // log; everything before it is still trustworthy.
+    const std::string_view raw(bytes.data() + (bytes.size() -
+                                               reader.remaining()),
+                               kWalRecordBytes - 8);
+    WalRecord record;
+    uint32_t magic = 0;
+    uint64_t checksum = 0;
+    if (!reader.ReadU32(&magic).ok() || magic != kWalMagic) break;
+    if (!reader.ReadU32(&record.kind).ok()) break;
+    if (!reader.ReadI64(&record.epoch).ok()) break;
+    if (!reader.ReadU32(&record.generation).ok()) break;
+    if (!reader.ReadU64(&record.payload_length).ok()) break;
+    if (!reader.ReadU64(&record.payload_checksum).ok()) break;
+    if (!reader.ReadU64(&checksum).ok() || checksum != Fnv1a64(raw)) break;
+    if (record.kind != kWalBegin && record.kind != kWalCommit) break;
+    if (record.generation > 1) break;
+    out->push_back(record);
+  }
+  return Status::OK();
+}
+
+Status CheckpointStore::MaybeCompactWal(size_t record_count) {
+  if (record_count <= kWalCompactThreshold) return Status::OK();
+  std::vector<WalRecord> records;
+  COLT_RETURN_IF_ERROR(ReadWal(&records));
+  // Keep every record at or after the second-newest committed epoch, so
+  // both snapshot generations stay recoverable (with their BEGIN/COMMIT
+  // pairs intact) after compaction.
+  int64_t newest = INT64_MIN, second = INT64_MIN;
+  for (const WalRecord& record : records) {
+    if (record.kind != kWalCommit) continue;
+    if (record.epoch > newest) {
+      second = newest;
+      newest = record.epoch;
+    } else if (record.epoch > second && record.epoch != newest) {
+      second = record.epoch;
+    }
+  }
+  const int64_t threshold = second != INT64_MIN ? second : newest;
+  const std::string tmp = dir_ + "/wal.tmp";
+  {
+    File out(tmp, "wb");
+    if (!out.ok()) return ErrnoStatus("open failed for", tmp);
+    for (const WalRecord& record : records) {
+      if (record.epoch < threshold) continue;
+      BinaryWriter body;
+      body.WriteU32(kWalMagic);
+      body.WriteU32(record.kind);
+      body.WriteI64(record.epoch);
+      body.WriteU32(record.generation);
+      body.WriteU64(record.payload_length);
+      body.WriteU64(record.payload_checksum);
+      BinaryWriter full;
+      full.WriteU64(Fnv1a64(body.buffer()));
+      const std::string bytes = body.TakeBuffer() + full.buffer();
+      if (fwrite(bytes.data(), 1, bytes.size(), out.get()) != bytes.size()) {
+        return ErrnoStatus("write failed for", tmp);
+      }
+    }
+    COLT_RETURN_IF_ERROR(out.Sync());
+    COLT_RETURN_IF_ERROR(out.CheckingClose());
+  }
+  if (std::rename(tmp.c_str(), WalPath().c_str()) != 0) {
+    return ErrnoStatus("rename failed for", WalPath());
+  }
+  COLT_RETURN_IF_ERROR(SyncDirectory(dir_));
+  MetricsRegistry::Default().GetCounter("persist.wal.compactions")
+      ->Increment();
+  return Status::OK();
+}
+
+Status CheckpointStore::ValidateSnapshot(const WalRecord& record,
+                                         CheckpointData* out) {
+  const std::string path = SnapshotPath(record.generation);
+  std::string bytes;
+  COLT_RETURN_IF_ERROR(ReadWholeFile(path, &bytes));
+  BinaryReader reader(bytes);
+  uint64_t magic = 0;
+  COLT_RETURN_IF_ERROR(reader.ReadU64(&magic));
+  if (magic != kSnapMagic) {
+    return Status::InvalidArgument("bad snapshot magic in " + path);
+  }
+  uint32_t version = 0;
+  COLT_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot format version " +
+                                   std::to_string(version) + " in " + path);
+  }
+  int64_t epoch = 0;
+  COLT_RETURN_IF_ERROR(reader.ReadI64(&epoch));
+  uint64_t length = 0;
+  COLT_RETURN_IF_ERROR(reader.ReadU64(&length));
+  uint64_t checksum = 0;
+  COLT_RETURN_IF_ERROR(reader.ReadU64(&checksum));
+  if (epoch != record.epoch || length != record.payload_length ||
+      checksum != record.payload_checksum) {
+    return Status::InvalidArgument("snapshot " + path +
+                                   " does not match its WAL record");
+  }
+  if (length != reader.remaining()) {
+    return Status::InvalidArgument("snapshot " + path + " truncated: header "
+                                   "promises " + std::to_string(length) +
+                                   " payload bytes, file holds " +
+                                   std::to_string(reader.remaining()));
+  }
+  std::string payload(bytes.data() + (bytes.size() - reader.remaining()),
+                      reader.remaining());
+  if (Fnv1a64(payload) != checksum) {
+    return Status::InvalidArgument("snapshot " + path + " failed checksum");
+  }
+  out->epoch = epoch;
+  out->payload = std::move(payload);
+  return Status::OK();
+}
+
+Result<CheckpointData> CheckpointStore::LoadLatest() {
+  COLT_RETURN_IF_ERROR(Open());
+  std::vector<WalRecord> records;
+  COLT_RETURN_IF_ERROR(ReadWal(&records));
+  if (records.empty()) {
+    return Status::NotFound("no checkpoint in " + dir_);
+  }
+  // Which BEGIN records have a matching COMMIT.
+  std::vector<bool> committed(records.size(), false);
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].kind != kWalCommit) continue;
+    for (size_t j = i; j-- > 0;) {
+      if (records[j].kind == kWalBegin &&
+          records[j].epoch == records[i].epoch &&
+          records[j].generation == records[i].generation) {
+        committed[j] = true;
+        break;
+      }
+    }
+  }
+  // Candidates newest-to-oldest: the newest BEGIN per generation (its
+  // snapshot is whatever last landed in snap-<gen>.bin), plus — when that
+  // BEGIN never committed (a crash mid-protocol) — the previous BEGIN for
+  // the same generation, whose snapshot the aborted commit never replaced.
+  struct Candidate {
+    WalRecord record;
+    bool committed;
+  };
+  std::vector<Candidate> candidates;
+  size_t taken_per_gen[2] = {0, 0};
+  size_t want_per_gen[2] = {1, 1};
+  for (size_t i = records.size(); i-- > 0;) {
+    const WalRecord& record = records[i];
+    if (record.kind != kWalBegin) continue;
+    const uint32_t gen = record.generation;
+    if (taken_per_gen[gen] >= want_per_gen[gen]) continue;
+    ++taken_per_gen[gen];
+    if (!committed[i]) ++want_per_gen[gen];
+    candidates.push_back({record, committed[i]});
+  }
+  CheckpointData data;
+  for (const Candidate& candidate : candidates) {
+    const Status valid = ValidateSnapshot(candidate.record, &data);
+    if (valid.ok()) return data;
+    // A committed checkpoint failing validation is corruption; an
+    // uncommitted BEGIN whose snapshot never landed is the expected shape
+    // of a crash mid-protocol and falls through silently.
+    if (candidate.committed) {
+      CorruptSnapshotCounter()->Increment();
+      COLT_LOG(Warning) << "committed checkpoint for epoch "
+                        << candidate.record.epoch
+                        << " rejected: " << valid.ToString();
+    }
+  }
+  return Status::NotFound("no usable checkpoint in " + dir_ +
+                          " (no candidate validated)");
+}
+
+}  // namespace colt

@@ -1,0 +1,104 @@
+#include "common/persist/serializer.h"
+
+namespace colt {
+
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed) {
+  uint64_t h = seed;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  return Fnv1a64(bytes, kFnv1a64Seed);
+}
+
+Status BinaryReader::Take(size_t n, const char** out) {
+  if (n > remaining()) {
+    return Status::InvalidArgument(
+        "snapshot truncated: need " + std::to_string(n) + " bytes at offset " +
+        std::to_string(pos_) + ", have " + std::to_string(remaining()));
+  }
+  *out = bytes_.data() + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32(uint32_t* out) {
+  const char* p = nullptr;
+  COLT_RETURN_IF_ERROR(Take(4, &p));
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU64(uint64_t* out) {
+  const char* p = nullptr;
+  COLT_RETURN_IF_ERROR(Take(8, &p));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadI64(int64_t* out) {
+  uint64_t v = 0;
+  COLT_RETURN_IF_ERROR(ReadU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadDouble(double* out) {
+  uint64_t bits = 0;
+  COLT_RETURN_IF_ERROR(ReadU64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status BinaryReader::ReadBool(bool* out) {
+  const char* p = nullptr;
+  COLT_RETURN_IF_ERROR(Take(1, &p));
+  const uint8_t v = static_cast<uint8_t>(*p);
+  if (v > 1) {
+    return Status::InvalidArgument("corrupt bool value " + std::to_string(v) +
+                                   " at offset " + std::to_string(pos_ - 1));
+  }
+  *out = v == 1;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadString(std::string* out) {
+  uint64_t len = 0;
+  COLT_RETURN_IF_ERROR(ReadU64(&len));
+  if (len > remaining()) {
+    return Status::InvalidArgument(
+        "corrupt string length " + std::to_string(len) + " at offset " +
+        std::to_string(pos_ - 8) + " exceeds remaining " +
+        std::to_string(remaining()));
+  }
+  const char* p = nullptr;
+  COLT_RETURN_IF_ERROR(Take(static_cast<size_t>(len), &p));
+  out->assign(p, static_cast<size_t>(len));
+  return Status::OK();
+}
+
+Status BinaryReader::ExpectTag(uint32_t tag) {
+  uint32_t got = 0;
+  COLT_RETURN_IF_ERROR(ReadU32(&got));
+  if (got != tag) {
+    return Status::InvalidArgument(
+        "section tag mismatch at offset " + std::to_string(pos_ - 4) +
+        ": expected " + std::to_string(tag) + ", found " +
+        std::to_string(got));
+  }
+  return Status::OK();
+}
+
+}  // namespace colt

@@ -1,0 +1,95 @@
+#ifndef COLT_COMMON_PERSIST_SERIALIZER_H_
+#define COLT_COMMON_PERSIST_SERIALIZER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace colt {
+
+/// FNV-1a 64-bit hash; the checksum used throughout the persistence layer
+/// (snapshot payloads, WAL records) and for catalog fingerprints.
+uint64_t Fnv1a64(std::string_view bytes);
+/// Incremental form: fold more bytes into a running hash.
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed);
+/// Seed value of the empty hash.
+inline constexpr uint64_t kFnv1a64Seed = 1469598103934665603ULL;
+
+/// Append-only binary encoder backing SaveState() implementations.
+///
+/// Encoding rules (little-endian, fixed width — the format is explicit so
+/// DESIGN.md §12 can specify it byte-for-byte):
+///  * u32/u64/i64: little-endian two's complement;
+///  * double: IEEE-754 bit pattern as u64 (bit-exact round-trip, the
+///    property the deterministic-recovery contract rests on);
+///  * bool: one byte, 0 or 1 (readers reject other values);
+///  * string: u64 byte length followed by the raw bytes.
+/// Writing cannot fail: the buffer lives in memory; durability is the
+/// CheckpointStore's job.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v) { AppendLittleEndian(v, 4); }
+  void WriteU64(uint64_t v) { AppendLittleEndian(v, 8); }
+  void WriteI64(int64_t v) { AppendLittleEndian(static_cast<uint64_t>(v), 8); }
+  void WriteDouble(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU64(bits);
+  }
+  void WriteBool(bool v) { buffer_.push_back(v ? '\x01' : '\x00'); }
+  void WriteString(std::string_view s) {
+    WriteU64(s.size());
+    buffer_.append(s.data(), s.size());
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  void AppendLittleEndian(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string buffer_;
+};
+
+/// Bounds-checked decoder over a byte buffer. Every read returns a Status
+/// instead of asserting, so corrupt or truncated snapshots surface as
+/// recoverable errors (cold-start fallback), never as crashes.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI64(int64_t* out);
+  Status ReadDouble(double* out);
+  Status ReadBool(bool* out);
+  /// Reads a length-prefixed string. Rejects lengths that exceed the
+  /// remaining bytes before allocating.
+  Status ReadString(std::string* out);
+
+  /// Reads a u32 and fails with kInvalidArgument unless it equals `tag`.
+  /// Section tags make field-order corruption fail fast with a useful
+  /// message.
+  Status ExpectTag(uint32_t tag);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status Take(size_t n, const char** out);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace colt
+
+#endif  // COLT_COMMON_PERSIST_SERIALIZER_H_

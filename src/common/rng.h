@@ -1,6 +1,7 @@
 #ifndef COLT_COMMON_RNG_H_
 #define COLT_COMMON_RNG_H_
 
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -100,6 +101,15 @@ class Rng {
   /// Spawns an independent child generator; deterministic given this
   /// generator's state.
   Rng Fork() { return Rng(Next() ^ 0x5deece66dULL); }
+
+  /// Internal xoshiro256** state, for crash-safe persistence. A generator
+  /// restored with set_state(state()) continues the exact same stream.
+  std::array<uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

@@ -29,6 +29,15 @@ class RunningStats {
   double stddev() const;
   double sum() const { return mean_ * static_cast<double>(count_); }
 
+  /// Raw accumulator fields for bit-exact persistence round-trips.
+  double raw_mean() const { return mean_; }
+  double raw_m2() const { return m2_; }
+  void Restore(int64_t count, double mean, double m2) {
+    count_ = count;
+    mean_ = mean;
+    m2_ = m2;
+  }
+
  private:
   int64_t count_ = 0;
   double mean_ = 0.0;
@@ -84,6 +93,12 @@ class ExponentialSmoother {
   double value() const { return value_; }
   bool initialized() const { return initialized_; }
   double alpha() const { return alpha_; }
+
+  /// Restores a persisted filter state (alpha comes from construction).
+  void Restore(double value, bool initialized) {
+    value_ = value;
+    initialized_ = initialized;
+  }
 
  private:
   double alpha_;

@@ -46,4 +46,46 @@ std::vector<IndexId> CandidateSet::All() const {
   return out;
 }
 
+namespace {
+constexpr uint32_t kCandidateSectionTag = 0x444E4143;  // "CAND"
+}  // namespace
+
+void CandidateSet::SaveState(BinaryWriter* writer) const {
+  writer->WriteU32(kCandidateSectionTag);
+  const std::vector<IndexId> ids = All();
+  writer->WriteU64(ids.size());
+  for (IndexId id : ids) {
+    const Info& info = info_.at(id);
+    writer->WriteI64(id);
+    writer->WriteI64(info.last_seen_epoch);
+    writer->WriteDouble(info.epoch_sum);
+    writer->WriteDouble(info.smoothed.value());
+    writer->WriteBool(info.smoothed.initialized());
+  }
+}
+
+Status CandidateSet::LoadState(BinaryReader* reader) {
+  COLT_RETURN_IF_ERROR(reader->ExpectTag(kCandidateSectionTag));
+  uint64_t count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&count));
+  std::unordered_map<IndexId, Info> info;
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t id = 0, last_seen = 0;
+    double epoch_sum = 0.0, smoothed_value = 0.0;
+    bool smoothed_initialized = false;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&id));
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&last_seen));
+    COLT_RETURN_IF_ERROR(reader->ReadDouble(&epoch_sum));
+    COLT_RETURN_IF_ERROR(reader->ReadDouble(&smoothed_value));
+    COLT_RETURN_IF_ERROR(reader->ReadBool(&smoothed_initialized));
+    Info entry(alpha_);
+    entry.last_seen_epoch = static_cast<int>(last_seen);
+    entry.epoch_sum = epoch_sum;
+    entry.smoothed.Restore(smoothed_value, smoothed_initialized);
+    info.emplace(static_cast<IndexId>(id), entry);
+  }
+  info_ = std::move(info);
+  return Status::OK();
+}
+
 }  // namespace colt

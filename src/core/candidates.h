@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "catalog/types.h"
+#include "common/persist/serializer.h"
 #include "common/stats.h"
 
 namespace colt {
@@ -35,6 +36,11 @@ class CandidateSet {
 
   /// All candidate ids, ascending.
   std::vector<IndexId> All() const;
+
+  /// Crash-safe persistence of the candidate map (smoothed BenefitC state
+  /// included; the smoothing alpha comes from construction).
+  void SaveState(BinaryWriter* writer) const;
+  Status LoadState(BinaryReader* reader);
 
  private:
   struct Info {

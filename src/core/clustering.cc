@@ -110,4 +110,118 @@ std::vector<ClusterId> ClusterManager::LiveClusters() const {
   return out;
 }
 
+namespace {
+
+constexpr uint32_t kClusterSectionTag = 0x53554C43;  // "CLUS"
+
+void WriteColumnRef(BinaryWriter* writer, const ColumnRef& ref) {
+  writer->WriteI64(ref.table);
+  writer->WriteI64(ref.column);
+}
+
+Status ReadColumnRef(BinaryReader* reader, ColumnRef* ref) {
+  int64_t table = 0, column = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&table));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&column));
+  ref->table = static_cast<TableId>(table);
+  ref->column = static_cast<ColumnId>(column);
+  return Status::OK();
+}
+
+}  // namespace
+
+void ClusterManager::SaveState(BinaryWriter* writer) const {
+  writer->WriteU32(kClusterSectionTag);
+  writer->WriteI64(next_id_);
+  writer->WriteI64(epochs_observed_);
+  std::vector<ClusterId> ids;
+  ids.reserve(clusters_.size());
+  for (const auto& [id, state] : clusters_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  writer->WriteU64(ids.size());
+  for (ClusterId id : ids) {
+    const ClusterState& state = clusters_.at(id);
+    writer->WriteI64(id);
+    writer->WriteU64(state.signature.tables.size());
+    for (TableId t : state.signature.tables) writer->WriteI64(t);
+    writer->WriteU64(state.signature.joins.size());
+    for (const auto& [lhs, rhs] : state.signature.joins) {
+      WriteColumnRef(writer, lhs);
+      WriteColumnRef(writer, rhs);
+    }
+    writer->WriteU64(state.signature.selections.size());
+    for (const auto& [column, bucket] : state.signature.selections) {
+      WriteColumnRef(writer, column);
+      writer->WriteI64(bucket);
+    }
+    writer->WriteU64(state.relevant_columns.size());
+    for (const ColumnRef& ref : state.relevant_columns) {
+      WriteColumnRef(writer, ref);
+    }
+    writer->WriteU64(state.counts.size());
+    for (int64_t count : state.counts) writer->WriteI64(count);
+    writer->WriteI64(state.window_total);
+  }
+}
+
+Status ClusterManager::LoadState(BinaryReader* reader) {
+  COLT_RETURN_IF_ERROR(reader->ExpectTag(kClusterSectionTag));
+  int64_t next_id = 0, epochs_observed = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&next_id));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&epochs_observed));
+  uint64_t cluster_count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&cluster_count));
+  std::unordered_map<ClusterId, ClusterState> clusters;
+  std::unordered_map<QuerySignature, ClusterId, QuerySignatureHash>
+      by_signature;
+  for (uint64_t i = 0; i < cluster_count; ++i) {
+    int64_t id = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&id));
+    ClusterState state;
+    uint64_t n = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&n));
+    for (uint64_t j = 0; j < n; ++j) {
+      int64_t table = 0;
+      COLT_RETURN_IF_ERROR(reader->ReadI64(&table));
+      state.signature.tables.push_back(static_cast<TableId>(table));
+    }
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&n));
+    for (uint64_t j = 0; j < n; ++j) {
+      ColumnRef lhs, rhs;
+      COLT_RETURN_IF_ERROR(ReadColumnRef(reader, &lhs));
+      COLT_RETURN_IF_ERROR(ReadColumnRef(reader, &rhs));
+      state.signature.joins.emplace_back(lhs, rhs);
+    }
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&n));
+    for (uint64_t j = 0; j < n; ++j) {
+      ColumnRef column;
+      int64_t bucket = 0;
+      COLT_RETURN_IF_ERROR(ReadColumnRef(reader, &column));
+      COLT_RETURN_IF_ERROR(reader->ReadI64(&bucket));
+      state.signature.selections.emplace_back(column,
+                                              static_cast<int>(bucket));
+    }
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&n));
+    for (uint64_t j = 0; j < n; ++j) {
+      ColumnRef ref;
+      COLT_RETURN_IF_ERROR(ReadColumnRef(reader, &ref));
+      state.relevant_columns.push_back(ref);
+    }
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&n));
+    for (uint64_t j = 0; j < n; ++j) {
+      int64_t count = 0;
+      COLT_RETURN_IF_ERROR(reader->ReadI64(&count));
+      state.counts.push_back(count);
+    }
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&state.window_total));
+    by_signature.emplace(state.signature, static_cast<ClusterId>(id));
+    clusters.emplace(static_cast<ClusterId>(id), std::move(state));
+  }
+  clusters_ = std::move(clusters);
+  by_signature_ = std::move(by_signature);
+  next_id_ = static_cast<ClusterId>(next_id);
+  epochs_observed_ = static_cast<int>(epochs_observed);
+  return Status::OK();
+}
+
 }  // namespace colt

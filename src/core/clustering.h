@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/persist/serializer.h"
 #include "query/query.h"
 
 namespace colt {
@@ -62,6 +63,11 @@ class ClusterManager {
 
   /// All live cluster ids.
   std::vector<ClusterId> LiveClusters() const;
+
+  /// Crash-safe persistence of the full clustering state (signatures,
+  /// window counts, id allocator). The signature index is rebuilt on load.
+  void SaveState(BinaryWriter* writer) const;
+  Status LoadState(BinaryReader* reader);
 
  private:
   struct ClusterState {

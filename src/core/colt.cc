@@ -50,6 +50,12 @@ ColtTuner::ColtTuner(Catalog* catalog, QueryOptimizer* optimizer,
                                         config.quarantine_cooldown_rounds},
                  pool_.get()),
       whatif_limit_(config.max_whatif_per_epoch) {
+  if (!config_.state_dir.empty()) {
+    CheckpointStore::Options options;
+    options.faults = &faults_;
+    checkpoint_ =
+        std::make_unique<CheckpointStore>(config_.state_dir, options);
+  }
   MetricsRegistry& reg = MetricsRegistry::Default();
   metrics_.queries = reg.GetCounter("colt.queries");
   metrics_.epochs = reg.GetCounter("colt.epochs");
@@ -136,6 +142,7 @@ std::vector<ColtTuner::IndexExplanation> ColtTuner::ExplainState() {
 
 TuningStep ColtTuner::OnQuery(const Query& q) {
   metrics_.queries->Increment();
+  ++queries_observed_;
   ScopedTimer on_query_timer(metrics_.on_query_seconds);
   Tracer::Scope span = Tracer::Default().StartSpan("on_query", "core");
   TuningStep step;
@@ -255,8 +262,249 @@ TuningStep ColtTuner::OnQuery(const Query& q) {
     hot_stats_.RetainClusters(live);
     mat_stats_.RetainClusters(live);
     ++epoch_;
+
+    // Durability point: every component is at its epoch-boundary rest
+    // state (usage counts cleared, cache segments merged), so the
+    // serialized snapshot is exactly the state an uninterrupted run
+    // carries into epoch_.
+    if (checkpoint_ != nullptr) PersistEpochState();
   }
   return step;
+}
+
+namespace {
+constexpr uint32_t kTunerSectionTag = 0x544C4F43;  // "COLT"
+}  // namespace
+
+uint64_t ColtTuner::ConfigFingerprint() const {
+  BinaryWriter w;
+  w.WriteI64(config_.epoch_length);
+  w.WriteI64(config_.history_depth);
+  w.WriteI64(config_.max_whatif_per_epoch);
+  w.WriteDouble(config_.confidence);
+  w.WriteDouble(config_.crude_smoothing_alpha);
+  w.WriteI64(config_.max_hot_set_size);
+  w.WriteDouble(config_.min_sample_rate);
+  w.WriteI64(config_.min_measurements_for_interval);
+  w.WriteDouble(config_.rebudget_low);
+  w.WriteDouble(config_.rebudget_high);
+  w.WriteDouble(config_.whatif_call_seconds);
+  w.WriteI64(static_cast<int64_t>(config_.scheduling_strategy));
+  w.WriteDouble(config_.idle_seconds_per_query);
+  w.WriteBool(config_.fill_hot_by_density);
+  w.WriteI64(config_.min_budget_for_fresh_hot);
+  w.WriteI64(config_.min_budget_after_change);
+  w.WriteBool(config_.mine_multicolumn_candidates);
+  w.WriteI64(config_.max_build_retries);
+  w.WriteI64(config_.build_backoff_base_rounds);
+  w.WriteI64(config_.max_build_backoff_rounds);
+  w.WriteI64(config_.quarantine_cooldown_rounds);
+  w.WriteDouble(config_.whatif_deadline_seconds);
+  w.WriteBool(config_.enable_rebudgeting);
+  w.WriteBool(config_.enable_adaptive_sampling);
+  w.WriteDouble(config_.uniform_sample_rate);
+  w.WriteBool(config_.conservative_estimates);
+  w.WriteBool(config_.use_greedy_knapsack);
+  w.WriteDouble(config_.conservative_floor_fraction);
+  w.WriteI64(config_.whatif_cache_bytes);
+  // Deliberately excluded: storage_budget_bytes (mutable at runtime via
+  // budget.shrink faults; persisted as live state instead), num_workers
+  // and epoch_metrics_snapshot (bit-identical results at any value), the
+  // fault plan (a resumed run may drop the crash rules that killed its
+  // predecessor), and state_dir itself.
+  return Fnv1a64(w.buffer());
+}
+
+void ColtTuner::SaveState(BinaryWriter* writer) const {
+  writer->WriteU32(kTunerSectionTag);
+  writer->WriteU64(ConfigFingerprint());
+  writer->WriteU64(catalog_->Fingerprint());
+  writer->WriteI64(epoch_);
+  writer->WriteI64(queries_in_epoch_);
+  writer->WriteI64(queries_observed_);
+  writer->WriteI64(whatif_limit_);
+  writer->WriteI64(whatif_used_);
+  writer->WriteI64(config_.storage_budget_bytes);
+  writer->WriteU64(hot_set_.size());
+  for (IndexId id : hot_set_) writer->WriteI64(id);
+  writer->WriteU64(ever_probed_.size());
+  for (IndexId id : ever_probed_) writer->WriteI64(id);
+  writer->WriteI64(degraded_whatif_epoch_);
+  writer->WriteI64(emergency_evictions_epoch_);
+  writer->WriteI64(build_failures_reported_);
+  writer->WriteI64(degraded_whatif_total_);
+  writer->WriteI64(emergency_evictions_total_);
+  writer->WriteDouble(wasted_build_reported_);
+  faults_.SaveState(writer);
+  catalog_->SaveState(writer);
+  clusters_.SaveState(writer);
+  hot_stats_.SaveState(writer);
+  mat_stats_.SaveState(writer);
+  candidates_.SaveState(writer);
+  forecaster_.SaveState(writer);
+  profiler_.SaveState(writer);
+  scheduler_.SaveState(writer);
+}
+
+Status ColtTuner::LoadState(BinaryReader* reader) {
+  if (epoch_ != 0 || queries_in_epoch_ != 0 || queries_observed_ != 0) {
+    return Status::FailedPrecondition(
+        "LoadState requires a freshly constructed tuner");
+  }
+  COLT_RETURN_IF_ERROR(reader->ExpectTag(kTunerSectionTag));
+  uint64_t config_fp = 0;
+  uint64_t catalog_fp = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&config_fp));
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&catalog_fp));
+  // Both guards run before any mutation: a false return from
+  // RecoverFromStateDir must leave the tuner usable for a cold start.
+  if (config_fp != ConfigFingerprint()) {
+    return Status::FailedPrecondition(
+        "snapshot was taken under a different ColtConfig");
+  }
+  if (catalog_fp != catalog_->Fingerprint()) {
+    return Status::FailedPrecondition(
+        "snapshot was taken against a different catalog");
+  }
+  int64_t epoch = 0;
+  int64_t queries_in_epoch = 0;
+  int64_t queries_observed = 0;
+  int64_t whatif_limit = 0;
+  int64_t whatif_used = 0;
+  int64_t storage_budget = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&epoch));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&queries_in_epoch));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&queries_observed));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&whatif_limit));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&whatif_used));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&storage_budget));
+  uint64_t hot_count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&hot_count));
+  std::vector<IndexId> hot_set;
+  for (uint64_t i = 0; i < hot_count; ++i) {
+    int64_t id = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&id));
+    hot_set.push_back(static_cast<IndexId>(id));
+  }
+  uint64_t probed_count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&probed_count));
+  std::vector<IndexId> ever_probed;
+  for (uint64_t i = 0; i < probed_count; ++i) {
+    int64_t id = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&id));
+    ever_probed.push_back(static_cast<IndexId>(id));
+  }
+  int64_t degraded_epoch = 0;
+  int64_t evictions_epoch = 0;
+  int64_t build_failures_reported = 0;
+  int64_t degraded_total = 0;
+  int64_t evictions_total = 0;
+  double wasted_build_reported = 0.0;
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&degraded_epoch));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&evictions_epoch));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&build_failures_reported));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&degraded_total));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&evictions_total));
+  COLT_RETURN_IF_ERROR(reader->ReadDouble(&wasted_build_reported));
+
+  COLT_RETURN_IF_ERROR(faults_.LoadState(reader));
+  uint64_t catalog_version = 0;
+  COLT_RETURN_IF_ERROR(catalog_->LoadState(reader, &catalog_version));
+  COLT_RETURN_IF_ERROR(clusters_.LoadState(reader));
+  COLT_RETURN_IF_ERROR(hot_stats_.LoadState(reader));
+  COLT_RETURN_IF_ERROR(mat_stats_.LoadState(reader));
+  COLT_RETURN_IF_ERROR(candidates_.LoadState(reader));
+  COLT_RETURN_IF_ERROR(forecaster_.LoadState(reader));
+  COLT_RETURN_IF_ERROR(profiler_.LoadState(reader));
+  COLT_RETURN_IF_ERROR(scheduler_.LoadState(reader));
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after tuner snapshot");
+  }
+  // Ids were read before the catalog section replayed the index
+  // definitions, so they can only be checked now.
+  for (IndexId id : hot_set) {
+    if (!catalog_->HasIndex(id)) {
+      return Status::InvalidArgument("hot set index id " +
+                                     std::to_string(id) +
+                                     " is not in the catalog");
+    }
+  }
+  for (IndexId id : ever_probed) {
+    if (!catalog_->HasIndex(id)) {
+      return Status::InvalidArgument("probed index id " + std::to_string(id) +
+                                     " is not in the catalog");
+    }
+  }
+
+  epoch_ = static_cast<int>(epoch);
+  queries_in_epoch_ = static_cast<int>(queries_in_epoch);
+  queries_observed_ = queries_observed;
+  whatif_limit_ = static_cast<int>(whatif_limit);
+  whatif_used_ = static_cast<int>(whatif_used);
+  config_.storage_budget_bytes = storage_budget;
+  hot_set_ = std::move(hot_set);
+  ever_probed_ = std::move(ever_probed);
+  degraded_whatif_epoch_ = static_cast<int>(degraded_epoch);
+  emergency_evictions_epoch_ = static_cast<int>(evictions_epoch);
+  build_failures_reported_ = build_failures_reported;
+  degraded_whatif_total_ = degraded_total;
+  emergency_evictions_total_ = evictions_total;
+  wasted_build_reported_ = wasted_build_reported;
+  // Last: the catalog replay and index rebuilds above bumped the live
+  // version counter; pin it back to the snapshot's value so what-if cache
+  // entries stay valid exactly as they were at the checkpoint.
+  catalog_->RestoreVersion(catalog_version);
+  return Status::OK();
+}
+
+Result<bool> ColtTuner::RecoverFromStateDir() {
+  if (checkpoint_ == nullptr) return false;
+  Result<CheckpointData> data = checkpoint_->LoadLatest();
+  if (!data.ok()) {
+    if (data.status().code() == StatusCode::kNotFound) return false;
+    return data.status();
+  }
+  BinaryReader reader(data->payload);
+  const Status loaded = LoadState(&reader);
+  if (!loaded.ok()) {
+    if (loaded.code() == StatusCode::kFailedPrecondition) {
+      // Fingerprint guard: the environment changed under the state dir.
+      // The tuner is untouched, so a cold start is safe and preferable to
+      // resuming statistics that no longer describe this catalog/config.
+      COLT_LOG(Warning) << "checkpoint rejected: " << loaded.ToString()
+                        << "; cold-starting";
+      MetricsRegistry::Default()
+          .GetCounter("persist.recovery.rejected")
+          ->Increment();
+      return false;
+    }
+    return loaded;
+  }
+  MetricsRegistry::Default()
+      .GetCounter("persist.recovery.restored")
+      ->Increment();
+  COLT_LOG(Info) << "recovered tuner state at epoch " << epoch_ << " ("
+                 << queries_observed_ << " queries observed)";
+  return true;
+}
+
+void ColtTuner::PersistEpochState() {
+  BinaryWriter writer;
+  SaveState(&writer);
+  const Status committed = checkpoint_->Commit(epoch_, writer.buffer());
+  if (!committed.ok()) {
+    // Never fatal: the previous checkpoint stays recoverable and the tuner
+    // keeps serving queries — durability degrades, tuning does not.
+    COLT_LOG(Warning) << "checkpoint commit failed: "
+                      << committed.ToString();
+    MetricsRegistry::Default()
+        .GetCounter("persist.commit.failures")
+        ->Increment();
+  }
+}
+
+void ColtTuner::set_persist_crash_hook(std::function<void()> hook) {
+  if (checkpoint_ != nullptr) checkpoint_->set_crash_hook(std::move(hook));
 }
 
 }  // namespace colt

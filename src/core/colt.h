@@ -1,11 +1,14 @@
 #ifndef COLT_CORE_COLT_H_
 #define COLT_CORE_COLT_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/metrics.h"
+#include "common/persist/checkpoint.h"
+#include "common/persist/serializer.h"
 #include "common/thread_pool.h"
 #include "core/candidates.h"
 #include "core/clustering.h"
@@ -109,6 +112,9 @@ class ColtTuner {
   int whatif_limit() const { return whatif_limit_; }
   int whatif_used_this_epoch() const { return whatif_used_; }
   const ColtConfig& config() const { return config_; }
+  /// Queries observed over the tuner's lifetime, surviving recovery; a
+  /// resumed run continues the stream at offset queries_observed().
+  int64_t queries_observed() const { return queries_observed_; }
 
   /// Storage budget currently in force (differs from the constructed
   /// config's budget after a `budget.shrink` fault).
@@ -153,6 +159,36 @@ class ColtTuner {
   /// configuration in the same terms §5 uses to choose it.
   std::vector<IndexExplanation> ExplainState();
 
+  // ---- Crash-safe persistence (DESIGN.md §12) ----
+
+  /// Recovers the tuner's state from ColtConfig::state_dir. Must be called
+  /// before the first OnQuery on a freshly constructed tuner (whose
+  /// catalog/config match the crashed run's). Returns true when a valid
+  /// checkpoint was restored, false for a clean cold start — persistence
+  /// disabled, no usable checkpoint on disk, or a checkpoint rejected by
+  /// the config/catalog fingerprint guards (logged; the tuner is untouched
+  /// in every false case). Errors mean the restore failed midway and the
+  /// tuner must be discarded.
+  Result<bool> RecoverFromStateDir();
+
+  /// Serializes the complete tuning state; only meaningful at an epoch
+  /// boundary (OnQuery checkpoints there automatically). Exposed for tests.
+  void SaveState(BinaryWriter* writer) const;
+  /// Restores state saved by SaveState. Fails with kFailedPrecondition —
+  /// before mutating anything — when the snapshot's config or catalog
+  /// fingerprint differs from this tuner's, or when the tuner has already
+  /// observed queries.
+  Status LoadState(BinaryReader* reader);
+
+  /// Installs the crash hook invoked when an injected persist crash point
+  /// fires (benches install _Exit to die for real). No-op when persistence
+  /// is disabled.
+  void set_persist_crash_hook(std::function<void()> hook);
+
+  /// The checkpoint store, or null when persistence is disabled (exposed
+  /// for tests that corrupt on-disk state on purpose).
+  CheckpointStore* checkpoint_store() { return checkpoint_.get(); }
+
   // White-box access for tests and diagnostics.
   ClusterManager& clusters() { return clusters_; }
   CandidateSet& candidates() { return candidates_; }
@@ -165,6 +201,16 @@ class ColtTuner {
   /// lowest-net-benefit materialized indexes until the configuration fits
   /// the new budget, appending the drop actions to `step`.
   void MaybeShrinkBudget(TuningStep* step);
+
+  /// Serializes the full state and commits it to the checkpoint store.
+  /// A commit failure is logged and counted, never fatal: the tuner keeps
+  /// running and the previous checkpoint stays recoverable.
+  void PersistEpochState();
+
+  /// Fingerprint of every ColtConfig field that shapes tuning decisions
+  /// (the fault plan and state_dir are excluded: a resumed run may
+  /// legitimately drop the crash rules that killed its predecessor).
+  uint64_t ConfigFingerprint() const;
 
   Catalog* catalog_;
   QueryOptimizer* optimizer_;
@@ -184,11 +230,15 @@ class ColtTuner {
   SelfOrganizer self_organizer_;
   Scheduler scheduler_;
 
+  /// Durable checkpoint store; null unless ColtConfig::state_dir is set.
+  std::unique_ptr<CheckpointStore> checkpoint_;
+
   std::vector<IndexId> hot_set_;
   int epoch_ = 0;
   int queries_in_epoch_ = 0;
   int whatif_limit_ = 0;
   int whatif_used_ = 0;
+  int64_t queries_observed_ = 0;
   std::vector<EpochReport> epoch_reports_;
   std::vector<IndexId> ever_probed_;
 

@@ -2,6 +2,7 @@
 #define COLT_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/fault_injector.h"
 
@@ -146,6 +147,15 @@ struct ColtConfig {
   /// (equal keys imply identical canonical queries, hence identical
   /// floating-point evaluation order).
   int64_t whatif_cache_bytes = 8LL * 1024 * 1024;
+
+  // ---- Crash-safe persistence (DESIGN.md §12) ----
+  /// State directory for checkpoint/WAL persistence of the tuner's
+  /// statistical state. Empty (the default) disables persistence entirely:
+  /// no files are touched and tuning output is bit-identical to builds
+  /// without the persistence layer. When set, the tuner commits a durable
+  /// checkpoint at every epoch boundary and RecoverFromStateDir() resumes
+  /// from the newest valid one after a crash.
+  std::string state_dir;
 
   // ---- Observability ----
   /// When true (and MetricsRegistry::Default() is enabled), each

@@ -1,6 +1,7 @@
 #include "core/forecasting.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace colt {
 
@@ -66,6 +67,47 @@ void BenefitForecaster::Erase(IndexId index) { history_.erase(index); }
 const std::deque<double>* BenefitForecaster::History(IndexId index) const {
   auto it = history_.find(index);
   return it == history_.end() ? nullptr : &it->second;
+}
+
+namespace {
+constexpr uint32_t kForecastSectionTag = 0x54534346;  // "FCST"
+}  // namespace
+
+void BenefitForecaster::SaveState(BinaryWriter* writer) const {
+  writer->WriteU32(kForecastSectionTag);
+  std::vector<IndexId> ids;
+  ids.reserve(history_.size());
+  for (const auto& [id, hist] : history_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  writer->WriteU64(ids.size());
+  for (IndexId id : ids) {
+    const std::deque<double>& hist = history_.at(id);
+    writer->WriteI64(id);
+    writer->WriteU64(hist.size());
+    for (double benefit : hist) writer->WriteDouble(benefit);
+  }
+}
+
+Status BenefitForecaster::LoadState(BinaryReader* reader) {
+  COLT_RETURN_IF_ERROR(reader->ExpectTag(kForecastSectionTag));
+  uint64_t index_count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&index_count));
+  std::unordered_map<IndexId, std::deque<double>> history;
+  for (uint64_t i = 0; i < index_count; ++i) {
+    int64_t id = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&id));
+    uint64_t length = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&length));
+    std::deque<double> hist;
+    for (uint64_t j = 0; j < length; ++j) {
+      double benefit = 0.0;
+      COLT_RETURN_IF_ERROR(reader->ReadDouble(&benefit));
+      hist.push_back(benefit);
+    }
+    history.emplace(static_cast<IndexId>(id), std::move(hist));
+  }
+  history_ = std::move(history);
+  return Status::OK();
 }
 
 }  // namespace colt

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "catalog/types.h"
+#include "common/persist/serializer.h"
 
 namespace colt {
 
@@ -48,6 +49,10 @@ class BenefitForecaster {
 
   /// True benefit history access for diagnostics (front = most recent).
   const std::deque<double>* History(IndexId index) const;
+
+  /// Crash-safe persistence of every per-index benefit history.
+  void SaveState(BinaryWriter* writer) const;
+  Status LoadState(BinaryReader* reader);
 
  private:
   double PredBenefitFrom(const std::deque<double>& hist, int j) const;

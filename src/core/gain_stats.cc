@@ -91,4 +91,57 @@ void GainStatsStore::RetainClusters(const std::vector<ClusterId>& live) {
   }
 }
 
+namespace {
+constexpr uint32_t kGainSectionTag = 0x4E494147;  // "GAIN"
+}  // namespace
+
+void GainStatsStore::SaveState(BinaryWriter* writer) const {
+  writer->WriteU32(kGainSectionTag);
+  std::vector<PairKey> keys;
+  keys.reserve(pairs_.size());
+  for (const auto& [key, stats] : pairs_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(), [](const PairKey& a, const PairKey& b) {
+    return a.index != b.index ? a.index < b.index : a.cluster < b.cluster;
+  });
+  writer->WriteU64(keys.size());
+  for (const PairKey& key : keys) {
+    const PairStats& stats = pairs_.at(key);
+    writer->WriteI64(key.index);
+    writer->WriteI64(key.cluster);
+    writer->WriteI64(stats.gains.count());
+    writer->WriteDouble(stats.gains.raw_mean());
+    writer->WriteDouble(stats.gains.raw_m2());
+    writer->WriteU64(stats.table_sig);
+    writer->WriteDouble(stats.epoch_sum);
+    writer->WriteI64(stats.epoch_count);
+  }
+}
+
+Status GainStatsStore::LoadState(BinaryReader* reader) {
+  COLT_RETURN_IF_ERROR(reader->ExpectTag(kGainSectionTag));
+  uint64_t pair_count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&pair_count));
+  std::unordered_map<PairKey, PairStats, PairKeyHash> pairs;
+  for (uint64_t i = 0; i < pair_count; ++i) {
+    int64_t index = 0, cluster = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&index));
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&cluster));
+    PairStats stats;
+    int64_t count = 0;
+    double mean = 0.0, m2 = 0.0;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&count));
+    COLT_RETURN_IF_ERROR(reader->ReadDouble(&mean));
+    COLT_RETURN_IF_ERROR(reader->ReadDouble(&m2));
+    stats.gains.Restore(count, mean, m2);
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&stats.table_sig));
+    COLT_RETURN_IF_ERROR(reader->ReadDouble(&stats.epoch_sum));
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&stats.epoch_count));
+    pairs.emplace(
+        PairKey{static_cast<IndexId>(index), static_cast<ClusterId>(cluster)},
+        stats);
+  }
+  pairs_ = std::move(pairs);
+  return Status::OK();
+}
+
 }  // namespace colt

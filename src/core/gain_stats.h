@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/types.h"
+#include "common/persist/serializer.h"
 #include "common/stats.h"
 #include "core/clustering.h"
 
@@ -57,6 +58,12 @@ class GainStatsStore {
   void RetainClusters(const std::vector<ClusterId>& live);
 
   int64_t pair_count() const { return static_cast<int64_t>(pairs_.size()); }
+
+  /// Crash-safe persistence of every (index, cluster) accumulator,
+  /// including the raw Welford fields for bit-exact intervals after
+  /// recovery.
+  void SaveState(BinaryWriter* writer) const;
+  Status LoadState(BinaryReader* reader);
 
  private:
   struct PairKey {

@@ -483,4 +483,35 @@ void Profiler::AdvanceEpoch() {
   }
 }
 
+namespace {
+constexpr uint32_t kProfilerSectionTag = 0x464F5250;  // "PROF"
+}  // namespace
+
+void Profiler::SaveState(BinaryWriter* writer) const {
+  writer->WriteU32(kProfilerSectionTag);
+  const std::array<uint64_t, 4> rng_state = rng_.state();
+  for (uint64_t word : rng_state) writer->WriteU64(word);
+  writer->WriteBool(shared_cache_ != nullptr);
+  if (shared_cache_ != nullptr) shared_cache_->SaveState(writer);
+}
+
+Status Profiler::LoadState(BinaryReader* reader) {
+  COLT_RETURN_IF_ERROR(reader->ExpectTag(kProfilerSectionTag));
+  std::array<uint64_t, 4> rng_state = {};
+  for (uint64_t& word : rng_state) {
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&word));
+  }
+  bool has_cache = false;
+  COLT_RETURN_IF_ERROR(reader->ReadBool(&has_cache));
+  if (has_cache != (shared_cache_ != nullptr)) {
+    return Status::FailedPrecondition(
+        "what-if cache configuration differs from the snapshot's");
+  }
+  if (shared_cache_ != nullptr) {
+    COLT_RETURN_IF_ERROR(shared_cache_->LoadState(reader));
+  }
+  rng_.set_state(rng_state);
+  return Status::OK();
+}
+
 }  // namespace colt

@@ -7,6 +7,7 @@
 
 #include "catalog/catalog.h"
 #include "common/metrics.h"
+#include "common/persist/serializer.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/candidates.h"
@@ -102,6 +103,15 @@ class Profiler {
   /// return +infinity (always sampled).
   double ErrorContribution(IndexId index, ClusterId cluster,
                            const IndexConfiguration& materialized) const;
+
+  /// Crash-safe persistence of the sampling RNG stream and the frozen
+  /// cross-epoch what-if cache. Must be called at an epoch boundary (after
+  /// AdvanceEpoch): per-epoch usage counts and the worker cache segments
+  /// are empty there by construction and are not serialized. LoadState
+  /// fails with kFailedPrecondition when the snapshot's cache presence
+  /// disagrees with this profiler's configuration.
+  void SaveState(BinaryWriter* writer) const;
+  Status LoadState(BinaryReader* reader);
 
  private:
   /// Degraded (level-1) fallback for a probation index whose what-if call

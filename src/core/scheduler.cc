@@ -299,4 +299,129 @@ int64_t Scheduler::MaterializedBytes() const {
   return total;
 }
 
+namespace {
+constexpr uint32_t kSchedulerSectionTag = 0x44484353;  // "SCHD"
+}  // namespace
+
+void Scheduler::SaveState(BinaryWriter* writer) const {
+  writer->WriteU32(kSchedulerSectionTag);
+  const std::vector<IndexId>& materialized = materialized_.ids();
+  writer->WriteU64(materialized.size());
+  for (IndexId id : materialized) writer->WriteI64(id);
+  writer->WriteU64(pending_.size());
+  for (const PendingBuild& build : pending_) {
+    writer->WriteI64(build.index);
+    writer->WriteDouble(build.remaining_seconds);
+    writer->WriteDouble(build.spent_seconds);
+  }
+  std::vector<IndexId> failed_ids;
+  failed_ids.reserve(failures_.size());
+  for (const auto& [id, state] : failures_) failed_ids.push_back(id);
+  std::sort(failed_ids.begin(), failed_ids.end());
+  writer->WriteU64(failed_ids.size());
+  for (IndexId id : failed_ids) {
+    const FailureState& state = failures_.at(id);
+    writer->WriteI64(id);
+    writer->WriteI64(state.consecutive_failures);
+    writer->WriteI64(state.retry_after_round);
+    writer->WriteI64(state.quarantine_until_round);
+  }
+  writer->WriteI64(round_);
+  writer->WriteI64(build_failures_);
+  writer->WriteI64(quarantine_events_);
+  writer->WriteDouble(wasted_build_seconds_);
+  writer->WriteDouble(wasted_idle_seconds_);
+  writer->WriteDouble(idle_seconds_spent_);
+}
+
+Status Scheduler::LoadState(BinaryReader* reader) {
+  COLT_RETURN_IF_ERROR(reader->ExpectTag(kSchedulerSectionTag));
+  uint64_t materialized_count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&materialized_count));
+  IndexConfiguration materialized;
+  for (uint64_t i = 0; i < materialized_count; ++i) {
+    int64_t id = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&id));
+    if (!catalog_->HasIndex(static_cast<IndexId>(id))) {
+      return Status::InvalidArgument("materialized index id " +
+                                     std::to_string(id) +
+                                     " is not in the catalog");
+    }
+    materialized.Add(static_cast<IndexId>(id));
+  }
+  uint64_t pending_count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&pending_count));
+  std::deque<PendingBuild> pending;
+  for (uint64_t i = 0; i < pending_count; ++i) {
+    PendingBuild build;
+    int64_t id = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&id));
+    if (!catalog_->HasIndex(static_cast<IndexId>(id))) {
+      return Status::InvalidArgument("pending build index id " +
+                                     std::to_string(id) +
+                                     " is not in the catalog");
+    }
+    build.index = static_cast<IndexId>(id);
+    COLT_RETURN_IF_ERROR(reader->ReadDouble(&build.remaining_seconds));
+    COLT_RETURN_IF_ERROR(reader->ReadDouble(&build.spent_seconds));
+    pending.push_back(std::move(build));
+  }
+  uint64_t failure_count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&failure_count));
+  std::unordered_map<IndexId, FailureState> failures;
+  for (uint64_t i = 0; i < failure_count; ++i) {
+    int64_t id = 0;
+    int64_t consecutive = 0;
+    FailureState state;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&id));
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&consecutive));
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&state.retry_after_round));
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&state.quarantine_until_round));
+    if (!catalog_->HasIndex(static_cast<IndexId>(id))) {
+      return Status::InvalidArgument("failure state index id " +
+                                     std::to_string(id) +
+                                     " is not in the catalog");
+    }
+    state.consecutive_failures = static_cast<int>(consecutive);
+    failures.emplace(static_cast<IndexId>(id), state);
+  }
+  int64_t round = 0;
+  int64_t build_failures = 0;
+  int64_t quarantine_events = 0;
+  double wasted_build = 0.0;
+  double wasted_idle = 0.0;
+  double idle_spent = 0.0;
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&round));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&build_failures));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&quarantine_events));
+  COLT_RETURN_IF_ERROR(reader->ReadDouble(&wasted_build));
+  COLT_RETURN_IF_ERROR(reader->ReadDouble(&wasted_idle));
+  COLT_RETURN_IF_ERROR(reader->ReadDouble(&idle_spent));
+  // Physical trees are never page-imaged: rebuild each materialized index
+  // from its base table. No catalog version bumps here — recovery restores
+  // the saved version counter after every section is loaded, so the
+  // rebuilt state carries exactly the version the snapshot recorded.
+  if (db_ != nullptr) {
+    const std::vector<IndexId> built = db_->BuiltIndexIds();
+    for (IndexId id : materialized.ids()) {
+      if (std::find(built.begin(), built.end(), id) != built.end()) continue;
+      COLT_RETURN_IF_ERROR(db_->BuildIndex(id));
+    }
+  }
+  materialized_ = std::move(materialized);
+  pending_ = std::move(pending);
+  // Background mode: restart the physical bulk loads the crash discarded;
+  // the simulated idle clock (remaining_seconds) carries over.
+  for (PendingBuild& build : pending_) build.staged = StageBuild(build.index);
+  failures_ = std::move(failures);
+  round_ = round;
+  build_failures_ = build_failures;
+  quarantine_events_ = quarantine_events;
+  wasted_build_seconds_ = wasted_build;
+  wasted_idle_seconds_ = wasted_idle;
+  idle_seconds_spent_ = idle_spent;
+  metrics_.pending_builds->Set(static_cast<double>(pending_.size()));
+  return Status::OK();
+}
+
 }  // namespace colt

@@ -11,6 +11,7 @@
 #include "catalog/catalog.h"
 #include "common/fault_injector.h"
 #include "common/metrics.h"
+#include "common/persist/serializer.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/config.h"
@@ -130,6 +131,15 @@ class Scheduler {
   double wasted_idle_seconds() const { return wasted_idle_seconds_; }
   /// Total idle seconds consumed from OnIdle budgets (productive or not).
   double idle_seconds_spent() const { return idle_seconds_spent_; }
+
+  /// Crash-safe persistence: the materialized set (ids only — physical
+  /// trees are rebuilt from the base tables on load, never page-imaged),
+  /// the pending build queue (staged futures are re-staged on load), the
+  /// retry/backoff/quarantine map, the round counter, and the lifetime
+  /// accounting. LoadState rebuilds real B+-trees via the attached
+  /// Database and therefore may fail with the substrate's error.
+  void SaveState(BinaryWriter* writer) const;
+  Status LoadState(BinaryReader* reader);
 
  private:
   /// Future for a tree staged on a pool worker (background build mode).

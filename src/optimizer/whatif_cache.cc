@@ -150,4 +150,63 @@ void WhatIfPlanCache::Clear() {
   index_.clear();
 }
 
+namespace {
+constexpr uint32_t kWhatIfCacheSectionTag = 0x48434957;  // "WICH"
+}  // namespace
+
+void WhatIfPlanCache::SaveState(BinaryWriter* writer) const {
+  writer->WriteU32(kWhatIfCacheSectionTag);
+  writer->WriteU64(lru_.size());
+  // Front-to-back = most-to-least recently used; the loader rebuilds the
+  // list in the same order, so post-recovery eviction decisions are
+  // bit-identical to the uninterrupted run's.
+  for (const auto& [key, value] : lru_) {
+    writer->WriteU64(key.query_hash);
+    writer->WriteU64(key.config_sig);
+    writer->WriteDouble(value.cost);
+    writer->WriteDouble(value.rows);
+    writer->WriteU64(value.used_index_bitmap);
+    writer->WriteU64(value.catalog_version);
+  }
+  writer->WriteI64(stats_.hits);
+  writer->WriteI64(stats_.misses);
+  writer->WriteI64(stats_.invalidations);
+  writer->WriteI64(stats_.inserts);
+  writer->WriteI64(stats_.evictions);
+}
+
+Status WhatIfPlanCache::LoadState(BinaryReader* reader) {
+  COLT_RETURN_IF_ERROR(reader->ExpectTag(kWhatIfCacheSectionTag));
+  uint64_t count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&count));
+  EntryList lru;
+  std::unordered_map<WhatIfCacheKey, EntryList::iterator, WhatIfCacheKeyHash>
+      index;
+  for (uint64_t i = 0; i < count; ++i) {
+    WhatIfCacheKey key;
+    CachedPlanCost value;
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&key.query_hash));
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&key.config_sig));
+    COLT_RETURN_IF_ERROR(reader->ReadDouble(&value.cost));
+    COLT_RETURN_IF_ERROR(reader->ReadDouble(&value.rows));
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&value.used_index_bitmap));
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&value.catalog_version));
+    if (index.count(key) > 0) {
+      return Status::InvalidArgument("duplicate what-if cache key in snapshot");
+    }
+    lru.emplace_back(key, value);
+    index.emplace(key, std::prev(lru.end()));
+  }
+  Stats stats;
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&stats.hits));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&stats.misses));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&stats.invalidations));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&stats.inserts));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&stats.evictions));
+  lru_ = std::move(lru);
+  index_ = std::move(index);
+  stats_ = stats;
+  return Status::OK();
+}
+
 }  // namespace colt

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/persist/serializer.h"
 #include "query/query.h"
 
 namespace colt {
@@ -157,6 +158,13 @@ class WhatIfPlanCache {
   const Stats& stats() const { return stats_; }
 
   void Clear();
+
+  /// Crash-safe persistence: entries in least-to-most-recently-used order
+  /// (replaying Insert reproduces the exact LRU recency chain) plus the
+  /// lifetime stats. The byte budget comes from construction, not the
+  /// snapshot.
+  void SaveState(BinaryWriter* writer) const;
+  Status LoadState(BinaryReader* reader);
 
  private:
   using EntryList = std::list<std::pair<WhatIfCacheKey, CachedPlanCost>>;

@@ -222,5 +222,72 @@ TEST(FuzzDeterminism, IdenticalRunsProduceIdenticalResults) {
   }
 }
 
+TEST(FuzzTunerSnapshot, MutatedSnapshotBytesNeverCrashLoadState) {
+  // Bit-flipped, truncated, and extended tuner snapshots must come back as
+  // a Status from LoadState — never a crash, hang, or huge allocation.
+  // (The checkpoint layer's checksum normally screens these out; this
+  // attacks the deserializers directly.)
+  Rng rng(0xD15C);
+  Catalog catalog = RandomCatalog(rng);
+  QueryOptimizer optimizer(&catalog);
+  ColtConfig config;
+  config.storage_budget_bytes = 64LL << 20;
+  ColtTuner victim(&catalog, &optimizer, config, nullptr, 5);
+  for (int i = 0; i < 60; ++i) victim.OnQuery(RandomQuery(catalog, rng));
+  BinaryWriter writer;
+  victim.SaveState(&writer);
+  const std::string good(writer.buffer());
+
+  // Recovery wants the catalog as it was at startup (index definitions are
+  // replayed from the snapshot), so regenerate it from the same seed.
+  auto fresh_catalog = [] {
+    Rng catalog_rng(0xD15C);
+    return RandomCatalog(catalog_rng);
+  };
+
+  {
+    // Control: the unmutated snapshot loads into an identical tuner.
+    Catalog cat = fresh_catalog();
+    QueryOptimizer fresh_optimizer(&cat);
+    ColtTuner fresh(&cat, &fresh_optimizer, config, nullptr, 5);
+    BinaryReader reader(good);
+    const Status status = fresh.LoadState(&reader);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_EQ(fresh.materialized().ids(), victim.materialized().ids());
+    ASSERT_EQ(fresh.queries_observed(), victim.queries_observed());
+  }
+
+  for (int round = 0; round < 300; ++round) {
+    std::string bytes = good;
+    const int mutations = 1 + static_cast<int>(rng.NextBelow(8));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.NextBelow(3)) {
+        case 0:
+          bytes[rng.NextBelow(bytes.size())] ^=
+              static_cast<char>(1 + rng.NextBelow(255));
+          break;
+        case 1:
+          bytes.resize(rng.NextBelow(bytes.size()));
+          if (bytes.empty()) bytes = std::string(1, '\0');
+          break;
+        default:
+          bytes.push_back(static_cast<char>(rng.NextBelow(256)));
+          break;
+      }
+      if (bytes.empty()) break;
+    }
+    Catalog cat = fresh_catalog();
+    QueryOptimizer fresh_optimizer(&cat);
+    ColtTuner fresh(&cat, &fresh_optimizer, config, nullptr, 5);
+    BinaryReader reader(bytes);
+    const Status status = fresh.LoadState(&reader);
+    if (status.ok()) {
+      // A mutation the format cannot detect (e.g. flipping one statistics
+      // double) may load; the tuner must still be usable.
+      fresh.OnQuery(RandomQuery(cat, rng));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace colt

@@ -3,6 +3,7 @@
 //
 // A comment mentioning system_clock, rand(), new, and (void)Drop() must not
 // fire: rules run on a comment-stripped view.
+#include <cstdio>
 #include <memory>
 #include <string>
 
@@ -31,3 +32,11 @@ std::string Banner() {
 }
 
 std::unique_ptr<int> Owned() { return std::make_unique<int>(7); }
+
+// File-I/O calls whose results feed an expression are checked, not
+// discarded; none of these may fire unchecked-file-io.
+bool CheckedIo(std::FILE* f, char* buf) {
+  if (fwrite(buf, 1, 16, f) != 16) return false;
+  const size_t n = std::fread(buf, 1, 16, f);
+  return fclose(f) == 0 && n > 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: linted as src/core/bad.cc; statement-level fwrite/fread/fclose
+// discard the return value, which is where short writes and deferred close
+// errors disappear. Expected rule: unchecked-file-io (3+ findings).
+#include <cstdio>
+
+void Bad(std::FILE* f, char* buf) {
+  fwrite(buf, 1, 16, f);
+  fread(buf, 1, 16, f);
+  std::fclose(f);
+}

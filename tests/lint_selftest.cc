@@ -73,6 +73,8 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"iostream_include.cc", "src/core/bad.cc", "iostream", 1},
         FixtureCase{"metric_name_bad.cc", "src/core/bad.cc", "metric-name",
                     3},
+        FixtureCase{"unchecked_file_io.cc", "src/core/bad.cc",
+                    "unchecked-file-io", 3},
         FixtureCase{"whitespace_bad.cc", "src/core/bad.cc", "whitespace", 3},
         FixtureCase{"suppression_unknown_rule.cc", "src/core/bad.cc",
                     "bad-suppression", 1}),
@@ -99,6 +101,15 @@ TEST(LintSuppressionTest, MissingJustificationFailsAndDoesNotSilence) {
 TEST(LintFalsePositiveTest, LegalConstructsProduceNoFindings) {
   const auto violations = colt_lint::LintFileContent(
       "src/core/ok.cc", ReadFixture("false_positive.cc"));
+  EXPECT_TRUE(violations.empty())
+      << "first: " << violations[0].ToString();
+}
+
+TEST(LintFileIoTest, PersistLayerIsExempt) {
+  // The same discards that fail under src/core pass inside the sanctioned
+  // file-I/O layer.
+  const auto violations = colt_lint::LintFileContent(
+      "src/common/persist/checkpoint.cc", ReadFixture("unchecked_file_io.cc"));
   EXPECT_TRUE(violations.empty())
       << "first: " << violations[0].ToString();
 }

@@ -499,6 +499,42 @@ void CheckMetricNames(const std::string& path, const std::string& original,
   }
 }
 
+void CheckUncheckedFileIo(const std::string& path,
+                          const std::string& stripped,
+                          std::vector<Violation>* out) {
+  if (StartsWith(path, "src/common/persist/")) {
+    return;  // the sanctioned file-I/O layer; every call is checked there
+  }
+  // A call whose previous significant character ends a statement (or opens
+  // a block) discards its return value. fwrite/fread may write/read less
+  // than asked and fclose is where buffered write errors finally surface —
+  // ignoring any of them turns a disk error into silent data loss.
+  static const std::regex kCall(
+      R"((^|[^A-Za-z0-9_:.>])(?:std\s*::\s*)?(fwrite|fread|fclose)\s*\()");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                      kCall);
+       it != std::sregex_iterator(); ++it) {
+    size_t call_pos = static_cast<size_t>(it->position());
+    if (it->length(1) > 0) ++call_pos;
+    size_t j = call_pos;
+    while (j > 0 &&
+           std::isspace(static_cast<unsigned char>(stripped[j - 1]))) {
+      --j;
+    }
+    if (j > 0 && stripped[j - 1] != ';' && stripped[j - 1] != '{' &&
+        stripped[j - 1] != '}') {
+      continue;  // the result feeds an expression — it is being checked
+    }
+    out->push_back(
+        {path, LineOfOffset(stripped, call_pos), "unchecked-file-io",
+         "unchecked '" + it->str(2) +
+             "' return value outside src/common/persist: short writes and "
+             "deferred close errors are how checkpoints corrupt silently; "
+             "check the result (or route durability through "
+             "colt::CheckpointStore)"});
+  }
+}
+
 void CheckWhitespace(const std::string& path, const std::string& original,
                      std::vector<Violation>* out) {
   int line = 1;
@@ -540,8 +576,9 @@ std::string Violation::ToString() const {
 
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
-      "layering",   "status-discard", "determinism", "raw-new-delete",
-      "naked-thread", "iostream",     "metric-name", "whitespace"};
+      "layering",     "status-discard", "determinism",
+      "raw-new-delete", "naked-thread", "iostream",
+      "metric-name",  "unchecked-file-io", "whitespace"};
   return kRules;
 }
 
@@ -563,6 +600,7 @@ std::vector<Violation> LintFileContent(const std::string& path,
   CheckNakedThread(path, lexed.stripped, &raw);
   CheckIostream(path, content, lexed.stripped, &raw);
   CheckMetricNames(path, content, lexed.stripped, &raw);
+  CheckUncheckedFileIo(path, lexed.stripped, &raw);
   CheckWhitespace(path, content, &raw);
 
   std::vector<Violation> out = sup.errors;
