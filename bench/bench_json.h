@@ -1,0 +1,73 @@
+#ifndef COLT_BENCH_BENCH_JSON_H_
+#define COLT_BENCH_BENCH_JSON_H_
+
+/// Machine-readable bench-result emission: BENCH_*.json files holding one
+/// JSON record per line with the schema
+///   {"bench": ..., "config": ..., "metric": ..., "value": ..., "units": ...}
+/// so CI and plotting scripts can track figures without scraping stdout.
+/// Files land in $COLT_CSV_DIR when set, the working directory otherwise.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/json_util.h"
+
+namespace colt {
+namespace bench_json {
+
+/// One measured quantity of one bench configuration.
+struct Record {
+  std::string bench;   // binary name, e.g. "fig5_overhead"
+  std::string config;  // variant within the binary, e.g. "smoke"
+  std::string metric;  // e.g. "instrumentation_overhead_pct"
+  double value = 0.0;
+  std::string units;  // e.g. "percent", "seconds", "ratio"
+};
+
+inline std::string Render(const std::vector<Record>& records) {
+  std::string out;
+  for (const Record& r : records) {
+    out += "{\"bench\":";
+    json::AppendString(r.bench, &out);
+    out += ",\"config\":";
+    json::AppendString(r.config, &out);
+    out += ",\"metric\":";
+    json::AppendString(r.metric, &out);
+    out += ",\"value\":";
+    json::AppendDouble(r.value, &out);
+    out += ",\"units\":";
+    json::AppendString(r.units, &out);
+    out += "}\n";
+  }
+  return out;
+}
+
+/// Writes (or, with `append`, extends — the per-line format makes that
+/// safe, which is why several micro binaries can share BENCH_micro.json)
+/// the records as `name` under $COLT_CSV_DIR or the working directory.
+inline bool Write(const std::string& name, const std::vector<Record>& records,
+                  bool append = false) {
+  const char* env = std::getenv("COLT_CSV_DIR");
+  const std::string dir = env != nullptr ? env : ".";
+  const std::string path = dir + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (f == nullptr) {
+    // One missing directory level is the common miss ($COLT_CSV_DIR points
+    // at a dir the caller never created); the fopen retry is the verdict.
+    ::mkdir(dir.c_str(), 0777);
+    f = std::fopen(path.c_str(), append ? "ab" : "wb");
+  }
+  if (f == nullptr) return false;
+  const std::string text = Render(records);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace bench_json
+}  // namespace colt
+
+#endif  // COLT_BENCH_BENCH_JSON_H_

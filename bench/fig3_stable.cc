@@ -7,6 +7,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
@@ -24,9 +25,15 @@ int main(int argc, char** argv) {
   // --state-dir=DIR checkpoints tuner state there every epoch (DESIGN.md
   // §12; empty disables). Commits happen outside the tuning math, so CI
   // diffs persistence-on vs persistence-off CSVs the same way.
+  // --obs-dir=DIR enables the decision-provenance recorder plus per-epoch
+  // metrics snapshots and writes the live-introspection export there
+  // (DESIGN.md §13: provenance.jsonl, metrics.prom, epoch_NNNN.jsonl) for
+  // tools/colt_explain and tools/colt_top. Provenance is record-only, so
+  // CI diffs obs-on vs obs-off CSVs like the other knobs.
   int workers = 0;
   long long cache_bytes = 8LL * 1024 * 1024;
   std::string state_dir;
+  std::string obs_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       workers = std::atoi(argv[i] + 10);
@@ -34,6 +41,8 @@ int main(int argc, char** argv) {
       cache_bytes = std::atoll(argv[i] + 14);
     } else if (std::strncmp(argv[i], "--state-dir=", 12) == 0) {
       state_dir = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--obs-dir=", 10) == 0) {
+      obs_dir = argv[i] + 10;
     }
   }
 
@@ -68,8 +77,25 @@ int main(int argc, char** argv) {
   config.num_workers = workers;
   config.whatif_cache_bytes = cache_bytes;
   config.state_dir = state_dir;
+  if (!obs_dir.empty()) {
+    config.provenance_events = 1 << 16;
+    config.epoch_metrics_snapshot = true;
+    colt::MetricsRegistry::Default().set_enabled(true);
+  }
   const colt::ColtRunResult colt_run =
       colt::RunColtWorkload(&catalog, workload, config);
+
+  if (!obs_dir.empty()) {
+    const colt::Status obs_status = colt::WriteObservabilityDir(
+        obs_dir, colt_run, colt::MetricsRegistry::Default().Snapshot());
+    if (!obs_status.ok()) {
+      std::fprintf(stderr, "observability export failed: %s\n",
+                   obs_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("observability export: %s (%zu provenance events)\n",
+                obs_dir.c_str(), colt_run.provenance.size());
+  }
 
   auto offline = colt::RunOfflineWorkload(&catalog, workload, workload,
                                           budget);

@@ -6,12 +6,34 @@
 /// configuration that is only good on average.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "common/metrics.h"
 #include "harness/experiment.h"
+#include "harness/report.h"
 #include "harness/workloads.h"
 #include "storage/tpch_schema.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // --workers= / --cache-bytes= mirror fig3_stable: neither may change a
+  // single output byte (DESIGN.md §10/§11). --obs-dir=DIR enables the
+  // decision-provenance recorder and writes the introspection export
+  // there (DESIGN.md §13); the determinism test diffs provenance.jsonl
+  // across worker counts and cache settings on exactly this workload.
+  int workers = 0;
+  long long cache_bytes = 8LL * 1024 * 1024;
+  std::string obs_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--cache-bytes=", 14) == 0) {
+      cache_bytes = std::atoll(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--obs-dir=", 10) == 0) {
+      obs_dir = argv[i] + 10;
+    }
+  }
+
   colt::Catalog catalog = colt::MakeTpchCatalog();
   const std::vector<colt::QueryDistribution> dists =
       colt::ExperimentWorkloads::ShiftingPhases(&catalog);
@@ -46,8 +68,27 @@ int main() {
 
   colt::ColtConfig config;
   config.storage_budget_bytes = budget;
+  config.num_workers = workers;
+  config.whatif_cache_bytes = cache_bytes;
+  if (!obs_dir.empty()) {
+    config.provenance_events = 1 << 16;
+    config.epoch_metrics_snapshot = true;
+    colt::MetricsRegistry::Default().set_enabled(true);
+  }
   const colt::ColtRunResult colt_run =
       colt::RunColtWorkload(&catalog, workload, config);
+
+  if (!obs_dir.empty()) {
+    const colt::Status obs_status = colt::WriteObservabilityDir(
+        obs_dir, colt_run, colt::MetricsRegistry::Default().Snapshot());
+    if (!obs_status.ok()) {
+      std::fprintf(stderr, "observability export failed: %s\n",
+                   obs_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("observability export: %s (%zu provenance events)\n",
+                obs_dir.c_str(), colt_run.provenance.size());
+  }
 
   auto offline =
       colt::RunOfflineWorkload(&catalog, workload, workload, budget);

@@ -24,8 +24,10 @@
 #include <sstream>
 #include <string>
 
+#include "bench_json.h"
 #include "common/status.h"
 #include "common/metrics.h"
+#include "common/provenance.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
 #include "harness/experiment.h"
@@ -96,27 +98,57 @@ int main(int argc, char** argv) {
   // of the true cost. Span tracing is the opt-in debugging layer and is
   // measured separately by its own pass below.
   const int repeats = smoke ? 15 : 5;
-  auto timed_run = [&] {
+  auto timed_run = [&](const colt::ColtConfig& cfg) {
     colt::WallTimer timer;
-    colt::ColtIgnoreStatus(colt::RunColtWorkload(&catalog, workload, config));
+    colt::ColtIgnoreStatus(colt::RunColtWorkload(&catalog, workload, cfg));
     return timer.Seconds();
   };
+  // The provenance leg measures the flight recorder alone: metrics and
+  // tracing stay disabled, only the event ring records (DESIGN.md §13).
+  colt::ColtConfig prov_config = config;
+  prov_config.provenance_events = 1 << 16;
   tracer.set_enabled(false);
   registry.Reset();
   double disabled_seconds = 0.0;
   double enabled_seconds = 0.0;
-  for (int i = 0; i < repeats; ++i) {
-    registry.set_enabled(false);
-    const double off = timed_run();
-    if (i == 0 || off < disabled_seconds) disabled_seconds = off;
-    registry.set_enabled(true);
-    const double on = timed_run();
-    if (i == 0 || on < enabled_seconds) enabled_seconds = on;
+  double provenance_seconds = 0.0;
+  auto measure_round = [&](bool first) {
+    for (int i = 0; i < repeats; ++i) {
+      const bool seed = first && i == 0;
+      registry.set_enabled(false);
+      const double off = timed_run(config);
+      if (seed || off < disabled_seconds) disabled_seconds = off;
+      registry.set_enabled(true);
+      const double on = timed_run(config);
+      if (seed || on < enabled_seconds) enabled_seconds = on;
+      registry.set_enabled(false);
+      const double prov = timed_run(prov_config);
+      if (seed || prov < provenance_seconds) provenance_seconds = prov;
+    }
+  };
+  measure_round(/*first=*/true);
+  // The minimum is a monotone estimator: extra rounds can only lower it.
+  // On loaded runners a single leg's minimum can still land entirely in
+  // noisy windows, so when a 5% gate below would trip, re-measure up to
+  // twice before believing it — a genuine regression keeps failing, a
+  // noise spike converges away.
+  auto pct_over_disabled = [&](double seconds) {
+    return disabled_seconds > 0.0
+               ? 100.0 * (seconds - disabled_seconds) / disabled_seconds
+               : 0.0;
+  };
+  for (int retry = 0;
+       retry < 2 && (pct_over_disabled(enabled_seconds) > 5.0 ||
+                     (colt::kProvenanceCompiledIn &&
+                      pct_over_disabled(provenance_seconds) > 5.0));
+       ++retry) {
+    measure_round(/*first=*/false);
   }
 
   // ---- Pass 3: metrics + tracing enabled — the run the figure, the
   // breakdown, and the exports are taken from.
   registry.Reset();
+  registry.set_enabled(true);
   tracer.Clear();
   tracer.set_enabled(true);
   colt::WallTimer traced_timer;
@@ -231,6 +263,14 @@ int main(int argc, char** argv) {
               "metrics+tracing: %.4f s\n",
               disabled_seconds, enabled_seconds, traced_seconds);
   std::printf("instrumentation_overhead_pct=%.2f\n", overhead_pct);
+  const double provenance_overhead_pct =
+      disabled_seconds > 0.0
+          ? 100.0 * (provenance_seconds - disabled_seconds) / disabled_seconds
+          : 0.0;
+  std::printf("  provenance recorder (%s): %.4f s\n",
+              colt::kProvenanceCompiledIn ? "compiled in" : "compiled OUT",
+              provenance_seconds);
+  std::printf("provenance_overhead_pct=%.2f\n", provenance_overhead_pct);
   std::printf("metrics_jsonl_roundtrip=%s\n",
               metrics_roundtrip_ok ? "ok" : "FAILED");
   std::printf("trace_jsonl_roundtrip=%s\n",
@@ -367,6 +407,32 @@ int main(int argc, char** argv) {
   std::printf("whatif_cache_epoch_csv_identical=%s\n",
               cache_csv_identical ? "ok" : "FAILED");
 
+  // ---- Machine-readable results: one JSONL record per headline metric,
+  // written as BENCH_fig5.json into COLT_CSV_DIR (or the working
+  // directory) so CI can track figures without scraping stdout.
+  {
+    const std::string variant = smoke ? "smoke" : "full";
+    std::vector<colt::bench_json::Record> records;
+    auto add = [&](const std::string& metric, double value,
+                   const std::string& units) {
+      records.push_back({"fig5_overhead", variant, metric, value, units});
+    };
+    add("instrumentation_overhead_pct", overhead_pct, "percent");
+    add("provenance_overhead_pct", provenance_overhead_pct, "percent");
+    add("breakdown_component_sum_s", component_sum, "seconds");
+    add("breakdown_on_query_total_s", on_query_s, "seconds");
+    add("breakdown_coverage", coverage, "ratio");
+    add("parallel_whatif_speedup", speedup, "ratio");
+    add("whatif_cache_hit_rate", cache_hit_rate, "ratio");
+    add("whatif_cache_speedup", cache_speedup, "ratio");
+    add("total_whatif_calls", static_cast<double>(total_calls), "count");
+    if (!colt::bench_json::Write("BENCH_fig5.json", records)) {
+      std::printf("FAILED: could not write BENCH_fig5.json\n");
+      return 1;
+    }
+    std::printf("bench_json=BENCH_fig5.json records=%zu\n", records.size());
+  }
+
   if (!metrics_roundtrip_ok || !trace_roundtrip_ok) return 1;
   if (!csv_identical) {
     std::printf("FAILED: parallel epoch CSV differs from serial\n");
@@ -405,6 +471,11 @@ int main(int argc, char** argv) {
   }
   if (overhead_pct > 5.0) {
     std::printf("FAILED: instrumentation overhead above the 5%% budget\n");
+    return 1;
+  }
+  if (colt::kProvenanceCompiledIn && provenance_overhead_pct > 5.0) {
+    std::printf("FAILED: provenance recorder overhead above the 5%% "
+                "budget\n");
     return 1;
   }
   return 0;

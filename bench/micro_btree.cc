@@ -1,6 +1,8 @@
 /// Microbenchmarks for the B+-tree substrate.
 #include <benchmark/benchmark.h>
 
+#include "micro_json_main.h"
+
 #include "common/status.h"
 #include "common/rng.h"
 #include "index/btree.h"
@@ -87,4 +89,4 @@ BENCHMARK(BM_BTreePointLookup);
 }  // namespace
 }  // namespace colt
 
-BENCHMARK_MAIN();
+COLT_MICRO_BENCH_MAIN("micro_btree");

@@ -3,6 +3,8 @@
 /// observability primitives the pipeline is instrumented with.
 #include <benchmark/benchmark.h>
 
+#include "micro_json_main.h"
+
 #include "common/metrics.h"
 #include "core/colt.h"
 #include "core/knapsack.h"
@@ -148,4 +150,4 @@ BENCHMARK(BM_WallTimerNow);
 }  // namespace
 }  // namespace colt
 
-BENCHMARK_MAIN();
+COLT_MICRO_BENCH_MAIN("micro_core");

@@ -1,6 +1,8 @@
 /// Microbenchmarks for the physical execution engine (reduced-scale data).
 #include <benchmark/benchmark.h>
 
+#include "micro_json_main.h"
+
 #include "common/status.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
@@ -91,4 +93,4 @@ BENCHMARK(BM_ExecHashJoin);
 }  // namespace
 }  // namespace colt
 
-BENCHMARK_MAIN();
+COLT_MICRO_BENCH_MAIN("micro_exec");

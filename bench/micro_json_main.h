@@ -1,0 +1,76 @@
+#ifndef COLT_BENCH_MICRO_JSON_MAIN_H_
+#define COLT_BENCH_MICRO_JSON_MAIN_H_
+
+/// Replacement for BENCHMARK_MAIN() in the micro benches: runs the
+/// registered google-benchmark cases with the normal console output AND
+/// appends each case's real time to BENCH_micro.json (schema and location:
+/// see bench_json.h). Appending lets every micro binary contribute to the
+/// same machine-readable file; CI starts from a fresh export directory so
+/// the file holds exactly one run's records.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_json.h"
+
+namespace colt {
+namespace bench_json {
+
+/// Console reporter that additionally captures every finished run.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(std::string bench) : bench_(std::move(bench)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Record r;
+      r.bench = bench_;
+      r.config = run.benchmark_name();
+      r.metric = "real_time";
+      r.value = run.GetAdjustedRealTime();
+      r.units = benchmark::GetTimeUnitString(run.time_unit);
+      records_.push_back(std::move(r));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::string bench_;
+  std::vector<Record> records_;
+};
+
+inline int RunMicroBenchmarks(const std::string& bench, int argc,
+                              char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter(bench);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!Write("BENCH_micro.json", reporter.records(), /*append=*/true)) {
+    std::fprintf(stderr, "%s: failed to write BENCH_micro.json\n",
+                 bench.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace bench_json
+}  // namespace colt
+
+/// Drop-in for BENCHMARK_MAIN(); `name` labels this binary's records.
+/// The trailing redeclaration absorbs the caller's semicolon, exactly
+/// like BENCHMARK_MAIN itself.
+#define COLT_MICRO_BENCH_MAIN(name)                                  \
+  int main(int argc, char** argv) {                                  \
+    return colt::bench_json::RunMicroBenchmarks(name, argc, argv);   \
+  }                                                                  \
+  int main(int, char**)
+
+#endif  // COLT_BENCH_MICRO_JSON_MAIN_H_

@@ -3,6 +3,8 @@
 /// reuse inside what-if re-optimizations.
 #include <benchmark/benchmark.h>
 
+#include "micro_json_main.h"
+
 #include "harness/workloads.h"
 #include "optimizer/optimizer.h"
 #include "storage/tpch_schema.h"
@@ -101,4 +103,4 @@ BENCHMARK(BM_CrudeGain);
 }  // namespace
 }  // namespace colt
 
-BENCHMARK_MAIN();
+COLT_MICRO_BENCH_MAIN("micro_optimizer");

@@ -6,6 +6,8 @@
 /// num_workers trades wall-clock only.
 #include <benchmark/benchmark.h>
 
+#include "micro_json_main.h"
+
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -81,4 +83,4 @@ BENCHMARK(BM_ColtOnQueryWorkers)->Arg(0)->Arg(2)->Arg(4);
 }  // namespace
 }  // namespace colt
 
-BENCHMARK_MAIN();
+COLT_MICRO_BENCH_MAIN("micro_pool");

@@ -1,0 +1,173 @@
+#include "common/json_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace colt {
+namespace json {
+
+void AppendString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[40];
+  // %.17g round-trips every finite double exactly.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendInt(int64_t v, std::string* out) {
+  *out += std::to_string(v);
+}
+
+void AppendIntArray(const std::vector<int64_t>& values, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendInt(values[i], out);
+  }
+  out->push_back(']');
+}
+
+void AppendDoubleArray(const std::vector<double>& values, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendDouble(values[i], out);
+  }
+  out->push_back(']');
+}
+
+std::string_view StripLineEnding(std::string_view line) {
+  while (!line.empty()) {
+    const char c = line.back();
+    if (c != ' ' && c != '\t' && c != '\r') break;
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+bool Reader::AtEnd() {
+  SkipSpace();
+  return pos_ >= text_.size();
+}
+
+bool Reader::Consume(char c) {
+  SkipSpace();
+  if (pos_ < text_.size() && text_[pos_] == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+bool Reader::ReadString(std::string* out) {
+  SkipSpace();
+  if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+  ++pos_;
+  out->clear();
+  while (pos_ < text_.size() && text_[pos_] != '"') {
+    char c = text_[pos_++];
+    if (c == '\\' && pos_ < text_.size()) {
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case 'n':
+          c = '\n';
+          break;
+        case 't':
+          c = '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+          break;
+        }
+        default:
+          c = esc;
+      }
+    }
+    out->push_back(c);
+  }
+  if (pos_ >= text_.size()) return false;
+  ++pos_;  // closing quote
+  return true;
+}
+
+bool Reader::ReadDouble(double* out) {
+  SkipSpace();
+  // A string_view is not NUL-terminated, so bound the strtod input with a
+  // short copy instead of handing it the raw pointer.
+  const std::string buf(
+      text_.substr(pos_, std::min<size_t>(48, text_.size() - pos_)));
+  char* end = nullptr;
+  *out = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str()) return false;
+  pos_ += static_cast<size_t>(end - buf.c_str());
+  return true;
+}
+
+bool Reader::ReadInt(int64_t* out) {
+  double d = 0.0;
+  if (!ReadDouble(&d)) return false;
+  *out = static_cast<int64_t>(d);
+  return true;
+}
+
+bool Reader::ReadDoubleArray(std::vector<double>* out) {
+  if (!Consume('[')) return false;
+  out->clear();
+  if (Consume(']')) return true;
+  while (true) {
+    double v = 0.0;
+    if (!ReadDouble(&v)) return false;
+    out->push_back(v);
+    if (Consume(']')) return true;
+    if (!Consume(',')) return false;
+  }
+}
+
+bool Reader::ReadIntArray(std::vector<int64_t>* out) {
+  std::vector<double> tmp;
+  if (!ReadDoubleArray(&tmp)) return false;
+  out->assign(tmp.begin(), tmp.end());
+  return true;
+}
+
+void Reader::SkipSpace() {
+  while (pos_ < text_.size() &&
+         (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+    ++pos_;
+  }
+}
+
+}  // namespace json
+}  // namespace colt

@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <mutex>
 
 namespace colt {
 
@@ -13,5 +14,25 @@ LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
 void SetLogLevel(LogLevel level) {
   g_log_level.store(level, std::memory_order_relaxed);
 }
+
+namespace internal_logging {
+
+void EmitLogLine(LogLevel /*level*/, const std::string& line) {
+  // Leaky-singleton mutex: LogMessage runs from destructors during
+  // shutdown, after function-local statics with destructors would have
+  // been torn down.
+  // colt-lint: allow(raw-new-delete): leaked on purpose so the mutex
+  // outlives every static destructor that may still log.
+  static std::mutex* mu = new std::mutex;
+  std::lock_guard<std::mutex> lock(*mu);
+  // One fputs of the complete line instead of fprintf("%s\n"): stderr is
+  // unbuffered, so splitting the newline into a second write is exactly
+  // the mid-line interleaving this sink exists to prevent.
+  std::string buffered = line;
+  buffered.push_back('\n');
+  std::fputs(buffered.c_str(), stderr);
+}
+
+}  // namespace internal_logging
 
 }  // namespace colt

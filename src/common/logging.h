@@ -17,7 +17,14 @@ void SetLogLevel(LogLevel level);
 
 namespace internal_logging {
 
-/// Stream-style log message; emits to stderr on destruction.
+/// The single serialized sink every COLT_LOG line goes through: one
+/// mutex-guarded write of the whole line (newline included) to stderr.
+/// Worker-pool tasks and the owner thread may log concurrently during
+/// chaos/fault runs; per-line serialization keeps their output from
+/// interleaving mid-line. The level gate has already been applied.
+void EmitLogLine(LogLevel level, const std::string& line);
+
+/// Stream-style log message; emits through EmitLogLine on destruction.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line) : level_(level) {
@@ -27,7 +34,7 @@ class LogMessage {
 
   ~LogMessage() {
     if (level_ >= GetLogLevel()) {
-      std::fprintf(stderr, "%s\n", stream_.str().c_str());
+      EmitLogLine(level_, stream_.str());
     }
     if (fatal_) std::abort();
   }

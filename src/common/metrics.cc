@@ -12,6 +12,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/json_util.h"
 #include "common/logging.h"
 
 #if defined(__x86_64__)
@@ -249,209 +250,109 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 // ---------------------------------------------------------------------------
-// JSONL export / import. The writer emits a deliberately small JSON subset
-// (flat objects; string, number and number-array values) so the reader can
-// stay dependency-free; FromJsonl only guarantees to parse what ToJsonl
-// writes.
-
-namespace {
-
-void AppendJsonString(const std::string& s, std::string* out) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-void AppendDouble(double v, std::string* out) {
-  char buf[40];
-  // %.17g round-trips every finite double exactly.
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  *out += buf;
-}
-
-void AppendInt(int64_t v, std::string* out) {
-  *out += std::to_string(v);
-}
-
-/// Cursor-based reader for the subset written above.
-class JsonReader {
- public:
-  explicit JsonReader(std::string_view text) : text_(text) {}
-
-  bool AtEnd() {
-    SkipSpace();
-    return pos_ >= text_.size();
-  }
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool ReadString(std::string* out) {
-    SkipSpace();
-    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\' && pos_ < text_.size()) {
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case 'n':
-            c = '\n';
-            break;
-          case 't':
-            c = '\t';
-            break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return false;
-            const std::string hex(text_.substr(pos_, 4));
-            pos_ += 4;
-            c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
-            break;
-          }
-          default:
-            c = esc;
-        }
-      }
-      out->push_back(c);
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-  bool ReadDouble(double* out) {
-    SkipSpace();
-    const char* begin = text_.data() + pos_;
-    char* end = nullptr;
-    *out = std::strtod(begin, &end);
-    if (end == begin) return false;
-    pos_ += static_cast<size_t>(end - begin);
-    return true;
-  }
-  bool ReadInt(int64_t* out) {
-    double d = 0.0;
-    if (!ReadDouble(&d)) return false;
-    *out = static_cast<int64_t>(d);
-    return true;
-  }
-  bool ReadDoubleArray(std::vector<double>* out) {
-    if (!Consume('[')) return false;
-    out->clear();
-    if (Consume(']')) return true;
-    while (true) {
-      double v = 0.0;
-      if (!ReadDouble(&v)) return false;
-      out->push_back(v);
-      if (Consume(']')) return true;
-      if (!Consume(',')) return false;
-    }
-  }
-  bool ReadIntArray(std::vector<int64_t>* out) {
-    std::vector<double> tmp;
-    if (!ReadDoubleArray(&tmp)) return false;
-    out->assign(tmp.begin(), tmp.end());
-    return true;
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
-      ++pos_;
-    }
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-void AppendIntArray(const std::vector<int64_t>& values, std::string* out) {
-  out->push_back('[');
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (i > 0) out->push_back(',');
-    AppendInt(values[i], out);
-  }
-  out->push_back(']');
-}
-
-void AppendDoubleArray(const std::vector<double>& values, std::string* out) {
-  out->push_back('[');
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (i > 0) out->push_back(',');
-    AppendDouble(values[i], out);
-  }
-  out->push_back(']');
-}
-
-}  // namespace
+// JSONL export / import, built on the shared common/json_util subset
+// writer/reader; FromJsonl only guarantees to parse what ToJsonl writes.
 
 std::string MetricsSnapshot::ToJsonl() const {
   std::string out;
   for (const auto& [name, value] : counters) {
     out += "{\"type\":\"counter\",\"name\":";
-    AppendJsonString(name, &out);
+    json::AppendString(name, &out);
     out += ",\"value\":";
-    AppendInt(value, &out);
+    json::AppendInt(value, &out);
     out += "}\n";
   }
   for (const auto& [name, value] : gauges) {
     out += "{\"type\":\"gauge\",\"name\":";
-    AppendJsonString(name, &out);
+    json::AppendString(name, &out);
     out += ",\"value\":";
-    AppendDouble(value, &out);
+    json::AppendDouble(value, &out);
     out += "}\n";
   }
   for (const auto& [name, h] : histograms) {
     out += "{\"type\":\"histogram\",\"name\":";
-    AppendJsonString(name, &out);
+    json::AppendString(name, &out);
     out += ",\"count\":";
-    AppendInt(h.count, &out);
+    json::AppendInt(h.count, &out);
     out += ",\"sum\":";
-    AppendDouble(h.sum, &out);
+    json::AppendDouble(h.sum, &out);
     out += ",\"min\":";
-    AppendDouble(h.min, &out);
+    json::AppendDouble(h.min, &out);
     out += ",\"max\":";
-    AppendDouble(h.max, &out);
+    json::AppendDouble(h.max, &out);
     out += ",\"p50\":";
-    AppendDouble(h.p50, &out);
+    json::AppendDouble(h.p50, &out);
     out += ",\"p95\":";
-    AppendDouble(h.p95, &out);
+    json::AppendDouble(h.p95, &out);
     out += ",\"p99\":";
-    AppendDouble(h.p99, &out);
+    json::AppendDouble(h.p99, &out);
     out += ",\"bounds\":";
-    AppendDoubleArray(h.upper_bounds, &out);
+    json::AppendDoubleArray(h.upper_bounds, &out);
     out += ",\"buckets\":";
-    AppendIntArray(h.bucket_counts, &out);
+    json::AppendIntArray(h.bucket_counts, &out);
     out += ",\"overflow\":";
-    AppendInt(h.overflow, &out);
+    json::AppendInt(h.overflow, &out);
     out += "}\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names admit [a-zA-Z0-9_:]; the registry's dotted
+// snake_case maps onto it by turning dots into underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendPrometheusDouble(double v, std::string* out) {
+  if (std::isnan(v)) {
+    *out += "NaN";
+  } else if (std::isinf(v)) {
+    *out += v > 0 ? "+Inf" : "-Inf";
+  } else {
+    json::AppendDouble(v, out);
+  }
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name) + "_total";
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    AppendPrometheusDouble(value, &out);
+    out += "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      cumulative += i < h.bucket_counts.size() ? h.bucket_counts[i] : 0;
+      out += prom + "_bucket{le=\"";
+      AppendPrometheusDouble(h.upper_bounds[i], &out);
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += prom + "_sum ";
+    AppendPrometheusDouble(h.sum, &out);
+    out += "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
   }
   return out;
 }
@@ -463,18 +364,16 @@ Result<MetricsSnapshot> MetricsSnapshot::FromJsonl(std::string_view text) {
   while (pos < text.size()) {
     size_t end = text.find('\n', pos);
     if (end == std::string_view::npos) end = text.size();
-    const std::string_view line = text.substr(pos, end - pos);
+    const std::string_view line =
+        json::StripLineEnding(text.substr(pos, end - pos));
     pos = end + 1;
     ++line_no;
-    if (line.empty() || line.find_first_not_of(" \t\r") ==
-                            std::string_view::npos) {
-      continue;
-    }
+    if (line.empty()) continue;
     const auto malformed = [&](const std::string& why) {
       return Status::InvalidArgument("metrics jsonl line " +
                                      std::to_string(line_no) + ": " + why);
     };
-    JsonReader reader(line);
+    json::Reader reader(line);
     if (!reader.Consume('{')) return malformed("expected object");
     std::string type;
     std::string name;
@@ -522,6 +421,10 @@ Result<MetricsSnapshot> MetricsSnapshot::FromJsonl(std::string_view text) {
       }
       if (!ok) return malformed("bad value for '" + key + "'");
     }
+    // Anything after the closing brace means the line is not the JSONL
+    // this writer produces; silently accepting it would let truncated or
+    // concatenated exports parse as clean snapshots.
+    if (!reader.AtEnd()) return malformed("trailing characters");
     if (name.empty()) return malformed("missing name");
     if (type == "counter") {
       snap.counters[name] = int_value;

@@ -189,6 +189,11 @@ std::string FormatSnapshot(const MetricsSnapshot& snapshot);
 std::string FormatSnapshotDiff(const MetricsSnapshot& before,
                                const MetricsSnapshot& after);
 
+/// Prometheus text exposition of a snapshot: dotted names map to
+/// underscores, counters gain the `_total` suffix, histograms export
+/// cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
 /// Name-keyed registry of counters, gauges and histograms. Disabled by
 /// default: instruments can be registered and cached at any time, but
 /// record nothing until set_enabled(true), so the fault-injector pattern

@@ -5,46 +5,11 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/json_util.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 
 namespace colt {
-
-namespace {
-
-void AppendEscaped(const std::string& s, std::string* out) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-void AppendDouble(double v, std::string* out) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  *out += buf;
-}
-
-}  // namespace
 
 Tracer::Tracer(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity), epoch_(WallTimer::Now()) {}
@@ -138,19 +103,19 @@ std::string Tracer::ToJsonl() const {
     out += ",\"parent\":";
     out += std::to_string(span.parent);
     out += ",\"name\":";
-    AppendEscaped(span.name, &out);
+    json::AppendString(span.name, &out);
     out += ",\"site\":";
-    AppendEscaped(span.site, &out);
+    json::AppendString(span.site, &out);
     out += ",\"start\":";
-    AppendDouble(span.start_seconds, &out);
+    json::AppendDouble(span.start_seconds, &out);
     out += ",\"dur\":";
-    AppendDouble(span.duration_seconds, &out);
+    json::AppendDouble(span.duration_seconds, &out);
     out += ",\"attrs\":{";
     for (size_t i = 0; i < span.attrs.size(); ++i) {
       if (i > 0) out += ",";
-      AppendEscaped(span.attrs[i].key, &out);
+      json::AppendString(span.attrs[i].key, &out);
       out += ":";
-      AppendEscaped(span.attrs[i].value, &out);
+      json::AppendString(span.attrs[i].value, &out);
     }
     out += "}}\n";
   }
@@ -168,22 +133,22 @@ std::string Tracer::ToChromeTrace() const {
     if (!first) out += ",";
     first = false;
     out += "{\"name\":";
-    AppendEscaped(span.name, &out);
+    json::AppendString(span.name, &out);
     out += ",\"cat\":";
-    AppendEscaped(span.site.empty() ? std::string("colt") : span.site, &out);
+    json::AppendString(span.site.empty() ? std::string("colt") : span.site, &out);
     out += ",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
-    AppendDouble(span.start_seconds * 1e6, &out);
+    json::AppendDouble(span.start_seconds * 1e6, &out);
     out += ",\"dur\":";
-    AppendDouble(span.duration_seconds * 1e6, &out);
+    json::AppendDouble(span.duration_seconds * 1e6, &out);
     out += ",\"args\":{\"id\":";
     out += std::to_string(span.id);
     out += ",\"parent\":";
     out += std::to_string(span.parent);
     for (const SpanAttr& attr : span.attrs) {
       out += ",";
-      AppendEscaped(attr.key, &out);
+      json::AppendString(attr.key, &out);
       out += ":";
-      AppendEscaped(attr.value, &out);
+      json::AppendString(attr.value, &out);
     }
     out += "}}";
   }
@@ -198,99 +163,52 @@ Result<std::vector<Span>> Tracer::FromJsonl(std::string_view text) {
   while (pos < text.size()) {
     size_t end = text.find('\n', pos);
     if (end == std::string_view::npos) end = text.size();
-    const std::string_view line = text.substr(pos, end - pos);
+    const std::string_view line =
+        json::StripLineEnding(text.substr(pos, end - pos));
     pos = end + 1;
     ++line_no;
-    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    if (line.empty()) continue;
     const auto malformed = [&](const std::string& why) {
       return Status::InvalidArgument("trace jsonl line " +
                                      std::to_string(line_no) + ": " + why);
     };
-    // Hand-rolled scan over the exact shape ToJsonl writes.
+    // Parses the exact shape ToJsonl writes (common/json_util subset).
     Span span;
-    size_t i = 0;
-    auto skip_ws = [&] {
-      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
-    };
-    auto consume = [&](char c) {
-      skip_ws();
-      if (i < line.size() && line[i] == c) {
-        ++i;
-        return true;
-      }
-      return false;
-    };
-    auto read_string = [&](std::string* out) {
-      skip_ws();
-      if (i >= line.size() || line[i] != '"') return false;
-      ++i;
-      out->clear();
-      while (i < line.size() && line[i] != '"') {
-        char c = line[i++];
-        if (c == '\\' && i < line.size()) {
-          const char esc = line[i++];
-          if (esc == 'n') {
-            c = '\n';
-          } else if (esc == 'u') {
-            if (i + 4 > line.size()) return false;
-            const std::string hex(line.substr(i, 4));
-            i += 4;
-            c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
-          } else {
-            c = esc;
-          }
-        }
-        out->push_back(c);
-      }
-      if (i >= line.size()) return false;
-      ++i;
-      return true;
-    };
-    auto read_double = [&](double* out) {
-      skip_ws();
-      // std::string_view is not NUL-terminated; bound the strtod copy.
-      const std::string buf(line.substr(i, std::min<size_t>(40, line.size() - i)));
-      char* endp = nullptr;
-      *out = std::strtod(buf.c_str(), &endp);
-      if (endp == buf.c_str()) return false;
-      i += static_cast<size_t>(endp - buf.c_str());
-      return true;
-    };
-    if (!consume('{')) return malformed("expected object");
+    json::Reader reader(line);
+    if (!reader.Consume('{')) return malformed("expected object");
     bool first = true;
-    while (!consume('}')) {
-      if (!first && !consume(',')) return malformed("expected ','");
+    while (!reader.Consume('}')) {
+      if (!first && !reader.Consume(',')) return malformed("expected ','");
       first = false;
       std::string key;
-      if (!read_string(&key) || !consume(':')) return malformed("bad key");
+      if (!reader.ReadString(&key) || !reader.Consume(':')) {
+        return malformed("bad key");
+      }
       bool ok = true;
-      double num = 0.0;
       if (key == "id") {
-        ok = read_double(&num);
-        span.id = static_cast<int64_t>(num);
+        ok = reader.ReadInt(&span.id);
       } else if (key == "parent") {
-        ok = read_double(&num);
-        span.parent = static_cast<int64_t>(num);
+        ok = reader.ReadInt(&span.parent);
       } else if (key == "name") {
-        ok = read_string(&span.name);
+        ok = reader.ReadString(&span.name);
       } else if (key == "site") {
-        ok = read_string(&span.site);
+        ok = reader.ReadString(&span.site);
       } else if (key == "start") {
-        ok = read_double(&span.start_seconds);
+        ok = reader.ReadDouble(&span.start_seconds);
       } else if (key == "dur") {
-        ok = read_double(&span.duration_seconds);
+        ok = reader.ReadDouble(&span.duration_seconds);
       } else if (key == "attrs") {
-        if (!consume('{')) return malformed("bad attrs");
-        if (!consume('}')) {
+        if (!reader.Consume('{')) return malformed("bad attrs");
+        if (!reader.Consume('}')) {
           while (true) {
             SpanAttr attr;
-            if (!read_string(&attr.key) || !consume(':') ||
-                !read_string(&attr.value)) {
+            if (!reader.ReadString(&attr.key) || !reader.Consume(':') ||
+                !reader.ReadString(&attr.value)) {
               return malformed("bad attr");
             }
             span.attrs.push_back(std::move(attr));
-            if (consume('}')) break;
-            if (!consume(',')) return malformed("bad attrs");
+            if (reader.Consume('}')) break;
+            if (!reader.Consume(',')) return malformed("bad attrs");
           }
         }
       } else {
@@ -298,6 +216,7 @@ Result<std::vector<Span>> Tracer::FromJsonl(std::string_view text) {
       }
       if (!ok) return malformed("bad value for '" + key + "'");
     }
+    if (!reader.AtEnd()) return malformed("trailing characters");
     spans.push_back(std::move(span));
   }
   return spans;

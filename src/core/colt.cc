@@ -32,23 +32,28 @@ ColtTuner::ColtTuner(Catalog* catalog, QueryOptimizer* optimizer,
       pool_(config.num_workers > 0
                 ? std::make_unique<ThreadPool>(config.num_workers)
                 : nullptr),
+      provenance_(kProvenanceCompiledIn && config.provenance_events > 0
+                      ? std::make_unique<ProvenanceRecorder>(
+                            config.provenance_events)
+                      : nullptr),
       clusters_(catalog, config.history_depth),
       hot_stats_(config.confidence),
       mat_stats_(config.confidence),
       candidates_(config.history_depth, config.crude_smoothing_alpha),
       forecaster_(config.history_depth),
       profiler_(catalog, optimizer, &clusters_, &hot_stats_, &mat_stats_,
-                &candidates_, &config_, seed, &faults_, pool_.get()),
+                &candidates_, &config_, seed, &faults_, pool_.get(),
+                provenance_.get()),
       self_organizer_(catalog, optimizer, &clusters_, &hot_stats_,
                       &mat_stats_, &candidates_, &forecaster_, &profiler_,
-                      &config_),
+                      &config_, provenance_.get()),
       scheduler_(catalog, &optimizer->cost_model(), db,
                  config.scheduling_strategy, &faults_,
                  Scheduler::RetryPolicy{config.max_build_retries,
                                         config.build_backoff_base_rounds,
                                         config.max_build_backoff_rounds,
                                         config.quarantine_cooldown_rounds},
-                 pool_.get()),
+                 pool_.get(), provenance_.get()),
       whatif_limit_(config.max_whatif_per_epoch) {
   if (!config_.state_dir.empty()) {
     CheckpointStore::Options options;
@@ -93,8 +98,15 @@ void ColtTuner::MaybeShrinkBudget(TuningStep* step) {
   if (desired == scheduler_.materialized()) return;
   const int dropped = static_cast<int>(scheduler_.materialized().size()) -
                       static_cast<int>(desired.size());
+  if (provenance_ != nullptr) {
+    // The per-victim scheduler.drop events carry cause "emergency"; this
+    // event records the trigger itself.
+    provenance_->RecordEvent("colt.emergency_eviction")
+        .Attr("new_budget", config_.storage_budget_bytes)
+        .Attr("dropped", static_cast<int64_t>(dropped));
+  }
   Result<std::vector<IndexAction>> actions =
-      scheduler_.ApplyConfiguration(desired);
+      scheduler_.ApplyConfiguration(desired, "emergency");
   if (!actions.ok()) {
     COLT_LOG(Error) << "emergency eviction failed: "
                     << actions.status().ToString();
@@ -143,6 +155,12 @@ std::vector<ColtTuner::IndexExplanation> ColtTuner::ExplainState() {
 TuningStep ColtTuner::OnQuery(const Query& q) {
   metrics_.queries->Increment();
   ++queries_observed_;
+  // Context for every event recorded while this query is observed: the
+  // 0-based lifetime sequence number survives recovery, so a resumed run
+  // stamps exactly the ids an uninterrupted one would.
+  if (provenance_ != nullptr) {
+    provenance_->SetContext(epoch_, queries_observed_ - 1);
+  }
   ScopedTimer on_query_timer(metrics_.on_query_seconds);
   Tracer::Scope span = Tracer::Default().StartSpan("on_query", "core");
   TuningStep step;
@@ -236,6 +254,19 @@ TuningStep ColtTuner::OnQuery(const Query& q) {
         MetricsRegistry::Default().enabled()) {
       report.metrics = MetricsRegistry::Default().Snapshot();
     }
+    if (provenance_ != nullptr) {
+      provenance_->RecordEvent("colt.epoch_end")
+          .Attr("whatif_used", static_cast<int64_t>(whatif_used_))
+          .Attr("whatif_limit", static_cast<int64_t>(whatif_limit_))
+          .Attr("next_limit", static_cast<int64_t>(outcome.next_whatif_limit))
+          .Attr("materialized_bytes", report.materialized_bytes)
+          .Attr("budget", config_.storage_budget_bytes);
+      report.provenance_events_total = provenance_->total_recorded();
+      report.provenance_events_epoch =
+          provenance_->total_recorded() - provenance_reported_;
+      provenance_reported_ = provenance_->total_recorded();
+      report.provenance_dropped = provenance_->dropped();
+    }
     degraded_whatif_epoch_ = 0;
     emergency_evictions_epoch_ = 0;
     epoch_reports_.push_back(std::move(report));
@@ -308,9 +339,11 @@ uint64_t ColtTuner::ConfigFingerprint() const {
   w.WriteDouble(config_.conservative_floor_fraction);
   w.WriteI64(config_.whatif_cache_bytes);
   // Deliberately excluded: storage_budget_bytes (mutable at runtime via
-  // budget.shrink faults; persisted as live state instead), num_workers
-  // and epoch_metrics_snapshot (bit-identical results at any value), the
-  // fault plan (a resumed run may drop the crash rules that killed its
+  // budget.shrink faults; persisted as live state instead), num_workers,
+  // epoch_metrics_snapshot, provenance_events and
+  // provenance_annotate_origin (bit-identical tuning results at any
+  // value — a resumed run may toggle observability freely), the fault
+  // plan (a resumed run may drop the crash rules that killed its
   // predecessor), and state_dir itself.
   return Fnv1a64(w.buffer());
 }
@@ -344,6 +377,11 @@ void ColtTuner::SaveState(BinaryWriter* writer) const {
   forecaster_.SaveState(writer);
   profiler_.SaveState(writer);
   scheduler_.SaveState(writer);
+  writer->WriteBool(provenance_ != nullptr);
+  if (provenance_ != nullptr) {
+    writer->WriteI64(provenance_reported_);
+    provenance_->SaveState(writer);
+  }
 }
 
 Status ColtTuner::LoadState(BinaryReader* reader) {
@@ -417,6 +455,23 @@ Status ColtTuner::LoadState(BinaryReader* reader) {
   COLT_RETURN_IF_ERROR(forecaster_.LoadState(reader));
   COLT_RETURN_IF_ERROR(profiler_.LoadState(reader));
   COLT_RETURN_IF_ERROR(scheduler_.LoadState(reader));
+  bool snapshot_has_provenance = false;
+  COLT_RETURN_IF_ERROR(reader->ReadBool(&snapshot_has_provenance));
+  int64_t provenance_reported = 0;
+  if (snapshot_has_provenance) {
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&provenance_reported));
+    if (provenance_ != nullptr) {
+      COLT_RETURN_IF_ERROR(provenance_->LoadState(reader));
+    } else {
+      // The crashed run recorded provenance, this one does not: skip the
+      // section so toggling observability never blocks recovery (the
+      // knobs are excluded from the config fingerprint for the same
+      // reason). Conversely, a recorder this run owns but the snapshot
+      // lacks simply starts empty, ids from 0.
+      ProvenanceRecorder scratch(1);
+      COLT_RETURN_IF_ERROR(scratch.LoadState(reader));
+    }
+  }
   if (!reader->AtEnd()) {
     return Status::InvalidArgument("trailing bytes after tuner snapshot");
   }
@@ -450,6 +505,9 @@ Status ColtTuner::LoadState(BinaryReader* reader) {
   degraded_whatif_total_ = degraded_total;
   emergency_evictions_total_ = evictions_total;
   wasted_build_reported_ = wasted_build_reported;
+  if (provenance_ != nullptr && snapshot_has_provenance) {
+    provenance_reported_ = provenance_reported;
+  }
   // Last: the catalog replay and index rebuilds above bumped the live
   // version counter; pin it back to the snapshot's value so what-if cache
   // entries stay valid exactly as they were at the checkpoint.

@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/persist/checkpoint.h"
 #include "common/persist/serializer.h"
+#include "common/provenance.h"
 #include "common/thread_pool.h"
 #include "core/candidates.h"
 #include "core/clustering.h"
@@ -77,6 +78,12 @@ struct EpochReport {
   /// Point-in-time metrics at the epoch boundary (empty unless
   /// MetricsRegistry::Default() is enabled).
   MetricsSnapshot metrics;
+  /// Decision-provenance summary (all zero unless the flight recorder is
+  /// enabled via ColtConfig::provenance_events): lifetime events recorded,
+  /// events recorded during this epoch, and ring-capacity drops.
+  int64_t provenance_events_total = 0;
+  int64_t provenance_events_epoch = 0;
+  int64_t provenance_dropped = 0;
 };
 
 /// COLT — Continuous On-Line Tuning (the paper's primary contribution).
@@ -189,6 +196,13 @@ class ColtTuner {
   /// for tests that corrupt on-disk state on purpose).
   CheckpointStore* checkpoint_store() { return checkpoint_.get(); }
 
+  /// The decision-provenance flight recorder (DESIGN.md §13), or null
+  /// when ColtConfig::provenance_events == 0 or the recorder was compiled
+  /// out (COLT_DISABLE_PROVENANCE). Events are drained/exported by the
+  /// harness; the recorder itself never alters tuning decisions.
+  ProvenanceRecorder* provenance() { return provenance_.get(); }
+  const ProvenanceRecorder* provenance() const { return provenance_.get(); }
+
   // White-box access for tests and diagnostics.
   ClusterManager& clusters() { return clusters_; }
   CandidateSet& candidates() { return candidates_; }
@@ -220,6 +234,10 @@ class ColtTuner {
   /// before the Profiler and Scheduler so it outlives both users; results
   /// are bit-identical with or without it (DESIGN.md §10).
   std::unique_ptr<ThreadPool> pool_;
+  /// Decision-provenance flight recorder (null when disabled or compiled
+  /// out). Declared before the Profiler / Self-Organizer / Scheduler,
+  /// which hold raw pointers into it.
+  std::unique_ptr<ProvenanceRecorder> provenance_;
 
   ClusterManager clusters_;
   GainStatsStore hot_stats_;
@@ -250,6 +268,8 @@ class ColtTuner {
   int64_t emergency_evictions_total_ = 0;
   /// Scheduler wasted-build seconds already attributed to a past epoch.
   double wasted_build_reported_ = 0.0;
+  /// Provenance events already attributed to a past epoch's report.
+  int64_t provenance_reported_ = 0;
 
   struct Instruments {
     Counter* queries;

@@ -164,6 +164,22 @@ struct ColtConfig {
   /// more expensive than the always-on counters/timers, so per-epoch
   /// snapshots are an explicitly requested diagnostic.
   bool epoch_metrics_snapshot = false;
+  /// Ring capacity (in events) of the decision-provenance flight recorder
+  /// (DESIGN.md §13). 0 (the default) disables it entirely: no recorder
+  /// is constructed and every emission site reduces to a null test, so
+  /// tuning output is bit-identical with provenance on or off. When
+  /// positive, the tuner records a typed event for every consequential
+  /// decision (promotions, knapsack solves, what-if estimates,
+  /// install/drop/quarantine, emergency evictions), drainable as JSONL
+  /// via ColtRunResult::provenance.
+  int64_t provenance_events = 0;
+  /// When true, what-if estimate events additionally carry a "via" attr
+  /// distinguishing fresh optimizer calls from whatif_cache hits. Off by
+  /// default because that distinction is (by design) the only part of
+  /// the stream that depends on cache configuration: the default stream
+  /// stays byte-identical across `whatif_cache_bytes` settings, and
+  /// cache effectiveness is already exported through the cache counters.
+  bool provenance_annotate_origin = false;
 };
 
 }  // namespace colt

@@ -24,7 +24,8 @@ Profiler::Profiler(Catalog* catalog, QueryOptimizer* optimizer,
                    ClusterManager* clusters, GainStatsStore* hot_stats,
                    GainStatsStore* mat_stats, CandidateSet* candidates,
                    const ColtConfig* config, uint64_t seed,
-                   FaultInjector* faults, ThreadPool* pool)
+                   FaultInjector* faults, ThreadPool* pool,
+                   ProvenanceRecorder* provenance)
     : catalog_(catalog),
       optimizer_(optimizer),
       clusters_(clusters),
@@ -34,7 +35,8 @@ Profiler::Profiler(Catalog* catalog, QueryOptimizer* optimizer,
       config_(config),
       rng_(seed),
       faults_(faults),
-      pool_(pool) {
+      pool_(pool),
+      provenance_(provenance) {
   MetricsRegistry& reg = MetricsRegistry::Default();
   metrics_.whatif_issued = reg.GetCounter("profiler.whatif.issued");
   metrics_.degraded_fault = reg.GetCounter("profiler.degraded.fault");
@@ -75,6 +77,10 @@ Profiler::Profiler(Catalog* catalog, QueryOptimizer* optimizer,
           std::make_unique<WhatIfPlanCache>(config_->whatif_cache_bytes);
       slot.optimizer->set_whatif_cache(shared_cache_.get(),
                                        slot.cache_segment.get());
+    }
+    if (provenance_ != nullptr) {
+      slot.provenance =
+          std::make_unique<ProvenanceRecorder>(config_->provenance_events);
     }
     worker_slots_.push_back(std::move(slot));
   }
@@ -125,6 +131,13 @@ void Profiler::RecordCrudeFallback(const Query& q, IndexId index,
     cache_store->Record(index, cluster, std::max(0.0, cached_gain),
                         cache_sig);
     metrics_.degraded_cache_hit->Increment();
+    if (provenance_ != nullptr) {
+      provenance_->RecordEvent("profiler.whatif_estimate")
+          .Index(index)
+          .Cluster(cluster)
+          .Attr("gain", cached_gain)
+          .Attr("src", "degraded_cache");
+    }
     return;
   }
   double crude = 0.0;
@@ -146,6 +159,13 @@ void Profiler::RecordCrudeFallback(const Query& q, IndexId index,
   GainStatsStore* store =
       materialized.Contains(index) ? mat_stats_ : hot_stats_;
   store->Record(index, cluster, std::max(0.0, crude), sig);
+  if (provenance_ != nullptr) {
+    provenance_->RecordEvent("profiler.whatif_estimate")
+        .Index(index)
+        .Cluster(cluster)
+        .Attr("gain", crude)
+        .Attr("src", "degraded_crude");
+  }
 }
 
 double Profiler::ErrorContribution(IndexId index, ClusterId cluster,
@@ -294,6 +314,20 @@ Profiler::ProfileOutcome Profiler::ProfileQuery(
           hot_stats_->Record(g.index, cluster, std::max(0.0, g.gain), sig);
         }
         metrics_.level2_records->Increment();
+        if (provenance_ != nullptr) {
+          // Owner-thread emission in `live` order keeps the stream
+          // worker-count-independent; src stays "whatif" whether the
+          // value came from an optimizer call or the value-transparent
+          // plan cache (DESIGN.md §13), unless origin annotation is
+          // explicitly requested.
+          ProvenanceRecorder::EventBuilder event =
+              provenance_->RecordEvent("profiler.whatif_estimate");
+          event.Index(g.index).Cluster(cluster).Attr("gain", g.gain).Attr(
+              "src", "whatif");
+          if (config_->provenance_annotate_origin) {
+            event.Attr("via", g.from_cache ? "cache" : "fresh");
+          }
+        }
       }
     }
     *whatif_used += issued;
@@ -382,6 +416,7 @@ std::vector<IndexGain> Profiler::ComputeGains(
             gains[i].index = id;
             gains[i].gain =
                 mat ? alt->cost - base->cost : base->cost - alt->cost;
+            gains[i].from_cache = true;
             ++answered;
             continue;
           }
@@ -460,6 +495,13 @@ void Profiler::AdvanceEpoch() {
   for (WorkerSlot& slot : worker_slots_) {
     main_registry.MergeFrom(*slot.registry);
     slot.registry->Reset();
+  }
+  if (provenance_ != nullptr) {
+    // Same merge point and ordering as the metric buffers: slot order is
+    // the deterministic task order of DESIGN.md §10.
+    for (WorkerSlot& slot : worker_slots_) {
+      provenance_->MergeFrom(slot.provenance.get());
+    }
   }
   if (shared_cache_ != nullptr) {
     // Merge discipline (DESIGN.md §11): drain every segment, then let the

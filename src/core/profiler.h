@@ -8,6 +8,7 @@
 #include "catalog/catalog.h"
 #include "common/metrics.h"
 #include "common/persist/serializer.h"
+#include "common/provenance.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/candidates.h"
@@ -37,12 +38,16 @@ class Profiler {
   /// profiler. `pool` may be null (serial what-if probing); when given, the
   /// profiler builds one worker-private optimizer + metrics buffer per pool
   /// worker and fans WhatIfOptimize probes out across them — with results
-  /// bit-identical to the serial path (see ProfileQuery).
+  /// bit-identical to the serial path (see ProfileQuery). `provenance` may
+  /// be null (no decision recording); gain estimates are emitted on the
+  /// owner thread in probe order, so the event stream is worker-count-
+  /// independent (DESIGN.md §13).
   Profiler(Catalog* catalog, QueryOptimizer* optimizer,
            ClusterManager* clusters, GainStatsStore* hot_stats,
            GainStatsStore* mat_stats, CandidateSet* candidates,
            const ColtConfig* config, uint64_t seed,
-           FaultInjector* faults = nullptr, ThreadPool* pool = nullptr);
+           FaultInjector* faults = nullptr, ThreadPool* pool = nullptr,
+           ProvenanceRecorder* provenance = nullptr);
 
   /// Detaches the what-if cache from the (externally owned) main optimizer
   /// — the cache dies with the profiler, the optimizer may not.
@@ -157,6 +162,7 @@ class Profiler {
   Rng rng_;
   FaultInjector* faults_;
   ThreadPool* pool_;
+  ProvenanceRecorder* provenance_;
 
   /// One slot per pool worker: a private metrics buffer and a private
   /// optimizer recording into it. A chunk-task uses exactly one slot, and
@@ -168,6 +174,12 @@ class Profiler {
     /// Fresh what-if cache entries this worker computed during the epoch;
     /// drained into the frozen cache at AdvanceEpoch.
     std::unique_ptr<WhatIfPlanCache> cache_segment;
+    /// Worker-private provenance buffer, folded into the main recorder at
+    /// AdvanceEpoch in slot order (the deterministic task order of
+    /// DESIGN.md §10). The current pipeline emits decisions owner-side
+    /// only, so these stay empty; the buffer exists so future worker-side
+    /// emission inherits the merge discipline instead of inventing one.
+    std::unique_ptr<ProvenanceRecorder> provenance;
   };
   std::vector<WorkerSlot> worker_slots_;
 

@@ -9,14 +9,15 @@ namespace colt {
 Scheduler::Scheduler(Catalog* catalog, const CostModel* cost_model,
                      Database* db, SchedulingStrategy strategy,
                      FaultInjector* faults, RetryPolicy retry,
-                     ThreadPool* pool)
+                     ThreadPool* pool, ProvenanceRecorder* provenance)
     : catalog_(catalog),
       cost_model_(cost_model),
       db_(db),
       strategy_(strategy),
       faults_(faults),
       retry_(retry),
-      pool_(pool) {
+      pool_(pool),
+      provenance_(provenance) {
   MetricsRegistry& reg = MetricsRegistry::Default();
   metrics_.builds_completed = reg.GetCounter("scheduler.builds.completed");
   metrics_.builds_failed = reg.GetCounter("scheduler.builds.failed");
@@ -93,6 +94,12 @@ void Scheduler::RecordBuildFailure(IndexId id,
   FailureState& state = failures_[id];
   ++state.consecutive_failures;
   ++build_failures_;
+  if (provenance_ != nullptr) {
+    provenance_->RecordEvent("scheduler.build_failed")
+        .Index(id)
+        .Attr("consecutive",
+              static_cast<int64_t>(state.consecutive_failures));
+  }
   if (state.consecutive_failures >= retry_.max_build_retries) {
     state.quarantine_until_round =
         round_ + retry_.quarantine_cooldown_rounds;
@@ -102,6 +109,14 @@ void Scheduler::RecordBuildFailure(IndexId id,
     action.type = IndexActionType::kQuarantine;
     action.index = id;
     actions->push_back(action);
+    if (provenance_ != nullptr) {
+      provenance_->RecordEvent("scheduler.quarantine")
+          .Index(id)
+          .Attr("cooldown_rounds",
+                static_cast<int64_t>(retry_.quarantine_cooldown_rounds))
+          .Attr("failures",
+                static_cast<int64_t>(state.consecutive_failures));
+    }
     COLT_LOG(Warning) << "index " << catalog_->index(id).name
                       << " quarantined after "
                       << state.consecutive_failures
@@ -114,6 +129,11 @@ void Scheduler::RecordBuildFailure(IndexId id,
         static_cast<int64_t>(retry_.backoff_base_rounds) << shift);
     state.retry_after_round = round_ + std::max<int64_t>(1, backoff);
     metrics_.backoff_events->Increment();
+    if (provenance_ != nullptr) {
+      provenance_->RecordEvent("scheduler.backoff")
+          .Index(id)
+          .Attr("retry_after_round", state.retry_after_round);
+    }
   }
 }
 
@@ -132,7 +152,7 @@ void Scheduler::ExpireQuarantines() {
 }
 
 Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
-    const IndexConfiguration& desired) {
+    const IndexConfiguration& desired, std::string_view cause) {
   ScopedTimer apply_timer(metrics_.apply_seconds);
   ++round_;
   ExpireQuarantines();
@@ -150,6 +170,12 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
     materialized_.Remove(action.index);
     catalog_->BumpVersion();
     metrics_.drops->Increment();
+    if (provenance_ != nullptr) {
+      provenance_->RecordEvent("scheduler.drop")
+          .Index(action.index)
+          .Attr("cause", cause)
+          .Attr("name", catalog_->index(action.index).name);
+    }
   }
   // Cancel queued builds that are no longer desired. Idle seconds already
   // spent on them are lost — never transferred to the remaining queue.
@@ -204,6 +230,13 @@ Result<std::vector<IndexAction>> Scheduler::ApplyConfiguration(
         action.build_seconds = build_seconds;
         actions.push_back(action);
         metrics_.builds_completed->Increment();
+        if (provenance_ != nullptr) {
+          provenance_->RecordEvent("scheduler.install")
+              .Index(id)
+              .Attr("cause", cause)
+              .Attr("name", catalog_->index(id).name)
+              .Attr("build_seconds", build_seconds);
+        }
       } else if (IsTransient(built.code())) {
         // The attempt consumed its build time before failing; charge it.
         IndexAction action;
@@ -265,6 +298,13 @@ Result<std::vector<IndexAction>> Scheduler::OnIdle(double seconds) {
       action.build_seconds = 0.0;  // performed during idle time
       completed.push_back(action);
       metrics_.builds_completed->Increment();
+      if (provenance_ != nullptr) {
+        provenance_->RecordEvent("scheduler.install")
+            .Index(id)
+            .Attr("cause", "idle")
+            .Attr("name", catalog_->index(id).name)
+            .Attr("build_seconds", 0.0);
+      }
     } else if (IsTransient(built.code())) {
       // The idle work is lost; the retry machinery decides when (and
       // whether) ApplyConfiguration may queue the index again.

@@ -5,6 +5,7 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/persist/serializer.h"
+#include "common/provenance.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/config.h"
@@ -78,18 +80,25 @@ class Scheduler {
   /// `catalog` is non-const because every install and drop bumps
   /// Catalog::BumpVersion() — in both physical and statistics-only mode —
   /// so the what-if plan cache invalidates precisely (DESIGN.md §11).
+  /// `provenance` may be null (no decision recording); installs, drops,
+  /// build failures, backoffs and quarantines emit typed events when set
+  /// (DESIGN.md §13).
   Scheduler(Catalog* catalog, const CostModel* cost_model, Database* db,
             SchedulingStrategy strategy = SchedulingStrategy::kImmediate,
             FaultInjector* faults = nullptr, RetryPolicy retry = {},
-            ThreadPool* pool = nullptr);
+            ThreadPool* pool = nullptr,
+            ProvenanceRecorder* provenance = nullptr);
 
   /// Transitions toward `desired`. Drops take effect immediately (and
   /// cancel pending builds that are no longer wanted). Builds take effect
   /// immediately under kImmediate (returned with their cost) or are queued
   /// under kIdleTime. Indexes in backoff or quarantine are skipped; they
-  /// are retried automatically on a later call once eligible.
+  /// are retried automatically on a later call once eligible. `cause`
+  /// labels the install/drop provenance events with what triggered the
+  /// transition ("reorg" for ordinary epoch-end reorganizations,
+  /// "emergency" for budget-shrink evictions).
   Result<std::vector<IndexAction>> ApplyConfiguration(
-      const IndexConfiguration& desired);
+      const IndexConfiguration& desired, std::string_view cause = "reorg");
 
   /// kIdleTime only: spends `seconds` of idle time on the build queue
   /// (FIFO); returns the builds that completed (build_seconds = 0 — idle
@@ -199,6 +208,7 @@ class Scheduler {
   FaultInjector* faults_;
   RetryPolicy retry_;
   ThreadPool* pool_;
+  ProvenanceRecorder* provenance_;
   IndexConfiguration materialized_;
   std::deque<PendingBuild> pending_;
   std::unordered_map<IndexId, FailureState> failures_;

@@ -4,10 +4,28 @@
 #include <cmath>
 #include <iterator>
 #include <limits>
+#include <string>
+#include <string_view>
 
 #include "common/tracing.h"
 
 namespace colt {
+
+namespace {
+
+/// Chosen-set rendering for knapsack provenance events: comma-joined ids
+/// in solution order (the solvers emit ids deterministically, so the
+/// string is replay-stable).
+std::string JoinIds(const std::vector<int64_t>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+}  // namespace
 
 SelfOrganizer::SelfOrganizer(Catalog* catalog, QueryOptimizer* optimizer,
                              ClusterManager* clusters,
@@ -15,7 +33,8 @@ SelfOrganizer::SelfOrganizer(Catalog* catalog, QueryOptimizer* optimizer,
                              GainStatsStore* mat_stats,
                              CandidateSet* candidates,
                              BenefitForecaster* forecaster, Profiler* profiler,
-                             const ColtConfig* config)
+                             const ColtConfig* config,
+                             ProvenanceRecorder* provenance)
     : catalog_(catalog),
       optimizer_(optimizer),
       clusters_(clusters),
@@ -24,7 +43,8 @@ SelfOrganizer::SelfOrganizer(Catalog* catalog, QueryOptimizer* optimizer,
       candidates_(candidates),
       forecaster_(forecaster),
       profiler_(profiler),
-      config_(config) {
+      config_(config),
+      provenance_(provenance) {
   MetricsRegistry& reg = MetricsRegistry::Default();
   metrics_.hot_churn = reg.GetCounter("self_organizer.hot_churn");
   metrics_.hot_set_size = reg.GetGauge("self_organizer.hot_set_size");
@@ -125,6 +145,24 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
   const auto is_quarantined = [&](IndexId id) {
     return std::binary_search(quarantined.begin(), quarantined.end(), id);
   };
+  const auto record_knapsack = [&](std::string_view kind,
+                                   const std::vector<KnapsackItem>& pool_items,
+                                   const KnapsackSolution& solution) {
+    if (provenance_ == nullptr) return;
+    int64_t chosen_bytes = 0;
+    for (int64_t id : solution.chosen_ids) {
+      chosen_bytes += catalog_->index(static_cast<IndexId>(id)).size_bytes;
+    }
+    const double budget = static_cast<double>(config_->storage_budget_bytes);
+    provenance_->RecordEvent("self_organizer.knapsack")
+        .Attr("kind", kind)
+        .Attr("pool", static_cast<int64_t>(pool_items.size()))
+        .Attr("budget", config_->storage_budget_bytes)
+        .Attr("chosen", JoinIds(solution.chosen_ids))
+        .Attr("value", solution.total_value)
+        .Attr("utilization",
+              budget > 0 ? static_cast<double>(chosen_bytes) / budget : 0.0);
+  };
 
   // ---- 1. Fold the finished epoch's observations into the forecaster.
   for (IndexId id : materialized.ids()) {
@@ -165,6 +203,30 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
     outcome.new_materialized.Add(static_cast<IndexId>(id));
   }
   outcome.net_benefit_current = current.total_value;
+  record_knapsack("reorg", items, current);
+  if (provenance_ != nullptr) {
+    // Schedule requests are the diff between the knapsack pick and the
+    // current materialized set; net_benefit is the item's value at solve
+    // time, i.e. the number the decision was actually made on.
+    const auto item_value = [&](IndexId id) {
+      for (const KnapsackItem& item : items) {
+        if (item.id == static_cast<int64_t>(id)) return item.value;
+      }
+      return 0.0;
+    };
+    for (IndexId id : outcome.new_materialized.ids()) {
+      if (materialized.Contains(id)) continue;
+      provenance_->RecordEvent("self_organizer.schedule_install")
+          .Index(id)
+          .Attr("net_benefit", item_value(id));
+    }
+    for (IndexId id : materialized.ids()) {
+      if (outcome.new_materialized.Contains(id)) continue;
+      provenance_->RecordEvent("self_organizer.schedule_drop")
+          .Index(id)
+          .Attr("net_benefit", item_value(id));
+    }
+  }
 
   // ---- 3. New hot set: two-means over smoothed BenefitC of the remaining
   // candidates; the top cluster becomes H.
@@ -175,11 +237,13 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
     const double b = candidates_->SmoothedBenefit(id);
     if (b > 0.0) scored.emplace_back(b, id);
   }
+  double split_threshold = 0.0;
   if (!scored.empty()) {
     std::vector<double> values;
     values.reserve(scored.size());
     for (const auto& entry : scored) values.push_back(entry.first);
     const TwoMeansSplit split = ComputeTwoMeansSplit(values);
+    split_threshold = split.threshold;
     std::sort(scored.begin(), scored.end(),
               [](const auto& a, const auto& b) { return a.first > b.first; });
     for (const auto& [v, id] : scored) {
@@ -219,17 +283,39 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
   }
 
   // Hot-set churn: indexes entering or leaving H this epoch (both sets
-  // are sorted, so the symmetric difference counts in one pass).
+  // are sorted, so the two set differences run in one pass each).
   {
     std::vector<IndexId> old_sorted = hot_set;
     std::sort(old_sorted.begin(), old_sorted.end());
-    std::vector<IndexId> churned;
-    std::set_symmetric_difference(
-        old_sorted.begin(), old_sorted.end(), outcome.new_hot.begin(),
-        outcome.new_hot.end(), std::back_inserter(churned));
-    metrics_.hot_churn->Add(static_cast<int64_t>(churned.size()));
+    std::vector<IndexId> entering;
+    std::vector<IndexId> leaving;
+    std::set_difference(outcome.new_hot.begin(), outcome.new_hot.end(),
+                        old_sorted.begin(), old_sorted.end(),
+                        std::back_inserter(entering));
+    std::set_difference(old_sorted.begin(), old_sorted.end(),
+                        outcome.new_hot.begin(), outcome.new_hot.end(),
+                        std::back_inserter(leaving));
+    const int64_t churn =
+        static_cast<int64_t>(entering.size() + leaving.size());
+    metrics_.hot_churn->Add(churn);
     metrics_.hot_set_size->Set(static_cast<double>(outcome.new_hot.size()));
-    span.AddAttr("hot_churn", static_cast<int64_t>(churned.size()));
+    span.AddAttr("hot_churn", churn);
+    if (provenance_ != nullptr) {
+      // `threshold` is the two-means split that gated this epoch's hot
+      // picks (0 when no candidate scored, i.e. demote-only epochs).
+      for (IndexId id : entering) {
+        provenance_->RecordEvent("self_organizer.hot_promote")
+            .Index(id)
+            .Attr("benefit", candidates_->SmoothedBenefit(id))
+            .Attr("threshold", split_threshold);
+      }
+      for (IndexId id : leaving) {
+        provenance_->RecordEvent("self_organizer.hot_demote")
+            .Index(id)
+            .Attr("benefit", candidates_->SmoothedBenefit(id))
+            .Attr("threshold", split_threshold);
+      }
+    }
   }
 
   // ---- 4. Re-budgeting: best-case scenario for the hot indexes.
@@ -268,6 +354,7 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
           : SolveKnapsack(optimistic_items, config_->storage_budget_bytes);
   opt_knapsack_timer.Stop();
   outcome.net_benefit_optimistic = best_case.total_value;
+  record_knapsack("optimistic", optimistic_items, best_case);
 
   double r;
   if (outcome.net_benefit_current <= 1e-9) {
@@ -300,6 +387,19 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
         std::min(config_->max_whatif_per_epoch,
                  std::max(outcome.next_whatif_limit,
                           config_->min_budget_for_fresh_hot));
+  }
+  if (provenance_ != nullptr) {
+    ProvenanceRecorder::EventBuilder event =
+        provenance_->RecordEvent("self_organizer.rebudget");
+    event.Attr("next_limit", static_cast<int64_t>(outcome.next_whatif_limit))
+        .Attr("current", outcome.net_benefit_current)
+        .Attr("optimistic", outcome.net_benefit_optimistic);
+    // r is infinite when the current configuration has no net benefit but
+    // the optimistic one does; infinities have no JSON rendering, so the
+    // attr is simply absent then (the limit attr already tells the story).
+    if (std::isfinite(outcome.rebudget_ratio)) {
+      event.Attr("ratio", outcome.rebudget_ratio);
+    }
   }
   return outcome;
 }

@@ -5,6 +5,7 @@
 
 #include "catalog/catalog.h"
 #include "common/metrics.h"
+#include "common/provenance.h"
 #include "core/candidates.h"
 #include "core/clustering.h"
 #include "core/config.h"
@@ -24,11 +25,15 @@ namespace colt {
 /// best-case (optimistic) and current configurations.
 class SelfOrganizer {
  public:
+  /// `provenance` may be null (no decision recording). When given, every
+  /// epoch-end decision — knapsack solves, hot-set promotions/demotions,
+  /// schedule requests, re-budgeting — emits a typed event (DESIGN.md §13).
   SelfOrganizer(Catalog* catalog, QueryOptimizer* optimizer,
                 ClusterManager* clusters, GainStatsStore* hot_stats,
                 GainStatsStore* mat_stats, CandidateSet* candidates,
                 BenefitForecaster* forecaster, Profiler* profiler,
-                const ColtConfig* config);
+                const ColtConfig* config,
+                ProvenanceRecorder* provenance = nullptr);
 
   struct Outcome {
     IndexConfiguration new_materialized;
@@ -82,6 +87,7 @@ class SelfOrganizer {
   BenefitForecaster* forecaster_;
   Profiler* profiler_;
   const ColtConfig* config_;
+  ProvenanceRecorder* provenance_;
 
   struct Instruments {
     Counter* hot_churn;

@@ -27,6 +27,10 @@ ColtRunResult RunColtWorkload(Catalog* catalog,
   result.distinct_indexes_profiled = tuner.distinct_indexes_profiled();
   result.relevant_index_count =
       static_cast<int64_t>(tuner.candidates().size());
+  if (ProvenanceRecorder* recorder = tuner.provenance()) {
+    result.provenance_prometheus = recorder->PrometheusText();
+    result.provenance = recorder->Drain();
+  }
   return result;
 }
 
@@ -125,6 +129,10 @@ ChaosRunResult RunChaosWorkload(Catalog* catalog,
   result.degraded_whatif = tuner.degraded_whatif_total();
   result.emergency_evictions = tuner.emergency_evictions_total();
   result.final_budget_bytes = tuner.storage_budget_bytes();
+  if (ProvenanceRecorder* recorder = tuner.provenance()) {
+    result.run.provenance_prometheus = recorder->PrometheusText();
+    result.run.provenance = recorder->Drain();
+  }
   return result;
 }
 

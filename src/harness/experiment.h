@@ -6,6 +6,7 @@
 
 #include "baseline/offline_tuner.h"
 #include "catalog/catalog.h"
+#include "common/provenance.h"
 #include "core/colt.h"
 #include "query/query.h"
 
@@ -29,6 +30,14 @@ struct ColtRunResult {
   IndexConfiguration final_materialized;
   int64_t distinct_indexes_profiled = 0;
   int64_t relevant_index_count = 0;
+  /// Decision-provenance events drained from the tuner's flight recorder
+  /// at the end of the run (empty unless ColtConfig::provenance_events > 0
+  /// and the recorder is compiled in). Export with ProvenanceToJsonl or
+  /// WriteObservabilityDir.
+  std::vector<ProvenanceEvent> provenance;
+  /// Prometheus text exposition of the recorder's lifetime event
+  /// counters, captured before the drain (empty when provenance is off).
+  std::string provenance_prometheus;
 
   double total_seconds() const {
     double t = 0.0;

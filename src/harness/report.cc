@@ -1,8 +1,14 @@
 #include "harness/report.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <ostream>
+
+#include "common/provenance.h"
 
 namespace colt {
 
@@ -74,6 +80,44 @@ Status MaybeWriteCsvFile(const std::string& dir, const std::string& name,
   std::ofstream out(path);
   if (!out) return Status::NotFound("cannot open " + path + " for writing");
   return writer(out);
+}
+
+namespace {
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  out << content;
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteObservabilityDir(const std::string& dir, const ColtRunResult& run,
+                             const MetricsSnapshot& final_snapshot) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("observability dir must not be empty");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("mkdir failed for " + dir);
+  }
+  COLT_RETURN_IF_ERROR(WriteTextFile(dir + "/provenance.jsonl",
+                                     ProvenanceToJsonl(run.provenance)));
+  COLT_RETURN_IF_ERROR(
+      WriteTextFile(dir + "/metrics.prom", ToPrometheusText(final_snapshot) +
+                                               run.provenance_prometheus));
+  for (const EpochReport& e : run.epochs) {
+    const MetricsSnapshot& snap = e.metrics;
+    if (snap.counters.empty() && snap.gauges.empty() &&
+        snap.histograms.empty()) {
+      continue;  // this epoch captured no snapshot
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "epoch_%04d.jsonl", e.epoch);
+    COLT_RETURN_IF_ERROR(WriteTextFile(dir + "/" + name, snap.ToJsonl()));
+  }
+  return Status::OK();
 }
 
 }  // namespace colt

@@ -38,6 +38,17 @@ Status WriteBucketCsv(const std::vector<double>& colt_buckets,
 Status MaybeWriteCsvFile(const std::string& dir, const std::string& name,
                          const std::function<Status(std::ostream&)>& writer);
 
+/// Writes a live-introspection export directory (DESIGN.md §13), the
+/// on-disk contract read by tools/colt_explain and tools/colt_top:
+///   provenance.jsonl — the run's decision-provenance event stream;
+///   metrics.prom     — Prometheus text exposition of `final_snapshot`
+///                      plus the flight recorder's event counters;
+///   epoch_NNNN.jsonl — one metrics snapshot per epoch that captured one
+///                      (ColtConfig::epoch_metrics_snapshot).
+/// The directory is created if missing (one level, like a state dir).
+Status WriteObservabilityDir(const std::string& dir, const ColtRunResult& run,
+                             const MetricsSnapshot& final_snapshot);
+
 }  // namespace colt
 
 #endif  // COLT_HARNESS_REPORT_H_

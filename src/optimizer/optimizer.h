@@ -36,6 +36,11 @@ struct PlanResult {
 struct IndexGain {
   IndexId index = kInvalidIndexId;
   double gain = 0.0;
+  /// True when the gain was answered from the frozen what-if plan cache
+  /// without issuing an optimizer call (the Profiler's owner-side probe
+  /// short-circuit, DESIGN.md §11). Advisory provenance only — the value
+  /// itself is bit-identical either way.
+  bool from_cache = false;
 };
 
 /// Cumulative optimizer statistics (profiling-overhead accounting).

@@ -1,0 +1,10 @@
+// Fixture: provenance event names must be dotted snake_case literals,
+// like metric names — a CamelCase name, an undotted name, and a
+// non-literal; three findings. (Never compiled, only linted.)
+#include <string>
+
+void Emit(Rec& rec, const std::string& dynamic) {
+  rec.RecordEvent("Scheduler.Install");
+  rec.RecordEvent("install");
+  rec.RecordEvent(dynamic);
+}

@@ -73,6 +73,8 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"iostream_include.cc", "src/core/bad.cc", "iostream", 1},
         FixtureCase{"metric_name_bad.cc", "src/core/bad.cc", "metric-name",
                     3},
+        FixtureCase{"provenance_event_name_bad.cc", "src/core/bad.cc",
+                    "metric-name", 3},
         FixtureCase{"unchecked_file_io.cc", "src/core/bad.cc",
                     "unchecked-file-io", 3},
         FixtureCase{"whitespace_bad.cc", "src/core/bad.cc", "whitespace", 3},
@@ -110,6 +112,16 @@ TEST(LintFileIoTest, PersistLayerIsExempt) {
   // file-I/O layer.
   const auto violations = colt_lint::LintFileContent(
       "src/common/persist/checkpoint.cc", ReadFixture("unchecked_file_io.cc"));
+  EXPECT_TRUE(violations.empty())
+      << "first: " << violations[0].ToString();
+}
+
+TEST(LintMetricNameTest, ProvenanceImplementationIsExempt) {
+  // The recorder implementation takes event names as parameters, like the
+  // metrics registry; the literal rule applies at emission sites only.
+  const auto violations = colt_lint::LintFileContent(
+      "src/common/provenance.cc",
+      ReadFixture("provenance_event_name_bad.cc"));
   EXPECT_TRUE(violations.empty())
       << "first: " << violations[0].ToString();
 }

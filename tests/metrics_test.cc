@@ -254,6 +254,38 @@ TEST(SnapshotTest, FormatDiffShowsCounterDeltas) {
   EXPECT_NE(diff.find("+32"), std::string::npos);
 }
 
+TEST(SnapshotTest, FromJsonlRejectsTrailingGarbage) {
+  // A valid snapshot line with junk appended must not parse: silently
+  // accepting it would let a truncated/concatenated export pass as clean.
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("colt.queries")->Add(7);
+  const std::string good = registry.Snapshot().ToJsonl();
+  ASSERT_FALSE(good.empty());
+  EXPECT_FALSE(MetricsSnapshot::FromJsonl(good + "tail").ok());
+  std::string mid_line = good;
+  mid_line.insert(mid_line.size() - 1, " extra");
+  EXPECT_FALSE(MetricsSnapshot::FromJsonl(mid_line).ok());
+}
+
+TEST(SnapshotTest, PrometheusTextExposesAllFamilies) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("colt.queries")->Add(42);
+  registry.GetGauge("colt.budget_utilization")->Set(0.5);
+  registry.GetHistogram("colt.on_query.seconds")->Record(0.001);
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE colt_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("colt_queries_total 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE colt_budget_utilization gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE colt_on_query_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("colt_on_query_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"} 1"), std::string::npos);
+}
+
 #endif  // COLT_DISABLE_METRICS
 
 }  // namespace

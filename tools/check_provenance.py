@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validates a decision-provenance JSONL export (DESIGN.md §13).
+
+Usage: check_provenance.py <provenance.jsonl | export-dir>
+
+Checks, per line:
+  * the line parses as a JSON object;
+  * the required keys id/ep/q/name are present with the right types;
+  * decision ids are strictly increasing in stream order;
+  * event names are dotted snake_case (at least two dot-separated
+    [a-z0-9_]+ segments, the same rule colt_lint enforces at the
+    emission sites);
+  * epochs are non-decreasing (the stream is in decision order);
+  * optional index/cluster fields are integers and attrs is an object.
+
+Exits 0 with a one-line summary on success, 1 with the offending line
+number and reason on the first violation. Stdlib only.
+"""
+
+import json
+import os
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+
+def fail(lineno, reason):
+    print(f"check_provenance: line {lineno}: {reason}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: check_provenance.py <provenance.jsonl | export-dir>",
+              file=sys.stderr)
+        return 2
+    path = argv[1]
+    if os.path.isdir(path):
+        path = os.path.join(path, "provenance.jsonl")
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"check_provenance: {e}", file=sys.stderr)
+        return 1
+
+    last_id = None
+    last_epoch = None
+    names = set()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            return fail(lineno, "blank line in JSONL stream")
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as e:
+            return fail(lineno, f"invalid JSON: {e}")
+        if not isinstance(event, dict):
+            return fail(lineno, "line is not a JSON object")
+        for key, typ in (("id", int), ("ep", int), ("q", int), ("name", str)):
+            if key not in event:
+                return fail(lineno, f"missing required key {key!r}")
+            if not isinstance(event[key], typ) or isinstance(event[key], bool):
+                return fail(lineno, f"key {key!r} is not {typ.__name__}")
+        if last_id is not None and event["id"] <= last_id:
+            return fail(lineno,
+                        f"decision id {event['id']} not above {last_id}")
+        last_id = event["id"]
+        if not NAME_RE.match(event["name"]):
+            return fail(lineno,
+                        f"event name {event['name']!r} is not dotted "
+                        "snake_case")
+        names.add(event["name"])
+        if last_epoch is not None and event["ep"] < last_epoch:
+            return fail(lineno,
+                        f"epoch {event['ep']} regresses below {last_epoch}")
+        last_epoch = event["ep"]
+        for key in ("index", "cluster"):
+            if key in event and (not isinstance(event[key], int)
+                                 or isinstance(event[key], bool)):
+                return fail(lineno, f"key {key!r} is not int")
+        if "attrs" in event and not isinstance(event["attrs"], dict):
+            return fail(lineno, "attrs is not an object")
+
+    print(f"check_provenance: OK — {len(lines)} events, "
+          f"{len(names)} distinct names")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,143 @@
+// Answers "why does index I exist / not exist at epoch E" from a
+// decision-provenance export (DESIGN.md §13).
+//
+//   colt_explain <dir|provenance.jsonl>               list indexes seen
+//   colt_explain <dir|...> --index=I [--epoch=E]      timeline + verdict
+//
+// The input is an observability export directory written by the fig
+// benches' --obs-dir flag (its provenance.jsonl is read) or a bare
+// provenance JSONL file. With --index, prints that index's decision
+// timeline and the replayed state as of the end of --epoch (default:
+// the last epoch in the stream). Exits nonzero on unreadable or
+// malformed input and on an index with no recorded events.
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/provenance.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+// A directory argument means "its provenance.jsonl".
+std::string ResolveInput(const std::string& arg) {
+  struct stat st;
+  if (::stat(arg.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    return arg + "/provenance.jsonl";
+  }
+  return arg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  int64_t index = -1;
+  int64_t epoch = -1;
+  bool have_index = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--index=", 8) == 0) {
+      index = std::atoll(argv[i] + 8);
+      have_index = true;
+    } else if (std::strncmp(argv[i], "--epoch=", 8) == 0) {
+      epoch = std::atoll(argv[i] + 8);
+    } else if (input.empty()) {
+      input = argv[i];
+    } else {
+      std::fprintf(stderr, "colt_explain: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr,
+                 "usage: colt_explain <dir|provenance.jsonl> "
+                 "[--index=I] [--epoch=E]\n");
+    return 2;
+  }
+
+  const std::string path = ResolveInput(input);
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "colt_explain: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  auto parsed = colt::ProvenanceFromJsonl(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "colt_explain: %s: %s\n", path.c_str(),
+                 parsed.status().message().c_str());
+    return 1;
+  }
+  const std::vector<colt::ProvenanceEvent>& events = parsed.value();
+  int64_t last_epoch = 0;
+  for (const auto& e : events) last_epoch = std::max(last_epoch, e.epoch);
+
+  if (!have_index) {
+    // Index census: which indexes the stream talks about, and where each
+    // ended up — the menu for a follow-up --index query.
+    std::map<int64_t, int64_t> events_per_index;
+    for (const auto& e : events) {
+      if (e.index >= 0) ++events_per_index[e.index];
+    }
+    std::printf("%zu events, %zu epochs (0..%" PRId64 "), %zu indexes\n",
+                events.size(), static_cast<size_t>(last_epoch + 1),
+                last_epoch, events_per_index.size());
+    std::printf("%8s %8s %14s %-24s %s\n", "index", "events", "state",
+                "last action", "cause");
+    for (const auto& [id, count] : events_per_index) {
+      const colt::IndexEpochState state =
+          colt::ExplainIndexAtEpoch(events, id, last_epoch);
+      std::printf("%8" PRId64 " %8" PRId64 " %14s %-24s %s\n", id, count,
+                  state.materialized ? "materialized" : "absent",
+                  state.last_action.empty() ? "-" : state.last_action.c_str(),
+                  state.last_cause.empty() ? "-" : state.last_cause.c_str());
+    }
+    return 0;
+  }
+
+  const std::vector<colt::ProvenanceEvent> timeline =
+      colt::BuildIndexTimeline(events, index);
+  if (timeline.empty()) {
+    std::fprintf(stderr,
+                 "colt_explain: no events for index %" PRId64 " in %s\n",
+                 index, path.c_str());
+    return 1;
+  }
+  if (epoch < 0) epoch = last_epoch;
+
+  std::printf("index %" PRId64 ": %zu events\n", index, timeline.size());
+  std::fputs(colt::FormatIndexTimeline(timeline).c_str(), stdout);
+
+  const colt::IndexEpochState state =
+      colt::ExplainIndexAtEpoch(events, index, epoch);
+  std::printf("\nas of end of epoch %" PRId64 ": index %" PRId64 " is %s%s\n",
+              epoch, index, state.materialized ? "MATERIALIZED" : "ABSENT",
+              state.hot ? " (hot)" : "");
+  if (state.last_action.empty()) {
+    std::printf("  no install/drop decision recorded up to this epoch\n");
+  } else {
+    std::printf("  because of %s (decision #%" PRId64 ", epoch %" PRId64
+                "%s%s, net benefit %.6f at decision time)\n",
+                state.last_action.c_str(), state.last_action_id,
+                state.last_action_epoch,
+                state.last_cause.empty() ? "" : ", cause ",
+                state.last_cause.c_str(), state.last_net_benefit);
+  }
+  return 0;
+}

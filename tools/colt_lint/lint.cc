@@ -459,11 +459,16 @@ void CheckMetricNames(const std::string& path, const std::string& original,
                       const std::string& stripped,
                       std::vector<Violation>* out) {
   if (StartsWith(path, "src/common/metrics") ||
-      StartsWith(path, "src/common/tracing")) {
-    return;  // the registry/tracer implementation takes names as parameters
+      StartsWith(path, "src/common/tracing") ||
+      StartsWith(path, "src/common/provenance")) {
+    return;  // the registry/tracer/recorder implementations take names as
+             // parameters
   }
+  // RecordEvent is the provenance emission point; event names follow the
+  // metric-name contract (dotted snake_case literals) so the decision
+  // taxonomy is greppable and stable across PRs.
   static const std::regex kCall(
-      R"((GetCounter|GetGauge|GetHistogram|StartSpan)\s*\()");
+      R"((GetCounter|GetGauge|GetHistogram|StartSpan|RecordEvent)\s*\()");
   static const std::regex kMetricName(R"([a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+)");
   static const std::regex kSpanName(R"([a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*)");
   for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(),

@@ -1,0 +1,150 @@
+// Terminal live view of a tuner's observability export (DESIGN.md §13):
+// a `top`-style screen summarizing the decision-provenance stream and the
+// latest per-epoch metrics snapshot of a directory written by the fig
+// benches' --obs-dir flag (or by any harness using WriteObservabilityDir).
+//
+//   colt_top <dir>            refresh every second until interrupted
+//   colt_top <dir> --once     render one frame and exit (CI mode)
+//
+// Each frame shows: event totals by name, the tail of the decision
+// stream, and the top counters of the newest epoch_NNNN.jsonl snapshot.
+// The directory is re-read every frame, so a concurrently running bench
+// can be watched live. Exits nonzero when the directory or its
+// provenance.jsonl is unreadable or malformed.
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/provenance.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+// Newest epoch snapshot name in `dir`, empty when none exist.
+std::string NewestEpochSnapshot(const std::string& dir) {
+  std::string newest;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return newest;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("epoch_", 0) == 0 &&
+        name.size() > 6 + 6 &&
+        name.compare(name.size() - 6, 6, ".jsonl") == 0 && name > newest) {
+      newest = name;
+    }
+  }
+  ::closedir(d);
+  return newest;
+}
+
+// One frame. Returns false (with a message on stderr) on bad input.
+bool RenderFrame(const std::string& dir) {
+  std::string text;
+  if (!ReadFile(dir + "/provenance.jsonl", &text)) {
+    std::fprintf(stderr, "colt_top: cannot read %s/provenance.jsonl\n",
+                 dir.c_str());
+    return false;
+  }
+  auto parsed = colt::ProvenanceFromJsonl(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "colt_top: %s\n",
+                 parsed.status().message().c_str());
+    return false;
+  }
+  const std::vector<colt::ProvenanceEvent>& events = parsed.value();
+
+  int64_t last_epoch = 0;
+  std::vector<std::pair<std::string, int64_t>> by_name;
+  for (const auto& e : events) {
+    last_epoch = std::max(last_epoch, e.epoch);
+    bool found = false;
+    for (auto& [name, count] : by_name) {
+      if (name == e.name) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) by_name.emplace_back(e.name, 1);
+  }
+  std::sort(by_name.begin(), by_name.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  std::printf("colt_top — %s\n", dir.c_str());
+  std::printf("%zu decisions over %" PRId64 " epochs\n\n", events.size(),
+              last_epoch + 1);
+  std::printf("events by name:\n");
+  for (const auto& [name, count] : by_name) {
+    std::printf("  %-36s %8" PRId64 "\n", name.c_str(), count);
+  }
+
+  const size_t tail = std::min<size_t>(events.size(), 10);
+  std::printf("\nlast %zu decisions:\n", tail);
+  for (size_t i = events.size() - tail; i < events.size(); ++i) {
+    std::printf("  %s\n", colt::FormatProvenanceEvent(events[i]).c_str());
+  }
+
+  const std::string newest = NewestEpochSnapshot(dir);
+  if (!newest.empty()) {
+    std::string snap_text;
+    if (ReadFile(dir + "/" + newest, &snap_text)) {
+      const auto snap = colt::MetricsSnapshot::FromJsonl(snap_text);
+      if (snap.ok()) {
+        std::printf("\ncounters as of %s:\n", newest.c_str());
+        for (const auto& [name, value] : snap.value().counters) {
+          std::printf("  %-36s %8lld\n", name.c_str(),
+                      static_cast<long long>(value));
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else if (dir.empty()) {
+      dir = argv[i];
+    } else {
+      std::fprintf(stderr, "colt_top: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "usage: colt_top <export-dir> [--once]\n");
+    return 2;
+  }
+  if (once) return RenderFrame(dir) ? 0 : 1;
+  while (true) {
+    // ANSI home + clear-below keeps the frame stable like top(1).
+    std::printf("\x1b[H\x1b[J");
+    if (!RenderFrame(dir)) return 1;
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+}

@@ -1,15 +1,28 @@
 // Pretty-prints a metrics snapshot dump, or the diff between two dumps.
 //
-//   metrics_report <snapshot.jsonl>            render one snapshot
+//   metrics_report <snapshot.jsonl>              render one snapshot
 //   metrics_report <before.jsonl> <after.jsonl>  render after - before
+//   metrics_report --diff-dir <dir>              per-epoch time series
 //
 // Dumps are the JSONL format written by colt::MetricsSnapshot::ToJsonl()
-// (as exported by bench/fig5_overhead and the harness).
+// (as exported by bench/fig5_overhead and the harness). --diff-dir reads
+// an observability export directory (DESIGN.md §13) and renders the
+// epoch_NNNN.jsonl snapshots as a table: one row per counter, one column
+// per epoch, each cell the delta against the previous epoch (the first
+// column is absolute). Any malformed snapshot makes the exit code
+// nonzero.
 
+#include <dirent.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 
@@ -40,12 +53,84 @@ bool LoadSnapshot(const char* path, colt::MetricsSnapshot* out) {
   return true;
 }
 
+// Lexicographically sorted epoch_*.jsonl names in `dir` (epoch_%04d
+// zero-padding makes that epoch order).
+bool ListEpochSnapshots(const char* dir, std::vector<std::string>* out) {
+  DIR* d = ::opendir(dir);
+  if (d == nullptr) {
+    std::fprintf(stderr, "metrics_report: cannot open directory %s\n", dir);
+    return false;
+  }
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("epoch_", 0) == 0 &&
+        name.size() > 6 + 6 &&
+        name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+      out->push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end());
+  return true;
+}
+
+int DiffDir(const char* dir) {
+  std::vector<std::string> names;
+  if (!ListEpochSnapshots(dir, &names)) return 1;
+  if (names.empty()) {
+    std::fprintf(stderr, "metrics_report: no epoch_*.jsonl in %s\n", dir);
+    return 1;
+  }
+  std::vector<colt::MetricsSnapshot> snaps(names.size());
+  std::set<std::string> counter_names;
+  for (size_t i = 0; i < names.size(); ++i) {
+    const std::string path = std::string(dir) + "/" + names[i];
+    if (!LoadSnapshot(path.c_str(), &snaps[i])) return 1;
+    for (const auto& entry : snaps[i].counters) {
+      counter_names.insert(entry.first);
+    }
+  }
+
+  // Header: the epoch number embedded in each file name.
+  std::printf("%-44s", "counter (delta per epoch)");
+  for (const std::string& name : names) {
+    std::printf(" %10s", name.substr(6, name.size() - 6 - 6).c_str());
+  }
+  std::printf("\n");
+  auto counter_at = [&](size_t i, const std::string& name) {
+    const auto it = snaps[i].counters.find(name);
+    return it == snaps[i].counters.end() ? int64_t{0} : it->second;
+  };
+  for (const std::string& counter : counter_names) {
+    std::printf("%-44s", counter.c_str());
+    for (size_t i = 0; i < snaps.size(); ++i) {
+      const int64_t prev = i == 0 ? 0 : counter_at(i - 1, counter);
+      std::printf(" %10lld",
+                  static_cast<long long>(counter_at(i, counter) - prev));
+    }
+    std::printf("\n");
+  }
+
+  // Gauges are levels, not totals: show the final epoch's values.
+  if (!snaps.back().gauges.empty()) {
+    std::printf("\ngauge (final epoch)\n");
+    for (const auto& [name, value] : snaps.back().gauges) {
+      std::printf("%-44s %14.4f\n", name.c_str(), value);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--diff-dir") == 0) {
+    return DiffDir(argv[2]);
+  }
   if (argc != 2 && argc != 3) {
     std::fprintf(stderr,
-                 "usage: metrics_report <snapshot.jsonl> [after.jsonl]\n");
+                 "usage: metrics_report <snapshot.jsonl> [after.jsonl] | "
+                 "metrics_report --diff-dir <dir>\n");
     return 2;
   }
   colt::MetricsSnapshot first;
