@@ -9,6 +9,7 @@
 #include "catalog/types.h"
 #include "common/persist/serializer.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace colt {
 
@@ -132,13 +133,17 @@ class Catalog {
   /// mismatch as a miss, so invalidation is precise (DESIGN.md §11).
   /// Creating descriptors lazily (IndexOn) does NOT bump: a new descriptor
   /// cannot appear in any already-cached configuration.
-  uint64_t version() const { return version_; }
+  COLT_WORKER_SAFE uint64_t version() const { return version_; }
   /// Records a catalog change that can affect optimizer cost estimates.
-  void BumpVersion() { ++version_; }
+  /// Owner-only: version motion while workers Peek the what-if cache would
+  /// turn their hit/miss decisions schedule-dependent.
+  COLT_OWNER_ONLY void BumpVersion() { ++version_; }
   /// Overwrites the version counter with a persisted value. Recovery calls
   /// this LAST, after index rebuilds have bumped the live counter, so the
   /// restored run continues the exact counter sequence of the original.
-  void RestoreVersion(uint64_t version) { version_ = version; }
+  COLT_OWNER_ONLY void RestoreVersion(uint64_t version) {
+    version_ = version;
+  }
 
   /// Content hash of schemas + column statistics (not descriptors, not the
   /// version counter). Recovery uses it to verify that the restart rebuilt

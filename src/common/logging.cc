@@ -1,7 +1,8 @@
 #include "common/logging.h"
 
 #include <atomic>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace colt {
 
@@ -20,11 +21,10 @@ namespace internal_logging {
 void EmitLogLine(LogLevel /*level*/, const std::string& line) {
   // Leaky-singleton mutex: LogMessage runs from destructors during
   // shutdown, after function-local statics with destructors would have
-  // been torn down.
-  // colt-lint: allow(raw-new-delete): leaked on purpose so the mutex
-  // outlives every static destructor that may still log.
-  static std::mutex* mu = new std::mutex;
-  std::lock_guard<std::mutex> lock(*mu);
+  // been torn down. (colt::Mutex is trivially destructible in practice,
+  // but the leak keeps the sink valid under any libstdc++.)
+  static Mutex* mu = new Mutex;
+  MutexLock lock(mu);
   // One fputs of the complete line instead of fprintf("%s\n"): stderr is
   // unbuffered, so splitting the newline into a second write is exactly
   // the mid-line interleaving this sink exists to prevent.

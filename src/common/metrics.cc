@@ -1,9 +1,5 @@
 #include "common/metrics.h"
 
-// colt-lint: allow(raw-new-delete): Counter/Gauge/Histogram constructors are
-// private (friend MetricsRegistry), so std::make_unique cannot reach them;
-// every `new` below is adopted by a std::unique_ptr in the same expression.
-
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -189,6 +185,10 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
   if (it == counters_.end()) {
     it = counters_
              .emplace(std::string(name),
+                      // colt-lint: allow-next-line(raw-new-delete): the
+                      // Counter constructor is private (friend
+                      // MetricsRegistry), so make_unique cannot reach it;
+                      // the unique_ptr adopts in the same expression.
                       std::unique_ptr<Counter>(new Counter(&enabled_)))
              .first;
   }
@@ -200,6 +200,10 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
   if (it == gauges_.end()) {
     it = gauges_
              .emplace(std::string(name),
+                      // colt-lint: allow-next-line(raw-new-delete): the
+                      // Gauge constructor is private (friend
+                      // MetricsRegistry), so make_unique cannot reach it;
+                      // the unique_ptr adopts in the same expression.
                       std::unique_ptr<Gauge>(new Gauge(&enabled_)))
              .first;
   }
@@ -213,6 +217,10 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
     it = histograms_
              .emplace(std::string(name),
                       std::unique_ptr<Histogram>(
+                          // colt-lint: allow-next-line(raw-new-delete): the
+                          // Histogram constructor is private (friend
+                          // MetricsRegistry); the unique_ptr one line up
+                          // adopts it in the same expression.
                           new Histogram(&enabled_, std::move(options))))
              .first;
   }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace colt {
 
@@ -215,7 +216,9 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// The process-wide registry the tuning stack instruments against.
-  static MetricsRegistry& Default();
+  /// Owner-only: worker code instruments its per-worker registry, merged
+  /// at the epoch boundary in slot order (DESIGN.md §10).
+  COLT_OWNER_ONLY static MetricsRegistry& Default();
 
   bool enabled() const { return enabled_; }
   void set_enabled(bool enabled) { enabled_ = enabled; }
@@ -237,7 +240,7 @@ class MetricsRegistry {
   /// is left untouched; callers Reset() it to start the next epoch's
   /// buffer. The merge records regardless of either registry's enabled
   /// flag: it moves bookkeeping, it is not an instrumentation site.
-  void MergeFrom(const MetricsRegistry& other);
+  COLT_OWNER_ONLY void MergeFrom(const MetricsRegistry& other);
 
   MetricsSnapshot Snapshot() const;
 

@@ -29,6 +29,7 @@
 
 #include "common/persist/serializer.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace colt {
 
@@ -119,13 +120,15 @@ class ProvenanceRecorder {
   /// Starts a new event; annotate via the returned builder. The event
   /// name must be a dotted snake_case string literal at the call site
   /// (enforced by colt_lint, same policy as metric names).
-  EventBuilder RecordEvent(std::string_view name);
+  /// Owner-only: the flight recorder is single-writer; workers return data
+  /// and the owner records the decision (DESIGN.md §13).
+  COLT_OWNER_ONLY EventBuilder RecordEvent(std::string_view name);
 
   /// Folds another recorder's buffered events into this one, re-stamping
   /// decision ids in this recorder's sequence. Call at epoch boundaries
   /// in deterministic task order (per-worker-buffer rule, DESIGN.md §10);
   /// `other` is left empty.
-  void MergeFrom(ProvenanceRecorder* other);
+  COLT_OWNER_ONLY void MergeFrom(ProvenanceRecorder* other);
 
   /// Moves the buffered events out (oldest first). Lifetime counters and
   /// the id sequence survive, so a drained recorder keeps appending to

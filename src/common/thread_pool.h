@@ -1,19 +1,19 @@
 #ifndef COLT_COMMON_THREAD_POOL_H_
 #define COLT_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace colt {
 
@@ -58,9 +58,11 @@ class ThreadPool {
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
   /// Schedules `fn` and returns its future. Inline mode runs `fn` before
-  /// returning (the future is already ready).
+  /// returning (the future is already ready). Owner-only: tasks are
+  /// submitted by the tuning thread; workers never spawn sub-tasks (the
+  /// deterministic join order of DESIGN.md §10 assumes one submitter).
   template <typename Fn>
-  auto Submit(Fn fn) -> std::future<std::invoke_result_t<Fn&>> {
+  COLT_OWNER_ONLY auto Submit(Fn fn) -> std::future<std::invoke_result_t<Fn&>> {
     using R = std::invoke_result_t<Fn&>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
     std::future<R> future = task->get_future();
@@ -77,7 +79,7 @@ class ThreadPool {
   /// exception, by task index, is rethrown after all tasks finished
   /// executing, so a throwing Map never leaves tasks running.
   template <typename Fn>
-  auto Map(size_t task_count, Fn fn) -> std::vector<decltype(fn(size_t{0}))> {
+  COLT_OWNER_ONLY auto Map(size_t task_count, Fn fn) -> std::vector<decltype(fn(size_t{0}))> {
     using R = decltype(fn(size_t{0}));
     std::vector<std::future<R>> futures;
     futures.reserve(task_count);
@@ -93,8 +95,11 @@ class ThreadPool {
 
   /// Deterministic per-task RNG stream: a function of (parent_seed,
   /// task_index) only, so a task draws the same sequence no matter which
-  /// worker runs it — or whether a pool is involved at all.
-  static Rng TaskRng(uint64_t parent_seed, uint64_t task_index);
+  /// worker runs it — or whether a pool is involved at all. The one
+  /// sanctioned way for pool-executed code to obtain randomness (colt_lint
+  /// thread-role analyzer, DESIGN.md §14).
+  COLT_THREAD_NEUTRAL static Rng TaskRng(uint64_t parent_seed,
+                                         uint64_t task_index);
 
   /// std::thread::hardware_concurrency() with a floor of 1. Call sites
   /// outside this header use the wrapper so the `naked-thread` lint rule
@@ -102,13 +107,13 @@ class ThreadPool {
   static int HardwareConcurrency();
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> task) COLT_EXCLUDES(mu_);
+  void WorkerLoop() COLT_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ COLT_GUARDED_BY(mu_);
+  bool shutdown_ COLT_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

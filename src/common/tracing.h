@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace colt {
 
@@ -53,8 +54,10 @@ class Tracer {
 
   /// The calling thread's tracer (thread-local). The main thread's
   /// instance is the one the tuning stack configures and harnesses export
-  /// from; pool workers see a private, default-disabled instance.
-  static Tracer& Default();
+  /// from; pool workers see a private, default-disabled instance — which
+  /// is what makes this Default() (unlike MetricsRegistry::Default())
+  /// safe to touch from worker tasks.
+  COLT_WORKER_SAFE static Tracer& Default();
 
   bool enabled() const { return enabled_; }
   void set_enabled(bool enabled) { enabled_ = enabled; }

@@ -10,6 +10,7 @@
 #include "common/persist/checkpoint.h"
 #include "common/persist/serializer.h"
 #include "common/provenance.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/candidates.h"
 #include "core/clustering.h"
@@ -106,7 +107,7 @@ class ColtTuner {
 
   /// Observes (and "executes") one query; returns everything needed for
   /// timeline accounting.
-  TuningStep OnQuery(const Query& q);
+  COLT_OWNER_ONLY TuningStep OnQuery(const Query& q);
 
   const IndexConfiguration& materialized() const {
     return scheduler_.materialized();
@@ -180,12 +181,12 @@ class ColtTuner {
 
   /// Serializes the complete tuning state; only meaningful at an epoch
   /// boundary (OnQuery checkpoints there automatically). Exposed for tests.
-  void SaveState(BinaryWriter* writer) const;
+  COLT_OWNER_ONLY void SaveState(BinaryWriter* writer) const;
   /// Restores state saved by SaveState. Fails with kFailedPrecondition —
   /// before mutating anything — when the snapshot's config or catalog
   /// fingerprint differs from this tuner's, or when the tuner has already
   /// observed queries.
-  Status LoadState(BinaryReader* reader);
+  COLT_OWNER_ONLY Status LoadState(BinaryReader* reader);
 
   /// Installs the crash hook invoked when an injected persist crash point
   /// fires (benches install _Exit to die for real). No-op when persistence

@@ -10,6 +10,7 @@
 #include "common/persist/serializer.h"
 #include "common/provenance.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/candidates.h"
 #include "core/clustering.h"
@@ -75,11 +76,11 @@ class Profiler {
   /// optimized plan under `materialized`; `whatif_used` is the epoch's
   /// running what-if counter (#WI_cur), updated in place against
   /// `whatif_limit` (#WI_lim).
-  ProfileOutcome ProfileQuery(const Query& q, const PlanResult& plan,
-                              const IndexConfiguration& materialized,
-                              const std::vector<IndexId>& hot_set,
-                              int whatif_limit, int* whatif_used,
-                              int current_epoch);
+  COLT_OWNER_ONLY ProfileOutcome ProfileQuery(
+      const Query& q, const PlanResult& plan,
+      const IndexConfiguration& materialized,
+      const std::vector<IndexId>& hot_set, int whatif_limit,
+      int* whatif_used, int current_epoch);
 
   /// Queries of the in-progress epoch, per cluster, in which a given
   /// materialized index was used by the normal plan (drives BenefitM).
@@ -90,7 +91,7 @@ class Profiler {
   /// merge point of the per-worker-buffer rule, DESIGN.md §10), and merges
   /// the per-worker what-if cache segments into the frozen cross-epoch
   /// cache in canonical sorted-key order (DESIGN.md §11).
-  void AdvanceEpoch();
+  COLT_OWNER_ONLY void AdvanceEpoch();
 
   /// The frozen cross-epoch what-if cache, or null when
   /// ColtConfig::whatif_cache_bytes == 0 (exposed for tests and tools).

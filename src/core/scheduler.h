@@ -15,6 +15,7 @@
 #include "common/persist/serializer.h"
 #include "common/provenance.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/config.h"
 #include "optimizer/cost_model.h"
@@ -97,7 +98,7 @@ class Scheduler {
   /// labels the install/drop provenance events with what triggered the
   /// transition ("reorg" for ordinary epoch-end reorganizations,
   /// "emergency" for budget-shrink evictions).
-  Result<std::vector<IndexAction>> ApplyConfiguration(
+  COLT_OWNER_ONLY Result<std::vector<IndexAction>> ApplyConfiguration(
       const IndexConfiguration& desired, std::string_view cause = "reorg");
 
   /// kIdleTime only: spends `seconds` of idle time on the build queue
@@ -106,7 +107,7 @@ class Scheduler {
   /// when `seconds` is 0. A build whose final Materialize fails is removed
   /// from the queue (its idle work is lost) and handed to the
   /// retry/backoff machinery.
-  Result<std::vector<IndexAction>> OnIdle(double seconds);
+  COLT_OWNER_ONLY Result<std::vector<IndexAction>> OnIdle(double seconds);
 
   const IndexConfiguration& materialized() const { return materialized_; }
 

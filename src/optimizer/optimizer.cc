@@ -418,6 +418,10 @@ double QueryOptimizer::CachedCost(
     version = catalog_->version();
     key = WhatIfCacheKey{qhash, config.Signature()};
     if (segment_cache_ != nullptr) {
+      // colt-lint: allow-next-line(thread-role): segment_cache_ is this
+      // worker's private fresh-entry segment (one per pool slot, no
+      // sharing); owner-only Lookup guards the shared frozen cache's
+      // LRU-touch path, which workers reach via Peek instead.
       if (const CachedPlanCost* e = segment_cache_->Lookup(key, version)) {
         metrics_.cache_hits->Increment();
         return e->cost;

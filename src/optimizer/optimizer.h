@@ -8,6 +8,7 @@
 
 #include "catalog/catalog.h"
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
 #include "query/query.h"
@@ -79,9 +80,13 @@ class QueryOptimizer {
   /// `materialized - {I}` and `materialized + {I}` (so: the savings I is
   /// responsible for, whether or not I is currently materialized).
   /// Each probed index counts as one what-if call in stats().
-  std::vector<IndexGain> WhatIfOptimize(const Query& q,
-                                        const IndexConfiguration& materialized,
-                                        const std::vector<IndexId>& probation);
+  /// Worker-safe: the profiler fans chunks of `probation` out to
+  /// worker-private optimizers; everything reached from here writes only
+  /// this optimizer's own state (memo, stats, metrics buffer, segment
+  /// cache) and reads the shared caches through const Peek paths.
+  COLT_WORKER_SAFE std::vector<IndexGain> WhatIfOptimize(
+      const Query& q, const IndexConfiguration& materialized,
+      const std::vector<IndexId>& probation);
 
   /// Crude, optimistic single-predicate gain Δcost(R, σ, I): sequential
   /// scan cost minus index-scan cost for evaluating σ via I, from standard
@@ -172,10 +177,9 @@ class QueryOptimizer {
   /// segment otherwise. `qhash` is QueryPlanSignature(q), hoisted by the
   /// caller so one WhatIfOptimize hashes the query once. Cached and
   /// computed costs are bit-identical (see QueryPlanSignature).
-  double CachedCost(const Query& q, uint64_t qhash,
-                    const IndexConfiguration& config,
-                    std::unordered_map<TableKey, AccessPath, TableKeyHash>*
-                        memo);
+  COLT_WORKER_SAFE double CachedCost(
+      const Query& q, uint64_t qhash, const IndexConfiguration& config,
+      std::unordered_map<TableKey, AccessPath, TableKeyHash>* memo);
 
   /// Join selectivity of the predicate set connecting `t` to tables in
   /// `mask`; also reports one usable equi-join predicate for index-NLJ.

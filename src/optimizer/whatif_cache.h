@@ -9,6 +9,7 @@
 
 #include "catalog/catalog.h"
 #include "common/persist/serializer.h"
+#include "common/thread_annotations.h"
 #include "query/query.h"
 
 namespace colt {
@@ -118,25 +119,28 @@ class WhatIfPlanCache {
   /// counts as an invalidation + miss and stays resident until the next
   /// merge prunes it — eager erasure would make LRU state depend on lookup
   /// patterns that differ across worker counts).
-  const CachedPlanCost* Lookup(const WhatIfCacheKey& key,
-                               uint64_t catalog_version);
+  COLT_OWNER_ONLY const CachedPlanCost* Lookup(const WhatIfCacheKey& key,
+                                               uint64_t catalog_version);
 
   /// Worker-safe lookup: no LRU motion, no stat mutation — genuinely const
   /// so concurrent Peeks during a fan-out are race-free by construction.
   /// `stale` (optional) reports that the key was present but invalidated,
   /// letting the caller count invalidations in its own metrics buffer.
-  const CachedPlanCost* Peek(const WhatIfCacheKey& key,
-                             uint64_t catalog_version,
-                             bool* stale = nullptr) const;
+  COLT_WORKER_SAFE const CachedPlanCost* Peek(const WhatIfCacheKey& key,
+                                              uint64_t catalog_version,
+                                              bool* stale = nullptr) const;
 
   /// Inserts (or refreshes) an entry at the LRU front, then evicts from the
-  /// LRU tail until the byte budget holds.
-  void Insert(const WhatIfCacheKey& key, const CachedPlanCost& value);
+  /// LRU tail until the byte budget holds. Worker-safe because workers only
+  /// ever insert into their own private segment cache (per-worker-buffer
+  /// rule); the shared frozen cache is reached through const Peek alone.
+  COLT_WORKER_SAFE void Insert(const WhatIfCacheKey& key,
+                               const CachedPlanCost& value);
 
   /// Appends every entry to `out` and clears the cache (stats are kept).
   /// Segment drain for the epoch-boundary merge; the caller sorts, so the
   /// internal iteration order never matters.
-  void DrainEntriesInto(
+  COLT_OWNER_ONLY void DrainEntriesInto(
       std::vector<std::pair<WhatIfCacheKey, CachedPlanCost>>* out);
 
   /// Epoch-boundary merge (owner thread, workers quiescent): prunes
@@ -146,7 +150,7 @@ class WhatIfPlanCache {
   /// deterministic function of (current contents, entry multiset, version),
   /// so the post-merge cache is identical no matter how the entries were
   /// distributed across worker segments.
-  MergeOutcome MergeFreshEntries(
+  COLT_OWNER_ONLY MergeOutcome MergeFreshEntries(
       std::vector<std::pair<WhatIfCacheKey, CachedPlanCost>> entries,
       uint64_t catalog_version);
 

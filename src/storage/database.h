@@ -7,6 +7,7 @@
 #include "catalog/catalog.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "index/btree.h"
 #include "storage/table_data.h"
 
@@ -35,11 +36,12 @@ class Database {
   /// Generates tuples for `table` (idempotent). When `refresh_stats` is
   /// true, replaces the analytic column statistics with exact statistics
   /// computed from the generated data.
-  Status MaterializeTable(TableId table, bool refresh_stats = false);
+  COLT_OWNER_ONLY Status MaterializeTable(TableId table,
+                                          bool refresh_stats = false);
 
   /// Materializes every table. At full Table 1 scale this allocates ~750 MB;
   /// intended for reduced-scale catalogs.
-  Status MaterializeAll(bool refresh_stats = false);
+  COLT_OWNER_ONLY Status MaterializeAll(bool refresh_stats = false);
 
   bool HasData(TableId table) const;
   /// Requires HasData(table).
@@ -48,7 +50,7 @@ class Database {
   /// Physically builds the index `id` (bulk load). Requires the owning
   /// table to be materialized. Idempotent. Equivalent to PrepareIndex
   /// followed by InstallIndex.
-  Status BuildIndex(IndexId id);
+  COLT_OWNER_ONLY Status BuildIndex(IndexId id);
 
   /// Stage 1 of a (possibly background) build: bulk-loads the B+-tree for
   /// `id` without registering it. Const and touching only the catalog and
@@ -57,15 +59,17 @@ class Database {
   /// provided no Materialize*/mutable_catalog call runs concurrently.
   /// Does NOT check whether `id` is already built (that read would race
   /// with the owner's installs); InstallIndex resolves duplicates.
-  Result<std::unique_ptr<BTreeIndex>> PrepareIndex(IndexId id) const;
+  COLT_WORKER_SAFE Result<std::unique_ptr<BTreeIndex>> PrepareIndex(
+      IndexId id) const;
 
   /// Stage 2: registers a tree staged by PrepareIndex. Owner thread only.
   /// Idempotent like BuildIndex — when `id` is already built the staged
   /// tree is discarded.
-  Status InstallIndex(IndexId id, std::unique_ptr<BTreeIndex> tree);
+  COLT_OWNER_ONLY Status InstallIndex(IndexId id,
+                                      std::unique_ptr<BTreeIndex> tree);
 
   /// Drops the physical index; OK even if not built.
-  void DropIndex(IndexId id);
+  COLT_OWNER_ONLY void DropIndex(IndexId id);
 
   bool HasBuiltIndex(IndexId id) const;
   /// Requires HasBuiltIndex(id).

@@ -1,0 +1,11 @@
+// Fixture (pairs with cross_file_use.cc): role annotations declared in one
+// file govern call sites in another.
+namespace colt {
+
+class SharedCatalog {
+ public:
+  COLT_OWNER_ONLY void BumpVersion();
+  COLT_WORKER_SAFE unsigned long version() const;
+};
+
+}  // namespace colt

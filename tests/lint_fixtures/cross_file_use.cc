@@ -1,0 +1,13 @@
+// Fixture (pairs with cross_file_decl.h): the worker-safe reader is clean,
+// the worker-safe writer trips on the owner-only BumpVersion.
+namespace colt {
+
+COLT_WORKER_SAFE unsigned long ReadVersion(SharedCatalog* catalog) {
+  return catalog->version();
+}
+
+COLT_WORKER_SAFE void Invalidate(SharedCatalog* catalog) {
+  catalog->BumpVersion();
+}
+
+}  // namespace colt

@@ -1,0 +1,13 @@
+// Fixture: a justified line-scoped suppression silences the one flagged
+// line (and only needs a comment block immediately above it).
+namespace colt {
+
+COLT_OWNER_ONLY void InstallIndexNow(int id);
+
+COLT_WORKER_SAFE void WarmCache(int id) {
+  // colt-lint: allow-next-line(thread-role): exercised by the self-test;
+  // the callee touches worker-private state only in this fixture.
+  InstallIndexNow(id);
+}
+
+}  // namespace colt

@@ -1,0 +1,7 @@
+// Fixture: the same function declared with two different thread roles.
+namespace colt {
+
+COLT_OWNER_ONLY void FlushSegments();
+COLT_WORKER_SAFE void FlushSegments();
+
+}  // namespace colt

@@ -1,0 +1,6 @@
+// Fixture: a thread-role annotation on something that is not a function.
+namespace colt {
+
+COLT_OWNER_ONLY int g_active_epoch = 0;
+
+}  // namespace colt

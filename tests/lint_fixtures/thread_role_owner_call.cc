@@ -1,0 +1,11 @@
+// Fixture: a COLT_WORKER_SAFE function calling an owner-only API directly.
+namespace colt {
+
+COLT_OWNER_ONLY void InstallIndexNow(int id);
+
+COLT_WORKER_SAFE double ProbeGain(int id) {
+  InstallIndexNow(id);
+  return 0.0;
+}
+
+}  // namespace colt

@@ -1,0 +1,14 @@
+// Fixture: allow-next-line silences exactly one line — the second
+// owner-only call still fails.
+namespace colt {
+
+COLT_OWNER_ONLY void InstallIndexNow(int id);
+
+COLT_WORKER_SAFE void WarmTwo(int id) {
+  // colt-lint: allow-next-line(thread-role): the first call is sanctioned
+  // by this fixture to prove the suppression is line-scoped.
+  InstallIndexNow(id);
+  InstallIndexNow(id + 1);
+}
+
+}  // namespace colt

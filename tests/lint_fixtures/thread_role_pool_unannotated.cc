@@ -1,0 +1,13 @@
+// Fixture: a lambda handed to ThreadPool::Submit calls a project function
+// that carries no thread-role annotation.
+namespace colt {
+
+double ComputeChunk(int base) {
+  return base * 2.0;
+}
+
+void FanOut(ThreadPool* pool) {
+  pool->Submit([] { return ComputeChunk(1); });
+}
+
+}  // namespace colt

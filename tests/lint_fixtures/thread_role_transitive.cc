@@ -1,0 +1,16 @@
+// Fixture: worker-safe code reaching an owner-only API through an
+// unannotated helper (transitive violation).
+namespace colt {
+
+COLT_OWNER_ONLY void BumpCatalogVersion();
+
+void RefreshHelper() {
+  BumpCatalogVersion();
+}
+
+COLT_WORKER_SAFE double EstimateCost() {
+  RefreshHelper();
+  return 1.0;
+}
+
+}  // namespace colt

@@ -1,0 +1,16 @@
+// Fixture: a const (read-path) worker-safe method mutating member state —
+// hidden shared-state write once the method runs on workers.
+namespace colt {
+
+class GainCache {
+ public:
+  COLT_WORKER_SAFE double Lookup(int key) const {
+    hits_ += 1;
+    return static_cast<double>(hits_ + key);
+  }
+
+ private:
+  mutable long hits_ = 0;
+};
+
+}  // namespace colt

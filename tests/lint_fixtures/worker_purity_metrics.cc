@@ -1,0 +1,9 @@
+// Fixture: a worker-safe function touches the global metrics registry
+// instead of a per-worker buffer.
+namespace colt {
+
+COLT_WORKER_SAFE void CountProbe() {
+  MetricsRegistry::Default().GetCounter("probe.count")->Increment();
+}
+
+}  // namespace colt

@@ -1,0 +1,10 @@
+// Fixture: a worker-safe function emits a provenance event; the flight
+// recorder is single-writer and owner-side only.
+namespace colt {
+
+COLT_WORKER_SAFE double ProbeAndRecord(ProvenanceRecorder* rec) {
+  rec->RecordEvent("probe.gain").Attr("gain", 1.0);
+  return 1.0;
+}
+
+}  // namespace colt

@@ -1,0 +1,10 @@
+// Fixture: a worker-safe function constructs a raw Rng instead of drawing
+// from a ThreadPool::TaskRng stream.
+namespace colt {
+
+COLT_WORKER_SAFE double SampleJitter(unsigned long seed) {
+  Rng rng(seed);
+  return rng.NextDouble();
+}
+
+}  // namespace colt

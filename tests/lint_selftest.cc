@@ -79,7 +79,27 @@ INSTANTIATE_TEST_SUITE_P(
                     "unchecked-file-io", 3},
         FixtureCase{"whitespace_bad.cc", "src/core/bad.cc", "whitespace", 3},
         FixtureCase{"suppression_unknown_rule.cc", "src/core/bad.cc",
-                    "bad-suppression", 1}),
+                    "bad-suppression", 1},
+        FixtureCase{"thread_role_owner_call.cc", "src/core/bad.cc",
+                    "thread-role", 1},
+        FixtureCase{"thread_role_transitive.cc", "src/core/bad.cc",
+                    "thread-role", 1},
+        FixtureCase{"thread_role_pool_unannotated.cc", "src/core/bad.cc",
+                    "thread-role", 1},
+        FixtureCase{"thread_role_conflict.cc", "src/core/bad.cc",
+                    "thread-role", 1},
+        FixtureCase{"thread_role_on_variable.cc", "src/core/bad.cc",
+                    "thread-role", 1},
+        FixtureCase{"thread_role_partial_suppression.cc", "src/core/bad.cc",
+                    "thread-role", 1},
+        FixtureCase{"worker_purity_provenance.cc", "src/core/bad.cc",
+                    "worker-purity", 1},
+        FixtureCase{"worker_purity_metrics.cc", "src/core/bad.cc",
+                    "worker-purity", 1},
+        FixtureCase{"worker_purity_rng.cc", "src/core/bad.cc",
+                    "worker-purity", 1},
+        FixtureCase{"worker_purity_member_write.cc", "src/core/bad.cc",
+                    "worker-purity", 1}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.fixture;
       return name.substr(0, name.find('.'));
@@ -100,11 +120,37 @@ TEST(LintSuppressionTest, MissingJustificationFailsAndDoesNotSilence) {
   EXPECT_EQ(RulesHit(violations), expected);
 }
 
+TEST(LintSuppressionTest, AllowNextLineSilencesExactlyThatLine) {
+  const auto violations = colt_lint::LintFileContent(
+      "src/core/bad.cc", ReadFixture("suppression_next_line_ok.cc"));
+  EXPECT_TRUE(violations.empty())
+      << "first: " << violations[0].ToString();
+}
+
 TEST(LintFalsePositiveTest, LegalConstructsProduceNoFindings) {
   const auto violations = colt_lint::LintFileContent(
       "src/core/ok.cc", ReadFixture("false_positive.cc"));
   EXPECT_TRUE(violations.empty())
       << "first: " << violations[0].ToString();
+}
+
+TEST(LintFalsePositiveTest, LegalRolePatternsProduceNoFindings) {
+  const auto violations = colt_lint::LintFileContent(
+      "src/core/ok.cc", ReadFixture("thread_role_false_positive.cc"));
+  EXPECT_TRUE(violations.empty())
+      << "first: " << violations[0].ToString();
+}
+
+TEST(LintCrossFileTest, RoleAnnotationsResolveAcrossFiles) {
+  const auto violations = colt_lint::LintFiles(
+      {{"src/optimizer/decl.h", ReadFixture("cross_file_decl.h")},
+       {"src/core/use.cc", ReadFixture("cross_file_use.cc")}});
+  ASSERT_EQ(violations.size(), 1u)
+      << "first: " << violations[0].ToString();
+  EXPECT_EQ(violations[0].file, "src/core/use.cc");
+  EXPECT_EQ(violations[0].rule, "thread-role");
+  EXPECT_NE(violations[0].message.find("BumpVersion"), std::string::npos)
+      << violations[0].message;
 }
 
 TEST(LintFileIoTest, PersistLayerIsExempt) {

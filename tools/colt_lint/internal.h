@@ -1,0 +1,71 @@
+#ifndef COLT_TOOLS_COLT_LINT_INTERNAL_H_
+#define COLT_TOOLS_COLT_LINT_INTERNAL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.h"
+
+/// Shared plumbing between the per-file rule engine (lint.cc) and the
+/// cross-file thread-role analyzer (thread_roles.cc): the comment/string
+/// stripping lexer and the suppression parser. Not part of the public
+/// lint.h surface.
+namespace colt_lint {
+namespace internal {
+
+/// One pass over a file producing
+///  - `stripped`: same length as the input, with comment text and the
+///    bodies of string/char literals replaced by spaces (quotes and
+///    newlines kept), so token rules never fire on prose;
+///  - the comment list (for suppression parsing).
+/// Offsets in `stripped` line up with offsets in the original.
+struct LexedFile {
+  std::string stripped;
+  struct Comment {
+    int line;
+    std::string text;
+  };
+  std::vector<Comment> comments;
+};
+
+LexedFile Lex(const std::string& src);
+
+/// 1-based line number of `offset` in `s`.
+int LineOfOffset(const std::string& s, size_t offset);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parsed suppression state of one file: file-wide allow(<rule>) plus
+/// line-scoped allow-next-line(<rule>) (which silences findings of that
+/// rule on the first code line after the comment block carrying it).
+struct Suppressions {
+  std::set<std::string> file_wide;
+  /// line -> rules silenced on exactly that line.
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Violation> errors;  // bad-suppression findings
+
+  bool Allows(const std::string& rule, int line) const {
+    if (file_wide.count(rule) > 0) return true;
+    const auto it = by_line.find(line);
+    return it != by_line.end() && it->second.count(rule) > 0;
+  }
+};
+
+Suppressions ParseSuppressions(const std::string& path,
+                               const LexedFile& lexed);
+
+/// Cross-file pass: enforces the thread-role contracts of
+/// src/common/thread_annotations.h (see DESIGN.md §14) over the whole
+/// corpus at once. `paths`, `stripped` are parallel arrays, one entry per
+/// file, in corpus order.
+std::vector<Violation> AnalyzeThreadRoles(
+    const std::vector<const std::string*>& paths,
+    const std::vector<const std::string*>& stripped);
+
+}  // namespace internal
+}  // namespace colt_lint
+
+#endif  // COLT_TOOLS_COLT_LINT_INTERNAL_H_

@@ -9,28 +9,17 @@
 #include <set>
 #include <sstream>
 
+#include "internal.h"
+
 namespace colt_lint {
-namespace {
-
-namespace fs = std::filesystem;
 
 // ---------------------------------------------------------------------------
-// Lexing: one pass over the file producing
-//  - `stripped`: same length as the input, with comment text and the bodies
-//    of string/char literals replaced by spaces (quotes and newlines kept),
-//    so token rules never fire on prose or on a rule's own pattern string;
-//  - the comment list (for suppression parsing).
-// Offsets in `stripped` therefore line up with offsets in the original.
+// Shared plumbing (colt_lint::internal): the lexer and the suppression
+// parser, used by both the per-file rules below and the cross-file
+// thread-role analyzer (thread_roles.cc).
 // ---------------------------------------------------------------------------
 
-struct LexedFile {
-  std::string stripped;
-  struct Comment {
-    int line;
-    std::string text;
-  };
-  std::vector<Comment> comments;
-};
+namespace internal {
 
 int LineOfOffset(const std::string& s, size_t offset) {
   return 1 + static_cast<int>(std::count(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(offset), '\n'));
@@ -154,6 +143,131 @@ LexedFile Lex(const std::string& src) {
   return out;
 }
 
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+
+// Splits a comma-separated rule list, validating ids; returns the known
+// ones and appends bad-suppression findings for the rest.
+std::set<std::string> ParseRuleList(const std::string& path, int line,
+                                    const std::string& rules,
+                                    const char* form,
+                                    std::vector<Violation>* errors) {
+  std::set<std::string> out;
+  std::stringstream ss(rules);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    const size_t b = rule.find_first_not_of(" \t");
+    const size_t e = rule.find_last_not_of(" \t");
+    rule = b == std::string::npos ? "" : rule.substr(b, e - b + 1);
+    if (!IsKnownRule(rule)) {
+      errors->push_back({path, line, "bad-suppression",
+                         "unknown rule '" + rule + "' in " + form + "()"});
+    } else {
+      out.insert(rule);
+    }
+  }
+  return out;
+}
+
+// Last line of the comment block containing a directive comment that
+// starts at `start_line`, where a "block" is the run of consecutive
+// comment-only lines (no code, no blank line in between). Wrapped
+// justifications therefore do not change which line the directive hits.
+int CommentBlockEnd(const internal::LexedFile& lexed, int start_line) {
+  // Lines with any code left after stripping: a trailing comment on a code
+  // line is its own one-line block.
+  std::set<int> code_lines;
+  {
+    int line = 1;
+    bool has_code = false;
+    for (const char c : lexed.stripped) {
+      if (c == '\n') {
+        if (has_code) code_lines.insert(line);
+        ++line;
+        has_code = false;
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        has_code = true;
+      }
+    }
+    if (has_code) code_lines.insert(line);
+  }
+  // First line -> last line of each comment.
+  std::map<int, int> comment_end;
+  for (const auto& comment : lexed.comments) {
+    const int newlines = static_cast<int>(
+        std::count(comment.text.begin(), comment.text.end(), '\n'));
+    auto [it, inserted] =
+        comment_end.emplace(comment.line, comment.line + newlines);
+    if (!inserted) it->second = std::max(it->second, comment.line + newlines);
+  }
+  int end = start_line;
+  const auto self = comment_end.find(start_line);
+  if (self != comment_end.end()) end = std::max(end, self->second);
+  for (;;) {
+    const auto next = comment_end.find(end + 1);
+    if (next == comment_end.end() || code_lines.count(end + 1) > 0) break;
+    end = std::max(end, next->second);
+  }
+  return end;
+}
+
+}  // namespace
+
+Suppressions ParseSuppressions(const std::string& path,
+                               const LexedFile& lexed) {
+  Suppressions out;
+  static const std::regex kAllow(
+      R"(colt-lint:\s*allow\(([^)]*)\)\s*(:?)\s*(.*))");
+  static const std::regex kAllowNextLine(
+      R"(colt-lint:\s*allow-next-line\(([^)]*)\)\s*(:?)\s*(.*))");
+  for (const auto& comment : lexed.comments) {
+    std::smatch m;
+    const bool next_line = std::regex_search(comment.text, m, kAllowNextLine);
+    if (!next_line && !std::regex_search(comment.text, m, kAllow)) continue;
+    const char* form = next_line ? "allow-next-line" : "allow";
+    const std::string rules = m[1];
+    const std::string colon = m[2];
+    std::string justification = m[3];
+    while (!justification.empty() && std::isspace(static_cast<unsigned char>(
+                                         justification.back()))) {
+      justification.pop_back();
+    }
+    if (colon.empty() || justification.empty()) {
+      out.errors.push_back(
+          {path, comment.line, "bad-suppression",
+           std::string(form) + "() requires a justification: "
+                               "// colt-lint: " +
+               form + "(<rule>): <why this is safe>"});
+      continue;
+    }
+    std::set<std::string> parsed =
+        ParseRuleList(path, comment.line, rules, form, &out.errors);
+    if (next_line) {
+      const int target = CommentBlockEnd(lexed, comment.line) + 1;
+      out.by_line[target].insert(parsed.begin(), parsed.end());
+    } else {
+      out.file_wide.insert(parsed.begin(), parsed.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace internal
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using internal::LexedFile;
+using internal::Lex;
+using internal::LineOfOffset;
+using internal::StartsWith;
+using internal::Suppressions;
+using internal::ParseSuppressions;
+
 // ---------------------------------------------------------------------------
 // Module DAG. A file in src/<module>/ may include its own module plus the
 // listed dependencies; anything else is an upward or sideways edge.
@@ -182,10 +296,6 @@ const std::map<std::string, std::set<std::string>>& ModuleDag() {
         "core", "baseline"}},
   };
   return kDag;
-}
-
-bool StartsWith(std::string_view s, std::string_view prefix) {
-  return s.substr(0, prefix.size()) == prefix;
 }
 
 // Repo-relative module of a src/ file, or "" if not under src/.
@@ -218,57 +328,6 @@ std::vector<Include> FindIncludes(const std::string& original,
     out.push_back({LineOfOffset(original, open),
                    original.substr(open + 1, end - open - 1),
                    original[open] == '<'});
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions: a file-scoped allow(<rule>) comment with a mandatory
-// justification (exact syntax in lint.h; not spelled out here so this
-// comment cannot satisfy its own parser).
-// ---------------------------------------------------------------------------
-
-struct Suppressions {
-  std::set<std::string> allowed;
-  std::vector<Violation> errors;  // bad-suppression findings
-};
-
-Suppressions ParseSuppressions(const std::string& path,
-                               const LexedFile& lexed) {
-  Suppressions out;
-  static const std::regex kAllow(
-      R"(colt-lint:\s*allow\(([^)]*)\)\s*(:?)\s*(.*))");
-  for (const auto& comment : lexed.comments) {
-    std::smatch m;
-    if (!std::regex_search(comment.text, m, kAllow)) continue;
-    const std::string rules = m[1];
-    const std::string colon = m[2];
-    std::string justification = m[3];
-    while (!justification.empty() && std::isspace(static_cast<unsigned char>(
-                                         justification.back()))) {
-      justification.pop_back();
-    }
-    if (colon.empty() || justification.empty()) {
-      out.errors.push_back(
-          {path, comment.line, "bad-suppression",
-           "allow() requires a justification: "
-           "// colt-lint: allow(<rule>): <why this is safe>"});
-      continue;
-    }
-    // Comma-separated rule list; every id must be real.
-    std::stringstream ss(rules);
-    std::string rule;
-    while (std::getline(ss, rule, ',')) {
-      const size_t b = rule.find_first_not_of(" \t");
-      const size_t e = rule.find_last_not_of(" \t");
-      rule = b == std::string::npos ? "" : rule.substr(b, e - b + 1);
-      if (!IsKnownRule(rule)) {
-        out.errors.push_back({path, comment.line, "bad-suppression",
-                              "unknown rule '" + rule + "' in allow()"});
-      } else {
-        out.allowed.insert(rule);
-      }
-    }
   }
   return out;
 }
@@ -583,7 +642,8 @@ const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
       "layering",     "status-discard", "determinism",
       "raw-new-delete", "naked-thread", "iostream",
-      "metric-name",  "unchecked-file-io", "whitespace"};
+      "metric-name",  "thread-role",   "worker-purity",
+      "unchecked-file-io", "whitespace"};
   return kRules;
 }
 
@@ -592,26 +652,56 @@ bool IsKnownRule(std::string_view rule) {
   return std::find(rules.begin(), rules.end(), rule) != rules.end();
 }
 
-std::vector<Violation> LintFileContent(const std::string& path,
-                                       const std::string& content) {
-  const LexedFile lexed = Lex(content);
-  const Suppressions sup = ParseSuppressions(path, lexed);
-
+std::vector<Violation> LintFiles(const std::vector<FileContent>& files) {
+  // Per-file: lex once, run the single-file rules, remember the stripped
+  // view and suppressions for the cross-file pass.
+  std::vector<LexedFile> lexed;
+  std::vector<Suppressions> sups;
+  lexed.reserve(files.size());
+  sups.reserve(files.size());
+  std::vector<Violation> out;
   std::vector<Violation> raw;
-  CheckLayering(path, content, lexed.stripped, &raw);
-  CheckStatusDiscard(path, lexed.stripped, &raw);
-  CheckDeterminism(path, lexed.stripped, &raw);
-  CheckRawNewDelete(path, lexed.stripped, &raw);
-  CheckNakedThread(path, lexed.stripped, &raw);
-  CheckIostream(path, content, lexed.stripped, &raw);
-  CheckMetricNames(path, content, lexed.stripped, &raw);
-  CheckUncheckedFileIo(path, lexed.stripped, &raw);
-  CheckWhitespace(path, content, &raw);
-
-  std::vector<Violation> out = sup.errors;
-  for (auto& v : raw) {
-    if (sup.allowed.count(v.rule) == 0) out.push_back(std::move(v));
+  for (const FileContent& file : files) {
+    lexed.push_back(Lex(file.content));
+    sups.push_back(ParseSuppressions(file.path, lexed.back()));
+    const std::string& stripped = lexed.back().stripped;
+    raw.clear();
+    CheckLayering(file.path, file.content, stripped, &raw);
+    CheckStatusDiscard(file.path, stripped, &raw);
+    CheckDeterminism(file.path, stripped, &raw);
+    CheckRawNewDelete(file.path, stripped, &raw);
+    CheckNakedThread(file.path, stripped, &raw);
+    CheckIostream(file.path, file.content, stripped, &raw);
+    CheckMetricNames(file.path, file.content, stripped, &raw);
+    CheckUncheckedFileIo(file.path, stripped, &raw);
+    CheckWhitespace(file.path, file.content, &raw);
+    const Suppressions& sup = sups.back();
+    out.insert(out.end(), sup.errors.begin(), sup.errors.end());
+    for (auto& v : raw) {
+      if (!sup.Allows(v.rule, v.line)) out.push_back(std::move(v));
+    }
   }
+
+  // Cross-file: the thread-role analyzer sees the whole corpus at once, so
+  // a role declared in a header binds call sites in every translation unit.
+  std::map<std::string, size_t> index_of;
+  std::vector<const std::string*> paths;
+  std::vector<const std::string*> stripped;
+  paths.reserve(files.size());
+  stripped.reserve(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    index_of[files[i].path] = i;
+    paths.push_back(&files[i].path);
+    stripped.push_back(&lexed[i].stripped);
+  }
+  for (auto& v : internal::AnalyzeThreadRoles(paths, stripped)) {
+    const auto it = index_of.find(v.file);
+    if (it != index_of.end() && sups[it->second].Allows(v.rule, v.line)) {
+      continue;
+    }
+    out.push_back(std::move(v));
+  }
+
   std::sort(out.begin(), out.end(), [](const Violation& a,
                                        const Violation& b) {
     return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
@@ -619,8 +709,13 @@ std::vector<Violation> LintFileContent(const std::string& path,
   return out;
 }
 
+std::vector<Violation> LintFileContent(const std::string& path,
+                                       const std::string& content) {
+  return LintFiles({{path, content}});
+}
+
 std::vector<Violation> LintTree(const std::string& root) {
-  std::vector<Violation> out;
+  std::vector<FileContent> files;
   const fs::path base(root);
   for (const char* top : {"src", "bench", "tests", "tools"}) {
     const fs::path dir = base / top;
@@ -640,20 +735,16 @@ std::vector<Violation> LintTree(const std::string& root) {
       std::ifstream in(it->path(), std::ios::binary);
       std::stringstream buffer;
       buffer << in.rdbuf();
-      const std::string rel =
-          fs::relative(it->path(), base).generic_string();
-      std::vector<Violation> file_violations =
-          LintFileContent(rel, buffer.str());
-      out.insert(out.end(),
-                 std::make_move_iterator(file_violations.begin()),
-                 std::make_move_iterator(file_violations.end()));
+      files.push_back(
+          {fs::relative(it->path(), base).generic_string(), buffer.str()});
     }
   }
-  std::sort(out.begin(), out.end(), [](const Violation& a,
-                                       const Violation& b) {
-    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
-  });
-  return out;
+  // Deterministic corpus order regardless of directory iteration order.
+  std::sort(files.begin(), files.end(),
+            [](const FileContent& a, const FileContent& b) {
+              return a.path < b.path;
+            });
+  return LintFiles(files);
 }
 
 }  // namespace colt_lint

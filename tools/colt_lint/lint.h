@@ -11,10 +11,13 @@
 /// tokens inside strings or comments never fire.
 ///
 /// Deliberately NOT a real C++ front end: every rule is a structural
-/// pattern that survives formatting churn, and every rule has a file-scoped
-/// escape hatch — a comment of the form "colt-lint" + ": allow(<rule>):
-/// <justification>" — so a false positive costs one documented comment,
-/// not a redesign of the tool.
+/// pattern that survives formatting churn, and every rule has an escape
+/// hatch — a comment of the form "colt-lint" + ": allow(<rule>):
+/// <justification>" (file-wide) or "colt-lint" + ": allow-next-line(<rule>):
+/// <justification>" (silences the first code line after the comment block)
+/// — so a false positive costs one documented comment, not a redesign of
+/// the tool. Prefer the line-scoped form: it cannot hide an unrelated
+/// violation added later in the same file.
 namespace colt_lint {
 
 /// One finding. Formats as "file:line: rule: message".
@@ -44,17 +47,44 @@ struct Violation {
 ///                    excepted); harness and CLIs print via <ostream>.
 /// - metric-name:     GetCounter/GetGauge/GetHistogram names are dotted
 ///                    snake_case literals; StartSpan names snake_case.
+/// - thread-role:     cross-file call-graph pass over the COLT_OWNER_ONLY /
+///                    COLT_WORKER_SAFE / COLT_THREAD_NEUTRAL annotations
+///                    (src/common/thread_annotations.h): worker-safe and
+///                    thread-neutral functions must not call owner-only
+///                    APIs, pool-submitted lambdas may only call annotated
+///                    worker-safe/neutral project functions, and one
+///                    function may not carry two different roles.
+/// - worker-purity:   inside worker-safe/neutral bodies and pool lambdas:
+///                    no provenance emission (RecordEvent), no
+///                    MetricsRegistry::Default(), no randomness outside
+///                    ThreadPool::TaskRng, no const_cast, no mutable
+///                    static locals, and no member writes from
+///                    const-qualified (Peek-style) read paths.
 /// - whitespace:      no tabs, trailing whitespace, CR line endings, or
 ///                    missing final newline.
-/// - bad-suppression: malformed or unjustified allow() comment.
+/// - bad-suppression: malformed or unjustified allow() /
+///                    allow-next-line() comment.
 const std::vector<std::string>& AllRules();
 
 /// True if `rule` is a known rule id (excluding bad-suppression, which
 /// cannot be suppressed).
 bool IsKnownRule(std::string_view rule);
 
-/// Lints one file's contents. `path` is the repo-relative path (forward
-/// slashes); it decides which rules and exceptions apply.
+/// One in-memory file for LintFiles. `path` is the repo-relative path
+/// (forward slashes); it decides which rules and exceptions apply.
+struct FileContent {
+  std::string path;
+  std::string content;
+};
+
+/// Lints a corpus of files together: every per-file rule on each file,
+/// plus the cross-file thread-role analysis over the whole corpus (the
+/// analyzer's symbol table and call graph span all of `files`, so roles
+/// declared in one file bind definitions and call sites in another).
+/// Violations are sorted by (file, line, rule).
+std::vector<Violation> LintFiles(const std::vector<FileContent>& files);
+
+/// Lints one file's contents: LintFiles with a single-file corpus.
 std::vector<Violation> LintFileContent(const std::string& path,
                                        const std::string& content);
 

@@ -1,13 +1,17 @@
 /// colt_lint CLI: walks a repository checkout and enforces the project
-/// invariants described in DESIGN.md §9. Exit code 0 means clean; 1 means
-/// at least one violation (printed as "file:line: rule: message"); 2 means
-/// usage error.
+/// invariants described in DESIGN.md §9 and §14. Exit code 0 means clean;
+/// 1 means at least one violation (printed as "file:line: rule: message",
+/// or as a JSON array under --json); 2 means usage error.
 ///
 /// Usage:
 ///   colt_lint [--root <dir>]     lint src/ bench/ tests/ tools/ under <dir>
 ///   colt_lint --as <path> <file> lint one file as if it lived at the
 ///                                repo-relative <path> (used to drive the
 ///                                tests/lint_fixtures corpus by hand)
+///   colt_lint --json             emit violations as a JSON array on stdout
+///                                (one {file,line,rule,message} object per
+///                                violation; machine-readable, consumed by
+///                                the CI problem matcher)
 ///   colt_lint --list-rules       print the rule catalog and exit
 #include <cstdio>
 #include <cstring>
@@ -17,16 +21,69 @@
 
 #include "lint.h"
 
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars);
+/// lint messages are ASCII by construction.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintJson(const std::vector<colt_lint::Violation>& violations) {
+  std::printf("[");
+  for (size_t i = 0; i < violations.size(); ++i) {
+    const colt_lint::Violation& v = violations[i];
+    std::printf("%s\n  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+                "\"message\": \"%s\"}",
+                i == 0 ? "" : ",", JsonEscape(v.file).c_str(), v.line,
+                JsonEscape(v.rule).c_str(), JsonEscape(v.message).c_str());
+  }
+  std::printf("%s]\n", violations.empty() ? "" : "\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string as_path;
   std::string as_file;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list-rules") == 0) {
       for (const std::string& rule : colt_lint::AllRules()) {
         std::printf("%s\n", rule.c_str());
       }
       return 0;
+    }
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      continue;
     }
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
@@ -39,7 +96,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "usage: colt_lint [--root <dir>] [--as <path> <file>] "
-                 "[--list-rules]\n");
+                 "[--json] [--list-rules]\n");
     return 2;
   }
 
@@ -56,11 +113,18 @@ int main(int argc, char** argv) {
   } else {
     violations = colt_lint::LintTree(root);
   }
-  for (const colt_lint::Violation& v : violations) {
-    std::fprintf(stderr, "%s\n", v.ToString().c_str());
+  if (json) {
+    PrintJson(violations);
+  } else {
+    for (const colt_lint::Violation& v : violations) {
+      std::fprintf(stderr, "%s\n", v.ToString().c_str());
+    }
   }
   if (!violations.empty()) {
-    std::fprintf(stderr, "colt_lint: %zu violation(s)\n", violations.size());
+    if (!json) {
+      std::fprintf(stderr, "colt_lint: %zu violation(s)\n",
+                   violations.size());
+    }
     return 1;
   }
   return 0;

@@ -1,0 +1,876 @@
+// Cross-file thread-role analysis (the "thread-role" and "worker-purity"
+// rules; DESIGN.md §14).
+//
+// Two passes over the stripped corpus:
+//
+//  Pass A (per file, src/ only): a brace/paren scope walker that never
+//  builds an AST. It classifies every '{' by the statement head preceding
+//  it (namespace / class / function definition / lambda / plain block),
+//  collects role-annotated declarations into a symbol table, records every
+//  function definition with its call sites, and records lambdas handed to
+//  ThreadPool::Submit/Map as pool tasks.
+//
+//  Pass B (whole corpus): resolves each definition's role by name+class
+//  against the symbol table, computes which unannotated functions can
+//  transitively reach an owner-only call, then reports: role-annotated
+//  worker-safe/thread-neutral bodies calling owner-only (directly or
+//  transitively), pool lambdas calling unannotated project functions, and
+//  purity violations (provenance emission, global metrics registry, raw
+//  Rng construction, const_cast, mutable statics, member writes from
+//  const read paths or pool lambdas).
+//
+// Name resolution is deliberately conservative: a call site is matched by
+// its last identifier segment, and if ANY same-named symbol is owner-only
+// the call is treated as owner-only (this is how virtual dispatch and
+// function pointers are widened — see DESIGN.md §14). False positives are
+// silenced with a line-scoped allow-next-line suppression.
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "internal.h"
+
+namespace colt_lint {
+namespace internal {
+namespace {
+
+enum class Role { kNone, kOwnerOnly, kWorkerSafe, kThreadNeutral };
+
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kOwnerOnly:
+      return "COLT_OWNER_ONLY";
+    case Role::kWorkerSafe:
+      return "COLT_WORKER_SAFE";
+    case Role::kThreadNeutral:
+      return "COLT_THREAD_NEUTRAL";
+    case Role::kNone:
+      break;
+  }
+  return "(unannotated)";
+}
+
+/// A role-annotated declaration (or annotated definition head).
+struct Symbol {
+  std::string name;        // unqualified function name
+  std::string class_name;  // enclosing class / explicit qualifier, "" free
+  std::string file;
+  int line = 0;
+  Role role = Role::kNone;
+};
+
+struct CallSite {
+  std::string name;
+  /// Explicit `Qual::` qualifier at the call site, "" for unqualified
+  /// calls. A qualified call never dispatches virtually, so it may be
+  /// resolved strictly; unqualified calls get conservative name widening.
+  std::string qualifier;
+  int line = 0;
+};
+
+struct PurityEvent {
+  enum Kind {
+    kProvenance,
+    kMetricsDefault,
+    kRngDraw,
+    kConstCast,
+    kMutableStatic,
+    kMemberWrite,
+  };
+  Kind kind;
+  int line = 0;
+  std::string detail;  // member / callee name for the message
+};
+
+struct FunctionDef {
+  std::string name;
+  std::string class_name;
+  std::string file;
+  int line = 0;
+  Role declared_role = Role::kNone;  // role macro on the definition itself
+  bool const_method = false;
+  std::vector<CallSite> calls;
+  std::vector<PurityEvent> purity;
+  // Analysis state: resolved role and, for unannotated functions, the name
+  // of an owner-only symbol reachable through unannotated callees.
+  Role role = Role::kNone;
+  std::string reaches_owner;
+};
+
+struct PoolLambda {
+  std::string file;
+  int line = 0;  // line of the lambda body's opening brace
+  std::vector<CallSite> calls;
+  std::vector<PurityEvent> purity;
+};
+
+struct Corpus {
+  std::vector<Symbol> symbols;
+  std::vector<FunctionDef> defs;
+  std::vector<PoolLambda> pools;
+  std::vector<Violation> violations;  // emitted during scanning
+};
+
+// ---------------------------------------------------------------------------
+// Small text helpers.
+// ---------------------------------------------------------------------------
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsKeywordish(const std::string& word) {
+  static const std::set<std::string> kWords = {
+      "if",       "for",      "while",    "switch",     "return",
+      "sizeof",   "alignof",  "alignas",  "decltype",   "noexcept",
+      "static_assert",        "catch",    "throw",      "new",
+      "delete",   "void",     "bool",     "char",       "int",
+      "float",    "double",   "auto",     "unsigned",   "signed",
+      "long",     "short",    "const",    "constexpr",  "static",
+      "case",     "defined",  "assert",   "typeid",     "operator",
+      "this",     "typename", "template", "using",      "typedef",
+      "explicit", "inline",   "virtual",  "override",   "final",
+  };
+  return kWords.count(word) > 0 || word.rfind("COLT_", 0) == 0;
+}
+
+/// Blanks preprocessor lines (first non-space char '#') to spaces, keeping
+/// length and newlines so offsets still line up.
+std::string BlankPreprocessor(const std::string& text) {
+  std::string out = text;
+  size_t line_start = 0;
+  for (size_t i = 0; i <= out.size(); ++i) {
+    if (i == out.size() || out[i] == '\n') {
+      size_t j = line_start;
+      while (j < i && std::isspace(static_cast<unsigned char>(out[j]))) ++j;
+      if (j < i && out[j] == '#') {
+        for (size_t k = line_start; k < i; ++k) out[k] = ' ';
+      }
+      line_start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool AllWhitespace(std::string_view s) {
+  for (const char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Finds every role macro in `text` as (offset, role).
+std::vector<std::pair<size_t, Role>> FindRoleMacros(const std::string& text) {
+  static const std::regex kMacro(
+      R"(\b(COLT_OWNER_ONLY|COLT_WORKER_SAFE|COLT_THREAD_NEUTRAL)\b)");
+  std::vector<std::pair<size_t, Role>> out;
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kMacro);
+       it != std::sregex_iterator(); ++it) {
+    const std::string token = it->str(1);
+    Role role = Role::kNone;
+    if (token == "COLT_OWNER_ONLY") role = Role::kOwnerOnly;
+    if (token == "COLT_WORKER_SAFE") role = Role::kWorkerSafe;
+    if (token == "COLT_THREAD_NEUTRAL") role = Role::kThreadNeutral;
+    out.emplace_back(static_cast<size_t>(it->position()), role);
+  }
+  return out;
+}
+
+/// Walks backward from `pos` (start of a function name inside `text`) over
+/// a `Qual::` chain and returns the nearest qualifier segment ("" if the
+/// name is unqualified). Skips template argument lists: `Foo<T>::Bar`
+/// resolves to "Foo".
+std::string QualifierBefore(const std::string& text, size_t pos) {
+  size_t i = pos;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(text[i - 1]))) --i;
+  if (i < 2 || text[i - 1] != ':' || text[i - 2] != ':') return "";
+  i -= 2;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(text[i - 1]))) --i;
+  if (i > 0 && text[i - 1] == '>') {
+    int depth = 0;
+    while (i > 0) {
+      --i;
+      if (text[i] == '>') ++depth;
+      if (text[i] == '<' && --depth == 0) break;
+    }
+    while (i > 0 && std::isspace(static_cast<unsigned char>(text[i - 1]))) --i;
+  }
+  const size_t end = i;
+  while (i > 0 && IsIdentChar(text[i - 1])) --i;
+  return text.substr(i, end - i);
+}
+
+// ---------------------------------------------------------------------------
+// Statement-head classification: what kind of scope does this '{' open?
+// ---------------------------------------------------------------------------
+
+struct HeadInfo {
+  enum Kind { kNamespace, kClass, kFunction, kLambda, kBlock };
+  Kind kind = kBlock;
+  std::string name;       // function / class name
+  std::string qualifier;  // "Cls" for out-of-line Cls::Fn definitions
+  Role role = Role::kNone;
+  bool role_conflict = false;
+  bool const_method = false;
+  bool pool_lambda = false;
+  size_t name_offset = 0;    // offset of `name` within the head
+  size_t lambda_begin = 0;   // offset where the lambda introducer starts
+};
+
+HeadInfo ClassifyHead(const std::string& raw_head) {
+  HeadInfo info;
+  const std::string head = BlankPreprocessor(raw_head);
+  if (AllWhitespace(head)) return info;
+
+  static const std::regex kControl(
+      R"(^\s*(if|else|for|while|switch|do|try|catch|case|default)\b)");
+  static const std::regex kNamespaceRe(R"(^\s*(inline\s+)?namespace\b)");
+  static const std::regex kEnumRe(
+      R"(^\s*(template\s*<[\s\S]*>\s*)?enum\b)");
+  static const std::regex kClassRe(
+      R"(^\s*(template\s*<[\s\S]*>\s*)?(class|struct|union)\b)");
+  // Lambda introducer at the very end of the head: [caps](params) specs.
+  static const std::regex kLambdaRe(
+      R"(\[[^\[\]]*\]\s*(\([^()]*(?:\([^()]*\)[^()]*)*\))?\s*(?:mutable\b|constexpr\b|noexcept\b|\s)*(?:->[^{]*)?$)");
+  // `Submit(` / `Map(` still open when the lambda starts.
+  static const std::regex kPoolPrefix(R"(\b(Submit|Map)\s*\([^)]*$)");
+  // name(params) + trailing specifiers, anchored at the end of the head.
+  static const std::regex kFunctionRe(
+      R"(([A-Za-z_~]\w*)\s*(\([^()]*(?:\([^()]*\)[^()]*)*\))((?:const\b|noexcept\s*\([^()]*\)|noexcept\b|override\b|final\b|mutable\b|->\s*[^{]*|\s)*)$)");
+
+  std::smatch m;
+  if (std::regex_search(head, m, kControl)) return info;
+  if (std::regex_search(head, m, kNamespaceRe)) {
+    info.kind = HeadInfo::kNamespace;
+    return info;
+  }
+  if (std::regex_search(head, m, kEnumRe)) return info;
+  if (std::regex_search(head, m, kClassRe)) {
+    info.kind = HeadInfo::kClass;
+    // Name: last identifier before the base-clause ':' (skipping "final"),
+    // so attribute macros between the keyword and the name are tolerated.
+    std::string decl = head;
+    for (size_t i = m.position(2) + m.length(2); i + 1 < decl.size(); ++i) {
+      if (decl[i] == ':' && decl[i + 1] != ':' &&
+          (i == 0 || decl[i - 1] != ':')) {
+        decl = decl.substr(0, i);
+        break;
+      }
+    }
+    static const std::regex kIdent(R"([A-Za-z_]\w*)");
+    for (auto it = std::sregex_iterator(decl.begin(), decl.end(), kIdent);
+         it != std::sregex_iterator(); ++it) {
+      if (it->str() != "final") info.name = it->str();
+    }
+    return info;
+  }
+  if (std::regex_search(head, m, kLambdaRe)) {
+    info.kind = HeadInfo::kLambda;
+    info.lambda_begin = static_cast<size_t>(m.position());
+    const std::string prefix = head.substr(0, info.lambda_begin);
+    info.pool_lambda = std::regex_search(prefix, kPoolPrefix);
+    return info;
+  }
+  // Function definitions: strip a constructor member-init list first (the
+  // last `) :` not part of `::`), then match the tail.
+  std::string fn_head = head;
+  for (size_t i = fn_head.size(); i-- > 1;) {
+    if (fn_head[i] == ':' && fn_head[i - 1] != ':' &&
+        (i + 1 >= fn_head.size() || fn_head[i + 1] != ':')) {
+      size_t j = i;
+      while (j > 0 &&
+             std::isspace(static_cast<unsigned char>(fn_head[j - 1]))) {
+        --j;
+      }
+      if (j > 0 && fn_head[j - 1] == ')') {
+        fn_head = fn_head.substr(0, i);
+        break;
+      }
+    }
+  }
+  if (std::regex_search(fn_head, m, kFunctionRe)) {
+    const std::string name = m.str(1);
+    if (!IsKeywordish(name)) {
+      info.kind = HeadInfo::kFunction;
+      info.name = name;
+      info.name_offset = static_cast<size_t>(m.position(1));
+      info.qualifier = QualifierBefore(fn_head, info.name_offset);
+      static const std::regex kConst(R"(\bconst\b)");
+      info.const_method = std::regex_search(m.str(3), kConst);
+      const auto macros = FindRoleMacros(head);
+      for (const auto& [off, role] : macros) {
+        if (info.role == Role::kNone) {
+          info.role = role;
+        } else if (info.role != role) {
+          info.role_conflict = true;
+        }
+      }
+    }
+  }
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Pass A: per-file scope walker.
+// ---------------------------------------------------------------------------
+
+class FileScanner {
+ public:
+  FileScanner(const std::string& path, const std::string& stripped,
+              Corpus* corpus)
+      : path_(path), stripped_(stripped), corpus_(corpus) {}
+
+  void Scan() {
+    size_t stmt_start = 0;
+    int paren_depth = 0;
+    for (size_t i = 0; i < stripped_.size(); ++i) {
+      switch (stripped_[i]) {
+        case '(':
+          ++paren_depth;
+          break;
+        case ')':
+          if (paren_depth > 0) --paren_depth;
+          break;
+        case ';':
+          if (paren_depth == StmtDepth()) {
+            ProcessStatement(stmt_start, i);
+            stmt_start = i + 1;
+          }
+          break;
+        case '{':
+          OpenScope(stmt_start, i, paren_depth);
+          stmt_start = i + 1;
+          break;
+        case '}':
+          ProcessStatement(stmt_start, i);
+          if (!scopes_.empty()) scopes_.pop_back();
+          stmt_start = i + 1;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+ private:
+  struct Target {
+    enum Kind { kNone, kDef, kPool };
+    Kind kind = kNone;
+    size_t index = 0;
+  };
+
+  struct Scope {
+    HeadInfo::Kind kind = HeadInfo::kBlock;
+    std::string class_name;  // for kClass
+    Target target;           // function/pool the braces contribute to
+    int entry_paren_depth = 0;
+  };
+
+  int StmtDepth() const {
+    return scopes_.empty() ? 0 : scopes_.back().entry_paren_depth;
+  }
+
+  Target CurrentTarget() const {
+    return scopes_.empty() ? Target{} : scopes_.back().target;
+  }
+
+  std::string EnclosingClassName() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == HeadInfo::kClass) return it->class_name;
+    }
+    return "";
+  }
+
+  int LineAt(size_t offset) const { return LineOfOffset(stripped_, offset); }
+
+  void OpenScope(size_t stmt_start, size_t brace, int paren_depth) {
+    const std::string head =
+        stripped_.substr(stmt_start, brace - stmt_start);
+    HeadInfo info = ClassifyHead(head);
+    Scope scope;
+    scope.entry_paren_depth = paren_depth;
+    scope.kind = info.kind;
+    switch (info.kind) {
+      case HeadInfo::kNamespace:
+        break;
+      case HeadInfo::kClass:
+        scope.class_name = info.name;
+        break;
+      case HeadInfo::kFunction: {
+        FunctionDef def;
+        def.name = info.name;
+        def.class_name = info.qualifier.empty() ? EnclosingClassName()
+                                                : info.qualifier;
+        def.file = path_;
+        def.line = LineAt(stmt_start + info.name_offset);
+        def.declared_role = info.role;
+        def.const_method = info.const_method;
+        if (info.role_conflict) {
+          corpus_->violations.push_back(
+              {path_, def.line, "thread-role",
+               "'" + def.name +
+                   "' carries two different thread-role annotations; a "
+                   "function has exactly one role"});
+        }
+        if (info.role != Role::kNone) {
+          corpus_->symbols.push_back({def.name, def.class_name, path_,
+                                      def.line, info.role});
+        }
+        scope.target = {Target::kDef, corpus_->defs.size()};
+        corpus_->defs.push_back(std::move(def));
+        break;
+      }
+      case HeadInfo::kLambda: {
+        // The text before the introducer (e.g. `pool_->Submit(`) belongs
+        // to the enclosing function.
+        Emit(head.substr(0, info.lambda_begin), stmt_start, CurrentTarget());
+        if (info.pool_lambda) {
+          scope.target = {Target::kPool, corpus_->pools.size()};
+          corpus_->pools.push_back({path_, LineAt(brace), {}, {}});
+        } else {
+          scope.target = CurrentTarget();
+        }
+        break;
+      }
+      case HeadInfo::kBlock:
+        scope.target = CurrentTarget();
+        if (scope.target.kind == Target::kNone) {
+          ProcessDecl(head, stmt_start);
+        } else {
+          Emit(head, stmt_start, scope.target);  // calls in conditions
+        }
+        break;
+    }
+    scopes_.push_back(std::move(scope));
+  }
+
+  void ProcessStatement(size_t start, size_t end) {
+    const std::string stmt = stripped_.substr(start, end - start);
+    if (AllWhitespace(stmt)) return;
+    const Target target = CurrentTarget();
+    if (target.kind == Target::kNone) {
+      ProcessDecl(stmt, start);
+    } else {
+      Emit(stmt, start, target);
+    }
+  }
+
+  /// Declaration context: record role-annotated function declarations.
+  void ProcessDecl(const std::string& stmt_in, size_t abs_start) {
+    const std::string stmt = BlankPreprocessor(stmt_in);
+    const auto macros = FindRoleMacros(stmt);
+    if (macros.empty()) return;
+    const int line = LineAt(abs_start + macros.front().first);
+    Role role = macros.front().second;
+    for (const auto& [off, other] : macros) {
+      if (other != role) {
+        corpus_->violations.push_back(
+            {path_, line, "thread-role",
+             "declaration carries two different thread-role annotations; a "
+             "function has exactly one role"});
+        return;
+      }
+    }
+    // The declared name: first identifier followed by '(' that is not a
+    // keyword, a COLT_ macro, or a type keyword.
+    static const std::regex kCall(R"(([A-Za-z_~]\w*)\s*\()");
+    for (auto it = std::sregex_iterator(stmt.begin(), stmt.end(), kCall);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = it->str(1);
+      if (IsKeywordish(name)) continue;
+      const size_t pos = static_cast<size_t>(it->position(1));
+      std::string qualifier = QualifierBefore(stmt, pos);
+      if (qualifier.empty()) qualifier = EnclosingClassName();
+      corpus_->symbols.push_back(
+          {name, qualifier, path_, LineAt(abs_start + pos), role});
+      return;
+    }
+    // Role macro with no function declarator (e.g. on a class): the
+    // analyzer only understands function roles.
+    corpus_->violations.push_back(
+        {path_, line, "thread-role",
+         "thread-role annotation is not attached to a function "
+         "declaration; annotate the functions, not the type"});
+  }
+
+  /// Body context: record call sites and purity events into `target`.
+  void Emit(const std::string& text, size_t abs_start, Target target) {
+    if (target.kind == Target::kNone || AllWhitespace(text)) return;
+    std::vector<CallSite>* calls = nullptr;
+    std::vector<PurityEvent>* purity = nullptr;
+    if (target.kind == Target::kDef) {
+      calls = &corpus_->defs[target.index].calls;
+      purity = &corpus_->defs[target.index].purity;
+    } else {
+      calls = &corpus_->pools[target.index].calls;
+      purity = &corpus_->pools[target.index].purity;
+    }
+
+    static const std::regex kCall(R"(([A-Za-z_]\w*)\s*\()");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kCall);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = it->str(1);
+      if (IsKeywordish(name)) continue;
+      const size_t pos = static_cast<size_t>(it->position(1));
+      const int line = LineAt(abs_start + pos);
+      calls->push_back({name, QualifierBefore(text, pos), line});
+      if (name == "RecordEvent" &&
+          !StartsWith(path_, "src/common/provenance")) {
+        purity->push_back({PurityEvent::kProvenance, line, name});
+      }
+    }
+
+    static const std::regex kMetricsDefault(
+        R"(MetricsRegistry\s*::\s*Default\s*\()");
+    std::smatch m;
+    if (!StartsWith(path_, "src/common/metrics") &&
+        std::regex_search(text, m, kMetricsDefault)) {
+      purity->push_back(
+          {PurityEvent::kMetricsDefault,
+           LineAt(abs_start + static_cast<size_t>(m.position())),
+           "MetricsRegistry::Default"});
+    }
+
+    static const std::regex kRng(R"(\bRng\b)");
+    static const std::regex kTaskRng(R"(\bTaskRng\b)");
+    if (path_ != "src/common/rng.h" &&
+        !StartsWith(path_, "src/common/thread_pool") &&
+        std::regex_search(text, m, kRng) &&
+        !std::regex_search(text, kTaskRng)) {
+      purity->push_back({PurityEvent::kRngDraw,
+                         LineAt(abs_start + static_cast<size_t>(m.position())),
+                         "Rng"});
+    }
+
+    static const std::regex kConstCast(R"(\bconst_cast\b)");
+    if (std::regex_search(text, m, kConstCast)) {
+      purity->push_back({PurityEvent::kConstCast,
+                         LineAt(abs_start + static_cast<size_t>(m.position())),
+                         "const_cast"});
+    }
+
+    static const std::regex kStatic(R"(^\s*static\b)");
+    // Const(expr) statics are immutable; thread_local statics are
+    // per-thread by construction — neither is shared mutable state.
+    static const std::regex kConstish(R"(\b(const|constexpr|thread_local)\b)");
+    if (std::regex_search(text, m, kStatic) &&
+        !std::regex_search(text, kConstish)) {
+      purity->push_back({PurityEvent::kMutableStatic,
+                         LineAt(abs_start + static_cast<size_t>(m.position())),
+                         "static"});
+    }
+
+    // Bare `member_` mutations: assignment/compound ops, ++/--, and
+    // mutating container calls, with the member not reached through `.` or
+    // `->` (those target some other object).
+    static const std::regex kMemberWrite(
+        R"((^|[^\w.>])([A-Za-z]\w*_)\s*(\+\+|--|[+\-*/|&^]?=[^=]|\.(push_back|pop_back|emplace_back|emplace|insert|erase|clear|resize|assign|reserve)\s*\())");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(),
+                                        kMemberWrite);
+         it != std::sregex_iterator(); ++it) {
+      purity->push_back(
+          {PurityEvent::kMemberWrite,
+           LineAt(abs_start + static_cast<size_t>(it->position(2))),
+           it->str(2)});
+    }
+  }
+
+  const std::string& path_;
+  const std::string& stripped_;
+  Corpus* corpus_;
+  std::vector<Scope> scopes_;
+};
+
+// ---------------------------------------------------------------------------
+// Pass B: whole-corpus analysis.
+// ---------------------------------------------------------------------------
+
+class Analyzer {
+ public:
+  explicit Analyzer(Corpus* corpus) : corpus_(corpus) {}
+
+  std::vector<Violation> Run() {
+    out_ = std::move(corpus_->violations);
+    IndexSymbols();
+    ResolveDefRoles();
+    ComputeReachability();
+    for (const FunctionDef& def : corpus_->defs) {
+      if (def.role == Role::kWorkerSafe || def.role == Role::kThreadNeutral) {
+        CheckBody(def.file, RoleName(def.role), def.name, def.calls,
+                  /*pool=*/false);
+        CheckPurity(def, def.purity);
+      }
+    }
+    for (const PoolLambda& pool : corpus_->pools) {
+      CheckBody(pool.file, "pool-submitted lambda", "", pool.calls,
+                /*pool=*/true);
+      CheckPoolPurity(pool);
+    }
+    std::sort(out_.begin(), out_.end(),
+              [](const Violation& a, const Violation& b) {
+                return std::tie(a.file, a.line, a.rule, a.message) <
+                       std::tie(b.file, b.line, b.rule, b.message);
+              });
+    out_.erase(std::unique(out_.begin(), out_.end(),
+                           [](const Violation& a, const Violation& b) {
+                             return std::tie(a.file, a.line, a.rule,
+                                             a.message) ==
+                                    std::tie(b.file, b.line, b.rule,
+                                             b.message);
+                           }),
+               out_.end());
+    return std::move(out_);
+  }
+
+ private:
+  void IndexSymbols() {
+    std::map<std::pair<std::string, std::string>, const Symbol*> first;
+    for (const Symbol& sym : corpus_->symbols) {
+      by_name_[sym.name].push_back(&sym);
+      const auto key = std::make_pair(sym.class_name, sym.name);
+      const auto [it, inserted] = first.emplace(key, &sym);
+      if (!inserted && it->second->role != sym.role) {
+        out_.push_back(
+            {sym.file, sym.line, "thread-role",
+             "'" + Qualified(sym.class_name, sym.name) + "' is declared " +
+                 RoleName(sym.role) + " here but " +
+                 RoleName(it->second->role) + " at " + it->second->file +
+                 ":" + std::to_string(it->second->line) +
+                 "; a function has exactly one thread role"});
+      }
+    }
+  }
+
+  void ResolveDefRoles() {
+    for (FunctionDef& def : corpus_->defs) {
+      defs_by_name_[def.name].push_back(&def);
+      def.role = def.declared_role;
+      if (def.role != Role::kNone) continue;
+      const auto it = by_name_.find(def.name);
+      if (it == by_name_.end()) continue;
+      // Strict class match only: name-based widening is for call sites,
+      // not for deciding which body a role governs.
+      for (const Symbol* sym : it->second) {
+        if (sym->class_name == def.class_name) {
+          def.role = sym->role;
+          break;
+        }
+      }
+    }
+  }
+
+  /// The annotated symbols a call can bind to. An explicitly qualified
+  /// call (`Cls::Fn(...)`) never dispatches virtually, so when the
+  /// qualifier matches annotated symbols it resolves strictly to those;
+  /// otherwise (unqualified, or a qualifier we know nothing about — e.g.
+  /// a base class whose override carries the annotation) the call widens
+  /// conservatively over every same-named symbol.
+  std::vector<const Symbol*> Candidates(const CallSite& call) const {
+    const auto it = by_name_.find(call.name);
+    if (it == by_name_.end()) return {};
+    if (!call.qualifier.empty()) {
+      std::vector<const Symbol*> strict;
+      for (const Symbol* sym : it->second) {
+        if (sym->class_name == call.qualifier) strict.push_back(sym);
+      }
+      if (!strict.empty()) return strict;
+    }
+    return it->second;
+  }
+
+  const Symbol* OwnerWitness(const CallSite& call) const {
+    for (const Symbol* sym : Candidates(call)) {
+      if (sym->role == Role::kOwnerOnly) return sym;
+    }
+    return nullptr;
+  }
+
+  bool HasWorkerRole(const CallSite& call) const {
+    for (const Symbol* sym : Candidates(call)) {
+      if (sym->role == Role::kWorkerSafe ||
+          sym->role == Role::kThreadNeutral) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Fixpoint: an unannotated function "reaches owner" if it calls an
+  /// owner-only symbol or another unannotated function that does.
+  /// Role-annotated callees stop propagation — their bodies are judged at
+  /// their own definitions.
+  void ComputeReachability() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (FunctionDef& def : corpus_->defs) {
+        if (def.role != Role::kNone || !def.reaches_owner.empty()) continue;
+        for (const CallSite& call : def.calls) {
+          if (const Symbol* owner = OwnerWitness(call)) {
+            def.reaches_owner = owner->name;
+            changed = true;
+            break;
+          }
+          const auto it = defs_by_name_.find(call.name);
+          if (it == defs_by_name_.end()) continue;
+          for (const FunctionDef* callee : it->second) {
+            if (callee->role == Role::kNone &&
+                !callee->reaches_owner.empty()) {
+              def.reaches_owner = callee->reaches_owner;
+              changed = true;
+              break;
+            }
+          }
+          if (!def.reaches_owner.empty()) break;
+        }
+      }
+    }
+  }
+
+  /// The transitive witness for an unannotated callee, or "" if none.
+  std::string ReachesOwnerVia(const std::string& name) const {
+    const auto it = defs_by_name_.find(name);
+    if (it == defs_by_name_.end()) return "";
+    for (const FunctionDef* def : it->second) {
+      if (def->role == Role::kNone && !def->reaches_owner.empty()) {
+        return def->reaches_owner;
+      }
+    }
+    return "";
+  }
+
+  bool IsProjectFunction(const std::string& name) const {
+    return defs_by_name_.count(name) > 0;
+  }
+
+  void CheckBody(const std::string& file, const std::string& caller_label,
+                 const std::string& caller_name,
+                 const std::vector<CallSite>& calls, bool pool) {
+    const std::string who =
+        pool ? caller_label : caller_label + " function '" + caller_name + "'";
+    for (const CallSite& call : calls) {
+      if (const Symbol* owner = OwnerWitness(call)) {
+        if (!pool && call.name == caller_name) continue;  // self/overload
+        out_.push_back(
+            {file, call.line, "thread-role",
+             who + " calls '" + call.name + "', declared COLT_OWNER_ONLY at " +
+                 owner->file + ":" + std::to_string(owner->line) +
+                 "; owner-only APIs must run on the tuning thread only "
+                 "(name-based match widens over all same-named overloads "
+                 "and overrides)"});
+        continue;
+      }
+      if (HasWorkerRole(call)) continue;
+      const std::string via = ReachesOwnerVia(call.name);
+      if (!via.empty()) {
+        out_.push_back(
+            {file, call.line, "thread-role",
+             who + " calls '" + call.name +
+                 "', which transitively reaches COLT_OWNER_ONLY '" + via +
+                 "' through unannotated callees; either annotate the chain "
+                 "or route the owner-only work back to the tuning thread"});
+        continue;
+      }
+      if (pool && IsProjectFunction(call.name)) {
+        out_.push_back(
+            {file, call.line, "thread-role",
+             "lambda submitted to ThreadPool calls '" + call.name +
+                 "', which has no thread-role annotation; annotate it "
+                 "COLT_WORKER_SAFE or COLT_THREAD_NEUTRAL in its header "
+                 "(src/common/thread_annotations.h) so the worker contract "
+                 "is explicit"});
+      }
+    }
+  }
+
+  void CheckPurity(const FunctionDef& def,
+                   const std::vector<PurityEvent>& events) {
+    for (const PurityEvent& ev : events) {
+      if (ev.kind == PurityEvent::kMemberWrite &&
+          !(def.const_method && def.role == Role::kWorkerSafe)) {
+        continue;  // non-const worker methods may write their own buffers
+      }
+      ReportPurity(def.file, RoleName(def.role) + std::string(" function '") +
+                                 def.name + "'",
+                   ev, /*pool=*/false);
+    }
+  }
+
+  void CheckPoolPurity(const PoolLambda& pool) {
+    for (const PurityEvent& ev : pool.purity) {
+      ReportPurity(pool.file, "pool-submitted lambda", ev, /*pool=*/true);
+    }
+  }
+
+  void ReportPurity(const std::string& file, const std::string& who,
+                    const PurityEvent& ev, bool pool) {
+    std::string what;
+    switch (ev.kind) {
+      case PurityEvent::kProvenance:
+        what = "emits a provenance event (RecordEvent); the flight "
+               "recorder is single-writer — workers return data and the "
+               "owner records the decision";
+        break;
+      case PurityEvent::kMetricsDefault:
+        what = "touches the global MetricsRegistry::Default(); worker code "
+               "writes its per-worker registry, merged at the epoch "
+               "boundary in slot order (DESIGN.md §10)";
+        break;
+      case PurityEvent::kRngDraw:
+        what = "constructs an Rng outside ThreadPool::TaskRng; "
+               "pool-executed randomness must be a function of "
+               "(parent_seed, task_index) so draws are "
+               "schedule-independent";
+        break;
+      case PurityEvent::kConstCast:
+        what = "uses const_cast, subverting the const-purity the worker "
+               "read-path contract relies on";
+        break;
+      case PurityEvent::kMutableStatic:
+        what = "declares a mutable function-local static — hidden shared "
+               "state that races once the function runs on workers";
+        break;
+      case PurityEvent::kMemberWrite:
+        what = pool ? "writes captured member '" + ev.detail +
+                          "'; workers write only per-task results and "
+                          "per-worker buffers merged by the owner"
+                    : "writes member '" + ev.detail +
+                          "' from a const (Peek-style) worker read path; "
+                          "worker read paths must stay pure";
+        break;
+    }
+    out_.push_back({file, ev.line, "worker-purity", who + " " + what});
+  }
+
+  static std::string Qualified(const std::string& class_name,
+                               const std::string& name) {
+    return class_name.empty() ? name : class_name + "::" + name;
+  }
+
+  Corpus* corpus_;
+  std::vector<Violation> out_;
+  std::map<std::string, std::vector<const Symbol*>> by_name_;
+  std::map<std::string, std::vector<FunctionDef*>> defs_by_name_;
+};
+
+}  // namespace
+
+std::vector<Violation> AnalyzeThreadRoles(
+    const std::vector<const std::string*>& paths,
+    const std::vector<const std::string*>& stripped) {
+  Corpus corpus;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (!StartsWith(*paths[i], "src/")) continue;
+    FileScanner(*paths[i], *stripped[i], &corpus).Scan();
+  }
+  return Analyzer(&corpus).Run();
+}
+
+}  // namespace internal
+}  // namespace colt_lint
