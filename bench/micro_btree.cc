@@ -1,6 +1,8 @@
 /// Microbenchmarks for the B+-tree substrate.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "micro_json_main.h"
 
 #include "common/status.h"
@@ -65,6 +67,59 @@ void BM_BTreeRangeScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BTreeRangeScan)->Arg(10)->Arg(1000)->Arg(100000);
+
+/// One shared million-entry tree for the contended read benches: built
+/// once (thread-safe magic static), deliberately leaked so late-exiting
+/// benchmark threads never race its destruction.
+const BTreeIndex& SharedMillionEntryTree() {
+  static const BTreeIndex* tree = [] {
+    const int64_t n = 1'000'000;
+    Rng rng(7);
+    std::vector<std::pair<int64_t, RowId>> entries;
+    entries.reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      entries.emplace_back(static_cast<int64_t>(rng.NextBelow(n)), i);
+    }
+    auto t = std::make_unique<BTreeIndex>();
+    ColtIgnoreStatus(t->BulkLoad(std::move(entries)));
+    return t.release();
+  }();
+  return *tree;
+}
+
+/// Read-side OLC cost under contention: the same point lookup on 1 vs 8
+/// threads sharing one tree. With version-validated descents the 8-thread
+/// run should scale near-linearly on real hardware (single-core CI shows
+/// timesharing, not contention).
+void BM_BTreeContendedLookup(benchmark::State& state) {
+  const BTreeIndex& tree = SharedMillionEntryTree();
+  const int64_t n = 1'000'000;
+  std::vector<RowId> out;
+  Rng probe(static_cast<uint64_t>(11 + state.thread_index()));
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(
+        tree.Lookup(static_cast<int64_t>(probe.NextBelow(n)), &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeContendedLookup)->Threads(1)->Threads(8)->UseRealTime();
+
+/// Same shape for leaf-chain range scans (1k-wide windows).
+void BM_BTreeContendedScan(benchmark::State& state) {
+  const BTreeIndex& tree = SharedMillionEntryTree();
+  const int64_t n = 1'000'000;
+  const int64_t width = 1000;
+  std::vector<RowId> out;
+  int64_t lo = 9973 * state.thread_index();
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(tree.RangeScan(lo, lo + width, &out));
+    lo = (lo + 9973) % (n - width);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeContendedScan)->Threads(1)->Threads(8)->UseRealTime();
 
 void BM_BTreePointLookup(benchmark::State& state) {
   const int64_t n = 1'000'000;

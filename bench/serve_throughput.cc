@@ -1,0 +1,150 @@
+/// Concurrent-serving throughput bench (DESIGN.md §15): N pinned client
+/// threads drain a query trace through the executor against real B+-trees
+/// while COLT tunes on the owner thread.
+///
+/// Two phases:
+///   1. "tuned_serving": 4 clients serve a focused workload while the
+///      tuner installs indexes online — demonstrates that configuration
+///      changes publish mid-flight without blocking readers.
+///   2. "threads_N": the same trace re-served under the frozen tuned
+///      configuration at each thread count, reporting aggregate qps and
+///      p50/p95/p99 tail latency; the scaling summary compares the
+///      largest thread count against 1.
+///
+/// Results land in BENCH_serve.json ($COLT_CSV_DIR or the working dir).
+/// With --smoke the scale, trace, and thread ladder shrink to CI size.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/thread_pool.h"
+#include "core/colt.h"
+#include "core/serve.h"
+#include "harness/workloads.h"
+#include "query/workload.h"
+#include "storage/tpch_schema.h"
+
+namespace {
+
+int FailedQueries(const colt::ServeResult& result) {
+  int failed = 0;
+  for (const auto& q : result.queries) {
+    if (!q.ok) {
+      if (failed == 0) {
+        std::fprintf(stderr, "query %lld failed: %s\n",
+                     static_cast<long long>(q.trace_index), q.error.c_str());
+      }
+      ++failed;
+    }
+  }
+  return failed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // A reduced-scale physical TPC-H instance: real tuples, real B+-trees.
+  colt::TpchOptions options;
+  options.instances = 1;
+  options.scale = smoke ? 0.005 : 0.02;
+  colt::Database db(colt::MakeTpchCatalog(options), /*seed=*/42);
+  if (auto st = db.MaterializeAll(/*refresh_stats=*/true); !st.ok()) {
+    std::fprintf(stderr, "materialize failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  colt::QueryOptimizer optimizer(&db.catalog());
+  const colt::QueryDistribution dist =
+      colt::ExperimentWorkloads::Focused(&db.mutable_catalog(), 0);
+  colt::WorkloadGenerator gen(&db.catalog(), 11);
+  const int trace_queries = smoke ? 120 : 400;
+  std::vector<colt::Query> trace;
+  trace.reserve(static_cast<size_t>(trace_queries));
+  for (int i = 0; i < trace_queries; ++i) trace.push_back(gen.Sample(dist));
+
+  const int cores = colt::ThreadPool::HardwareConcurrency();
+  std::printf("serve_throughput%s: %d queries, TPC-H scale %.3f, %d cores\n",
+              smoke ? " [smoke]" : "", trace_queries, options.scale, cores);
+
+  std::vector<colt::bench_json::Record> records;
+  auto record = [&records](const std::string& config,
+                           const std::string& metric, double value,
+                           const std::string& units) {
+    records.push_back({"serve_throughput", config, metric, value, units});
+  };
+  record("hardware", "cores", cores, "count");
+
+  // ---- Phase 1: serve while COLT tunes online. --------------------------
+  colt::ColtConfig config;
+  config.storage_budget_bytes = 8LL * 1024 * 1024;
+  colt::ColtTuner tuner(&db.mutable_catalog(), &optimizer, config, &db);
+  colt::ServeOptions tuned_opts;
+  tuned_opts.client_threads = smoke ? 2 : 4;
+  const colt::ServeResult tuned =
+      colt::ServeWorkload(&db, &optimizer, &tuner, trace, tuned_opts);
+  const int tuned_failed = FailedQueries(tuned);
+  std::printf(
+      "tuned serving: %d clients, %.0f qps, %lld online index actions, "
+      "%d epochs, p99 %.3f ms, %d failed\n",
+      tuned_opts.client_threads, tuned.aggregate_qps,
+      static_cast<long long>(tuned.tuner_actions), tuned.epochs,
+      1e3 * colt::LatencyPercentile(tuned.queries, 99.0), tuned_failed);
+  // Machine-greppable line for the CI smoke gate.
+  std::printf("tuner_actions_during_serving=%lld\n",
+              static_cast<long long>(tuned.tuner_actions));
+  record("tuned_serving", "aggregate_qps", tuned.aggregate_qps, "qps");
+  record("tuned_serving", "tuner_actions_during_serving",
+         static_cast<double>(tuned.tuner_actions), "count");
+  record("tuned_serving", "p99_latency_seconds",
+         colt::LatencyPercentile(tuned.queries, 99.0), "seconds");
+
+  // ---- Phase 2: frozen-configuration read scaling. ----------------------
+  std::vector<int> thread_counts = smoke ? std::vector<int>{1, 2}
+                                         : std::vector<int>{1, 2, 4, 8};
+  double qps_at_1 = 0.0;
+  double qps_at_max = 0.0;
+  int total_failed = tuned_failed;
+  for (int threads : thread_counts) {
+    colt::ServeOptions opts;
+    opts.client_threads = threads;
+    const colt::ServeResult run =
+        colt::ServeWorkload(&db, &optimizer, /*tuner=*/nullptr, trace, opts);
+    total_failed += FailedQueries(run);
+    const double p50 = colt::LatencyPercentile(run.queries, 50.0);
+    const double p95 = colt::LatencyPercentile(run.queries, 95.0);
+    const double p99 = colt::LatencyPercentile(run.queries, 99.0);
+    std::printf(
+        "threads %2d: %8.0f qps   p50 %7.3f ms   p95 %7.3f ms   "
+        "p99 %7.3f ms\n",
+        threads, run.aggregate_qps, 1e3 * p50, 1e3 * p95, 1e3 * p99);
+    const std::string cfg = "threads_" + std::to_string(threads);
+    record(cfg, "aggregate_qps", run.aggregate_qps, "qps");
+    record(cfg, "p50_latency_seconds", p50, "seconds");
+    record(cfg, "p95_latency_seconds", p95, "seconds");
+    record(cfg, "p99_latency_seconds", p99, "seconds");
+    if (threads == 1) qps_at_1 = run.aggregate_qps;
+    qps_at_max = run.aggregate_qps;
+  }
+  const double speedup = qps_at_1 > 0.0 ? qps_at_max / qps_at_1 : 0.0;
+  std::printf("scaling: %.2fx aggregate qps at %d threads vs 1\n", speedup,
+              thread_counts.back());
+  record("scaling", "speedup_max_vs_1", speedup, "ratio");
+  record("scaling", "max_threads", thread_counts.back(), "count");
+
+  if (!colt::bench_json::Write("BENCH_serve.json", records)) {
+    std::fprintf(stderr, "failed to write BENCH_serve.json\n");
+    return 1;
+  }
+  if (total_failed > 0) {
+    std::fprintf(stderr, "%d queries failed\n", total_failed);
+    return 1;
+  }
+  return 0;
+}

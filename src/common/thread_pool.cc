@@ -1,12 +1,37 @@
 #include "common/thread_pool.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace colt {
 
-ThreadPool::ThreadPool(int num_workers) {
+namespace {
+
+/// Best-effort pin of `thread` to one CPU; failures are ignored (the
+/// worker simply stays unpinned, e.g. in a restricted cpuset).
+void PinThreadToCpu([[maybe_unused]] std::thread* thread,
+                    [[maybe_unused]] int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<size_t>(cpu) %
+              static_cast<size_t>(ThreadPool::HardwareConcurrency()),
+          &set);
+  [[maybe_unused]] const int rc =
+      pthread_setaffinity_np(thread->native_handle(), sizeof(set), &set);
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers, bool pin_workers) {
   if (num_workers < 1) return;  // inline mode
   workers_.reserve(static_cast<size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+    if (pin_workers) PinThreadToCpu(&workers_.back(), i);
   }
 }
 

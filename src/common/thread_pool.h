@@ -44,8 +44,11 @@ namespace colt {
 class ThreadPool {
  public:
   /// Spawns `num_workers` worker threads; values < 1 mean inline mode (no
-  /// threads, Submit runs on the caller).
-  explicit ThreadPool(int num_workers);
+  /// threads, Submit runs on the caller). With `pin_workers` set, worker i
+  /// is pinned to CPU (i mod hardware cores) — the serving layer uses this
+  /// to stabilize tail latency; tuning pools leave it off. Pinning is
+  /// best-effort and a no-op on non-Linux platforms.
+  explicit ThreadPool(int num_workers, bool pin_workers = false);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;

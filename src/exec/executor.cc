@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/epoch.h"
+
 namespace colt {
 
 namespace {
@@ -21,8 +23,9 @@ int64_t TuplesPerPage(const TableSchema& schema) {
 
 }  // namespace
 
-Executor::Executor(const Database* db) : db_(db) {
-  MetricsRegistry& reg = MetricsRegistry::Default();
+Executor::Executor(const Database* db, MetricsRegistry* registry) : db_(db) {
+  MetricsRegistry& reg =
+      registry != nullptr ? *registry : MetricsRegistry::Default();
   static constexpr const char* kOpNames[kNumOperators] = {
       "exec.seq_scan.seconds",      "exec.index_scan.seconds",
       "exec.bitmap_scan.seconds",   "exec.nest_loop_join.seconds",
@@ -71,11 +74,12 @@ Result<std::vector<Executor::BoundRow>> Executor::Run(const PlanNode& node,
       return out;
     }
     case PlanNodeType::kIndexScan: {
-      if (!db_->HasBuiltIndex(node.index_id)) {
+      const BTreeIndex* resolved = snapshot_->Find(node.index_id);
+      if (resolved == nullptr) {
         return Status::FailedPrecondition("index not built: " +
                                           std::to_string(node.index_id));
       }
-      const BTreeIndex& index = db_->index(node.index_id);
+      const BTreeIndex& index = *resolved;
       std::vector<RowId> matches;
       const int64_t leaves =
           index.RangeScan(node.index_predicate.lo, node.index_predicate.hi,
@@ -97,11 +101,12 @@ Result<std::vector<Executor::BoundRow>> Executor::Run(const PlanNode& node,
       return out;
     }
     case PlanNodeType::kBitmapScan: {
-      if (!db_->HasBuiltIndex(node.index_id)) {
+      const BTreeIndex* resolved = snapshot_->Find(node.index_id);
+      if (resolved == nullptr) {
         return Status::FailedPrecondition("index not built: " +
                                           std::to_string(node.index_id));
       }
-      const BTreeIndex& index = db_->index(node.index_id);
+      const BTreeIndex& index = *resolved;
       std::vector<RowId> matches;
       const int64_t leaves =
           index.RangeScan(node.index_predicate.lo, node.index_predicate.hi,
@@ -190,14 +195,18 @@ Result<std::vector<Executor::BoundRow>> Executor::Run(const PlanNode& node,
     }
     case PlanNodeType::kIndexNLJoin: {
       COLT_ASSIGN_OR_RETURN(std::vector<BoundRow> outer, Run(*node.left, acc));
-      if (!db_->HasBuiltIndex(node.index_id)) {
+      const BTreeIndex* resolved = snapshot_->Find(node.index_id);
+      if (resolved == nullptr) {
         return Status::FailedPrecondition("probe index not built: " +
                                           std::to_string(node.index_id));
       }
-      const BTreeIndex& index = db_->index(node.index_id);
+      const BTreeIndex& index = *resolved;
       const JoinPredicate& j = node.join_predicate;
       // Which side of the join predicate is the inner (probed) table?
       const bool inner_is_left = (j.left.table == node.table);
+      // (The probe below is written BTreeIndex::Lookup so the thread-role
+      // lint resolves it strictly; the unqualified name would widen onto
+      // the owner-only WhatIfCache::Lookup.)
       const ColumnRef outer_col = inner_is_left ? j.right : j.left;
       std::vector<BoundRow> out;
       std::vector<RowId> matches;
@@ -208,7 +217,7 @@ Result<std::vector<Executor::BoundRow>> Executor::Run(const PlanNode& node,
         }
         const int64_t key = Value(outer_col.table, outer_col.column, orow);
         matches.clear();
-        const int64_t leaves = index.Lookup(key, &matches);
+        const int64_t leaves = index.BTreeIndex::Lookup(key, &matches);
         acc->pages_index += leaves + index.height();
         acc->pages_random += DistinctHeapPages(node.table, matches);
         for (RowId r : matches) {
@@ -233,10 +242,20 @@ Result<std::vector<Executor::BoundRow>> Executor::Run(const PlanNode& node,
 }
 
 Result<ExecutionResult> Executor::Execute(const PlanNode& plan) {
+  // Pin the epoch, then capture the snapshot: every tree the plan touches
+  // stays alive for the whole query even if the owner drops it mid-flight.
+  EpochGuard guard;
+  return ExecuteWithSnapshot(plan, db_->index_snapshot());
+}
+
+Result<ExecutionResult> Executor::ExecuteWithSnapshot(
+    const PlanNode& plan, const Database::IndexSnapshot* snapshot) {
   ScopedTimer timer(execute_seconds_);
+  snapshot_ = snapshot;
   ExecutionResult acc;
   COLT_ASSIGN_OR_RETURN(std::vector<BoundRow> rows, Run(plan, &acc));
   acc.output_rows = static_cast<int64_t>(rows.size());
+  snapshot_ = nullptr;
   return acc;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
 #include "storage/database.h"
@@ -45,13 +46,37 @@ struct ExecutionResult {
 /// Interprets physical plans against materialized table data and built
 /// B+-tree indexes. Intended for reduced-scale validation and the examples;
 /// the paper-scale experiments use the cost model's simulated timings.
+///
+/// Thread model: an Executor instance is not shared across threads, but
+/// any number of instances may execute concurrently against the same
+/// Database. Each Execute() pins an epoch guard and resolves indexes
+/// through the database's published snapshot, so it never races with the
+/// owner thread installing or dropping indexes (DESIGN.md §15).
 class Executor {
  public:
-  explicit Executor(const Database* db);
+  /// `registry` selects where this executor's instruments live; null means
+  /// MetricsRegistry::Default(). Serving threads pass their per-client
+  /// buffer registry (per-worker-buffer rule, DESIGN.md §10) so operator
+  /// timings never race on the main registry. Construct on the owner
+  /// thread; Execute may then run on any thread.
+  COLT_OWNER_ONLY explicit Executor(const Database* db,
+                                    MetricsRegistry* registry = nullptr);
 
   /// Executes `plan`. Requires every scanned table to be materialized and
-  /// every index used by the plan to be physically built.
-  Result<ExecutionResult> Execute(const PlanNode& plan);
+  /// every index used by the plan to be physically built (in the published
+  /// snapshot). Safe to call concurrently with owner-side index installs
+  /// and drops.
+  COLT_THREAD_NEUTRAL Result<ExecutionResult> Execute(const PlanNode& plan);
+
+  /// Executes `plan` against a caller-chosen index snapshot instead of the
+  /// currently published one. The caller is responsible for keeping
+  /// `snapshot` alive across the call — the serving layer does so by
+  /// pinning an epoch guard from before any retire could have unlinked it
+  /// (DESIGN.md §15). This is how a serving epoch stays a pure function of
+  /// its plans: mid-epoch installs publish new snapshots without changing
+  /// what the in-flight epoch's queries resolve.
+  COLT_THREAD_NEUTRAL Result<ExecutionResult> ExecuteWithSnapshot(
+      const PlanNode& plan, const Database::IndexSnapshot* snapshot);
 
  private:
   /// A tuple in flight: one bound row per participating table, ordered as
@@ -78,6 +103,10 @@ class Executor {
                             const std::vector<RowId>& rows) const;
 
   const Database* db_;
+  /// Index snapshot for the Execute() in flight, captured once per query
+  /// under its epoch guard so every operator in the plan sees one
+  /// consistent index set.
+  const Database::IndexSnapshot* snapshot_ = nullptr;
 
   /// Per-operator wall-clock histograms, indexed by PlanNodeType. An
   /// operator's time is inclusive of its children (span semantics).

@@ -1,49 +1,87 @@
 #include "index/btree.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace colt {
 
+namespace {
+
+/// Spin-wait hint while a node is writer-locked (locks cover O(fanout)
+/// memory moves, so waits are short).
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+constexpr uint64_t kLockBit = 1;
+/// Even = unlocked; writers hold the node while the low bit is set and
+/// bump the version by one generation (+2) on release.
+constexpr uint64_t kInitialVersion = 2;
+
+}  // namespace
+
+/// Node payload lives in arrays of atomic cells so that optimistic readers
+/// racing a locked writer perform no data race in the language sense: a
+/// reader may observe a half-updated node, but every load is tear-free and
+/// the version re-validation discards inconsistent snapshots. Capacities
+/// are fixed at construction (keys/values: fanout; children: fanout + 1),
+/// and `count` never exceeds them even mid-write, so any count a reader
+/// observes keeps its indexing in bounds.
 struct BTreeIndex::Node {
-  bool is_leaf = true;
-  std::vector<int64_t> keys;
+  std::atomic<uint64_t> version;
+  const bool is_leaf;
+  std::atomic<int32_t> count{0};
+  std::unique_ptr<std::atomic<int64_t>[]> keys;
   // Leaf: values[i] corresponds to keys[i].
-  std::vector<RowId> values;
-  // Internal: children.size() == keys.size() + 1; subtree children[i] holds
-  // keys < keys[i]; children[i+1] holds keys >= keys[i].
-  std::vector<Node*> children;
-  Node* next_leaf = nullptr;
+  std::unique_ptr<std::atomic<RowId>[]> values;
+  // Internal: count + 1 live children; subtree children[i] holds keys <
+  // keys[i]; children[i+1] holds keys >= keys[i].
+  std::unique_ptr<std::atomic<Node*>[]> children;
+  std::atomic<Node*> next_leaf{nullptr};
+
+  Node(bool leaf, int32_t fanout, uint64_t initial_version)
+      : version(initial_version),
+        is_leaf(leaf),
+        keys(std::make_unique<std::atomic<int64_t>[]>(
+            static_cast<size_t>(fanout))),
+        values(leaf ? std::make_unique<std::atomic<RowId>[]>(
+                          static_cast<size_t>(fanout))
+                    : nullptr),
+        children(leaf ? nullptr
+                      : std::make_unique<std::atomic<Node*>[]>(
+                            static_cast<size_t>(fanout) + 1)) {}
 };
 
 BTreeIndex::BTreeIndex(int32_t fanout) : fanout_(std::max(4, fanout)) {}
 
-BTreeIndex::~BTreeIndex() { FreeTree(root_); }
+BTreeIndex::~BTreeIndex() { FreeTree(root_.load(std::memory_order_acquire)); }
 
 BTreeIndex::BTreeIndex(BTreeIndex&& other) noexcept
-    : root_(other.root_),
+    : root_(other.root_.exchange(nullptr, std::memory_order_acq_rel)),
       fanout_(other.fanout_),
-      entry_count_(other.entry_count_),
-      leaf_count_(other.leaf_count_),
-      height_(other.height_) {
-  other.root_ = nullptr;
-  other.entry_count_ = 0;
-  other.leaf_count_ = 0;
-  other.height_ = 0;
-}
+      entry_count_(other.entry_count_.exchange(0)),
+      leaf_count_(other.leaf_count_.exchange(0)),
+      height_(other.height_.exchange(0)),
+      read_restarts_(other.read_restarts_.load(std::memory_order_relaxed)),
+      write_restarts_(other.write_restarts_.load(std::memory_order_relaxed)) {}
 
 BTreeIndex& BTreeIndex::operator=(BTreeIndex&& other) noexcept {
   if (this != &other) {
-    FreeTree(root_);
-    root_ = other.root_;
+    FreeTree(root_.load(std::memory_order_acquire));
+    root_.store(other.root_.exchange(nullptr, std::memory_order_acq_rel),
+                std::memory_order_release);
     fanout_ = other.fanout_;
-    entry_count_ = other.entry_count_;
-    leaf_count_ = other.leaf_count_;
-    height_ = other.height_;
-    other.root_ = nullptr;
-    other.entry_count_ = 0;
-    other.leaf_count_ = 0;
-    other.height_ = 0;
+    entry_count_.store(other.entry_count_.exchange(0));
+    leaf_count_.store(other.leaf_count_.exchange(0));
+    height_.store(other.height_.exchange(0));
+    read_restarts_.store(other.read_restarts_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    write_restarts_.store(
+        other.write_restarts_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   }
   return *this;
 }
@@ -51,101 +89,313 @@ BTreeIndex& BTreeIndex::operator=(BTreeIndex&& other) noexcept {
 void BTreeIndex::FreeTree(Node* node) {
   if (node == nullptr) return;
   if (!node->is_leaf) {
-    for (Node* c : node->children) FreeTree(c);
+    const int32_t count = node->count.load(std::memory_order_relaxed);
+    for (int32_t i = 0; i <= count; ++i) {
+      FreeTree(node->children[static_cast<size_t>(i)].load(
+          std::memory_order_relaxed));
+    }
   }
   delete node;
 }
 
-void BTreeIndex::SplitChild(Node* parent, int32_t i) {
-  Node* child = parent->children[i];
-  Node* right = new Node();
-  right->is_leaf = child->is_leaf;
-  const size_t mid = child->keys.size() / 2;
-  int64_t separator;
-  if (child->is_leaf) {
-    separator = child->keys[mid];
-    right->keys.assign(child->keys.begin() + mid, child->keys.end());
-    right->values.assign(child->values.begin() + mid, child->values.end());
-    child->keys.resize(mid);
-    child->values.resize(mid);
-    right->next_leaf = child->next_leaf;
-    child->next_leaf = right;
-    ++leaf_count_;
-  } else {
-    separator = child->keys[mid];
-    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
-    right->children.assign(child->children.begin() + mid + 1,
-                           child->children.end());
-    child->keys.resize(mid);
-    child->children.resize(mid + 1);
+// ---------------------------------------------------------------------------
+// Version protocol.
+//
+// Writer: TryLock CASes the exact version observed by the caller to its
+// locked value, so a successful lock certifies the node is unchanged since
+// that observation. Mutations use release stores; UnlockNode release-stores
+// the next even version.
+//
+// Reader: StableVersion acquire-loads (spinning out writer critical
+// sections), payload loads are relaxed, and ValidateVersion issues an
+// acquire fence before re-reading the version. If any payload load observed
+// a concurrent writer's (release) store, the fence forces the version
+// re-read to observe that writer's lock word too, so validation fails and
+// the reader restarts — a reader can only accept a fully-consistent
+// snapshot.
+// ---------------------------------------------------------------------------
+
+uint64_t BTreeIndex::StableVersion(const Node* node) {
+  uint64_t v = node->version.load(std::memory_order_acquire);
+  while ((v & kLockBit) != 0) {
+    CpuRelax();
+    v = node->version.load(std::memory_order_acquire);
   }
-  parent->keys.insert(parent->keys.begin() + i, separator);
-  parent->children.insert(parent->children.begin() + i + 1, right);
+  return v;
 }
 
-void BTreeIndex::InsertNonFull(Node* node, int64_t key, RowId row) {
+bool BTreeIndex::ValidateVersion(const Node* node, uint64_t version) {
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return node->version.load(std::memory_order_relaxed) == version;
+}
+
+bool BTreeIndex::TryLock(Node* node, uint64_t version) {
+  uint64_t expected = version;
+  return node->version.compare_exchange_strong(expected, version | kLockBit,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed);
+}
+
+void BTreeIndex::UnlockNode(Node* node) {
+  const uint64_t locked = node->version.load(std::memory_order_relaxed);
+  node->version.store(locked + 1, std::memory_order_release);
+}
+
+size_t BTreeIndex::LowerBoundKeys(const Node& node, int64_t key,
+                                  int32_t count) {
+  size_t lo = 0;
+  size_t hi = static_cast<size_t>(count);
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (node.keys[mid].load(std::memory_order_relaxed) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t BTreeIndex::UpperBoundKeys(const Node& node, int64_t key,
+                                  int32_t count) {
+  size_t lo = 0;
+  size_t hi = static_cast<size_t>(count);
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (node.keys[mid].load(std::memory_order_relaxed) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// ---------------------------------------------------------------------------
+// Writes.
+// ---------------------------------------------------------------------------
+
+void BTreeIndex::SplitChildLocked(Node* parent, size_t i, Node* child) {
+  const int32_t ccount = child->count.load(std::memory_order_relaxed);
+  const int32_t mid = ccount / 2;
+  const int64_t separator =
+      child->keys[static_cast<size_t>(mid)].load(std::memory_order_relaxed);
+  Node* right = new Node(child->is_leaf, fanout_, kInitialVersion);
+  if (child->is_leaf) {
+    for (int32_t j = mid; j < ccount; ++j) {
+      const size_t src = static_cast<size_t>(j);
+      const size_t dst = static_cast<size_t>(j - mid);
+      right->keys[dst].store(child->keys[src].load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+      right->values[dst].store(
+          child->values[src].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    right->count.store(ccount - mid, std::memory_order_relaxed);
+    right->next_leaf.store(child->next_leaf.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    // Link the new right sibling into the chain before shrinking `child`,
+    // so a chain-walking reader always finds every key at least once (its
+    // validation of `child` fails anyway while we hold the lock).
+    child->next_leaf.store(right, std::memory_order_release);
+    child->count.store(mid, std::memory_order_release);
+    leaf_count_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    for (int32_t j = mid + 1; j < ccount; ++j) {
+      right->keys[static_cast<size_t>(j - mid - 1)].store(
+          child->keys[static_cast<size_t>(j)].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    for (int32_t j = mid + 1; j <= ccount; ++j) {
+      right->children[static_cast<size_t>(j - mid - 1)].store(
+          child->children[static_cast<size_t>(j)].load(
+              std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    right->count.store(ccount - mid - 1, std::memory_order_relaxed);
+    child->count.store(mid, std::memory_order_release);
+  }
+  // Shift the parent's tail right by one and splice in separator + right.
+  const int32_t pcount = parent->count.load(std::memory_order_relaxed);
+  for (int32_t j = pcount; j > static_cast<int32_t>(i); --j) {
+    parent->keys[static_cast<size_t>(j)].store(
+        parent->keys[static_cast<size_t>(j - 1)].load(
+            std::memory_order_relaxed),
+        std::memory_order_release);
+  }
+  for (int32_t j = pcount + 1; j > static_cast<int32_t>(i) + 1; --j) {
+    parent->children[static_cast<size_t>(j)].store(
+        parent->children[static_cast<size_t>(j - 1)].load(
+            std::memory_order_relaxed),
+        std::memory_order_release);
+  }
+  parent->keys[i].store(separator, std::memory_order_release);
+  parent->children[i + 1].store(right, std::memory_order_release);
+  parent->count.store(pcount + 1, std::memory_order_release);
+}
+
+void BTreeIndex::InsertIntoLeafLocked(Node* leaf, int64_t key, RowId row) {
+  const int32_t count = leaf->count.load(std::memory_order_relaxed);
+  const size_t pos = UpperBoundKeys(*leaf, key, count);
+  for (int32_t j = count; j > static_cast<int32_t>(pos); --j) {
+    leaf->keys[static_cast<size_t>(j)].store(
+        leaf->keys[static_cast<size_t>(j - 1)].load(std::memory_order_relaxed),
+        std::memory_order_release);
+    leaf->values[static_cast<size_t>(j)].store(
+        leaf->values[static_cast<size_t>(j - 1)].load(
+            std::memory_order_relaxed),
+        std::memory_order_release);
+  }
+  leaf->keys[pos].store(key, std::memory_order_release);
+  leaf->values[pos].store(row, std::memory_order_release);
+  leaf->count.store(count + 1, std::memory_order_release);
+}
+
+bool BTreeIndex::InsertIntoEmpty(int64_t key, RowId row) {
+  // Publish the root locked: counters and the first entry are finalized
+  // before any other thread can read or lock it.
+  Node* leaf = new Node(/*leaf=*/true, fanout_, kInitialVersion | kLockBit);
+  leaf->keys[0].store(key, std::memory_order_relaxed);
+  leaf->values[0].store(row, std::memory_order_relaxed);
+  leaf->count.store(1, std::memory_order_relaxed);
+  Node* expected = nullptr;
+  if (!root_.compare_exchange_strong(expected, leaf,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+    delete leaf;  // another thread created the root first
+    return false;
+  }
+  leaf_count_.store(1, std::memory_order_release);
+  height_.store(1, std::memory_order_release);
+  entry_count_.fetch_add(1, std::memory_order_release);
+  UnlockNode(leaf);
+  return true;
+}
+
+void BTreeIndex::SplitRoot(Node* root, uint64_t version) {
+  if (!TryLock(root, version)) return;
+  if (root_.load(std::memory_order_acquire) != root) {
+    UnlockNode(root);  // superseded while we were locking
+    return;
+  }
+  // With the current root locked no other writer can split it or publish a
+  // new root, so the swap below is unique.
+  Node* new_root = new Node(/*leaf=*/false, fanout_,
+                            kInitialVersion | kLockBit);
+  new_root->children[0].store(root, std::memory_order_relaxed);
+  SplitChildLocked(new_root, 0, root);
+  root_.store(new_root, std::memory_order_release);
+  height_.fetch_add(1, std::memory_order_release);
+  UnlockNode(new_root);
+  // Readers that entered through the old root restart on its bumped
+  // version; stale traversals that validated before the bump stay correct
+  // via the leaf chain.
+  UnlockNode(root);
+}
+
+bool BTreeIndex::InsertAttempt(int64_t key, RowId row, bool* contended) {
+  *contended = true;
+  Node* root = root_.load(std::memory_order_acquire);
+  if (root == nullptr) return InsertIntoEmpty(key, row);
+  uint64_t v = StableVersion(root);
+  if (root_.load(std::memory_order_acquire) != root) return false;
+  {
+    const int32_t rcount = root->count.load(std::memory_order_relaxed);
+    if (!ValidateVersion(root, v)) return false;
+    if (rcount >= fanout_) {
+      SplitRoot(root, v);
+      // Planned restructuring, not a lost race: retry from the (possibly
+      // new) root without charging the contention counter.
+      *contended = false;
+      return false;
+    }
+  }
+  // Loop invariant: `node` had count < fanout_ at version `v`, so a
+  // successful TryLock(node, v) certifies room for one more separator or
+  // entry (the preemptive-split discipline of the serial algorithm).
+  Node* node = root;
   while (!node->is_leaf) {
-    // Descend to the child that should contain `key`.
-    size_t i = std::upper_bound(node->keys.begin(), node->keys.end(), key) -
-               node->keys.begin();
-    Node* child = node->children[i];
-    if (static_cast<int32_t>(child->keys.size()) >= fanout_) {
-      SplitChild(node, static_cast<int32_t>(i));
-      if (key >= node->keys[i]) ++i;
-      child = node->children[i];
+    const int32_t count = node->count.load(std::memory_order_relaxed);
+    size_t i = UpperBoundKeys(*node, key, count);
+    Node* child =
+        node->children[i].load(std::memory_order_relaxed);
+    if (!ValidateVersion(node, v)) return false;
+    if (child == nullptr) return false;  // torn read; restart
+    uint64_t cv = StableVersion(child);
+    if (!ValidateVersion(node, v)) return false;
+    const int32_t ccount = child->count.load(std::memory_order_relaxed);
+    if (!ValidateVersion(child, cv)) return false;
+    if (ccount >= fanout_) {
+      if (!TryLock(node, v)) return false;
+      if (!TryLock(child, cv)) {
+        UnlockNode(node);
+        return false;
+      }
+      SplitChildLocked(node, i, child);
+      UnlockNode(child);
+      // Re-aim the descent at whichever half owns `key`. While we still
+      // hold the parent lock neither half can be touched by other
+      // writers (they would have to re-descend through the locked
+      // parent, or re-lock the bumped child version), so its fresh
+      // version certifies a non-full node.
+      if (key >= node->keys[i].load(std::memory_order_relaxed)) ++i;
+      Node* next = node->children[i].load(std::memory_order_relaxed);
+      const uint64_t nv = StableVersion(next);
+      UnlockNode(node);
+      node = next;
+      v = nv;
+      continue;
     }
     node = child;
+    v = cv;
   }
-  const size_t pos =
-      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
-      node->keys.begin();
-  node->keys.insert(node->keys.begin() + pos, key);
-  node->values.insert(node->values.begin() + pos, row);
-  ++entry_count_;
+  if (!TryLock(node, v)) return false;
+  InsertIntoLeafLocked(node, key, row);
+  UnlockNode(node);
+  entry_count_.fetch_add(1, std::memory_order_release);
+  return true;
 }
 
 void BTreeIndex::Insert(int64_t key, RowId row) {
-  if (root_ == nullptr) {
-    root_ = new Node();
-    leaf_count_ = 1;
-    height_ = 1;
+  bool contended = false;
+  while (!InsertAttempt(key, row, &contended)) {
+    if (contended) write_restarts_.fetch_add(1, std::memory_order_relaxed);
+    CpuRelax();
   }
-  if (static_cast<int32_t>(root_->keys.size()) >= fanout_) {
-    Node* new_root = new Node();
-    new_root->is_leaf = false;
-    new_root->children.push_back(root_);
-    root_ = new_root;
-    ++height_;
-    SplitChild(root_, 0);
-  }
-  InsertNonFull(root_, key, row);
 }
 
 Status BTreeIndex::BulkLoad(std::vector<std::pair<int64_t, RowId>> entries) {
-  if (root_ != nullptr) {
+  if (root_.load(std::memory_order_acquire) != nullptr) {
     return Status::FailedPrecondition("BulkLoad requires an empty tree");
   }
   std::sort(entries.begin(), entries.end());
   if (entries.empty()) return Status::OK();
 
-  // Build the leaf level.
+  // The structure is private until the root is published below, so plain
+  // relaxed stores suffice while building.
   std::vector<Node*> level;
   const size_t per_leaf = static_cast<size_t>(fanout_);
   for (size_t start = 0; start < entries.size(); start += per_leaf) {
     const size_t end = std::min(entries.size(), start + per_leaf);
-    Node* leaf = new Node();
-    leaf->keys.reserve(end - start);
-    leaf->values.reserve(end - start);
+    Node* leaf = new Node(/*leaf=*/true, fanout_, kInitialVersion);
     for (size_t i = start; i < end; ++i) {
-      leaf->keys.push_back(entries[i].first);
-      leaf->values.push_back(entries[i].second);
+      leaf->keys[i - start].store(entries[i].first,
+                                  std::memory_order_relaxed);
+      leaf->values[i - start].store(entries[i].second,
+                                    std::memory_order_relaxed);
     }
-    if (!level.empty()) level.back()->next_leaf = leaf;
+    leaf->count.store(static_cast<int32_t>(end - start),
+                      std::memory_order_relaxed);
+    if (!level.empty()) {
+      level.back()->next_leaf.store(leaf, std::memory_order_relaxed);
+    }
     level.push_back(leaf);
   }
-  leaf_count_ = static_cast<int64_t>(level.size());
-  entry_count_ = static_cast<int64_t>(entries.size());
-  height_ = 1;
+  leaf_count_.store(static_cast<int64_t>(level.size()),
+                    std::memory_order_relaxed);
+  entry_count_.store(static_cast<int64_t>(entries.size()),
+                     std::memory_order_relaxed);
+  int32_t height = 1;
 
   // Build internal levels bottom-up.
   while (level.size() > 1) {
@@ -153,132 +403,186 @@ Status BTreeIndex::BulkLoad(std::vector<std::pair<int64_t, RowId>> entries) {
     const size_t per_node = static_cast<size_t>(fanout_);
     for (size_t start = 0; start < level.size(); start += per_node + 1) {
       const size_t end = std::min(level.size(), start + per_node + 1);
-      Node* parent = new Node();
-      parent->is_leaf = false;
+      Node* parent = new Node(/*leaf=*/false, fanout_, kInitialVersion);
       for (size_t i = start; i < end; ++i) {
         if (i > start) {
           // Separator: smallest key reachable in child i's subtree.
           const Node* c = level[i];
-          while (!c->is_leaf) c = c->children.front();
-          parent->keys.push_back(c->keys.front());
+          while (!c->is_leaf) {
+            c = c->children[0].load(std::memory_order_relaxed);
+          }
+          parent->keys[i - start - 1].store(
+              c->keys[0].load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
         }
-        parent->children.push_back(level[i]);
+        parent->children[i - start].store(level[i],
+                                          std::memory_order_relaxed);
       }
+      parent->count.store(static_cast<int32_t>(end - start - 1),
+                          std::memory_order_relaxed);
       parents.push_back(parent);
     }
     level = std::move(parents);
-    ++height_;
+    ++height;
   }
-  root_ = level.front();
+  height_.store(height, std::memory_order_relaxed);
+  root_.store(level.front(), std::memory_order_release);
   return Status::OK();
 }
 
-const BTreeIndex::Node* BTreeIndex::FindLeaf(int64_t key) const {
-  const Node* node = root_;
-  if (node == nullptr) return nullptr;
+// ---------------------------------------------------------------------------
+// Reads.
+// ---------------------------------------------------------------------------
+
+bool BTreeIndex::ScanAttempt(int64_t lo, int64_t hi, std::vector<RowId>* out,
+                             int64_t* leaves_touched) const {
+  Node* node = root_.load(std::memory_order_acquire);
+  if (node == nullptr) return true;
+  uint64_t v = StableVersion(node);
   while (!node->is_leaf) {
     // lower_bound, not upper_bound: with duplicate keys the separator value
     // can also appear in the child to its left (splits cut runs of equal
     // keys), so the search for the *first* occurrence must descend left of
     // any separator equal to the key. The leaf chain covers the rest.
-    const size_t i =
-        std::lower_bound(node->keys.begin(), node->keys.end(), key) -
-        node->keys.begin();
-    node = node->children[i];
+    const int32_t count = node->count.load(std::memory_order_relaxed);
+    const size_t i = LowerBoundKeys(*node, lo, count);
+    Node* child = node->children[i].load(std::memory_order_relaxed);
+    if (!ValidateVersion(node, v)) return false;
+    if (child == nullptr) return false;  // torn read; restart
+    const uint64_t cv = StableVersion(child);
+    if (!ValidateVersion(node, v)) return false;
+    node = child;
+    v = cv;
   }
-  return node;
+  while (true) {
+    const int32_t count = node->count.load(std::memory_order_relaxed);
+    const size_t out_mark = out->size();
+    const size_t start = LowerBoundKeys(*node, lo, count);
+    bool past_end = false;
+    for (size_t i = start; i < static_cast<size_t>(count); ++i) {
+      const int64_t key = node->keys[i].load(std::memory_order_relaxed);
+      if (key > hi) {
+        past_end = true;
+        break;
+      }
+      out->push_back(node->values[i].load(std::memory_order_relaxed));
+    }
+    const int64_t back_key =
+        count > 0
+            ? node->keys[static_cast<size_t>(count - 1)].load(
+                  std::memory_order_relaxed)
+            : 0;
+    Node* next = node->next_leaf.load(std::memory_order_relaxed);
+    if (!ValidateVersion(node, v)) {
+      out->resize(out_mark);
+      return false;
+    }
+    ++*leaves_touched;
+    if (past_end) return true;
+    if (count > 0 && back_key > hi) return true;
+    if (next == nullptr) return true;
+    const uint64_t nv = StableVersion(next);
+    if (!ValidateVersion(node, v)) return false;
+    node = next;
+    v = nv;
+  }
 }
 
 int64_t BTreeIndex::RangeScan(int64_t lo, int64_t hi,
                               std::vector<RowId>* out) const {
-  if (root_ == nullptr || lo > hi) return 0;
-  const Node* leaf = FindLeaf(lo);
-  int64_t leaves_touched = 0;
-  while (leaf != nullptr) {
-    ++leaves_touched;
-    const size_t start =
-        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) -
-        leaf->keys.begin();
-    bool past_end = false;
-    for (size_t i = start; i < leaf->keys.size(); ++i) {
-      if (leaf->keys[i] > hi) {
-        past_end = true;
-        break;
-      }
-      out->push_back(leaf->values[i]);
-    }
-    if (past_end) break;
-    if (!leaf->keys.empty() && leaf->keys.back() > hi) break;
-    leaf = leaf->next_leaf;
+  if (lo > hi) return 0;
+  const size_t base = out->size();
+  while (true) {
+    out->resize(base);
+    int64_t leaves_touched = 0;
+    if (ScanAttempt(lo, hi, out, &leaves_touched)) return leaves_touched;
+    read_restarts_.fetch_add(1, std::memory_order_relaxed);
+    CpuRelax();
   }
-  return leaves_touched;
 }
 
 int64_t BTreeIndex::Lookup(int64_t key, std::vector<RowId>* out) const {
   return RangeScan(key, key, out);
 }
 
+// ---------------------------------------------------------------------------
+// Invariants.
+// ---------------------------------------------------------------------------
+
 Status BTreeIndex::CheckNode(const Node* node, int depth, int64_t lo,
                              int64_t hi, int leaf_depth) const {
-  if (!std::is_sorted(node->keys.begin(), node->keys.end())) {
-    return Status::Internal("keys not sorted");
-  }
-  for (int64_t k : node->keys) {
+  const int32_t count = node->count.load(std::memory_order_acquire);
+  int64_t prev = INT64_MIN;
+  for (int32_t i = 0; i < count; ++i) {
+    const int64_t k =
+        node->keys[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (k < prev) return Status::Internal("keys not sorted");
+    prev = k;
     if (k < lo || k > hi) return Status::Internal("key outside bounds");
   }
-  if (static_cast<int32_t>(node->keys.size()) > fanout_) {
+  if (count > fanout_) {
     return Status::Internal("node overflow");
   }
   if (node->is_leaf) {
     if (depth != leaf_depth) return Status::Internal("uneven leaf depth");
-    if (node->keys.size() != node->values.size()) {
-      return Status::Internal("leaf key/value mismatch");
-    }
     return Status::OK();
   }
-  if (node->children.size() != node->keys.size() + 1) {
-    return Status::Internal("internal child count mismatch");
-  }
-  for (size_t i = 0; i < node->children.size(); ++i) {
-    const int64_t child_lo = (i == 0) ? lo : node->keys[i - 1];
+  for (int32_t i = 0; i <= count; ++i) {
+    const Node* child = node->children[static_cast<size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (child == nullptr) return Status::Internal("missing child");
+    const int64_t child_lo =
+        (i == 0) ? lo
+                 : node->keys[static_cast<size_t>(i - 1)].load(
+                       std::memory_order_relaxed);
     // Duplicates may straddle a separator, so the left child's bound is
     // inclusive of the separator value.
-    const int64_t child_hi = (i == node->keys.size()) ? hi : node->keys[i];
-    Status st =
-        CheckNode(node->children[i], depth + 1, child_lo,
-                  std::max(child_lo, child_hi), leaf_depth);
+    const int64_t child_hi =
+        (i == count) ? hi
+                     : node->keys[static_cast<size_t>(i)].load(
+                           std::memory_order_relaxed);
+    Status st = CheckNode(child, depth + 1, child_lo,
+                          std::max(child_lo, child_hi), leaf_depth);
     if (!st.ok()) return st;
   }
   return Status::OK();
 }
 
 Status BTreeIndex::CheckInvariants() const {
-  if (root_ == nullptr) {
-    if (entry_count_ != 0 || leaf_count_ != 0) {
+  const Node* root = root_.load(std::memory_order_acquire);
+  if (root == nullptr) {
+    if (entry_count() != 0 || leaf_count() != 0) {
       return Status::Internal("empty tree with nonzero counts");
     }
     return Status::OK();
   }
   // Leaf depth = height_ - 1 when root counts as depth 0.
-  Status st = CheckNode(root_, 0, INT64_MIN, INT64_MAX, height_ - 1);
+  Status st = CheckNode(root, 0, INT64_MIN, INT64_MAX, height() - 1);
   if (!st.ok()) return st;
   // Walk the leaf chain: total entries and leaf count must match, and the
   // concatenated key sequence must be globally sorted.
-  const Node* leaf = root_;
-  while (!leaf->is_leaf) leaf = leaf->children.front();
+  const Node* leaf = root;
+  while (!leaf->is_leaf) {
+    leaf = leaf->children[0].load(std::memory_order_relaxed);
+  }
   int64_t entries = 0, leaves = 0;
   int64_t prev = INT64_MIN;
   while (leaf != nullptr) {
     ++leaves;
-    for (int64_t k : leaf->keys) {
+    const int32_t count = leaf->count.load(std::memory_order_acquire);
+    for (int32_t i = 0; i < count; ++i) {
+      const int64_t k =
+          leaf->keys[static_cast<size_t>(i)].load(std::memory_order_relaxed);
       if (k < prev) return Status::Internal("leaf chain not sorted");
       prev = k;
       ++entries;
     }
-    leaf = leaf->next_leaf;
+    leaf = leaf->next_leaf.load(std::memory_order_relaxed);
   }
-  if (entries != entry_count_) return Status::Internal("entry count mismatch");
-  if (leaves != leaf_count_) return Status::Internal("leaf count mismatch");
+  if (entries != entry_count()) {
+    return Status::Internal("entry count mismatch");
+  }
+  if (leaves != leaf_count()) return Status::Internal("leaf count mismatch");
   return Status::OK();
 }
 

@@ -4,9 +4,43 @@
 #include <utility>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/logging.h"
 
 namespace colt {
+
+Database::Database(Catalog catalog, uint64_t seed)
+    : catalog_(std::move(catalog)), rng_(seed) {
+  // Publish an empty snapshot so readers never observe null.
+  auto snap = std::make_unique<IndexSnapshot>();
+  snap->catalog_version = catalog_.version();
+  published_snapshot_.store(snap.release(), std::memory_order_release);
+}
+
+Database::~Database() {
+  // Readers are quiescent by contract, so the published snapshot can be
+  // destroyed in place; anything this database retired earlier is drained
+  // opportunistically (stale pins from other databases merely delay it).
+  std::unique_ptr<const IndexSnapshot> last(
+      published_snapshot_.exchange(nullptr, std::memory_order_acq_rel));
+  EpochManager::Global().ReclaimAll();
+}
+
+void Database::PublishIndexSnapshot() {
+  auto snap = std::make_unique<IndexSnapshot>();
+  snap->catalog_version = catalog_.version();
+  snap->indexes.reserve(built_indexes_.size());
+  for (const auto& [id, tree] : built_indexes_) {
+    snap->indexes.emplace(id, tree.get());
+  }
+  const IndexSnapshot* old =
+      published_snapshot_.exchange(snap.release(), std::memory_order_acq_rel);
+  EpochManager& epochs = EpochManager::Global();
+  if (old != nullptr) epochs.Retire(old);
+  // Publish boundaries double as reclaim points: free whatever previous
+  // epochs have proven unreachable.
+  epochs.TryReclaim();
+}
 
 Status Database::MaterializeTable(TableId table, bool refresh_stats) {
   if (table < 0 || table >= catalog_.table_count()) {
@@ -88,11 +122,21 @@ Status Database::InstallIndex(IndexId id, std::unique_ptr<BTreeIndex> tree) {
   if (built_indexes_.count(id) > 0) return Status::OK();
   built_indexes_.emplace(id, std::move(tree));
   catalog_.BumpVersion();
+  PublishIndexSnapshot();
   return Status::OK();
 }
 
 void Database::DropIndex(IndexId id) {
-  if (built_indexes_.erase(id) > 0) catalog_.BumpVersion();
+  auto it = built_indexes_.find(id);
+  if (it == built_indexes_.end()) return;
+  // Unlink first (republish a snapshot without the tree), retire second:
+  // late-pinning readers can no longer reach the tree, and readers still
+  // pinned over the old snapshot keep it alive until their epoch passes.
+  std::unique_ptr<BTreeIndex> doomed = std::move(it->second);
+  built_indexes_.erase(it);
+  catalog_.BumpVersion();
+  PublishIndexSnapshot();
+  EpochManager::Global().Retire(doomed.release());
 }
 
 std::vector<IndexId> Database::BuiltIndexIds() const {

@@ -1,6 +1,7 @@
 #ifndef COLT_STORAGE_DATABASE_H_
 #define COLT_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 
@@ -24,8 +25,28 @@ namespace colt {
 ///    used by the physical executor for validation and by the examples.
 class Database {
  public:
-  explicit Database(Catalog catalog, uint64_t seed = 42)
-      : catalog_(std::move(catalog)), rng_(seed) {}
+  /// An immutable view of the physically built index set, published
+  /// atomically for concurrent readers (DESIGN.md §15). The serving path
+  /// resolves trees through the snapshot while holding an `EpochGuard`;
+  /// installs and drops build a replacement, swap the published pointer,
+  /// and epoch-retire the old snapshot (and any dropped tree), so index
+  /// changes never block or invalidate in-flight readers.
+  struct IndexSnapshot {
+    /// Catalog version at publish time (diagnostics / staleness checks).
+    uint64_t catalog_version = 0;
+    std::unordered_map<IndexId, const BTreeIndex*> indexes;
+
+    COLT_WORKER_SAFE const BTreeIndex* Find(IndexId id) const {
+      auto it = indexes.find(id);
+      return it == indexes.end() ? nullptr : it->second;
+    }
+  };
+
+  explicit Database(Catalog catalog, uint64_t seed = 42);
+  /// Requires reader quiescence (no thread still executing a query
+  /// against this database); drains this database's epoch-retired
+  /// structures where possible.
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -79,11 +100,24 @@ class Database {
   /// harness's catalog/storage consistency invariant).
   std::vector<IndexId> BuiltIndexIds() const;
 
+  /// The currently-published index snapshot; never null. The returned
+  /// pointer (and every tree it references) stays valid for as long as
+  /// the caller holds an `EpochGuard` taken before this load.
+  COLT_WORKER_SAFE const IndexSnapshot* index_snapshot() const {
+    return published_snapshot_.load(std::memory_order_acquire);
+  }
+
  private:
+  /// Rebuilds and atomically publishes the snapshot from
+  /// `built_indexes_`, epoch-retiring the previous one. Owner thread
+  /// only (runs inside install/drop).
+  COLT_OWNER_ONLY void PublishIndexSnapshot();
+
   Catalog catalog_;
   Rng rng_;
   std::unordered_map<TableId, TableData> table_data_;
   std::unordered_map<IndexId, std::unique_ptr<BTreeIndex>> built_indexes_;
+  std::atomic<const IndexSnapshot*> published_snapshot_{nullptr};
 };
 
 }  // namespace colt

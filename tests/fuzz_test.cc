@@ -6,7 +6,9 @@
 
 #include "common/rng.h"
 #include "core/colt.h"
+#include "core/serve.h"
 #include "optimizer/whatif_cache.h"
+#include "test_util.h"
 
 namespace colt {
 namespace {
@@ -286,6 +288,101 @@ TEST(FuzzTunerSnapshot, MutatedSnapshotBytesNeverCrashLoadState) {
       // double) may load; the tuner must still be usable.
       fresh.OnQuery(RandomQuery(cat, rng));
     }
+  }
+}
+
+TEST(FuzzServe, ConcurrentServingMatchesSerialUnderRandomTunerActions) {
+  // Randomized serving round (DESIGN.md §15): random physical traces are
+  // drained by a random number of client threads while the tuner tunes
+  // AND a seeded adversary injects extra index builds/drops at epoch
+  // boundaries. The oracle is the serial run of the same seed: the served
+  // stream (results, page accounting, errors) must match bit-for-bit, and
+  // every surviving tree must stay structurally valid. Random manual
+  // drops may orphan a plan's index and fail that query — that is fine,
+  // as long as both runs fail identically.
+  for (uint64_t seed : {1ull, 8ull, 19ull}) {
+    auto run_once = [seed](int clients) {
+      Rng rng(seed * 40503ULL + 11);
+      Database db(colt::testing::MakeTestCatalog(), /*seed=*/7);
+      EXPECT_TRUE(db.MaterializeAll(/*refresh_stats=*/true).ok());
+      QueryOptimizer optimizer(&db.catalog());
+      ColtConfig config;
+      config.epoch_length = 3 + static_cast<int>(rng.NextBelow(10));
+      config.storage_budget_bytes =
+          (1 + static_cast<int64_t>(rng.NextBelow(8))) << 20;
+      ColtTuner tuner(&db.mutable_catalog(), &optimizer, config, &db, seed);
+
+      // Physical execution needs single-table, join-free traffic (the
+      // test catalog materializes both tables, but RandomQuery joins can
+      // explode row counts); build range queries directly.
+      std::vector<Query> trace;
+      const int queries = 60 + static_cast<int>(rng.NextBelow(60));
+      for (int i = 0; i < queries; ++i) {
+        const TableId t = rng.NextBool(0.8) ? db.catalog().FindTable("big")
+                                            : db.catalog().FindTable("small");
+        const TableSchema& schema = db.catalog().table(t);
+        const ColumnId c = static_cast<ColumnId>(
+            rng.NextBelow(static_cast<uint64_t>(schema.column_count())));
+        const int64_t ndv = schema.column(c).ndv;
+        const int64_t lo = rng.NextInRange(0, ndv - 1);
+        const int64_t hi =
+            std::min<int64_t>(ndv - 1, lo + rng.NextInRange(0, ndv / 10 + 1));
+        trace.push_back(Query({t}, {}, {SelectionPredicate{{t, c}, lo, hi}}));
+      }
+
+      ServeOptions options;
+      options.client_threads = clients;
+      options.pin_threads = false;
+      // Epoch-boundary adversary, deterministic in (seed, epoch): builds
+      // or drops random indexes behind the tuner's back while clients are
+      // quiescent. Identical in both runs by construction.
+      Database* db_ptr = &db;
+      options.on_epoch_end = [db_ptr, seed](int epoch) {
+        Rng chaos(seed * 7919ULL + static_cast<uint64_t>(epoch));
+        if (chaos.NextBool(0.3)) {
+          const std::vector<IndexId> built = db_ptr->BuiltIndexIds();
+          if (!built.empty()) {
+            db_ptr->DropIndex(built[chaos.NextBelow(built.size())]);
+          }
+        }
+        if (chaos.NextBool(0.3)) {
+          const TableId t = db_ptr->catalog().FindTable("big");
+          const ColumnId c = static_cast<ColumnId>(chaos.NextBelow(
+              static_cast<uint64_t>(db_ptr->catalog().table(t).column_count())));
+          Result<IndexDescriptor> desc =
+              db_ptr->mutable_catalog().IndexOn(ColumnRef{t, c});
+          if (desc.ok()) {
+            ColtIgnoreStatus(db_ptr->BuildIndex(desc.value().id));
+          }
+        }
+        for (IndexId id : db_ptr->BuiltIndexIds()) {
+          EXPECT_TRUE(db_ptr->index(id).CheckInvariants().ok());
+        }
+      };
+      return ServeWorkload(&db, &optimizer, &tuner, trace, options);
+    };
+
+    const ServeResult serial = run_once(/*clients=*/1);
+    const ServeResult parallel =
+        run_once(/*clients=*/2 + static_cast<int>(seed % 3));
+    ASSERT_EQ(serial.queries.size(), parallel.queries.size());
+    for (size_t i = 0; i < serial.queries.size(); ++i) {
+      const ServedQuery& a = serial.queries[i];
+      const ServedQuery& b = parallel.queries[i];
+      ASSERT_EQ(a.trace_index, b.trace_index);
+      ASSERT_EQ(a.ok, b.ok) << "seed " << seed << " query " << i << ": "
+                            << a.error << " vs " << b.error;
+      ASSERT_EQ(a.error, b.error) << "seed " << seed << " query " << i;
+      ASSERT_EQ(a.result.output_rows, b.result.output_rows)
+          << "seed " << seed << " query " << i;
+      ASSERT_EQ(a.result.pages_seq, b.result.pages_seq);
+      ASSERT_EQ(a.result.pages_random, b.result.pages_random);
+      ASSERT_EQ(a.result.pages_bitmap, b.result.pages_bitmap);
+      ASSERT_EQ(a.result.pages_index, b.result.pages_index);
+      ASSERT_EQ(a.result.tuples_processed, b.result.tuples_processed);
+    }
+    EXPECT_EQ(serial.tuner_actions, parallel.tuner_actions) << "seed " << seed;
+    EXPECT_EQ(serial.epochs, parallel.epochs) << "seed " << seed;
   }
 }
 
