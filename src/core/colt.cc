@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/tracing.h"
+#include "exec/executor.h"
 
 namespace colt {
 
@@ -27,6 +28,7 @@ ColtTuner::ColtTuner(Catalog* catalog, QueryOptimizer* optimizer,
                      ColtConfig config, Database* db, uint64_t seed)
     : catalog_(catalog),
       optimizer_(optimizer),
+      db_(db),
       config_(config),
       faults_(config.fault),
       pool_(config.num_workers > 0
@@ -46,7 +48,7 @@ ColtTuner::ColtTuner(Catalog* catalog, QueryOptimizer* optimizer,
                 provenance_.get()),
       self_organizer_(catalog, optimizer, &clusters_, &hot_stats_,
                       &mat_stats_, &candidates_, &forecaster_, &profiler_,
-                      &config_, provenance_.get()),
+                      &config_, provenance_.get(), &write_stats_),
       scheduler_(catalog, &optimizer->cost_model(), db,
                  config.scheduling_strategy, &faults_,
                  Scheduler::RetryPolicy{config.max_build_retries,
@@ -189,19 +191,66 @@ TuningStep ColtTuner::OnQuery(const Query& q) {
     step.execution_seconds *= faults_.Multiplier(fault_sites::kStorageScan);
   }
 
-  // Profiling (paper Fig. 2).
-  const Profiler::ProfileOutcome profile = profiler_.ProfileQuery(
-      q, step.plan, materialized, hot_set_, whatif_limit_, &whatif_used_,
-      epoch_);
-  step.whatif_calls = profile.whatif_calls;
-  step.degraded_whatif_calls = profile.degraded_calls;
-  step.profiling_seconds = profile.charged_seconds;
-  degraded_whatif_epoch_ += profile.degraded_calls;
-  degraded_whatif_total_ += profile.degraded_calls;
-  for (IndexId id : profile.probed) {
-    if (!std::binary_search(ever_probed_.begin(), ever_probed_.end(), id)) {
-      ever_probed_.insert(
-          std::lower_bound(ever_probed_.begin(), ever_probed_.end(), id), id);
+  if (q.is_write()) {
+    // Write statement (DESIGN.md §16). The plan cost already includes the
+    // maintenance of every materialized index on the target table; surface
+    // the split for timeline reporting and record the optimizer-estimated
+    // volumes the Self-Organizer will convert into per-index maintenance
+    // charges at the epoch boundary. Estimated (not executed) rows keep
+    // the charge in model currency, identical with or without a physical
+    // database attached.
+    step.maintenance_seconds =
+        optimizer_->cost_model().ToSeconds(step.plan.maintenance_cost);
+    switch (q.kind()) {
+      case StatementKind::kInsert:
+        write_stats_.RecordInsert(q.write_table(), step.plan.rows);
+        break;
+      case StatementKind::kUpdate: {
+        std::vector<ColumnId> columns;
+        for (const SetClause& s : q.set_clauses()) columns.push_back(s.column);
+        std::sort(columns.begin(), columns.end());
+        columns.erase(std::unique(columns.begin(), columns.end()),
+                      columns.end());
+        write_stats_.RecordUpdate(q.write_table(), columns, step.plan.rows);
+        break;
+      }
+      case StatementKind::kDelete:
+        write_stats_.RecordDelete(q.write_table(), step.plan.rows);
+        break;
+      case StatementKind::kSelect:
+        break;
+    }
+    if (db_ != nullptr && db_->HasData(q.write_table())) {
+      // Physically apply the statement so table data and built B+-trees
+      // stay consistent with the statement stream. The measured page
+      // counts are the executor's concern; tuning statistics above use
+      // only the model estimates.
+      Executor executor(db_);
+      const Result<ExecutionResult> applied =
+          executor.ExecuteWrite(db_, q, step.plan.plan.get());
+      if (!applied.ok()) {
+        COLT_LOG(Error) << "write application failed: "
+                        << applied.status().ToString();
+      }
+    }
+  } else {
+    // Profiling (paper Fig. 2). Writes are never profiled: index benefit
+    // for reads is a search problem (what-if probes), while maintenance
+    // cost for writes is closed-form — the deterministic charge above.
+    const Profiler::ProfileOutcome profile = profiler_.ProfileQuery(
+        q, step.plan, materialized, hot_set_, whatif_limit_, &whatif_used_,
+        epoch_);
+    step.whatif_calls = profile.whatif_calls;
+    step.degraded_whatif_calls = profile.degraded_calls;
+    step.profiling_seconds = profile.charged_seconds;
+    degraded_whatif_epoch_ += profile.degraded_calls;
+    degraded_whatif_total_ += profile.degraded_calls;
+    for (IndexId id : profile.probed) {
+      if (!std::binary_search(ever_probed_.begin(), ever_probed_.end(), id)) {
+        ever_probed_.insert(
+            std::lower_bound(ever_probed_.begin(), ever_probed_.end(), id),
+            id);
+      }
     }
   }
 
@@ -221,6 +270,8 @@ TuningStep ColtTuner::OnQuery(const Query& q) {
     report.cluster_count = clusters_.live_cluster_count();
     report.hot_ids = outcome.new_hot;
     report.materialized_ids = outcome.new_materialized.ids();
+    report.write_queries = write_stats_.epoch_write_queries();
+    report.maintenance_charged = outcome.maintenance_charged;
 
     Result<std::vector<IndexAction>> actions =
         scheduler_.ApplyConfiguration(outcome.new_materialized);
@@ -287,6 +338,7 @@ TuningStep ColtTuner::OnQuery(const Query& q) {
     profiler_.AdvanceEpoch();
     hot_stats_.AdvanceEpoch();
     mat_stats_.AdvanceEpoch();
+    write_stats_.AdvanceEpoch();
     candidates_.AdvanceEpoch(epoch_, config_.epoch_length);
     clusters_.AdvanceEpoch();
     const std::vector<ClusterId> live = clusters_.LiveClusters();
@@ -326,6 +378,7 @@ uint64_t ColtTuner::ConfigFingerprint() const {
   w.WriteI64(config_.min_budget_for_fresh_hot);
   w.WriteI64(config_.min_budget_after_change);
   w.WriteBool(config_.mine_multicolumn_candidates);
+  w.WriteBool(config_.charge_index_maintenance);
   w.WriteI64(config_.max_build_retries);
   w.WriteI64(config_.build_backoff_base_rounds);
   w.WriteI64(config_.max_build_backoff_rounds);
@@ -377,6 +430,7 @@ void ColtTuner::SaveState(BinaryWriter* writer) const {
   forecaster_.SaveState(writer);
   profiler_.SaveState(writer);
   scheduler_.SaveState(writer);
+  write_stats_.SaveState(writer);
   writer->WriteBool(provenance_ != nullptr);
   if (provenance_ != nullptr) {
     writer->WriteI64(provenance_reported_);
@@ -455,6 +509,7 @@ Status ColtTuner::LoadState(BinaryReader* reader) {
   COLT_RETURN_IF_ERROR(forecaster_.LoadState(reader));
   COLT_RETURN_IF_ERROR(profiler_.LoadState(reader));
   COLT_RETURN_IF_ERROR(scheduler_.LoadState(reader));
+  COLT_RETURN_IF_ERROR(write_stats_.LoadState(reader));
   bool snapshot_has_provenance = false;
   COLT_RETURN_IF_ERROR(reader->ReadBool(&snapshot_has_provenance));
   int64_t provenance_reported = 0;

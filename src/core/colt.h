@@ -20,6 +20,7 @@
 #include "core/profiler.h"
 #include "core/scheduler.h"
 #include "core/self_organizer.h"
+#include "core/write_stats.h"
 #include "optimizer/optimizer.h"
 #include "query/query.h"
 #include "storage/database.h"
@@ -33,6 +34,11 @@ struct TuningStep {
   PlanResult plan;
   /// Simulated execution time of that plan, in seconds.
   double execution_seconds = 0.0;
+  /// For write statements: the slice of execution_seconds spent keeping
+  /// the materialized indexes on the target table fresh (DESIGN.md §16).
+  /// Informational split — already included in execution_seconds, never
+  /// added on top. Always 0 for reads.
+  double maintenance_seconds = 0.0;
   /// Profiling overhead charged for this query (what-if calls), seconds.
   double profiling_seconds = 0.0;
   /// Index build time charged at this query (epoch boundaries) for builds
@@ -85,6 +91,12 @@ struct EpochReport {
   int64_t provenance_events_total = 0;
   int64_t provenance_events_epoch = 0;
   int64_t provenance_dropped = 0;
+  /// Write statements observed this epoch (0 on read-only workloads).
+  int64_t write_queries = 0;
+  /// Total maintenance charge subtracted from index benefits at this
+  /// epoch's boundary, cost units (0 on read-only epochs or with
+  /// ColtConfig::charge_index_maintenance off). DESIGN.md §16.
+  double maintenance_charged = 0.0;
 };
 
 /// COLT — Continuous On-Line Tuning (the paper's primary contribution).
@@ -210,6 +222,7 @@ class ColtTuner {
   Profiler& profiler() { return profiler_; }
   SelfOrganizer& self_organizer() { return self_organizer_; }
   BenefitForecaster& forecaster() { return forecaster_; }
+  const WriteStatsStore& write_stats() const { return write_stats_; }
 
  private:
   /// Checks the `budget.shrink` fault site; on a shrink, drops the
@@ -229,6 +242,10 @@ class ColtTuner {
 
   Catalog* catalog_;
   QueryOptimizer* optimizer_;
+  /// Physical database, or null for statistics-only tuning. Write
+  /// statements are physically applied through it (when the target table
+  /// is materialized) in addition to being priced by the cost model.
+  Database* db_;
   ColtConfig config_;
   FaultInjector faults_;
   /// Task-parallel layer (null when config.num_workers == 0). Declared
@@ -245,6 +262,9 @@ class ColtTuner {
   GainStatsStore mat_stats_;
   CandidateSet candidates_;
   BenefitForecaster forecaster_;
+  /// Per-epoch write volumes (DESIGN.md §16). Declared before the
+  /// Self-Organizer, which reads it at every epoch end.
+  WriteStatsStore write_stats_;
   Profiler profiler_;
   SelfOrganizer self_organizer_;
   Scheduler scheduler_;

@@ -84,6 +84,15 @@ struct ColtConfig {
   /// composite indexes are not implemented).
   bool mine_multicolumn_candidates = false;
 
+  /// Extension (DESIGN.md §16): subtract each index's per-epoch maintenance
+  /// cost — priced from the epoch's INSERT/UPDATE/DELETE volumes — from its
+  /// observed benefit before the observation enters the forecaster. This is
+  /// what lets COLT drop (or refuse to build) indexes on write-hot tables.
+  /// When false, writes still execute and pay their own maintenance at the
+  /// timeline, but index benefits ignore maintenance (the "maintenance-
+  /// blind" ablation). No effect on read-only workloads either way.
+  bool charge_index_maintenance = true;
+
   // ---- Robustness (DESIGN.md "Robustness & fault injection") ----
   /// Deterministic fault-injection plan for chaos experiments. Disabled by
   /// default: a disabled injector is never consulted, so fault-free runs

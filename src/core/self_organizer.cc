@@ -34,7 +34,8 @@ SelfOrganizer::SelfOrganizer(Catalog* catalog, QueryOptimizer* optimizer,
                              CandidateSet* candidates,
                              BenefitForecaster* forecaster, Profiler* profiler,
                              const ColtConfig* config,
-                             ProvenanceRecorder* provenance)
+                             ProvenanceRecorder* provenance,
+                             const WriteStatsStore* write_stats)
     : catalog_(catalog),
       optimizer_(optimizer),
       clusters_(clusters),
@@ -44,7 +45,8 @@ SelfOrganizer::SelfOrganizer(Catalog* catalog, QueryOptimizer* optimizer,
       forecaster_(forecaster),
       profiler_(profiler),
       config_(config),
-      provenance_(provenance) {
+      provenance_(provenance),
+      write_stats_(write_stats) {
   MetricsRegistry& reg = MetricsRegistry::Default();
   metrics_.hot_churn = reg.GetCounter("self_organizer.hot_churn");
   metrics_.hot_set_size = reg.GetGauge("self_organizer.hot_set_size");
@@ -64,6 +66,17 @@ double SelfOrganizer::MatCost(IndexId index) const {
   const IndexDescriptor& desc = catalog_->index(index);
   return optimizer_->cost_model().MaterializationCost(
       catalog_->table(desc.column.table), desc);
+}
+
+double SelfOrganizer::MaintenanceCharge(IndexId index) const {
+  if (write_stats_ == nullptr || !config_->charge_index_maintenance) {
+    return 0.0;
+  }
+  const IndexDescriptor& desc = catalog_->index(index);
+  const double entries = write_stats_->EpochEntryOps(desc);
+  if (entries <= 0.0) return 0.0;
+  return optimizer_->cost_model().IndexMaintenanceCost(
+      catalog_->table(desc.column.table), desc, entries);
 }
 
 double SelfOrganizer::EpochBenefit(IndexId index, bool is_materialized,
@@ -164,13 +177,31 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
               budget > 0 ? static_cast<double>(chosen_bytes) / budget : 0.0);
   };
 
-  // ---- 1. Fold the finished epoch's observations into the forecaster.
-  for (IndexId id : materialized.ids()) {
-    forecaster_->RecordEpoch(id, EpochBenefit(id, true, materialized));
-  }
+  // ---- 1. Fold the finished epoch's observations into the forecaster,
+  // net of each index's maintenance charge (DESIGN.md §16). Negative net
+  // observations are recorded as-is: an index whose upkeep exceeds its
+  // benefit must see its forecast sink below the drop threshold. On
+  // read-only epochs every charge is exactly 0 and this reduces to the
+  // paper's benefit fold, bit for bit.
+  const auto record_observation = [&](IndexId id, bool is_materialized) {
+    const double benefit = EpochBenefit(id, is_materialized, materialized);
+    const double charge = MaintenanceCharge(id);
+    if (charge > 0.0) {
+      outcome.maintenance_charged += charge;
+      if (provenance_ != nullptr) {
+        provenance_->RecordEvent("self_organizer.maintenance_charge")
+            .Index(id)
+            .Attr("benefit", benefit)
+            .Attr("charge", charge)
+            .Attr("materialized", is_materialized ? 1 : 0);
+      }
+    }
+    forecaster_->RecordEpoch(id, benefit - charge);
+  };
+  for (IndexId id : materialized.ids()) record_observation(id, true);
   for (IndexId id : hot_set) {
     if (materialized.Contains(id)) continue;
-    forecaster_->RecordEpoch(id, EpochBenefit(id, false, materialized));
+    record_observation(id, false);
   }
 
   // ---- 2. Reorganization: KNAPSACK over H u M with NetBenefit values.
@@ -338,8 +369,12 @@ SelfOrganizer::Outcome SelfOrganizer::RunEpochEnd(
       // Metrics of materialized indexes are left untouched (§5).
       item.value = NetBenefit(id, materialized);
     } else {
+      // Even the best case pays upkeep: the optimistic observation is net
+      // of the same maintenance charge the pessimistic fold used, so a
+      // write-hot epoch cannot inflate the rebudget ratio with benefits
+      // the index could never keep.
       const double optimistic_latest =
-          OptimisticEpochBenefit(id, materialized);
+          OptimisticEpochBenefit(id, materialized) - MaintenanceCharge(id);
       item.value =
           forecaster_->TotalPredictedBenefitWithLatest(id, optimistic_latest) -
           MatCost(id);

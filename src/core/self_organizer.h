@@ -13,6 +13,7 @@
 #include "core/gain_stats.h"
 #include "core/knapsack.h"
 #include "core/profiler.h"
+#include "core/write_stats.h"
 #include "optimizer/optimizer.h"
 
 namespace colt {
@@ -28,12 +29,14 @@ class SelfOrganizer {
   /// `provenance` may be null (no decision recording). When given, every
   /// epoch-end decision — knapsack solves, hot-set promotions/demotions,
   /// schedule requests, re-budgeting — emits a typed event (DESIGN.md §13).
+  /// `write_stats` may be null (read-only tuner: no maintenance charging).
   SelfOrganizer(Catalog* catalog, QueryOptimizer* optimizer,
                 ClusterManager* clusters, GainStatsStore* hot_stats,
                 GainStatsStore* mat_stats, CandidateSet* candidates,
                 BenefitForecaster* forecaster, Profiler* profiler,
                 const ColtConfig* config,
-                ProvenanceRecorder* provenance = nullptr);
+                ProvenanceRecorder* provenance = nullptr,
+                const WriteStatsStore* write_stats = nullptr);
 
   struct Outcome {
     IndexConfiguration new_materialized;
@@ -43,6 +46,10 @@ class SelfOrganizer {
     double rebudget_ratio = 1.0;
     double net_benefit_current = 0.0;
     double net_benefit_optimistic = 0.0;
+    /// Total maintenance charge subtracted from observed benefits this
+    /// epoch, across all charged indexes (0 on read-only epochs or with
+    /// charging disabled). Cost units; feeds the per-epoch CSVs.
+    double maintenance_charged = 0.0;
   };
 
   /// Runs reorganization + re-budgeting for the epoch that just finished.
@@ -73,6 +80,15 @@ class SelfOrganizer {
   /// Materialization cost of `index` in cost units.
   double MatCost(IndexId index) const;
 
+  /// Maintenance cost `index` would have paid over the finished epoch,
+  /// priced from the epoch's recorded write volumes (DESIGN.md §16).
+  /// Charged whether or not the index is materialized — a hot (hypothetical)
+  /// index on a write-hot table must prove it earns more than its upkeep
+  /// before the knapsack is allowed to want it. Zero when charging is
+  /// disabled, no write statistics are attached, or the epoch wrote nothing
+  /// that touches the index.
+  double MaintenanceCharge(IndexId index) const;
+
  private:
   /// True if `index` is relevant to `cluster` (its column is a selection
   /// or join column of the cluster's signature).
@@ -88,6 +104,7 @@ class SelfOrganizer {
   Profiler* profiler_;
   const ColtConfig* config_;
   ProvenanceRecorder* provenance_;
+  const WriteStatsStore* write_stats_;
 
   struct Instruments {
     Counter* hot_churn;

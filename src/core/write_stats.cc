@@ -1,0 +1,98 @@
+#include "core/write_stats.h"
+
+namespace colt {
+
+namespace {
+constexpr uint32_t kWriteStatsTag = 0x53575443;  // "CTWS"
+}  // namespace
+
+void WriteStatsStore::RecordInsert(TableId table, double rows) {
+  epoch_[table].inserted += rows;
+  ++epoch_write_queries_;
+}
+
+void WriteStatsStore::RecordDelete(TableId table, double rows) {
+  epoch_[table].deleted += rows;
+  ++epoch_write_queries_;
+}
+
+void WriteStatsStore::RecordUpdate(TableId table,
+                                   const std::vector<ColumnId>& set_columns,
+                                   double rows) {
+  TableCounters& counters = epoch_[table];
+  for (ColumnId col : set_columns) counters.updated[col] += rows;
+  ++epoch_write_queries_;
+}
+
+double WriteStatsStore::EpochEntryOps(const IndexDescriptor& index) const {
+  auto it = epoch_.find(index.column.table);
+  if (it == epoch_.end()) return 0.0;
+  const TableCounters& counters = it->second;
+  double ops = counters.inserted + counters.deleted;
+  for (const ColumnRef& col : index.columns) {
+    auto updated = counters.updated.find(col.column);
+    if (updated != counters.updated.end()) ops += 2.0 * updated->second;
+  }
+  return ops;
+}
+
+double WriteStatsStore::epoch_rows_written() const {
+  double rows = 0.0;
+  for (const auto& [table, counters] : epoch_) {
+    rows += counters.inserted + counters.deleted;
+    for (const auto& [col, updated] : counters.updated) rows += updated;
+  }
+  return rows;
+}
+
+void WriteStatsStore::AdvanceEpoch() {
+  total_write_queries_ += epoch_write_queries_;
+  epoch_write_queries_ = 0;
+  epoch_.clear();
+}
+
+void WriteStatsStore::SaveState(BinaryWriter* writer) const {
+  writer->WriteU32(kWriteStatsTag);
+  writer->WriteI64(epoch_write_queries_);
+  writer->WriteI64(total_write_queries_);
+  writer->WriteU64(epoch_.size());
+  for (const auto& [table, counters] : epoch_) {
+    writer->WriteI64(table);
+    writer->WriteDouble(counters.inserted);
+    writer->WriteDouble(counters.deleted);
+    writer->WriteU64(counters.updated.size());
+    for (const auto& [col, rows] : counters.updated) {
+      writer->WriteI64(col);
+      writer->WriteDouble(rows);
+    }
+  }
+}
+
+Status WriteStatsStore::LoadState(BinaryReader* reader) {
+  COLT_RETURN_IF_ERROR(reader->ExpectTag(kWriteStatsTag));
+  epoch_.clear();
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&epoch_write_queries_));
+  COLT_RETURN_IF_ERROR(reader->ReadI64(&total_write_queries_));
+  uint64_t table_count = 0;
+  COLT_RETURN_IF_ERROR(reader->ReadU64(&table_count));
+  for (uint64_t i = 0; i < table_count; ++i) {
+    int64_t table = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadI64(&table));
+    TableCounters counters;
+    COLT_RETURN_IF_ERROR(reader->ReadDouble(&counters.inserted));
+    COLT_RETURN_IF_ERROR(reader->ReadDouble(&counters.deleted));
+    uint64_t column_count = 0;
+    COLT_RETURN_IF_ERROR(reader->ReadU64(&column_count));
+    for (uint64_t j = 0; j < column_count; ++j) {
+      int64_t col = 0;
+      double rows = 0.0;
+      COLT_RETURN_IF_ERROR(reader->ReadI64(&col));
+      COLT_RETURN_IF_ERROR(reader->ReadDouble(&rows));
+      counters.updated[static_cast<ColumnId>(col)] = rows;
+    }
+    epoch_[static_cast<TableId>(table)] = std::move(counters);
+  }
+  return Status::OK();
+}
+
+}  // namespace colt

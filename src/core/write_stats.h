@@ -1,0 +1,84 @@
+#ifndef COLT_CORE_WRITE_STATS_H_
+#define COLT_CORE_WRITE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/persist/serializer.h"
+#include "common/status.h"
+
+namespace colt {
+
+/// Per-epoch write-volume statistics (DESIGN.md §16). The tuner records
+/// the optimizer-estimated affected rows of every INSERT/UPDATE/DELETE it
+/// observes; at the epoch boundary the Self-Organizer converts the
+/// finished epoch's volumes into a per-index maintenance charge that is
+/// subtracted from the observed benefit before it enters the forecaster.
+///
+/// Estimated (not executed) row counts are recorded on purpose: the
+/// charge must live in the same model currency as the benefit it offsets,
+/// and must be identical whether the run is statistics-only or physically
+/// applies its writes.
+///
+/// All counters are doubles because cardinality estimates are fractional;
+/// tables and columns are kept in ordered maps so serialization and
+/// iteration order are deterministic.
+class WriteStatsStore {
+ public:
+  /// Records an INSERT of `rows` estimated rows into `table`.
+  void RecordInsert(TableId table, double rows);
+  /// Records a DELETE of `rows` estimated rows from `table`.
+  void RecordDelete(TableId table, double rows);
+  /// Records an UPDATE assigning each column of `set_columns` on `rows`
+  /// estimated rows of `table`. Columns must be the statement's distinct
+  /// SET columns.
+  void RecordUpdate(TableId table, const std::vector<ColumnId>& set_columns,
+                    double rows);
+
+  /// B+-tree entry operations the current (finishing) epoch implies for
+  /// `index`: one insert per inserted row, one erase per deleted row, and
+  /// erase + re-insert (2 ops) per row whose update assigned a key column.
+  /// For composite indexes the update term sums over key columns — an
+  /// upper bound when one statement assigns several key columns at once.
+  double EpochEntryOps(const IndexDescriptor& index) const;
+
+  /// Write statements observed in the current epoch / over the lifetime
+  /// (lifetime includes the current epoch).
+  int64_t epoch_write_queries() const { return epoch_write_queries_; }
+  int64_t total_write_queries() const {
+    return total_write_queries_ + epoch_write_queries_;
+  }
+  /// True once any write statement was ever observed (drives the
+  /// writes-only CSV columns: read-only runs stay byte-identical).
+  bool any_writes() const { return total_write_queries() > 0; }
+
+  /// Estimated rows written in the current epoch, across all tables
+  /// (inserts + deletes + updates).
+  double epoch_rows_written() const;
+
+  /// Rolls the epoch counters into the lifetime totals and clears them.
+  /// Call at the epoch boundary, after the Self-Organizer consumed the
+  /// finished epoch's volumes.
+  void AdvanceEpoch();
+
+  void SaveState(BinaryWriter* writer) const;
+  Status LoadState(BinaryReader* reader);
+
+ private:
+  struct TableCounters {
+    double inserted = 0.0;
+    double deleted = 0.0;
+    /// Updated rows per assigned column.
+    std::map<ColumnId, double> updated;
+  };
+
+  std::map<TableId, TableCounters> epoch_;
+  int64_t epoch_write_queries_ = 0;
+  int64_t total_write_queries_ = 0;
+};
+
+}  // namespace colt
+
+#endif  // COLT_CORE_WRITE_STATS_H_

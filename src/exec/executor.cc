@@ -61,6 +61,7 @@ Result<std::vector<Executor::BoundRow>> Executor::Run(const PlanNode& node,
       acc->pages_seq += schema.heap_pages();
       std::vector<BoundRow> out;
       for (RowId r = 0; r < data.row_count(); ++r) {
+        if (!data.live(r)) continue;  // tombstoned by a DELETE
         ++acc->tuples_processed;
         bool pass = true;
         for (const auto& pred : node.filter_predicates) {
@@ -256,6 +257,85 @@ Result<ExecutionResult> Executor::ExecuteWithSnapshot(
   COLT_ASSIGN_OR_RETURN(std::vector<BoundRow> rows, Run(plan, &acc));
   acc.output_rows = static_cast<int64_t>(rows.size());
   snapshot_ = nullptr;
+  return acc;
+}
+
+Result<ExecutionResult> Executor::ExecuteWrite(Database* db, const Query& q,
+                                               const PlanNode* locate_plan) {
+  if (db != db_) {
+    return Status::InvalidArgument(
+        "ExecuteWrite requires the executor's own database");
+  }
+  if (!q.is_write()) {
+    return Status::InvalidArgument("ExecuteWrite requires a write statement");
+  }
+  const TableId table = q.write_table();
+  if (!db_->HasData(table)) {
+    return Status::FailedPrecondition("table not materialized");
+  }
+  ScopedTimer timer(execute_seconds_);
+  EpochGuard guard;
+  snapshot_ = db_->index_snapshot();
+  ExecutionResult acc;
+
+  // Locate the affected rows (UPDATE/DELETE): run the optimizer's access
+  // path when provided so read-side accounting matches the plan, else fall
+  // back to a sequential scan over live rows.
+  std::vector<RowId> matched;
+  if (q.kind() != StatementKind::kInsert) {
+    if (locate_plan != nullptr) {
+      Result<std::vector<BoundRow>> rows = Run(*locate_plan, &acc);
+      if (!rows.ok()) {
+        snapshot_ = nullptr;
+        return rows.status();
+      }
+      matched.reserve(rows->size());
+      for (const BoundRow& row : *rows) matched.push_back(row.RowFor(table));
+    } else {
+      const TableData& data = db_->data(table);
+      acc.pages_seq += db_->catalog().table(table).heap_pages();
+      const auto selections = q.selections();
+      for (RowId r = 0; r < data.row_count(); ++r) {
+        if (!data.live(r)) continue;
+        ++acc.tuples_processed;
+        bool pass = true;
+        for (const auto& pred : selections) {
+          if (!pred.Matches(Value(table, pred.column.column, r))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) matched.push_back(r);
+      }
+    }
+  }
+  snapshot_ = nullptr;
+
+  Result<Database::WriteOutcome> outcome{Database::WriteOutcome{}};
+  switch (q.kind()) {
+    case StatementKind::kInsert:
+      outcome = db->InsertRows(table, q.insert_rows());
+      break;
+    case StatementKind::kUpdate: {
+      std::vector<std::pair<ColumnId, int64_t>> sets;
+      sets.reserve(q.set_clauses().size());
+      for (const SetClause& s : q.set_clauses()) {
+        sets.emplace_back(s.column, s.value);
+      }
+      outcome = db->UpdateRows(table, matched, sets);
+      break;
+    }
+    case StatementKind::kDelete:
+      outcome = db->DeleteRows(table, matched);
+      break;
+    case StatementKind::kSelect:
+      return Status::Internal("unreachable: select in ExecuteWrite");
+  }
+  COLT_RETURN_IF_ERROR(outcome.status());
+  acc.pages_heap_write += DistinctHeapPages(table, outcome->rows);
+  acc.pages_index_write += outcome->index_entry_ops;
+  acc.rows_written += static_cast<int64_t>(outcome->rows.size());
+  acc.output_rows = static_cast<int64_t>(outcome->rows.size());
   return acc;
 }
 

@@ -9,6 +9,7 @@
 #include "common/thread_annotations.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
+#include "query/query.h"
 #include "storage/database.h"
 
 namespace colt {
@@ -29,9 +30,21 @@ struct ExecutionResult {
   int64_t pages_index = 0;
   /// Tuples processed across all operators.
   int64_t tuples_processed = 0;
+  /// Heap pages dirtied by a write statement (distinct pages holding the
+  /// appended/updated/deleted rows). Always 0 for reads.
+  int64_t pages_heap_write = 0;
+  /// Index leaf-page touches by write maintenance: one per B+-tree entry
+  /// insert/erase applied (each entry operation lands in exactly one
+  /// leaf). Always 0 for reads.
+  int64_t pages_index_write = 0;
+  /// Rows a write statement appended/updated/deleted. Always 0 for reads.
+  int64_t rows_written = 0;
 
   /// Cost-model units implied by the *measured* page/tuple counts; lets the
-  /// harness compare the estimated plan cost with observed work.
+  /// harness compare the estimated plan cost with observed work. Write
+  /// pages use the same currency: heap write-backs are sequential (the
+  /// pages are resident from the locate scan or appended in order), index
+  /// leaf touches are random.
   double MeasuredCost(const CostParams& params) const {
     // Bitmap pages are between sequential and random; charge the midpoint.
     const double bitmap_page_cost =
@@ -39,7 +52,9 @@ struct ExecutionResult {
     return pages_seq * params.seq_page_cost +
            pages_bitmap * bitmap_page_cost +
            (pages_random + pages_index) * params.random_page_cost +
-           tuples_processed * params.cpu_tuple_cost;
+           tuples_processed * params.cpu_tuple_cost +
+           pages_heap_write * params.seq_page_cost +
+           pages_index_write * params.random_page_cost;
   }
 };
 
@@ -77,6 +92,17 @@ class Executor {
   /// what the in-flight epoch's queries resolve.
   COLT_THREAD_NEUTRAL Result<ExecutionResult> ExecuteWithSnapshot(
       const PlanNode& plan, const Database::IndexSnapshot* snapshot);
+
+  /// Physically applies one INSERT/UPDATE/DELETE statement to `db` (which
+  /// must be the database this executor was constructed over), returning
+  /// measured write accounting in the same page currency as reads
+  /// (DESIGN.md §16). `locate_plan` is the optimizer's access path for an
+  /// UPDATE/DELETE WHERE clause (PlanResult::plan); when null the affected
+  /// rows are located by a sequential scan. Owner thread only — writes
+  /// mutate table data and built indexes in place (safe against concurrent
+  /// snapshot readers via the OLC trees, but not against other writers).
+  COLT_OWNER_ONLY Result<ExecutionResult> ExecuteWrite(
+      Database* db, const Query& q, const PlanNode* locate_plan);
 
  private:
   /// A tuple in flight: one bound row per participating table, ordered as

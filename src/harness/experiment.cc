@@ -8,9 +8,10 @@ namespace colt {
 ColtRunResult RunColtWorkload(Catalog* catalog,
                               const std::vector<Query>& workload,
                               const ColtConfig& config,
-                              CostParams cost_params, uint64_t seed) {
+                              CostParams cost_params, uint64_t seed,
+                              Database* db) {
   QueryOptimizer optimizer(catalog, cost_params);
-  ColtTuner tuner(catalog, &optimizer, config, /*db=*/nullptr, seed);
+  ColtTuner tuner(catalog, &optimizer, config, db, seed);
   ColtRunResult result;
   result.per_query.reserve(workload.size());
   for (const auto& q : workload) {
@@ -20,6 +21,8 @@ ColtRunResult RunColtWorkload(Catalog* catalog,
     cost.profiling = step.profiling_seconds;
     cost.build = step.build_seconds;
     cost.wasted_build = step.wasted_build_seconds;
+    cost.maintenance = step.maintenance_seconds;
+    cost.write = q.is_write();
     result.per_query.push_back(cost);
   }
   result.epochs = tuner.epoch_reports();
@@ -60,6 +63,8 @@ ChaosRunResult RunChaosWorkload(Catalog* catalog,
     cost.profiling = step.profiling_seconds;
     cost.build = step.build_seconds;
     cost.wasted_build = step.wasted_build_seconds;
+    cost.maintenance = step.maintenance_seconds;
+    cost.write = workload[i].is_write();
     result.run.per_query.push_back(cost);
 
     const int q = static_cast<int>(i);

@@ -20,6 +20,11 @@ struct QueryCost {
   /// Build time charged for failed attempts. Part of the timeline (the
   /// system really spent it), but shown separately from useful build work.
   double wasted_build = 0.0;
+  /// Slice of `execution` spent maintaining indexes for a write statement
+  /// (DESIGN.md §16). Informational — NOT added again by total().
+  double maintenance = 0.0;
+  /// True for INSERT/UPDATE/DELETE statements.
+  bool write = false;
   double total() const { return execution + profiling + build + wasted_build; }
 };
 
@@ -49,10 +54,13 @@ struct ColtRunResult {
 /// Drives `workload` through a fresh COLT tuner over `catalog`. The
 /// reported time of each query includes execution plus COLT's profiling
 /// and materialization overheads (paper §6.1 evaluation metric).
+/// `db` may be null (statistics-only); when given, the tuner also builds
+/// physical B+-trees and applies write statements to the table data.
 ColtRunResult RunColtWorkload(Catalog* catalog,
                               const std::vector<Query>& workload,
                               const ColtConfig& config,
-                              CostParams cost_params = {}, uint64_t seed = 7);
+                              CostParams cost_params = {}, uint64_t seed = 7,
+                              Database* db = nullptr);
 
 /// One robustness invariant violated during a chaos run.
 struct ChaosViolation {

@@ -16,10 +16,18 @@ Status WriteEpochReportCsv(const std::vector<EpochReport>& reports,
                            std::ostream& out) {
   // New columns append at the very end of each row: the gnuplot scripts
   // address columns positionally, so existing positions must not shift.
+  // The write columns only appear when the run observed write statements,
+  // so the CSVs of read-only traces stay byte-identical (DESIGN.md §16).
+  bool with_writes = false;
+  for (const auto& e : reports) {
+    if (e.write_queries > 0) with_writes = true;
+  }
   out << "epoch,whatif_used,whatif_limit,next_whatif_limit,rebudget_ratio,"
          "candidates,clusters,hot,materialized,materialized_bytes,"
          "degraded_whatif,build_failures,quarantined,storage_budget_bytes,"
-         "emergency_evictions,wasted_build_s\n";
+         "emergency_evictions,wasted_build_s";
+  if (with_writes) out << ",write_queries,maintenance_charged";
+  out << '\n';
   for (const auto& e : reports) {
     out << e.epoch << ',' << e.whatif_used << ',' << e.whatif_limit << ','
         << e.next_whatif_limit << ',' << e.rebudget_ratio << ','
@@ -28,7 +36,11 @@ Status WriteEpochReportCsv(const std::vector<EpochReport>& reports,
         << e.materialized_bytes << ',' << e.degraded_whatif << ','
         << e.build_failures << ',' << e.quarantined_ids.size() << ','
         << e.storage_budget_bytes << ',' << e.emergency_evictions << ','
-        << e.wasted_build_seconds << '\n';
+        << e.wasted_build_seconds;
+    if (with_writes) {
+      out << ',' << e.write_queries << ',' << e.maintenance_charged;
+    }
+    out << '\n';
   }
   if (!out.good()) return Status::Internal("csv write failed");
   return Status::OK();
@@ -43,10 +55,19 @@ Status WritePerQueryCsv(const ColtRunResult& colt_run,
     return Status::InvalidArgument("offline series length mismatch");
   }
   // colt_wasted_build_s is appended after offline_s: the gnuplot scripts
-  // read colt_total_s/offline_s by position (columns 5 and 6).
+  // read colt_total_s/offline_s by position (columns 5 and 6). The
+  // maintenance column only appears when the run contains write statements
+  // (read-only trace CSVs stay byte-identical; DESIGN.md §16); the value
+  // is the slice of colt_execution_s spent on index upkeep, not an
+  // addition to the total.
+  bool with_writes = false;
+  for (const QueryCost& q : colt_run.per_query) {
+    if (q.write) with_writes = true;
+  }
   out << "query,colt_execution_s,colt_profiling_s,colt_build_s,colt_total_s";
   if (with_offline) out << ",offline_s";
   out << ",colt_wasted_build_s";
+  if (with_writes) out << ",colt_maintenance_s";
   out << '\n';
   for (size_t i = 0; i < colt_run.per_query.size(); ++i) {
     const QueryCost& q = colt_run.per_query[i];
@@ -54,6 +75,7 @@ Status WritePerQueryCsv(const ColtRunResult& colt_run,
         << ',' << q.total();
     if (with_offline) out << ',' << offline_seconds[i];
     out << ',' << q.wasted_build;
+    if (with_writes) out << ',' << q.maintenance;
     out << '\n';
   }
   if (!out.good()) return Status::Internal("csv write failed");

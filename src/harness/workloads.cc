@@ -47,6 +47,46 @@ QueryTemplate Join2(Catalog* catalog, const std::string& t1,
   return t;
 }
 
+QueryTemplate Insert(Catalog* catalog, const std::string& table,
+                     int64_t min_rows, int64_t max_rows,
+                     const std::string& name) {
+  QueryTemplate t;
+  t.name = name;
+  t.kind = StatementKind::kInsert;
+  t.tables = {catalog->FindTable(table)};
+  t.min_insert_rows = min_rows;
+  t.max_insert_rows = max_rows;
+  return t;
+}
+
+QueryTemplate Update(Catalog* catalog, const std::string& table,
+                     std::vector<std::string> set_columns,
+                     std::vector<SelectionSpec> selections,
+                     const std::string& name, double hot_fraction = 0.0) {
+  QueryTemplate t;
+  t.name = name;
+  t.kind = StatementKind::kUpdate;
+  t.tables = {catalog->FindTable(table)};
+  for (const std::string& c : set_columns) {
+    t.set_columns.push_back(Col(catalog, table, c));
+  }
+  t.selections = std::move(selections);
+  t.hot_fraction = hot_fraction;
+  return t;
+}
+
+QueryTemplate Delete(Catalog* catalog, const std::string& table,
+                     std::vector<SelectionSpec> selections,
+                     const std::string& name, double hot_fraction = 0.0) {
+  QueryTemplate t;
+  t.name = name;
+  t.kind = StatementKind::kDelete;
+  t.tables = {catalog->FindTable(table)};
+  t.selections = std::move(selections);
+  t.hot_fraction = hot_fraction;
+  return t;
+}
+
 }  // namespace
 
 QueryDistribution ExperimentWorkloads::Focused(Catalog* catalog,
@@ -239,6 +279,93 @@ QueryDistribution ExperimentWorkloads::NoiseBurst(Catalog* catalog) {
 std::vector<ColumnRef> ExperimentWorkloads::RelevantColumns(Catalog* catalog,
                                                             int instance) {
   return Focused(catalog, instance).RelevantColumns();
+}
+
+std::vector<QueryDistribution> ExperimentWorkloads::HtapPhases(
+    Catalog* catalog) {
+  const std::string li = "lineitem_0";
+  const std::string od = "orders_0";
+
+  std::vector<QueryDistribution> phases(3);
+  auto add = [&](int p, QueryTemplate t, double w) {
+    phases[p].templates.push_back(std::move(t));
+    phases[p].weights.push_back(w);
+  };
+  phases[0].name = "htap_read_heavy";
+  phases[1].name = "htap_write_heavy";
+  phases[2].name = "htap_read_again";
+
+  // Phase 0 — read-heavy OLAP with a trickle of inserts (~5% writes):
+  // lineitem analytics dominate, so indexes on l_shipdate / l_partkey pay
+  // for themselves many times over.
+  add(0, Single(catalog, li, {Sel(catalog, li, "l_shipdate", 0.0008, 0.008)},
+                "h1_li_shipdate"), 4.0);
+  add(0, Single(catalog, li, {Sel(catalog, li, "l_partkey", 0.0005, 0.004)},
+                "h1_li_partkey"), 2.0);
+  add(0, Single(catalog, od, {Sel(catalog, od, "o_orderdate", 0.002, 0.018)},
+                "h1_od_orderdate"), 1.5);
+  add(0, Insert(catalog, li, 50, 200, "h1_li_trickle_insert"), 0.4);
+
+  // Phase 1 — write-heavy OLTP (~3/4 writes) hammering exactly the
+  // columns phase 0's winners index: bulk inserts into lineitem plus
+  // updates assigning l_shipdate / l_partkey. Crucially, moderate
+  // lineitem reads PERSIST: the indexes still deliver positive read
+  // benefit, so a maintenance-blind tuner retains them and keeps paying
+  // write amplification on every statement. With charging on, the
+  // Self-Organizer sees benefit minus upkeep go negative and drops them —
+  // the "write-hot but read-useful" case a pure benefit signal cannot
+  // distinguish (DESIGN.md §16).
+  // Bulk INSERTs are the maintenance driver: they dirty every lineitem
+  // index without needing a WHERE locate step, so dropping the indexes
+  // saves their upkeep without turning any statement into a full scan.
+  // (UPDATE/DELETE pressure — where the index also helps *locate* the
+  // affected rows — is exercised by the HotSpotWrites scenario.)
+  add(1, Insert(catalog, li, 1000, 3000, "h2_li_bulk_insert"), 6.0);
+  add(1, Single(catalog, li, {Sel(catalog, li, "l_shipdate", 0.0008, 0.008)},
+                "h2_li_shipdate_read"), 0.3);
+  add(1, Single(catalog, li, {Sel(catalog, li, "l_partkey", 0.0005, 0.004)},
+                "h2_li_partkey_read"), 0.2);
+  add(1, Single(catalog, od, {Sel(catalog, od, "o_orderdate", 0.002, 0.018)},
+                "h2_od_orderdate"), 1.0);
+
+  // Phase 2 — the write wave recedes and the phase-0 analytics return,
+  // so the dropped lineitem indexes become worth materializing again.
+  add(2, Single(catalog, li, {Sel(catalog, li, "l_shipdate", 0.0008, 0.008)},
+                "h3_li_shipdate"), 4.0);
+  add(2, Single(catalog, li, {Sel(catalog, li, "l_partkey", 0.0005, 0.004)},
+                "h3_li_partkey"), 2.0);
+  add(2, Single(catalog, od, {Sel(catalog, od, "o_orderdate", 0.002, 0.018)},
+                "h3_od_orderdate"), 1.5);
+  add(2, Insert(catalog, li, 50, 200, "h3_li_trickle_insert"), 0.4);
+
+  return phases;
+}
+
+QueryDistribution ExperimentWorkloads::HotSpotWrites(Catalog* catalog) {
+  const std::string li = "lineitem_0";
+  QueryDistribution dist;
+  dist.name = "hotspot_writes";
+  auto add = [&](QueryTemplate t, double w) {
+    dist.templates.push_back(std::move(t));
+    dist.weights.push_back(w);
+  };
+  // Composite-key read shape: two predicates on one table, the pattern
+  // the multi-column candidate miner turns into (l_receiptdate,
+  // l_quantity) composite candidates.
+  add(Single(catalog, li,
+             {Sel(catalog, li, "l_receiptdate", 0.002, 0.012),
+              Sel(catalog, li, "l_quantity", 0.10, 0.40)},
+             "hs_li_receipt_qty"), 2.0);
+  // Hot-spot writes: every WHERE range lands in the lowest 1% of the key
+  // domain (leanstore-style skew), so a few leaf pages absorb all churn.
+  add(Update(catalog, li, {"l_quantity"},
+             {Sel(catalog, li, "l_receiptdate", 0.001, 0.005)},
+             "hs_li_hot_update", /*hot_fraction=*/0.01), 3.0);
+  add(Delete(catalog, li,
+             {Sel(catalog, li, "l_receiptdate", 0.0005, 0.002)},
+             "hs_li_hot_delete", /*hot_fraction=*/0.01), 1.0);
+  add(Insert(catalog, li, 100, 400, "hs_li_insert"), 1.0);
+  return dist;
 }
 
 }  // namespace colt

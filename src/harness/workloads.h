@@ -39,6 +39,26 @@ class ExperimentWorkloads {
   /// "relevant indices" (18 per instance).
   static std::vector<ColumnRef> RelevantColumns(Catalog* catalog,
                                                 int instance);
+
+  /// HTAP experiment (DESIGN.md §16, beyond the paper): 3 phases over
+  /// schema instance 0 whose read/write ratio flips mid-run.
+  ///  Phase 0 (read-heavy): lineitem analytics dominate; indexes on
+  ///    l_shipdate/l_partkey earn their keep.
+  ///  Phase 1 (write-heavy): the same lineitem columns are hammered by
+  ///    INSERT/UPDATE statements while moderate lineitem reads persist —
+  ///    the indexes stay read-useful, so only a tuner that charges
+  ///    maintenance into net benefit sees they have become a net loss
+  ///    and drops them; a maintenance-blind tuner retains them.
+  ///  Phase 2 (read-heavy again): writes recede; the lineitem indexes are
+  ///    re-adopted.
+  static std::vector<QueryDistribution> HtapPhases(Catalog* catalog);
+
+  /// Leanstore-style hot-spot write distribution on instance 0: UPDATEs
+  /// and DELETEs whose WHERE ranges all land in the hottest 1% of the key
+  /// domain, against a composite-key query shape (two-predicate reads on
+  /// l_receiptdate+l_quantity) — exercises skewed maintenance pressure
+  /// and the multi-column candidate miner under writes.
+  static QueryDistribution HotSpotWrites(Catalog* catalog);
 };
 
 }  // namespace colt

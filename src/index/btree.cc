@@ -364,6 +364,87 @@ void BTreeIndex::Insert(int64_t key, RowId row) {
   }
 }
 
+bool BTreeIndex::EraseAttempt(int64_t key, RowId row, bool* erased) {
+  Node* node = root_.load(std::memory_order_acquire);
+  if (node == nullptr) {
+    *erased = false;
+    return true;
+  }
+  uint64_t v = StableVersion(node);
+  if (root_.load(std::memory_order_acquire) != node) return false;
+  // Lower-bound descent to the first possible occurrence (duplicates can
+  // straddle separators, exactly as in ScanAttempt).
+  while (!node->is_leaf) {
+    const int32_t count = node->count.load(std::memory_order_relaxed);
+    const size_t i = LowerBoundKeys(*node, key, count);
+    Node* child = node->children[i].load(std::memory_order_relaxed);
+    if (!ValidateVersion(node, v)) return false;
+    if (child == nullptr) return false;  // torn read; restart
+    const uint64_t cv = StableVersion(child);
+    if (!ValidateVersion(node, v)) return false;
+    node = child;
+    v = cv;
+  }
+  // Walk the leaf chain for the (key, row) pair; duplicate keys may span
+  // several leaves, and emptied leaves (count == 0) are skipped through
+  // their next pointer.
+  while (true) {
+    const int32_t count = node->count.load(std::memory_order_relaxed);
+    size_t pos = static_cast<size_t>(count);
+    bool past_key = false;
+    for (size_t i = LowerBoundKeys(*node, key, count);
+         i < static_cast<size_t>(count); ++i) {
+      if (node->keys[i].load(std::memory_order_relaxed) > key) {
+        past_key = true;
+        break;
+      }
+      if (node->values[i].load(std::memory_order_relaxed) == row) {
+        pos = i;
+        break;
+      }
+    }
+    Node* next = node->next_leaf.load(std::memory_order_relaxed);
+    if (pos < static_cast<size_t>(count)) {
+      // Found it. A successful TryLock at the version the position was
+      // read under certifies the leaf is unchanged, so `pos` is still the
+      // entry to remove; shift the tail left in place. The leaf is never
+      // unlinked even when it empties — readers traverse it harmlessly.
+      if (!TryLock(node, v)) return false;
+      for (size_t i = pos + 1; i < static_cast<size_t>(count); ++i) {
+        node->keys[i - 1].store(
+            node->keys[i].load(std::memory_order_relaxed),
+            std::memory_order_release);
+        node->values[i - 1].store(
+            node->values[i].load(std::memory_order_relaxed),
+            std::memory_order_release);
+      }
+      node->count.store(count - 1, std::memory_order_release);
+      UnlockNode(node);
+      entry_count_.fetch_sub(1, std::memory_order_release);
+      *erased = true;
+      return true;
+    }
+    if (!ValidateVersion(node, v)) return false;
+    if (past_key || next == nullptr) {
+      *erased = false;
+      return true;
+    }
+    const uint64_t nv = StableVersion(next);
+    if (!ValidateVersion(node, v)) return false;
+    node = next;
+    v = nv;
+  }
+}
+
+bool BTreeIndex::Erase(int64_t key, RowId row) {
+  bool erased = false;
+  while (!EraseAttempt(key, row, &erased)) {
+    write_restarts_.fetch_add(1, std::memory_order_relaxed);
+    CpuRelax();
+  }
+  return erased;
+}
+
 Status BTreeIndex::BulkLoad(std::vector<std::pair<int64_t, RowId>> entries) {
   if (root_.load(std::memory_order_acquire) != nullptr) {
     return Status::FailedPrecondition("BulkLoad requires an empty tree");

@@ -30,13 +30,15 @@ using RowId = int64_t;
 /// reads are impossible and a failed validation simply restarts the
 /// operation from the root; `read_restarts()` counts them). Writers CAS
 /// the version word to lock a node, and a split lock-couples parent and
-/// child top-down, so writer locks never deadlock. Splits never free or
-/// merge nodes (there is no delete path), so a reader holding a stale
-/// node pointer always sees a well-formed — if outdated — node and either
-/// fails validation or completes correctly via the leaf chain. Whole-tree
-/// teardown under concurrent readers is the job of the epoch reclamation
-/// layer (`common/epoch.h`): owners retire a dropped tree instead of
-/// deleting it while readers may still be pinned inside.
+/// child top-down, so writer locks never deadlock. Structural changes
+/// never free or merge nodes: Erase removes entries leaf-locally and
+/// leaves emptied leaves linked in the chain (readers skip them), so a
+/// reader holding a stale node pointer always sees a well-formed — if
+/// outdated — node and either fails validation or completes correctly via
+/// the leaf chain. Whole-tree teardown under concurrent readers is the
+/// job of the epoch reclamation layer (`common/epoch.h`): owners retire a
+/// dropped tree instead of deleting it while readers may still be pinned
+/// inside.
 ///
 /// The structural algorithms (preemptive split on descent at mid =
 /// count/2, lower-bound descent for reads, bottom-up bulk load) are
@@ -58,8 +60,15 @@ class BTreeIndex {
   BTreeIndex& operator=(BTreeIndex&&) noexcept;
 
   /// Inserts one (key, row) entry. Duplicate keys are allowed. Safe to
-  /// call concurrently with other Insert/Lookup/RangeScan calls.
+  /// call concurrently with other Insert/Erase/Lookup/RangeScan calls.
   COLT_THREAD_NEUTRAL void Insert(int64_t key, RowId row);
+
+  /// Erases one (key, row) entry; returns true iff an entry was removed.
+  /// Leaf-local: the entry is removed in place under the leaf's writer
+  /// lock, and a leaf emptied by erasure stays linked in the chain (nodes
+  /// are never merged or freed, preserving the OLC reader guarantees
+  /// above). Safe to call concurrently with other tree operations.
+  COLT_THREAD_NEUTRAL bool Erase(int64_t key, RowId row);
 
   /// Bulk-loads from (key, row) pairs; requires an empty tree. Pairs need
   /// not be sorted. Produces leaves ~100% full (like CREATE INDEX).
@@ -137,6 +146,10 @@ class BTreeIndex {
   /// caller must discard partial output and retry.
   bool ScanAttempt(int64_t lo, int64_t hi, std::vector<RowId>* out,
                    int64_t* leaves_touched) const;
+
+  /// One optimistic erase descent; false means "retry from the root".
+  /// On success `*erased` reports whether the (key, row) pair existed.
+  bool EraseAttempt(int64_t key, RowId row, bool* erased);
 
   Status CheckNode(const Node* node, int depth, int64_t lo, int64_t hi,
                    int leaf_depth) const;

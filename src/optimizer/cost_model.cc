@@ -129,6 +129,41 @@ CostEstimate CostModel::HashJoin(const CostEstimate& left,
   return est;
 }
 
+double CostModel::IndexMaintenanceCost(const TableSchema& table,
+                                       const IndexDescriptor& index,
+                                       double entries) const {
+  if (entries <= 0.0) return 0.0;
+  const double rows = std::max<double>(1.0, table.row_count());
+  const double leaf_pages = std::max<double>(1.0, index.leaf_pages);
+  const double leaves_dirtied = HeapPagesFetched(entries, leaf_pages, rows);
+  return index.height * params_.random_page_cost +
+         leaves_dirtied * params_.random_page_cost +
+         entries * params_.cpu_index_tuple_cost;
+}
+
+CostEstimate CostModel::HeapAppend(const TableSchema& table,
+                                   double rows) const {
+  CostEstimate est;
+  const double existing = std::max<double>(1.0, table.row_count());
+  const double rows_per_page =
+      std::max(1.0, existing / std::max<double>(1.0, table.heap_pages()));
+  const double pages = std::max(1.0, rows / rows_per_page);
+  est.cost = pages * params_.seq_page_cost + rows * params_.cpu_tuple_cost;
+  est.rows = rows;
+  return est;
+}
+
+CostEstimate CostModel::HeapWriteBack(const TableSchema& table,
+                                      double rows) const {
+  CostEstimate est;
+  const double dirty = HeapPagesFetched(
+      rows, static_cast<double>(table.heap_pages()),
+      std::max<double>(1.0, table.row_count()));
+  est.cost = dirty * params_.seq_page_cost + rows * params_.cpu_tuple_cost;
+  est.rows = rows;
+  return est;
+}
+
 double CostModel::MaterializationCost(const TableSchema& table,
                                       const IndexDescriptor& index) const {
   const double rows = static_cast<double>(table.row_count());

@@ -79,6 +79,25 @@ class CostModel {
   double MaterializationCost(const TableSchema& table,
                              const IndexDescriptor& index) const;
 
+  /// Maintenance cost of applying `entries` B+-tree entry operations
+  /// (inserts or erases) to `index` on `table`: one tree descent per
+  /// statement batch plus the distinct leaf pages dirtied (Yao over the
+  /// leaf level, random writes) plus per-entry CPU. This is the per-index
+  /// write penalty charged into NetBenefit (DESIGN.md §16); an UPDATE of an
+  /// indexed column counts two entry operations (erase + insert).
+  double IndexMaintenanceCost(const TableSchema& table,
+                              const IndexDescriptor& index,
+                              double entries) const;
+
+  /// Heap cost of appending `rows` freshly inserted tuples to `table`:
+  /// sequential writes of the pages the batch fills, plus per-tuple CPU.
+  CostEstimate HeapAppend(const TableSchema& table, double rows) const;
+
+  /// Heap cost of writing back `rows` updated/deleted tuples located by a
+  /// prior scan: the distinct pages dirtied (Yao) are already resident, so
+  /// the write-back is charged at sequential cost, plus per-tuple CPU.
+  CostEstimate HeapWriteBack(const TableSchema& table, double rows) const;
+
   /// Expected number of distinct heap pages touched when fetching
   /// `tuples_fetched` random tuples from a heap of `pages` pages holding
   /// `total_tuples` tuples (Yao's formula, exponential approximation).

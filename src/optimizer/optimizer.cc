@@ -195,9 +195,56 @@ double QueryOptimizer::JoinSelectivity(
   return sel;
 }
 
+PlanResult QueryOptimizer::OptimizeWrite(
+    const Query& q, const IndexConfiguration& config,
+    std::unordered_map<TableKey, AccessPath, TableKeyHash>* memo) {
+  const TableId table = q.write_table();
+  const TableSchema& schema = catalog_->table(table);
+  PlanResult result;
+
+  // Locate + heap phases.
+  double affected = 0.0;
+  if (q.kind() == StatementKind::kInsert) {
+    affected = static_cast<double>(q.insert_rows());
+    const CostEstimate heap = cost_model_.HeapAppend(schema, affected);
+    result.cost = heap.cost;
+  } else {
+    const AccessPath locate = BestAccessPath(q, table, config, memo);
+    affected = locate.rows;
+    const CostEstimate heap = cost_model_.HeapWriteBack(schema, affected);
+    result.cost = locate.cost + heap.cost;
+    result.plan = MakeScanNode(q, table, locate);
+  }
+  result.rows = affected;
+
+  // Index maintenance: every config index on the target table that the
+  // statement dirties. An UPDATE maintains only indexes over a SET column
+  // and pays erase + insert per row; INSERT/DELETE maintain every index.
+  for (IndexId id : config.ids()) {
+    const IndexDescriptor& desc = catalog_->index(id);
+    if (desc.column.table != table) continue;
+    double entries = affected;
+    if (q.kind() == StatementKind::kUpdate) {
+      bool touches = false;
+      for (const ColumnRef& col : desc.columns) {
+        for (const SetClause& s : q.set_clauses()) {
+          if (s.column == col.column) touches = true;
+        }
+      }
+      if (!touches) continue;
+      entries = affected * 2.0;
+    }
+    result.maintenance_cost +=
+        cost_model_.IndexMaintenanceCost(schema, desc, entries);
+  }
+  result.cost += result.maintenance_cost;
+  return result;
+}
+
 PlanResult QueryOptimizer::OptimizeInternal(
     const Query& q, const IndexConfiguration& config,
     std::unordered_map<TableKey, AccessPath, TableKeyHash>* memo) {
+  if (q.is_write()) return OptimizeWrite(q, config, memo);
   const auto& tables = q.tables();
   const size_t n = tables.size();
   COLT_CHECK(n >= 1 && n <= 16) << "unsupported table count " << n;
@@ -515,6 +562,19 @@ std::vector<IndexId> QueryOptimizer::RelevantIndexes(
     for (const auto& j : q.joins()) {
       // Joins can only probe through the leading column.
       if (j.left == desc.column || j.right == desc.column) relevant = true;
+    }
+    // A write affects (negatively) every index it must maintain, whether
+    // or not the WHERE clause could use it.
+    if (q.is_write() && desc.column.table == q.write_table()) {
+      if (q.kind() != StatementKind::kUpdate) {
+        relevant = true;
+      } else {
+        for (const ColumnRef& col : desc.columns) {
+          for (const SetClause& s : q.set_clauses()) {
+            if (s.column == col.column) relevant = true;
+          }
+        }
+      }
     }
     if (relevant) out.push_back(id);
   }

@@ -21,6 +21,14 @@ class WhatIfPlanCache;
 struct PlanResult {
   double cost = 0.0;
   double rows = 0.0;
+  /// For write statements: the portion of `cost` spent keeping the
+  /// configuration's indexes on the target table fresh (B+-tree entry
+  /// inserts/erases; DESIGN.md §16). Always 0 for SELECT. `cost` includes
+  /// this component, so what-if gain differences automatically go negative
+  /// for indexes that a write must maintain.
+  double maintenance_cost = 0.0;
+  /// Null for INSERT (a pure append has no access path); for UPDATE/DELETE
+  /// this is the scan locating the affected rows.
   std::unique_ptr<PlanNode> plan;
 
   /// Index ids used anywhere in the plan.
@@ -170,6 +178,14 @@ class QueryOptimizer {
   PlanResult OptimizeInternal(const Query& q, const IndexConfiguration& config,
                               std::unordered_map<TableKey, AccessPath,
                                                  TableKeyHash>* memo);
+
+  /// Plans an INSERT/UPDATE/DELETE: locate cost (UPDATE/DELETE reuse
+  /// BestAccessPath over the WHERE clause), heap write cost, and the
+  /// per-index maintenance cost for every config index the statement must
+  /// keep fresh (DESIGN.md §16).
+  PlanResult OptimizeWrite(const Query& q, const IndexConfiguration& config,
+                           std::unordered_map<TableKey, AccessPath,
+                                              TableKeyHash>* memo);
 
   /// Optimal cost of `q` under exactly `config`, served from the attached
   /// what-if caches when possible (segment first, then a versioned Peek of

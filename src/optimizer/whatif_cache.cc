@@ -29,6 +29,18 @@ uint64_t QueryPlanSignature(const Query& q) {
     mix(static_cast<uint64_t>(s.lo));
     mix(static_cast<uint64_t>(s.hi));
   }
+  // Write statements (DESIGN.md §16): mixed only when the kind is not
+  // SELECT, so every read-only signature is exactly what it was before
+  // writes existed (persisted caches stay valid across the upgrade).
+  if (q.is_write()) {
+    mix(0x3012);
+    mix(static_cast<uint64_t>(q.kind()));
+    mix(static_cast<uint64_t>(q.insert_rows()));
+    for (const SetClause& s : q.set_clauses()) {
+      mix(static_cast<uint64_t>(s.column) + 3);
+      mix(static_cast<uint64_t>(s.value));
+    }
+  }
   return h;
 }
 

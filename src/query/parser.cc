@@ -88,6 +88,23 @@ class ParserImpl {
       : catalog_(catalog), tokens_(std::move(tokens)) {}
 
   Result<Query> ParseStatement() {
+    Result<Query> parsed = [&]() -> Result<Query> {
+      if (PeekKeyword("insert")) return ParseInsert();
+      if (PeekKeyword("update")) return ParseUpdate();
+      if (PeekKeyword("delete")) return ParseDelete();
+      return ParseSelect();
+    }();
+    COLT_RETURN_IF_ERROR(parsed.status());
+    if (PeekSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return UnexpectedToken("end of statement");
+    }
+    COLT_RETURN_IF_ERROR(parsed->Validate(*catalog_));
+    return parsed;
+  }
+
+ private:
+  Result<Query> ParseSelect() {
     COLT_RETURN_IF_ERROR(ExpectKeyword("select"));
     COLT_RETURN_IF_ERROR(ExpectKeyword("count"));
     COLT_RETURN_IF_ERROR(ExpectSymbol("("));
@@ -100,24 +117,85 @@ class ParserImpl {
 
     std::vector<JoinPredicate> joins;
     std::vector<SelectionPredicate> selections;
-    if (PeekKeyword("where")) {
-      Advance();
-      COLT_RETURN_IF_ERROR(ParseCondition(tables, &joins, &selections));
-      while (PeekKeyword("and")) {
-        Advance();
-        COLT_RETURN_IF_ERROR(ParseCondition(tables, &joins, &selections));
-      }
-    }
-    if (PeekSymbol(";")) Advance();
-    if (Peek().kind != TokenKind::kEnd) {
-      return UnexpectedToken("end of statement");
-    }
-    Query query(std::move(tables), std::move(joins), std::move(selections));
-    COLT_RETURN_IF_ERROR(query.Validate(*catalog_));
-    return query;
+    COLT_RETURN_IF_ERROR(ParseWhere(tables, &joins, &selections));
+    return Query(std::move(tables), std::move(joins), std::move(selections));
   }
 
- private:
+  /// `INSERT INTO <table> ROWS <int>` — batch-append synthesized tuples.
+  Result<Query> ParseInsert() {
+    COLT_RETURN_IF_ERROR(ExpectKeyword("insert"));
+    COLT_RETURN_IF_ERROR(ExpectKeyword("into"));
+    COLT_ASSIGN_OR_RETURN(const TableId table, ExpectTable());
+    COLT_RETURN_IF_ERROR(ExpectKeyword("rows"));
+    COLT_ASSIGN_OR_RETURN(const int64_t rows, ExpectInt());
+    return Query::MakeInsert(table, rows);
+  }
+
+  /// `UPDATE <table> SET col = int [, col = int]* [WHERE ...]`.
+  Result<Query> ParseUpdate() {
+    COLT_RETURN_IF_ERROR(ExpectKeyword("update"));
+    COLT_ASSIGN_OR_RETURN(const TableId table, ExpectTable());
+    COLT_RETURN_IF_ERROR(ExpectKeyword("set"));
+    std::vector<SetClause> sets;
+    for (;;) {
+      COLT_ASSIGN_OR_RETURN(const std::string column_name, ExpectIdent());
+      const ColumnId column = catalog_->table(table).FindColumn(column_name);
+      if (column == kInvalidColumnId) {
+        return Status::NotFound("unknown column '" + column_name + "'");
+      }
+      COLT_RETURN_IF_ERROR(ExpectSymbol("="));
+      COLT_ASSIGN_OR_RETURN(const int64_t value, ExpectInt());
+      sets.push_back(SetClause{column, value});
+      if (!PeekSymbol(",")) break;
+      Advance();
+    }
+    std::vector<TableId> tables{table};
+    std::vector<JoinPredicate> joins;
+    std::vector<SelectionPredicate> selections;
+    COLT_RETURN_IF_ERROR(ParseWhere(tables, &joins, &selections));
+    if (!joins.empty()) {
+      return Status::InvalidArgument("UPDATE cannot join");
+    }
+    return Query::MakeUpdate(table, std::move(sets), std::move(selections));
+  }
+
+  /// `DELETE FROM <table> [WHERE ...]`.
+  Result<Query> ParseDelete() {
+    COLT_RETURN_IF_ERROR(ExpectKeyword("delete"));
+    COLT_RETURN_IF_ERROR(ExpectKeyword("from"));
+    COLT_ASSIGN_OR_RETURN(const TableId table, ExpectTable());
+    std::vector<TableId> tables{table};
+    std::vector<JoinPredicate> joins;
+    std::vector<SelectionPredicate> selections;
+    COLT_RETURN_IF_ERROR(ParseWhere(tables, &joins, &selections));
+    if (!joins.empty()) {
+      return Status::InvalidArgument("DELETE cannot join");
+    }
+    return Query::MakeDelete(table, std::move(selections));
+  }
+
+  Status ParseWhere(const std::vector<TableId>& tables,
+                    std::vector<JoinPredicate>* joins,
+                    std::vector<SelectionPredicate>* selections) {
+    if (!PeekKeyword("where")) return Status::OK();
+    Advance();
+    COLT_RETURN_IF_ERROR(ParseCondition(tables, joins, selections));
+    while (PeekKeyword("and")) {
+      Advance();
+      COLT_RETURN_IF_ERROR(ParseCondition(tables, joins, selections));
+    }
+    return Status::OK();
+  }
+
+  Result<TableId> ExpectTable() {
+    COLT_ASSIGN_OR_RETURN(const std::string name, ExpectIdent());
+    const TableId id = catalog_->FindTable(name);
+    if (id == kInvalidTableId) {
+      return Status::NotFound("unknown table '" + name + "'");
+    }
+    return id;
+  }
+
   const Token& Peek() const { return tokens_[pos_]; }
   void Advance() { ++pos_; }
 

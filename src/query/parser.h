@@ -22,8 +22,16 @@ namespace colt {
 ///   t.col BETWEEN <int> AND <int>
 ///   t1.a = t2.b                 -- equi-join
 ///
-/// Keywords are case-insensitive; identifiers are case-sensitive and must
-/// exist in the catalog. Errors carry the offending token.
+/// plus the write statements (DESIGN.md §16):
+///
+///   INSERT INTO t ROWS <int>                 -- batch-append synthesized rows
+///   UPDATE t SET col = <int> [, col = <int>]* [WHERE ...]
+///   DELETE FROM t [WHERE ...]
+///
+/// UPDATE/DELETE WHERE clauses take the same selection conditions as
+/// SELECT (no joins). Keywords are case-insensitive; identifiers are
+/// case-sensitive and must exist in the catalog. Errors carry the
+/// offending token.
 class QueryParser {
  public:
   explicit QueryParser(const Catalog* catalog) : catalog_(catalog) {}

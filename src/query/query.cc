@@ -24,6 +24,32 @@ Query::Query(std::vector<TableId> tables, std::vector<JoinPredicate> joins,
             });
 }
 
+Query Query::MakeInsert(TableId table, int64_t rows) {
+  Query q({table}, {}, {});
+  q.kind_ = StatementKind::kInsert;
+  q.insert_rows_ = rows;
+  return q;
+}
+
+Query Query::MakeUpdate(TableId table, std::vector<SetClause> sets,
+                        std::vector<SelectionPredicate> selections) {
+  Query q({table}, {}, std::move(selections));
+  q.kind_ = StatementKind::kUpdate;
+  q.set_clauses_ = std::move(sets);
+  std::sort(q.set_clauses_.begin(), q.set_clauses_.end(),
+            [](const SetClause& a, const SetClause& b) {
+              return std::tie(a.column, a.value) < std::tie(b.column, b.value);
+            });
+  return q;
+}
+
+Query Query::MakeDelete(TableId table,
+                        std::vector<SelectionPredicate> selections) {
+  Query q({table}, {}, std::move(selections));
+  q.kind_ = StatementKind::kDelete;
+  return q;
+}
+
 std::vector<SelectionPredicate> Query::SelectionsOn(TableId table) const {
   std::vector<SelectionPredicate> out;
   for (const auto& s : selections_) {
@@ -63,31 +89,89 @@ Status Query::Validate(const Catalog& catalog) const {
     COLT_RETURN_IF_ERROR(check_column(s.column));
     if (s.lo > s.hi) return Status::InvalidArgument("empty predicate range");
   }
+  if (is_write()) {
+    if (tables_.size() != 1) {
+      return Status::InvalidArgument("write statements target one table");
+    }
+    if (!joins_.empty()) {
+      return Status::InvalidArgument("write statements cannot join");
+    }
+    const TableId target = tables_.front();
+    if (kind_ == StatementKind::kInsert) {
+      if (insert_rows_ < 1) {
+        return Status::InvalidArgument("INSERT needs a positive row count");
+      }
+      if (!selections_.empty()) {
+        return Status::InvalidArgument("INSERT cannot carry a WHERE clause");
+      }
+    }
+    if (kind_ == StatementKind::kUpdate && set_clauses_.empty()) {
+      return Status::InvalidArgument("UPDATE needs at least one SET clause");
+    }
+    for (const SetClause& s : set_clauses_) {
+      if (s.column < 0 || s.column >= catalog.table(target).column_count()) {
+        return Status::InvalidArgument("unknown SET column");
+      }
+    }
+  } else {
+    if (insert_rows_ != 0 || !set_clauses_.empty()) {
+      return Status::InvalidArgument("SELECT cannot carry write fields");
+    }
+  }
   return Status::OK();
 }
 
 std::string Query::ToString(const Catalog& catalog) const {
   std::ostringstream os;
-  os << "SELECT count(*) FROM ";
-  for (size_t i = 0; i < tables_.size(); ++i) {
-    if (i > 0) os << ", ";
-    os << catalog.table(tables_[i]).name();
-  }
   bool first = true;
   auto emit_where = [&] {
     os << (first ? " WHERE " : " AND ");
     first = false;
   };
-  for (const auto& j : joins_) {
-    emit_where();
-    os << catalog.table(j.left.table).name() << "."
-       << catalog.table(j.left.table).column(j.left.column).name << " = "
-       << catalog.table(j.right.table).name() << "."
-       << catalog.table(j.right.table).column(j.right.column).name;
-  }
-  for (const auto& s : selections_) {
-    emit_where();
-    os << PredicateToString(catalog, s);
+  auto emit_conditions = [&] {
+    for (const auto& j : joins_) {
+      emit_where();
+      os << catalog.table(j.left.table).name() << "."
+         << catalog.table(j.left.table).column(j.left.column).name << " = "
+         << catalog.table(j.right.table).name() << "."
+         << catalog.table(j.right.table).column(j.right.column).name;
+    }
+    for (const auto& s : selections_) {
+      emit_where();
+      os << PredicateToString(catalog, s);
+    }
+  };
+  switch (kind_) {
+    case StatementKind::kSelect: {
+      os << "SELECT count(*) FROM ";
+      for (size_t i = 0; i < tables_.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << catalog.table(tables_[i]).name();
+      }
+      emit_conditions();
+      break;
+    }
+    case StatementKind::kInsert: {
+      os << "INSERT INTO " << catalog.table(write_table()).name() << " ROWS "
+         << insert_rows_;
+      break;
+    }
+    case StatementKind::kUpdate: {
+      const auto& table = catalog.table(write_table());
+      os << "UPDATE " << table.name() << " SET ";
+      for (size_t i = 0; i < set_clauses_.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << table.column(set_clauses_[i].column).name << " = "
+           << set_clauses_[i].value;
+      }
+      emit_conditions();
+      break;
+    }
+    case StatementKind::kDelete: {
+      os << "DELETE FROM " << catalog.table(write_table()).name();
+      emit_conditions();
+      break;
+    }
   }
   return os.str();
 }
@@ -128,6 +212,14 @@ size_t QuerySignatureHash::operator()(const QuerySignature& sig) const {
         static_cast<uint32_t>(c.column));
     mix(static_cast<uint64_t>(bucket) + 17);
   }
+  // Mixed only for writes so read-only signatures hash exactly as they did
+  // before write statements existed (clusters persisted by older
+  // checkpoints keep their identity).
+  if (sig.kind != 0) {
+    mix(0x5157u);  // "WQ" domain separator
+    mix(static_cast<uint64_t>(sig.kind));
+    for (ColumnId c : sig.write_columns) mix(static_cast<uint64_t>(c) + 29);
+  }
   return static_cast<size_t>(h);
 }
 
@@ -144,6 +236,14 @@ QuerySignature ComputeSignature(const Catalog& catalog, const Query& q) {
         s.column, SelectivityBucket(EstimateSelectivity(catalog, s)));
   }
   std::sort(sig.selections.begin(), sig.selections.end());
+  sig.kind = static_cast<int>(q.kind());
+  for (const SetClause& s : q.set_clauses()) {
+    sig.write_columns.push_back(s.column);
+  }
+  std::sort(sig.write_columns.begin(), sig.write_columns.end());
+  sig.write_columns.erase(
+      std::unique(sig.write_columns.begin(), sig.write_columns.end()),
+      sig.write_columns.end());
   return sig;
 }
 

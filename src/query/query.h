@@ -10,14 +10,60 @@
 
 namespace colt {
 
-/// A select-project-join query: a set of tables, equi-join predicates
-/// connecting them, and conjunctive range/equality selections. The output
-/// is an aggregate (count), so projection lists do not affect cost.
+/// The kind of statement a Query represents. SELECT is the historical
+/// read-only SPJ shape; the write kinds (DESIGN.md §16) carry a single
+/// target table and drive heap + index maintenance instead of scans.
+enum class StatementKind {
+  kSelect = 0,
+  kInsert = 1,
+  kUpdate = 2,
+  kDelete = 3,
+};
+
+/// One SET clause of an UPDATE: assign `value` to `column` of the target
+/// table for every matched row.
+struct SetClause {
+  ColumnId column = kInvalidColumnId;
+  int64_t value = 0;
+
+  friend bool operator==(const SetClause&, const SetClause&) = default;
+};
+
+/// A statement. For SELECT: a select-project-join query — a set of tables,
+/// equi-join predicates connecting them, and conjunctive range/equality
+/// selections; the output is an aggregate (count), so projection lists do
+/// not affect cost. For INSERT/UPDATE/DELETE (DESIGN.md §16): a single
+/// target table, an optional WHERE (update/delete) reusing the same
+/// selection predicates, SET clauses (update) and a batch row count
+/// (insert). Write statements never join.
 class Query {
  public:
   Query() = default;
   Query(std::vector<TableId> tables, std::vector<JoinPredicate> joins,
         std::vector<SelectionPredicate> selections);
+
+  /// Builds `INSERT INTO table ROWS rows` — append `rows` synthesized
+  /// tuples to `table` (values are a deterministic function of the row
+  /// position, so traces replay identically; DESIGN.md §16).
+  static Query MakeInsert(TableId table, int64_t rows);
+
+  /// Builds `UPDATE table SET ... [WHERE selections]`.
+  static Query MakeUpdate(TableId table, std::vector<SetClause> sets,
+                          std::vector<SelectionPredicate> selections);
+
+  /// Builds `DELETE FROM table [WHERE selections]`.
+  static Query MakeDelete(TableId table,
+                          std::vector<SelectionPredicate> selections);
+
+  StatementKind kind() const { return kind_; }
+  /// True for INSERT/UPDATE/DELETE.
+  bool is_write() const { return kind_ != StatementKind::kSelect; }
+  /// The single target table of a write statement. Requires is_write().
+  TableId write_table() const { return tables_.front(); }
+  /// Batch size of an INSERT; 0 for other kinds.
+  int64_t insert_rows() const { return insert_rows_; }
+  /// SET clauses of an UPDATE (sorted by column); empty for other kinds.
+  const std::vector<SetClause>& set_clauses() const { return set_clauses_; }
 
   const std::vector<TableId>& tables() const { return tables_; }
   const std::vector<JoinPredicate>& joins() const { return joins_; }
@@ -35,16 +81,20 @@ class Query {
   bool UsesTable(TableId table) const;
 
   /// Validates internal consistency against a catalog (tables exist, join
-  /// and selection columns belong to the query's tables).
+  /// and selection columns belong to the query's tables; write statements
+  /// target exactly one table, never join, and reference valid columns).
   Status Validate(const Catalog& catalog) const;
 
   std::string ToString(const Catalog& catalog) const;
 
  private:
   int64_t id_ = -1;
+  StatementKind kind_ = StatementKind::kSelect;
   std::vector<TableId> tables_;             // sorted, unique
   std::vector<JoinPredicate> joins_;        // canonical form
   std::vector<SelectionPredicate> selections_;
+  int64_t insert_rows_ = 0;                 // INSERT batch size
+  std::vector<SetClause> set_clauses_;      // UPDATE SET list, sorted
 };
 
 /// The Profiler's query-similarity key (paper §4.1): two query occurrences
@@ -58,6 +108,13 @@ struct QuerySignature {
   std::vector<std::pair<ColumnRef, ColumnRef>> joins;
   /// (column, selectivity bucket index).
   std::vector<std::pair<ColumnRef, int>> selections;
+  /// Statement kind as an integer (0 = SELECT). Writes of different kinds
+  /// (or touching different SET columns) never share a cluster; read-only
+  /// signatures keep their pre-write hash values because the kind is mixed
+  /// into the hash only when non-zero.
+  int kind = 0;
+  /// Columns assigned by an UPDATE's SET list (sorted); empty otherwise.
+  std::vector<ColumnId> write_columns;
 
   friend bool operator==(const QuerySignature&,
                          const QuerySignature&) = default;

@@ -39,14 +39,53 @@ Query WorkloadGenerator::Instantiate(const QueryTemplate& tmpl) {
           std::max(spec.min_selectivity, spec.max_selectivity));
       int64_t width = static_cast<int64_t>(std::llround(target * span));
       width = std::clamp<int64_t>(width, 1, domain_max - domain_min + 1);
-      const int64_t lo =
-          domain_min + rng_.NextInRange(0, (domain_max - domain_min + 1) - width);
+      // Hot-spot templates confine the range to the lowest hot_fraction of
+      // the domain (write skew; DESIGN.md §16), uniform placement otherwise.
+      int64_t place_span = domain_max - domain_min + 1;
+      if (tmpl.hot_fraction > 0.0) {
+        place_span = std::max<int64_t>(
+            width, static_cast<int64_t>(std::llround(tmpl.hot_fraction *
+                                                     span)));
+      }
+      const int64_t lo = domain_min + rng_.NextInRange(0, place_span - width);
       pred.lo = lo;
       pred.hi = lo + width - 1;
     }
     selections.push_back(pred);
   }
-  Query q(tmpl.tables, tmpl.joins, std::move(selections));
+  Query q;
+  switch (tmpl.kind) {
+    case StatementKind::kSelect:
+      q = Query(tmpl.tables, tmpl.joins, std::move(selections));
+      break;
+    case StatementKind::kInsert: {
+      const int64_t rows =
+          tmpl.min_insert_rows +
+          rng_.NextInRange(0, tmpl.max_insert_rows - tmpl.min_insert_rows);
+      q = Query::MakeInsert(tmpl.tables.front(), rows);
+      break;
+    }
+    case StatementKind::kUpdate: {
+      std::vector<SetClause> sets;
+      sets.reserve(tmpl.set_columns.size());
+      for (const ColumnRef& col : tmpl.set_columns) {
+        const ColumnStats& stats =
+            catalog_->table(col.table).column_stats(col.column);
+        SetClause clause;
+        clause.column = col.column;
+        clause.value =
+            stats.min_value() +
+            rng_.NextInRange(0, stats.max_value() - stats.min_value());
+        sets.push_back(clause);
+      }
+      q = Query::MakeUpdate(tmpl.tables.front(), std::move(sets),
+                            std::move(selections));
+      break;
+    }
+    case StatementKind::kDelete:
+      q = Query::MakeDelete(tmpl.tables.front(), std::move(selections));
+      break;
+  }
   q.set_id(next_query_id_++);
   return q;
 }

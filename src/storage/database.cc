@@ -108,6 +108,9 @@ Result<std::unique_ptr<BTreeIndex>> Database::PrepareIndex(IndexId id) const {
   std::vector<std::pair<int64_t, RowId>> entries;
   entries.reserve(values.size());
   for (size_t row = 0; row < values.size(); ++row) {
+    // Tombstoned rows never enter a fresh index, keeping late builds
+    // consistent with indexes maintained through the write path.
+    if (!data.live(static_cast<int64_t>(row))) continue;
     entries.emplace_back(values[row], static_cast<RowId>(row));
   }
   auto tree = std::make_unique<BTreeIndex>();
@@ -137,6 +140,123 @@ void Database::DropIndex(IndexId id) {
   catalog_.BumpVersion();
   PublishIndexSnapshot();
   EpochManager::Global().Retire(doomed.release());
+}
+
+namespace {
+
+/// SplitMix64 finalizer — the stateless cell-value hash for inserted rows.
+uint64_t MixCell(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic synthesized cell for (table, row, col), uniform over the
+/// column statistics' value range.
+int64_t SynthesizeCell(const ColumnStats& stats, TableId table, int64_t row,
+                       ColumnId col) {
+  const uint64_t h = MixCell((static_cast<uint64_t>(table) << 48) ^
+                             (static_cast<uint64_t>(col) << 40) ^
+                             static_cast<uint64_t>(row));
+  const int64_t lo = stats.min_value();
+  const int64_t hi = stats.max_value();
+  if (hi <= lo) return lo;
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(h % span);
+}
+
+}  // namespace
+
+Result<Database::WriteOutcome> Database::InsertRows(TableId table,
+                                                    int64_t count) {
+  if (!HasData(table)) {
+    return Status::FailedPrecondition("table not materialized");
+  }
+  if (count < 0) return Status::InvalidArgument("negative insert count");
+  TableData& data = table_data_.at(table);
+  const TableSchema& schema = catalog_.table(table);
+  WriteOutcome outcome;
+  outcome.rows.reserve(static_cast<size_t>(count));
+  std::vector<int64_t> values(static_cast<size_t>(schema.column_count()));
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t position = data.row_count();
+    for (ColumnId c = 0; c < schema.column_count(); ++c) {
+      values[static_cast<size_t>(c)] =
+          SynthesizeCell(schema.column_stats(c), table, position, c);
+    }
+    const RowId row = data.AppendRow(values);
+    for (auto& [id, tree] : built_indexes_) {
+      const IndexDescriptor& desc = catalog_.index(id);
+      if (desc.column.table != table) continue;
+      tree->Insert(values[static_cast<size_t>(desc.column.column)], row);
+      ++outcome.index_entry_ops;
+    }
+    outcome.rows.push_back(row);
+  }
+  return outcome;
+}
+
+Result<Database::WriteOutcome> Database::UpdateRows(
+    TableId table, const std::vector<RowId>& rows,
+    const std::vector<std::pair<ColumnId, int64_t>>& sets) {
+  if (!HasData(table)) {
+    return Status::FailedPrecondition("table not materialized");
+  }
+  TableData& data = table_data_.at(table);
+  const TableSchema& schema = catalog_.table(table);
+  for (const auto& [col, value] : sets) {
+    if (col < 0 || col >= schema.column_count()) {
+      return Status::InvalidArgument("unknown SET column");
+    }
+  }
+  WriteOutcome outcome;
+  for (RowId row : rows) {
+    if (row < 0 || row >= data.row_count() || !data.live(row)) continue;
+    // Re-key affected indexes first (the erase needs the old value), then
+    // overwrite the cells. Sets are applied in order; later clauses on the
+    // same column win, matching the cell state the re-insert used.
+    for (auto& [id, tree] : built_indexes_) {
+      const IndexDescriptor& desc = catalog_.index(id);
+      if (desc.column.table != table) continue;
+      int64_t new_key = data.value(desc.column.column, row);
+      bool touched = false;
+      for (const auto& [col, value] : sets) {
+        if (col == desc.column.column) {
+          new_key = value;
+          touched = true;
+        }
+      }
+      if (!touched) continue;
+      tree->Erase(data.value(desc.column.column, row), row);
+      tree->Insert(new_key, row);
+      outcome.index_entry_ops += 2;
+    }
+    for (const auto& [col, value] : sets) data.set_value(col, row, value);
+    outcome.rows.push_back(row);
+  }
+  return outcome;
+}
+
+Result<Database::WriteOutcome> Database::DeleteRows(
+    TableId table, const std::vector<RowId>& rows) {
+  if (!HasData(table)) {
+    return Status::FailedPrecondition("table not materialized");
+  }
+  TableData& data = table_data_.at(table);
+  WriteOutcome outcome;
+  for (RowId row : rows) {
+    if (row < 0 || row >= data.row_count() || !data.live(row)) continue;
+    for (auto& [id, tree] : built_indexes_) {
+      const IndexDescriptor& desc = catalog_.index(id);
+      if (desc.column.table != table) continue;
+      tree->Erase(data.value(desc.column.column, row), row);
+      ++outcome.index_entry_ops;
+    }
+    data.MarkDeleted(row);
+    outcome.rows.push_back(row);
+  }
+  return outcome;
 }
 
 std::vector<IndexId> Database::BuiltIndexIds() const {

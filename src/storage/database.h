@@ -92,6 +92,39 @@ class Database {
   /// Drops the physical index; OK even if not built.
   COLT_OWNER_ONLY void DropIndex(IndexId id);
 
+  /// Outcome of physically applying one write primitive (DESIGN.md §16).
+  struct WriteOutcome {
+    /// Row ids appended (insert) or affected (update/delete).
+    std::vector<RowId> rows;
+    /// B+-tree entry operations (inserts + erases) applied across every
+    /// built index on the target table.
+    int64_t index_entry_ops = 0;
+  };
+
+  /// Appends `count` synthesized rows to a materialized `table` and
+  /// inserts the new entries into every built index on it. Cell values are
+  /// a stateless hash of (table, row position, column) mapped into the
+  /// column statistics' [min, max] range — deterministic replay with no
+  /// draw from the database RNG, so table materialization order and
+  /// re-generation stay byte-identical whether or not writes ran first.
+  /// Catalog statistics are deliberately not refreshed (the tuning model
+  /// keeps pricing against the trace-visible statistics; DESIGN.md §16).
+  COLT_OWNER_ONLY Result<WriteOutcome> InsertRows(TableId table,
+                                                  int64_t count);
+
+  /// Overwrites the (column, value) `sets` on each row of `rows`, erasing
+  /// and re-inserting the entry of every built index keyed on an assigned
+  /// column. Rows must be live. Safe against concurrent snapshot readers:
+  /// index mutation goes through the OLC tree in place.
+  COLT_OWNER_ONLY Result<WriteOutcome> UpdateRows(
+      TableId table, const std::vector<RowId>& rows,
+      const std::vector<std::pair<ColumnId, int64_t>>& sets);
+
+  /// Tombstones each row of `rows` and erases its entry from every built
+  /// index on the table. Already-deleted rows are skipped.
+  COLT_OWNER_ONLY Result<WriteOutcome> DeleteRows(
+      TableId table, const std::vector<RowId>& rows);
+
   bool HasBuiltIndex(IndexId id) const;
   /// Requires HasBuiltIndex(id).
   const BTreeIndex& index(IndexId id) const;

@@ -8,6 +8,7 @@
 #include "core/colt.h"
 #include "core/serve.h"
 #include "optimizer/whatif_cache.h"
+#include "storage/database.h"
 #include "test_util.h"
 
 namespace colt {
@@ -70,6 +71,42 @@ Query RandomQuery(const Catalog& catalog, Rng& rng) {
     }
   }
   return Query(std::move(tables), std::move(joins), std::move(selections));
+}
+
+/// Random write statement against `catalog`: INSERT a batch, UPDATE a
+/// random column (with a usually-present narrow WHERE), or DELETE a narrow
+/// range. DELETEs always carry a WHERE so random streams do not simply
+/// drain their tables.
+Query RandomWrite(const Catalog& catalog, Rng& rng) {
+  const TableId t = static_cast<TableId>(
+      rng.NextBelow(static_cast<uint64_t>(catalog.table_count())));
+  const TableSchema& schema = catalog.table(t);
+  auto random_column = [&] {
+    return static_cast<ColumnId>(
+        rng.NextBelow(static_cast<uint64_t>(schema.column_count())));
+  };
+  auto narrow_where = [&] {
+    const ColumnId c = random_column();
+    const int64_t ndv = schema.column(c).ndv;
+    const int64_t lo = rng.NextInRange(0, ndv - 1);
+    const int64_t hi = std::min<int64_t>(ndv - 1, lo + rng.NextInRange(0, 16));
+    return std::vector<SelectionPredicate>{SelectionPredicate{{t, c}, lo, hi}};
+  };
+  switch (rng.NextBelow(3)) {
+    case 0:
+      return Query::MakeInsert(t, 1 + rng.NextInRange(0, 400));
+    case 1: {
+      const ColumnId c = random_column();
+      std::vector<SetClause> sets = {
+          {c, rng.NextInRange(0, schema.column(c).ndv - 1)}};
+      return Query::MakeUpdate(
+          t, std::move(sets),
+          rng.NextBool(0.8) ? narrow_where()
+                            : std::vector<SelectionPredicate>{});
+    }
+    default:
+      return Query::MakeDelete(t, narrow_where());
+  }
 }
 
 class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
@@ -199,6 +236,81 @@ TEST(FuzzWhatIfCacheDeterminism, CacheNeverChangesResults) {
     ASSERT_EQ(tuner_a.epoch_reports().size(), tuner_b.epoch_reports().size());
     ASSERT_EQ(tuner_a.epoch_reports().size(), tuner_c.epoch_reports().size());
   }
+}
+
+TEST(FuzzWrites, StatsOnlyVsPhysicalParallelBitIdenticalUnderWrites) {
+  // Random mixed read/write streams (~30% writes) on random catalogs,
+  // tuner A statistics-only and serial, tuner B applying every write to a
+  // real Database with a 2-worker pool — the strongest composition of the
+  // write-path invariants: maintenance charges live in model currency
+  // (DESIGN.md §16), so physical application and parallelism together must
+  // not move a single recorded double, across live index installs and
+  // drops triggered by the shifting random stream.
+  bool any_installs = false;
+  bool any_charge = false;
+  for (uint64_t seed : {2ull, 13ull, 29ull, 47ull, 61ull, 83ull}) {
+    Rng rng_a(seed * 1099511628211ULL + 3);
+    Rng rng_b(seed * 1099511628211ULL + 3);
+    Catalog cat_a = RandomCatalog(rng_a);
+    Database db(RandomCatalog(rng_b), /*seed=*/seed);
+    ASSERT_TRUE(db.MaterializeAll().ok());
+    QueryOptimizer opt_a(&cat_a), opt_b(&db.mutable_catalog());
+    ColtConfig config_a;
+    config_a.storage_budget_bytes = 32LL << 20;
+    config_a.epoch_length = 5;
+    ColtConfig config_b = config_a;
+    config_b.num_workers = 2;
+    ColtTuner tuner_a(&cat_a, &opt_a, config_a, nullptr, seed);
+    ColtTuner tuner_b(&db.mutable_catalog(), &opt_b, config_b, &db, seed);
+
+    const int n = 120 + static_cast<int>(rng_a.NextBelow(120));
+    rng_b.NextBelow(120);  // keep the two streams in lockstep
+    for (int i = 0; i < n; ++i) {
+      const Query qa = rng_a.NextBool(0.3) ? RandomWrite(cat_a, rng_a)
+                                           : RandomQuery(cat_a, rng_a);
+      const Query qb = rng_b.NextBool(0.3)
+                           ? RandomWrite(db.catalog(), rng_b)
+                           : RandomQuery(db.catalog(), rng_b);
+      ASSERT_TRUE(qa.Validate(cat_a).ok());
+      const TuningStep sa = tuner_a.OnQuery(qa);
+      const TuningStep sb = tuner_b.OnQuery(qb);
+      ASSERT_EQ(sa.plan.cost, sb.plan.cost) << "seed " << seed << " q " << i;
+      ASSERT_EQ(sa.execution_seconds, sb.execution_seconds)
+          << "seed " << seed << " q " << i;
+      ASSERT_EQ(sa.maintenance_seconds, sb.maintenance_seconds)
+          << "seed " << seed << " q " << i;
+      ASSERT_EQ(sa.profiling_seconds, sb.profiling_seconds)
+          << "seed " << seed << " q " << i;
+      ASSERT_EQ(sa.actions.size(), sb.actions.size())
+          << "seed " << seed << " q " << i;
+      any_installs = any_installs || !sa.actions.empty();
+    }
+    ASSERT_EQ(tuner_a.materialized().ids(), tuner_b.materialized().ids());
+    const auto& reports_a = tuner_a.epoch_reports();
+    const auto& reports_b = tuner_b.epoch_reports();
+    ASSERT_EQ(reports_a.size(), reports_b.size());
+    for (size_t e = 0; e < reports_a.size(); ++e) {
+      ASSERT_EQ(reports_a[e].materialized_ids, reports_b[e].materialized_ids)
+          << "seed " << seed << " epoch " << e;
+      ASSERT_EQ(reports_a[e].maintenance_charged,
+                reports_b[e].maintenance_charged)
+          << "seed " << seed << " epoch " << e;
+      any_charge = any_charge || reports_a[e].maintenance_charged > 0.0;
+    }
+    // Physical side: the applied writes left every surviving tree
+    // structurally valid and exactly tracking its table's live rows.
+    EXPECT_EQ(db.BuiltIndexIds(), tuner_b.materialized().ids());
+    for (IndexId id : db.BuiltIndexIds()) {
+      ASSERT_TRUE(db.index(id).CheckInvariants().ok());
+      const TableId table = db.catalog().index(id).column.table;
+      ASSERT_EQ(db.index(id).entry_count(),
+                db.data(table).live_row_count());
+    }
+  }
+  // Across the seed pool the streams must have exercised the interesting
+  // paths: real installs/drops interleaved with charged write epochs.
+  EXPECT_TRUE(any_installs);
+  EXPECT_TRUE(any_charge);
 }
 
 TEST(FuzzDeterminism, IdenticalRunsProduceIdenticalResults) {

@@ -118,6 +118,88 @@ TEST_F(ParserTest, RoundTripsThroughToString) {
   EXPECT_EQ(q1->selections(), q2->selections());
 }
 
+// ---- Write statements (DESIGN.md §16) ----
+
+TEST_F(ParserTest, InsertStatement) {
+  auto q = parser_.Parse("INSERT INTO big ROWS 500");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->kind(), StatementKind::kInsert);
+  EXPECT_TRUE(q->is_write());
+  EXPECT_EQ(q->write_table(), catalog_.FindTable("big"));
+  EXPECT_EQ(q->insert_rows(), 500);
+  EXPECT_TRUE(q->selections().empty());
+}
+
+TEST_F(ParserTest, UpdateStatementWithWhere) {
+  auto q = parser_.Parse(
+      "UPDATE big SET b_val = 7 WHERE big.b_key BETWEEN 5 AND 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->kind(), StatementKind::kUpdate);
+  ASSERT_EQ(q->set_clauses().size(), 1u);
+  EXPECT_EQ(q->set_clauses()[0].column,
+            catalog_.table(catalog_.FindTable("big")).FindColumn("b_val"));
+  EXPECT_EQ(q->set_clauses()[0].value, 7);
+  ASSERT_EQ(q->selections().size(), 1u);
+  EXPECT_EQ(q->selections()[0].lo, 5);
+  EXPECT_EQ(q->selections()[0].hi, 10);
+}
+
+TEST_F(ParserTest, UpdateMultipleSetClausesSortedByColumn) {
+  auto q = parser_.Parse("UPDATE big SET b_val = 1, b_key = 2");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->set_clauses().size(), 2u);
+  // MakeUpdate canonicalizes the SET list into column order.
+  EXPECT_LT(q->set_clauses()[0].column, q->set_clauses()[1].column);
+  EXPECT_TRUE(q->selections().empty());
+}
+
+TEST_F(ParserTest, DeleteStatement) {
+  auto q = parser_.Parse("DELETE FROM small WHERE small.s_ref = 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->kind(), StatementKind::kDelete);
+  EXPECT_EQ(q->write_table(), catalog_.FindTable("small"));
+  ASSERT_EQ(q->selections().size(), 1u);
+  EXPECT_TRUE(q->selections()[0].is_equality());
+}
+
+TEST_F(ParserTest, DeleteWithoutWhereIsFullTableDelete) {
+  auto q = parser_.Parse("DELETE FROM small");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->kind(), StatementKind::kDelete);
+  EXPECT_TRUE(q->selections().empty());
+}
+
+TEST_F(ParserTest, WriteStatementsRoundTripThroughToString) {
+  const TableId big = catalog_.FindTable("big");
+  const ColumnId b_val = catalog_.table(big).FindColumn("b_val");
+  const std::vector<Query> originals = {
+      Query::MakeInsert(big, 123),
+      Query::MakeUpdate(big, {{b_val, -4}},
+                        {SelectionPredicate{Ref(catalog_, "big", "b_key"),
+                                            10, 30}}),
+      Query::MakeDelete(big, {SelectionPredicate{
+                                 Ref(catalog_, "big", "b_cat"), 2, 2}}),
+  };
+  for (const Query& original : originals) {
+    auto reparsed = parser_.Parse(original.ToString(catalog_));
+    ASSERT_TRUE(reparsed.ok()) << original.ToString(catalog_) << "\n"
+                               << reparsed.status().ToString();
+    EXPECT_EQ(reparsed->kind(), original.kind());
+    EXPECT_EQ(reparsed->tables(), original.tables());
+    EXPECT_EQ(reparsed->selections(), original.selections());
+    EXPECT_EQ(reparsed->set_clauses(), original.set_clauses());
+    EXPECT_EQ(reparsed->insert_rows(), original.insert_rows());
+  }
+}
+
+TEST_F(ParserTest, WriteStatementErrors) {
+  EXPECT_FALSE(parser_.Parse("INSERT INTO nonsense ROWS 5").ok());
+  EXPECT_FALSE(parser_.Parse("INSERT INTO big ROWS").ok());
+  EXPECT_FALSE(parser_.Parse("UPDATE big SET nonsense = 1").ok());
+  EXPECT_FALSE(parser_.Parse("UPDATE big SET b_val").ok());
+  EXPECT_FALSE(parser_.Parse("DELETE FROM nonsense").ok());
+}
+
 // ---- Error cases ----
 
 TEST_F(ParserTest, UnknownTable) {

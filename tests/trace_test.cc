@@ -60,6 +60,55 @@ TEST(Trace, RoundTripsGeneratedExperimentWorkload) {
   }
 }
 
+TEST(Trace, RoundTripsHtapWorkloadWithWrites) {
+  // The HTAP phases emit INSERT/UPDATE/DELETE alongside reads; the trace
+  // layer serializes them through Query::ToString and the parser's write
+  // grammar (DESIGN.md §16), so the reloaded stream must match kind for
+  // kind, not just shape for shape.
+  Catalog catalog = MakeTpchCatalog();
+  const std::vector<QueryDistribution> dists =
+      ExperimentWorkloads::HtapPhases(&catalog);
+  WorkloadGenerator gen(&catalog, 23);
+  std::vector<Query> workload;
+  for (const auto& d : dists) {
+    for (int i = 0; i < 80; ++i) workload.push_back(gen.Sample(d));
+  }
+  int64_t writes = 0;
+  for (const Query& q : workload) writes += q.is_write() ? 1 : 0;
+  ASSERT_GT(writes, 0) << "the HTAP phases must emit write statements";
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveWorkloadTrace(catalog, workload, "htap", stream).ok());
+  auto loaded = LoadWorkloadTrace(catalog, stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    ASSERT_EQ((*loaded)[i].kind(), workload[i].kind()) << i;
+    ASSERT_EQ((*loaded)[i].tables(), workload[i].tables()) << i;
+    ASSERT_EQ((*loaded)[i].selections(), workload[i].selections()) << i;
+    ASSERT_EQ((*loaded)[i].set_clauses(), workload[i].set_clauses()) << i;
+    ASSERT_EQ((*loaded)[i].insert_rows(), workload[i].insert_rows()) << i;
+  }
+}
+
+TEST(Trace, WriteStatementLinesParse) {
+  Catalog catalog = MakeTestCatalog();
+  std::stringstream stream(
+      "# mixed trace\n"
+      "SELECT COUNT(*) FROM big WHERE big.b_key BETWEEN 1 AND 5;\n"
+      "INSERT INTO big ROWS 250;\n"
+      "UPDATE big SET b_val = 9 WHERE big.b_key = 3;\n"
+      "DELETE FROM small WHERE small.s_ref BETWEEN 1 AND 2;\n");
+  auto loaded = LoadWorkloadTrace(catalog, stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 4u);
+  EXPECT_EQ((*loaded)[0].kind(), StatementKind::kSelect);
+  EXPECT_EQ((*loaded)[1].kind(), StatementKind::kInsert);
+  EXPECT_EQ((*loaded)[1].insert_rows(), 250);
+  EXPECT_EQ((*loaded)[2].kind(), StatementKind::kUpdate);
+  EXPECT_EQ((*loaded)[3].kind(), StatementKind::kDelete);
+}
+
 TEST(Trace, CommentsAndBlankLinesIgnored) {
   Catalog catalog = MakeTestCatalog();
   std::stringstream stream(
